@@ -1,0 +1,130 @@
+"""Ablation benches: which design choices carry which results.
+
+DESIGN.md calls out the load-bearing mechanisms of the reproduction;
+each ablation removes one and shows the corresponding paper result
+collapse, confirming the result comes from the mechanism rather than
+from calibration:
+
+* the collective **tree network** carries the Fig. 3 broadcast win and
+  the allreduce precision effect;
+* the **barrier network** carries the microsecond barriers;
+* **allocation fragmentation** carries the XT's PTRANS variability
+  (Fig. 1c);
+* the **Chronopoulos-Gear** reduction fusion carries the XT barotropic
+  relief (Fig. 4);
+* **OpenMP efficiency** carries CAM's hybrid-mode advantage (Fig. 5).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.simmpi import CostModel
+from repro.kernels import PtransModel
+from repro.apps.pop import PopModel, CG_SIGNATURE, CHRONGEAR_SIGNATURE
+from repro.apps.cam import CamModel, SPECTRAL_T85
+from repro.simengine import make_rng
+
+
+def _bgp_without_tree():
+    """BG/P with the collective tree (and barrier) hardware deleted."""
+    return replace(BGP, name="BG/P", tree=None)
+
+
+def test_ablate_tree_network_bcast(benchmark):
+    """Without the tree, BG/P broadcast falls to software-binomial cost
+    and the Fig. 3c dominance disappears."""
+
+    def run():
+        p, nbytes = 8192, 32 * 1024
+        with_tree = CostModel(BGP, "VN", p).bcast_time(nbytes)
+        without = CostModel(_bgp_without_tree(), "VN", p).bcast_time(nbytes)
+        xt = CostModel(XT4_QC, "VN", p).bcast_time(nbytes)
+        return with_tree, without, xt
+
+    with_tree, without, xt = benchmark(run)
+    assert with_tree < xt / 2  # the paper's result...
+    assert without > xt / 2  # ...is gone without the tree
+
+
+def test_ablate_tree_network_allreduce_precision(benchmark):
+    """The float64-vs-float32 allreduce gap is entirely the tree ALU."""
+
+    def run():
+        p, nbytes = 1024, 32 * 1024
+        bare = CostModel(_bgp_without_tree(), "VN", p)
+        return (
+            bare.allreduce_time(nbytes, "float64"),
+            bare.allreduce_time(nbytes, "float32"),
+        )
+
+    f64, f32 = benchmark(run)
+    assert f64 == pytest.approx(f32, rel=0.05)  # no tree, no effect
+
+
+def test_ablate_barrier_network(benchmark):
+    """Microsecond barriers need the dedicated interrupt tree."""
+
+    def run():
+        p = 8192
+        return (
+            CostModel(BGP, "VN", p).barrier_time(),
+            CostModel(_bgp_without_tree(), "VN", p).barrier_time(),
+        )
+
+    hw, sw = benchmark(run)
+    assert hw < 10e-6
+    assert sw > 5 * hw
+
+
+def test_ablate_fragmentation(benchmark):
+    """Quiet (unfragmented) allocations erase the XT's PTRANS spread."""
+
+    def run():
+        rng = make_rng(21)
+        model = PtransModel(XT4_QC)
+        busy = [model.run(1024, rng=rng, utilization=0.7).gb_per_s for _ in range(6)]
+        quiet = [model.run(1024, rng=rng, utilization=0.0).gb_per_s for _ in range(6)]
+        return np.ptp(busy) / np.mean(busy), np.ptp(quiet) / np.mean(quiet)
+
+    busy_spread, quiet_spread = benchmark(run)
+    assert busy_spread > 0.01
+    assert quiet_spread == 0.0
+
+
+def test_ablate_chrongear(benchmark):
+    """One fused reduction halves the XT's latency-bound barotropic
+    cost at scale — the mechanism the solver variant exists for."""
+
+    def run():
+        pop = PopModel(XT4_QC)
+        cg = pop.run(22500, solver=CG_SIGNATURE).barotropic_s_per_day
+        ch = pop.run(22500, solver=CHRONGEAR_SIGNATURE).barotropic_s_per_day
+        return cg, ch
+
+    cg, ch = benchmark(run)
+    assert ch < 0.8 * cg
+
+
+def test_ablate_openmp_efficiency(benchmark):
+    """CAM's hybrid advantage needs reasonable thread efficiency: with
+    the OpenMP discount deepened to ~0, hybrid loses its edge."""
+    from repro.apps.cam import model as cam_model
+
+    def run():
+        cm = CamModel(BGP, SPECTRAL_T85)
+        normal = cm.run(2048, hybrid=True).syd
+        saved = cam_model.OPENMP_EFFICIENCY
+        try:
+            cam_model.OPENMP_EFFICIENCY = 0.01
+            crippled = cm.run(2048, hybrid=True).syd
+        finally:
+            cam_model.OPENMP_EFFICIENCY = saved
+        mpi = cm.run(2048, hybrid=False).syd
+        return normal, crippled, mpi
+
+    normal, crippled, mpi = benchmark(run)
+    assert normal > 1.5 * mpi  # the paper's hybrid benefit
+    assert crippled < 1.2 * mpi  # gone without thread efficiency

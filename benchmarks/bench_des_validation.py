@@ -1,0 +1,99 @@
+"""DES-vs-analytic validation benches.
+
+The figure harness trusts the analytic models at 8k–40k ranks; these
+benches time the message-level *replays* of each application's schedule
+at small scale and assert agreement — the anchor for the whole
+reproduction methodology (DESIGN.md Section 2).
+"""
+
+import pytest
+
+from repro.apps.cam import CamModel, SPECTRAL_T42
+from repro.apps.cam.des_replay import replay_steps as cam_replay
+from repro.apps.gyro import B1_STD, GyroModel
+from repro.apps.gyro.des_replay import replay_steps as gyro_replay
+from repro.apps.md import LammpsModel
+from repro.apps.md.des_replay import replay_steps as md_replay
+from repro.apps.pop import BarotropicConfig, PopGrid, PopModel, STEPS_PER_SIMDAY
+from repro.apps.pop.des_replay import replay_steps as pop_replay
+from repro.apps.s3d import S3dModel
+from repro.apps.s3d.des_replay import replay_steps as s3d_replay
+from repro.machines import BGP, XT4_DC
+
+
+def test_pop_replay_validation(benchmark):
+    grid = PopGrid(nx=360, ny=240, levels=40)
+
+    def run():
+        rep = pop_replay(BGP, 16, grid, solver_iterations=20)
+        pm = PopModel(BGP, grid=grid)
+        pm.barotropic = BarotropicConfig(20, 1, 1)
+        ana = pm.run(16).seconds_per_simday / STEPS_PER_SIMDAY
+        return rep.seconds_per_step, ana
+
+    des, ana = benchmark(run)
+    assert des == pytest.approx(ana, rel=0.5)
+
+
+def test_s3d_replay_validation(benchmark):
+    def run():
+        rep = s3d_replay(BGP, 8, edge=20)
+        ana = S3dModel(BGP).run(8, edge=20).seconds_per_step
+        return rep.seconds_per_step, ana
+
+    des, ana = benchmark(run)
+    assert des == pytest.approx(ana, rel=0.5)
+
+
+def test_gyro_replay_validation(benchmark):
+    def run():
+        rep = gyro_replay(BGP, 16, problem=B1_STD)
+        ana = GyroModel(BGP, B1_STD).run(16, mode="VN").seconds_per_step
+        return rep.seconds_per_step, ana
+
+    des, ana = benchmark(run)
+    assert des == pytest.approx(ana, rel=0.5)
+
+
+def test_cam_replay_validation(benchmark):
+    def run():
+        rep = cam_replay(BGP, SPECTRAL_T42, 16)
+        ana = (
+            86400.0
+            / (CamModel(BGP, SPECTRAL_T42).run(16).syd * 365.0)
+            / SPECTRAL_T42.steps_per_day
+        )
+        return rep.seconds_per_step, ana
+
+    des, ana = benchmark(run)
+    assert des == pytest.approx(ana, rel=0.5)
+
+
+def test_md_replay_validation(benchmark):
+    def run():
+        rep = md_replay(BGP, LammpsModel, 16)
+        ana = LammpsModel(BGP).run(16).seconds_per_step
+        return rep.seconds_per_step, ana
+
+    des, ana = benchmark(run)
+    assert des == pytest.approx(ana, rel=0.6)
+
+
+def test_cross_machine_factor_preserved(benchmark):
+    """DES and analytic agree on the XT4-vs-BG/P POP factor — the
+    quantity the paper's comparison figures plot."""
+    grid = PopGrid(nx=360, ny=240, levels=40)
+
+    def run():
+        db = pop_replay(BGP, 16, grid, solver_iterations=10).seconds_per_step
+        dx = pop_replay(XT4_DC, 16, grid, solver_iterations=10).seconds_per_step
+
+        def ana(machine):
+            pm = PopModel(machine, grid=grid)
+            pm.barotropic = BarotropicConfig(10, 1, 1)
+            return pm.run(16).seconds_per_simday
+
+        return db / dx, ana(BGP) / ana(XT4_DC)
+
+    des_ratio, ana_ratio = benchmark(run)
+    assert des_ratio == pytest.approx(ana_ratio, rel=0.25)

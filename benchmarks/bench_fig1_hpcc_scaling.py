@@ -1,0 +1,87 @@
+"""Regenerate Figure 1: HPL / FFT / PTRANS / RandomAccess scaling."""
+
+import numpy as np
+
+from repro.core import run_experiment
+from repro.kernels import HplModel, FftModel, PtransModel, RandomAccessModel
+from repro.machines import BGP, XT4_QC
+from repro.simengine import make_rng
+
+PROCS = [256, 512, 1024, 2048, 4096, 8192]
+
+
+def test_fig1_render(benchmark, save_artifact):
+    text = benchmark(run_experiment, "fig1")
+    save_artifact("fig1", text)
+    assert "HPL scaling" in text and "RandomAccess" in text
+
+
+def test_fig1a_hpl_shape(benchmark):
+    def curves():
+        return {
+            m.name: [HplModel(m).run(p).gflops for p in PROCS]
+            for m in (BGP, XT4_QC)
+        }
+
+    data = benchmark(curves)
+    # "The BG/P exhibited a smaller processing rate than the XT ...
+    # but both systems scaled well."
+    for name, ys in data.items():
+        ratios = [ys[i + 1] / ys[i] for i in range(len(ys) - 1)]
+        assert all(1.8 < r < 2.1 for r in ratios)  # near-linear doubling
+    assert all(b < x for b, x in zip(data["BG/P"], data["XT4/QC"]))
+
+
+def test_fig1b_fft_shape(benchmark):
+    def curves():
+        return {
+            m.name: [FftModel(m).mpi_run(p).gflops_total for p in PROCS]
+            for m in (BGP, XT4_QC)
+        }
+
+    data = benchmark(curves)
+    assert all(b < x for b, x in zip(data["BG/P"], data["XT4/QC"]))
+    for ys in data.values():
+        assert ys == sorted(ys)
+
+
+def test_fig1c_ptrans_shape(benchmark):
+    rng = make_rng(11)
+
+    def curves():
+        return {
+            m.name: [PtransModel(m).run(p, rng=rng).gb_per_s for p in PROCS]
+            for m in (BGP, XT4_QC)
+        }
+
+    data = benchmark(curves)
+    # "Both systems exhibited similar absolute performance and scaling
+    # trends, though with a higher degree of variability on the XT."
+    for b, x in zip(data["BG/P"], data["XT4/QC"]):
+        assert 0.05 < b / x < 20
+
+
+def test_fig1c_xt_variability(benchmark):
+    rng = make_rng(12)
+
+    def spreads():
+        bgp = [PtransModel(BGP).run(1024, rng=rng).gb_per_s for _ in range(6)]
+        xt = [PtransModel(XT4_QC).run(1024, rng=rng).gb_per_s for _ in range(6)]
+        return np.ptp(bgp) / np.mean(bgp), np.ptp(xt) / np.mean(xt)
+
+    bgp_spread, xt_spread = benchmark(spreads)
+    assert xt_spread > bgp_spread
+
+
+def test_fig1d_randomaccess_shape(benchmark):
+    def curves():
+        return {
+            m.name: [RandomAccessModel(m).run(p).gups_total for p in PROCS]
+            for m in (BGP, XT4_QC)
+        }
+
+    data = benchmark(curves)
+    # "The two systems showed very similar performance and scalability
+    # trends" — parity within a small factor everywhere.
+    for b, x in zip(data["BG/P"], data["XT4/QC"]):
+        assert 0.3 < b / x < 3.0

@@ -1,0 +1,64 @@
+"""Regenerate Figure 2: the HALO benchmark panels."""
+
+from repro.core import run_experiment
+from repro.halo import HaloBenchmark, PROTOCOLS
+from repro.machines import BGP
+from repro.topology import PAPER_FIG2_MAPPINGS
+
+
+def test_fig2_render(benchmark, save_artifact):
+    # Routing 8192-core grids across 8 mappings is the expensive part;
+    # one timed round is plenty.
+    text = benchmark.pedantic(run_experiment, args=("fig2",), rounds=1, iterations=1)
+    save_artifact("fig2", text)
+    for panel in "abcdef":
+        assert f"Figure 2({panel})" in text
+
+
+def test_fig2ab_protocol_insensitivity(benchmark):
+    """Fig. 2a/b: protocol choice is a minor effect."""
+
+    def spread():
+        hb = HaloBenchmark(BGP, grid=(32, 32), mode="VN", mapping="TXYZ")
+        out = []
+        for w in (8, 2048):
+            times = [hb.time_analytic(w, p) for p in PROTOCOLS]
+            out.append(max(times) / min(times))
+        return out
+
+    spreads = benchmark(spread)
+    assert all(s < 2.5 for s in spreads)
+
+
+def test_fig2cd_mapping_sensitivity(benchmark):
+    """Fig. 2c/d: mappings diverge only at large halo volumes."""
+
+    def spreads():
+        small, big = [], []
+        for m in PAPER_FIG2_MAPPINGS:
+            hb = HaloBenchmark(BGP, grid=(64, 64), mode="VN", mapping=m)
+            small.append(hb.time_analytic(4))
+            big.append(hb.time_analytic(50000))
+        return max(small) / min(small), max(big) / min(big)
+
+    small_spread, big_spread = benchmark.pedantic(spreads, rounds=1, iterations=1)
+    assert small_spread < 1.5  # "unimportant for small halo volumes"
+    assert big_spread > 2.0  # "important for larger volumes"
+
+
+def test_fig2ef_grid_size_scalability(benchmark):
+    """Fig. 2e/f: cost does not grow with the processor grid —
+    'good scalability for the halo operator'."""
+
+    def best_times():
+        out = []
+        for grid in ((16, 16), (32, 32), (64, 64)):
+            benches = [
+                HaloBenchmark(BGP, grid, mode="VN", mapping=m)
+                for m in PAPER_FIG2_MAPPINGS
+            ]
+            out.append(min(hb.time_analytic(2048) for hb in benches))
+        return out
+
+    times = benchmark.pedantic(best_times, rounds=1, iterations=1)
+    assert max(times) < 3 * min(times)

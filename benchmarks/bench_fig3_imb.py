@@ -1,0 +1,61 @@
+"""Regenerate Figure 3: IMB Allreduce / Bcast latency."""
+
+from repro.core import run_experiment
+from repro.imb import ImbBenchmark
+from repro.machines import BGP, XT4_QC
+
+
+def test_fig3_render(benchmark, save_artifact):
+    text = benchmark(run_experiment, "fig3")
+    save_artifact("fig3", text)
+    assert "Allreduce" in text and "Bcast" in text
+
+
+def test_fig3a_precision_effect(benchmark):
+    """'a substantial performance benefit to using double precision
+    over single precision on the BG/P but not the Cray XT'."""
+
+    def ratios():
+        out = {}
+        for m in (BGP, XT4_QC):
+            b = ImbBenchmark(m)
+            d = b.size_sweep("allreduce", 8192, [32768], "float64")[0]
+            s = b.size_sweep("allreduce", 8192, [32768], "float32")[0]
+            out[m.name] = s.latency_us / d.latency_us
+        return out
+
+    r = benchmark(ratios)
+    assert r["BG/P"] > 2.0
+    assert 0.9 < r["XT4/QC"] < 1.1
+
+
+def test_fig3b_allreduce_scalability(benchmark):
+    """'the BG/P's double precision Allreduce scalability was
+    exceptional across the tested range of process counts'."""
+
+    def growth():
+        out = {}
+        for m in (BGP, XT4_QC):
+            pts = ImbBenchmark(m).process_sweep("allreduce", 32768)
+            out[m.name] = pts[-1].latency_us / pts[0].latency_us
+        return out
+
+    g = benchmark(growth)
+    assert g["BG/P"] < 1.5  # flat: the tree depth barely grows
+    assert g["BG/P"] < g["XT4/QC"]
+
+
+def test_fig3cd_bcast_dominance(benchmark):
+    """'the BG/P dramatically outperforms the Cray XT for all message
+    sizes showing the benefit of the special-purpose tree network'."""
+
+    def factors():
+        out = []
+        for nbytes in (4, 1024, 32768, 1048576):
+            b = ImbBenchmark(BGP).size_sweep("bcast", 8192, [nbytes])[0]
+            x = ImbBenchmark(XT4_QC).size_sweep("bcast", 8192, [nbytes])[0]
+            out.append(x.latency_us / b.latency_us)
+        return out
+
+    fs = benchmark(factors)
+    assert all(f > 2.0 for f in fs)

@@ -1,0 +1,90 @@
+"""Regenerate Figure 4: POP tenth-degree benchmark performance."""
+
+import pytest
+
+from repro.core import run_experiment, crossover_point
+from repro.apps.pop import PopModel, CG_SIGNATURE, CHRONGEAR_SIGNATURE
+from repro.machines import BGP, XT4_DC
+
+
+def test_fig4_render(benchmark, save_artifact):
+    text = benchmark.pedantic(run_experiment, args=("fig4",), rounds=1, iterations=1)
+    save_artifact("fig4", text)
+    for panel in "abcd":
+        assert f"Figure 4({panel})" in text
+
+
+def test_fig4a_scaling(benchmark):
+    """'scaling is linear out to 8000 processes, and is still scaling
+    well out to 40,000'."""
+
+    def run():
+        pop = PopModel(BGP)
+        return {p: pop.run(p).syd for p in (2000, 4000, 8000, 40000)}
+
+    syd = benchmark(run)
+    # Linear to 8000 within a few percent:
+    assert syd[4000] / syd[2000] == pytest.approx(2.0, rel=0.1)
+    assert syd[8000] / syd[4000] == pytest.approx(2.0, rel=0.1)
+    # Still scaling well to 40000 (>50% efficiency over 5x ranks):
+    assert syd[40000] / syd[8000] > 2.5
+
+
+def test_fig4c_cross_machine_factors(benchmark):
+    """'XT4 performance is approximately 3.6 times that of the BG/P for
+    8000 processes, and 2.5 times for 22500 processes'."""
+
+    def run():
+        b, x = PopModel(BGP), PopModel(XT4_DC)
+        return (
+            x.run(8000).syd / b.run(8000).syd,
+            x.run(22500).syd / b.run(22500).syd,
+        )
+
+    r8, r22 = benchmark(run)
+    assert r8 == pytest.approx(3.6, rel=0.15)
+    assert r22 == pytest.approx(2.5, rel=0.15)
+
+
+def test_fig4d_barotropic_crossover(benchmark):
+    """'indications are that Barotropic performance is superior on the
+    BG/P for 22500 processes (and higher)'."""
+
+    def run():
+        procs = [8000, 16000, 22500, 32000]
+        b = [PopModel(BGP).run(p).barotropic_s_per_day for p in procs]
+        x = [PopModel(XT4_DC).run(min(p, 22500)).barotropic_s_per_day for p in procs]
+        return procs, b, x
+
+    procs, b, x = benchmark(run)
+    # BG/P barotropic cheaper at 22500 and beyond.
+    assert b[2] < x[2]
+
+
+def test_fig4b_imbalance_comparable_to_barotropic(benchmark):
+    """'the Baroclinic load imbalance ... is as large as the cost of the
+    Barotropic phase for 8000 to 20000 processes'."""
+
+    def run():
+        out = {}
+        for p in (8000, 16000):
+            r = PopModel(BGP).run(p)
+            out[p] = r.imbalance_s_per_day / r.barotropic_s_per_day
+        return out
+
+    ratios = benchmark(run)
+    assert all(0.5 < v < 10 for v in ratios.values())
+
+
+def test_fig4a_solver_variants_minor(benchmark):
+    """'the performance difference between the two solver algorithms
+    has little practical impact'."""
+
+    def run():
+        pop = PopModel(BGP)
+        cg = pop.run(8000, solver=CG_SIGNATURE).syd
+        ch = pop.run(8000, solver=CHRONGEAR_SIGNATURE).syd
+        return cg, ch
+
+    cg, ch = benchmark(run)
+    assert cg == pytest.approx(ch, rel=0.1)

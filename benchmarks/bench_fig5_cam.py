@@ -1,0 +1,94 @@
+"""Regenerate Figure 5: CAM performance."""
+
+import pytest
+
+from repro.core import run_experiment
+from repro.apps.cam import (
+    CamModel,
+    SPECTRAL_T42,
+    SPECTRAL_T85,
+    FV_1_9x2_5,
+    FV_0_47x0_63,
+)
+from repro.machines import BGP, XT3, XT4_QC
+
+
+def test_fig5_render(benchmark, save_artifact):
+    text = benchmark(run_experiment, "fig5")
+    save_artifact("fig5", text)
+    for panel in "abcd":
+        assert f"Figure 5({panel})" in text
+
+
+def test_fig5ab_hybrid_extends_scaling(benchmark):
+    """'OpenMP parallelism does enhance performance and scalability,
+    and is an important enhancement for the BG/P over the BG/L'."""
+
+    def run():
+        out = {}
+        for bmk in (SPECTRAL_T42, SPECTRAL_T85, FV_1_9x2_5):
+            cm = CamModel(BGP, bmk)
+            cores = bmk.mpi_rank_limit * 4
+            out[bmk.name] = (
+                cm.run(cores, hybrid=True).syd,
+                cm.run(cores, hybrid=False).syd,
+            )
+        return out
+
+    data = benchmark(run)
+    for hybrid, mpi in data.values():
+        assert hybrid > 1.5 * mpi
+
+
+def test_fig5c_spectral_factors(benchmark):
+    """'the BG/P is never less than a factor of 2.1 slower than the XT3
+    and 3.1 slower than the XT4 for the spectral Eulerian problems'."""
+
+    def run():
+        out = []
+        for bmk in (SPECTRAL_T42, SPECTRAL_T85):
+            for cores in (32, 64):
+                b = CamModel(BGP, bmk).run(cores).syd
+                out.append(
+                    (
+                        CamModel(XT3, bmk).run(cores).syd / b,
+                        CamModel(XT4_QC, bmk).run(cores).syd / b,
+                    )
+                )
+        return out
+
+    factors = benchmark(run)
+    for xt3_f, xt4_f in factors:
+        assert xt3_f >= 2.05
+        assert xt4_f >= 3.0
+
+
+def test_fig5d_fv_factors(benchmark):
+    """'the XT4 advantage is between a factor of 2 and 2.5 and XT3
+    advantage is less than a factor of 2' for the finite volume dycore."""
+
+    def run():
+        b = CamModel(BGP, FV_1_9x2_5).run(128).syd
+        return (
+            CamModel(XT3, FV_1_9x2_5).run(128).syd / b,
+            CamModel(XT4_QC, FV_1_9x2_5).run(128).syd / b,
+        )
+
+    xt3_f, xt4_f = benchmark(run)
+    assert xt3_f < 2.0
+    assert 1.9 <= xt4_f <= 2.6
+
+
+def test_fig5b_large_fv_memory_failure(benchmark):
+    """'runtime (memory) problems are preventing the pure MPI runs for
+    the FV 0.47x0.63 L26 benchmark from completing'."""
+
+    def run():
+        cm = CamModel(BGP, FV_0_47x0_63)
+        try:
+            cm.run(2048, hybrid=False)
+            return False
+        except MemoryError:
+            return cm.run(2048, hybrid=True).syd > 0
+
+    assert benchmark(run)

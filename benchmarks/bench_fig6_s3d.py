@@ -1,0 +1,50 @@
+"""Regenerate Figure 6: S3D weak-scaling cost."""
+
+from repro.core import run_experiment
+from repro.apps.s3d import S3dModel, pressure_wave_demo
+from repro.machines import BGP, BGL, XT3, XT4_DC, XT4_QC
+
+
+def test_fig6_render(benchmark, save_artifact):
+    text = benchmark(run_experiment, "fig6")
+    save_artifact("fig6", text)
+    assert "core-hours per grid point per step" in text
+
+
+def test_fig6_weak_scaling_flat(benchmark):
+    """'S3D exhibits excellent parallel performance on several
+    architectures and can scale efficiently to a large fraction of the
+    processors available'."""
+
+    def run():
+        out = {}
+        for m in (BGP, BGL, XT3, XT4_DC, XT4_QC):
+            model = S3dModel(m)
+            curve = [r.core_hours_per_point_step for r in model.weak_scaling([1, 64, 4096])]
+            out[m.name] = max(curve) / min(curve)
+        return out
+
+    spreads = benchmark(run)
+    assert all(s < 1.25 for s in spreads.values())
+
+
+def test_fig6_platform_ordering(benchmark):
+    """Per-point cost ordering across the five platforms."""
+
+    def run():
+        return {
+            m.name: S3dModel(m).run(512).core_hours_per_point_step
+            for m in (BGP, BGL, XT3, XT4_DC, XT4_QC)
+        }
+
+    costs = benchmark(run)
+    assert costs["BG/L"] > costs["BG/P"] > costs["XT4/QC"]
+    assert costs["XT3"] > costs["XT4/QC"]
+
+
+def test_fig6_pressure_wave_problem(benchmark):
+    """The actual test problem integrates correctly (mass conserved,
+    Gaussian splits into two travelling waves)."""
+    d = benchmark(pressure_wave_demo)
+    assert d["mass_error"] < 1e-10
+    assert 0.35 < d["peak_ratio"] < 0.65

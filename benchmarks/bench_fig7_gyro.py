@@ -1,0 +1,66 @@
+"""Regenerate Figure 7: GYRO strong and weak scaling."""
+
+import pytest
+
+from repro.core import run_experiment
+from repro.apps.gyro import GyroModel, B1_STD, B3_GTC, B3_GTC_MODIFIED
+from repro.machines import BGP, BGL, XT4_QC
+
+
+def test_fig7_render(benchmark, save_artifact):
+    text = benchmark(run_experiment, "fig7")
+    save_artifact("fig7", text)
+    assert "B1-std" in text and "B3-gtc" in text
+
+
+def test_fig7a_b1_strong_scaling(benchmark):
+    """'the XT4 quickly runs out of work per process as the process
+    count increases, while the BG/P system continues to scale'."""
+
+    def run():
+        out = {}
+        for m in (BGP, XT4_QC):
+            g = GyroModel(m, B1_STD)
+            base = g.run(16)
+            out[m.name] = g.run(2048).speedup_vs(base) / (2048 / 16)
+        return out
+
+    eff = benchmark(run)
+    assert eff["BG/P"] > 0.7
+    assert eff["XT4/QC"] < eff["BG/P"] - 0.15
+
+
+def test_fig7b_b3_scaling_and_dual_mode(benchmark):
+    """'both the XT4 and BG/P scaled up to 2048 processes without any
+    significant drop in efficiency ... on BG/P the code had to be run
+    in "DUAL" mode due to memory requirements'."""
+
+    def run():
+        out = {}
+        for m in (BGP, XT4_QC):
+            g = GyroModel(m, B3_GTC)
+            r = g.run(2048)
+            out[m.name] = (r.speedup_vs(g.run(64)) / 32, r.mode)
+        return out
+
+    data = benchmark(run)
+    assert data["BG/P"][0] > 0.75 and data["XT4/QC"][0] > 0.75
+    assert data["BG/P"][1] == "DUAL"
+    assert data["XT4/QC"][1] == "VN"
+
+
+def test_fig7c_weak_scaling_bgp_vs_bgl(benchmark):
+    """'the BG/P and BG/L numbers are almost the same'."""
+
+    def run():
+        out = {}
+        for m in (BGP, BGL):
+            g = GyroModel(m, B3_GTC_MODIFIED)
+            out[m.name] = [
+                r.seconds_per_step for r in g.weak_scaling([64, 256, 1024])
+            ]
+        return out
+
+    data = benchmark(run)
+    for b, l in zip(data["BG/P"], data["BG/L"]):
+        assert b == pytest.approx(l, rel=0.25)

@@ -1,0 +1,58 @@
+"""Regenerate Figure 8: LAMMPS and AMBER/PMEMD on RuBisCO."""
+
+from repro.core import run_experiment
+from repro.apps.md import LammpsModel, PmemdModel
+from repro.machines import BGP, XT3, XT4_DC
+
+
+def test_fig8_render(benchmark, save_artifact):
+    text = benchmark(run_experiment, "fig8")
+    save_artifact("fig8", text)
+    assert "LAMMPS" in text and "PMEMD" in text and "290,220" in text
+
+
+def test_fig8_generational_improvement(benchmark):
+    """'subsequent generations of the systems ... result in performance
+    improvements for applications particularly on large number of MPI
+    tasks'."""
+
+    def run():
+        return {
+            m.name: LammpsModel(m).run(2048).ns_per_day
+            for m in (XT3, XT4_DC)
+        }
+
+    rates = benchmark(run)
+    assert rates["XT4/DC"] > rates["XT3"]
+
+
+def test_fig8_bgp_efficiency(benchmark):
+    """'The collective network of the BG/P results in relatively higher
+    parallel efficiencies' (LAMMPS rides the tree for its per-step
+    reductions)."""
+
+    def run():
+        out = {}
+        for m in (BGP, XT4_DC):
+            model = LammpsModel(m)
+            out[m.name] = model.run(4096).speedup_vs(model.run(64)) / 64
+        return out
+
+    eff = benchmark(run)
+    assert eff["BG/P"] > eff["XT4/DC"]
+
+
+def test_fig8_pmemd_limited(benchmark):
+    """'PMEMD scaling is limited due to higher rate of increase in
+    communication volume per MPI task ... and higher output
+    frequencies.'"""
+
+    def run():
+        out = {}
+        for Model in (LammpsModel, PmemdModel):
+            model = Model(XT4_DC)
+            out[Model.code] = model.run(4096).speedup_vs(model.run(64)) / 64
+        return out
+
+    eff = benchmark(run)
+    assert eff["LAMMPS"] > eff["PMEMD"]

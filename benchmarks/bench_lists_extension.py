@@ -1,0 +1,32 @@
+"""Extension bench: June-2008 list placement and density (Sections I, II.C)."""
+
+import pytest
+
+from repro.core import run_experiment
+from repro.machines import BGP, XT3, footprint_for_peak, density_ratio
+from repro.power import place_configuration
+
+
+def test_lists_render(benchmark, save_artifact):
+    text = benchmark(run_experiment, "lists")
+    save_artifact("lists", text)
+    assert "TOP500" in text and "cores/rack" in text
+
+
+def test_eugene_list_standing(benchmark):
+    """Section II.C: '#74 on the June 2008 TOP500' and 'fifth overall
+    on the Green500 List'."""
+    pl = benchmark(place_configuration, BGP, 8192)
+    assert abs(pl.top500_rank - 74) <= 5
+    assert abs(pl.green500_rank - 5) <= 2
+
+
+def test_density_headline(benchmark):
+    """Section I.A: 21x the XT3's core density; 72 racks to a PFlop."""
+
+    def run():
+        return density_ratio(BGP, XT3), footprint_for_peak(BGP, 1000.0).racks
+
+    ratio, racks = benchmark(run)
+    assert ratio == pytest.approx(4096 / 192)
+    assert racks == 72

@@ -1,0 +1,14 @@
+"""Regenerate Table 1: the system configuration summary."""
+
+from repro.core import run_experiment
+
+
+def test_table1_config(benchmark, save_artifact):
+    text = benchmark(run_experiment, "table1")
+    save_artifact("table1", text)
+    # The five systems of the paper, in its column order.
+    for name in ("BG/L", "BG/P", "XT3", "XT4/DC", "XT4/QC"):
+        assert name in text
+    # Signature Table 1 values.
+    assert "13.6" in text  # BG/P peak GF/node and memory bandwidth
+    assert "850" in text  # BG/P clock

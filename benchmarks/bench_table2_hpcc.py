@@ -1,0 +1,34 @@
+"""Regenerate Table 2: the HPCC comparison at 4096 processes, VN mode."""
+
+from repro.core import run_experiment
+from repro.core.hpcc import build_table2
+from repro.machines import BGP, XT4_QC
+
+
+def test_table2_hpcc(benchmark, save_artifact):
+    text = benchmark(run_experiment, "table2")
+    save_artifact("table2", text)
+    assert "DGEMM" in text and "STREAM" in text and "Random-ring" in text
+
+
+def test_table2_shapes(benchmark):
+    """The Table 2 relationships the paper calls out."""
+
+    def build():
+        return build_table2([BGP, XT4_QC], processes=4096)
+
+    cols = benchmark(build)
+    b, x = cols["BG/P"], cols["XT4/QC"]
+    # "the BG/P's lower clock rate ... smaller processing rate on DGEMM"
+    assert b.dgemm_single_gflops < x.dgemm_single_gflops
+    # "BG/P exhibited higher absolute bandwidth and less of a decline"
+    assert b.stream_ep_gbs > x.stream_ep_gbs
+    assert (b.stream_ep_gbs / b.stream_single_gbs) > (
+        x.stream_ep_gbs / x.stream_single_gbs
+    )
+    # "the BG/P network's strength is low-latency communication whereas
+    # the XT's strength is high-bandwidth communication"
+    assert b.pingpong_latency_us < x.pingpong_latency_us
+    assert b.ring_latency_us < x.ring_latency_us
+    assert x.pingpong_bandwidth_gbs > b.pingpong_bandwidth_gbs
+    assert x.ring_bandwidth_gbs > b.ring_bandwidth_gbs

@@ -1,0 +1,54 @@
+"""Regenerate Table 3: the power comparison."""
+
+import pytest
+
+from repro.core import run_experiment
+from repro.machines import BGP, XT4_QC, hpl_mflops_per_watt
+from repro.power import build_table3
+
+
+def test_table3_render(benchmark, save_artifact):
+    text = benchmark.pedantic(run_experiment, args=("table3",), rounds=1, iterations=1)
+    save_artifact("table3", text)
+    assert "Power Comparison" in text
+    assert "MFlops/W" in text
+
+
+def test_table3_values(benchmark):
+    """Every derived Table 3 quantity within tolerance of the paper."""
+
+    def run():
+        return {c.machine: c for c in build_table3([BGP, XT4_QC])}
+
+    cols = benchmark.pedantic(run, rounds=1, iterations=1)
+    b, x = cols["BG/P"], cols["XT4/QC"]
+    # paper values in comments
+    assert b.hpl_power_kw == pytest.approx(63, rel=0.02)  # 63
+    assert x.hpl_power_kw == pytest.approx(1580, rel=0.01)  # 1580
+    assert b.mflops_per_watt == pytest.approx(347.6, rel=0.02)  # 347.6
+    assert x.mflops_per_watt == pytest.approx(129.7, rel=0.02)  # 129.7
+    assert b.pop_syd_at_8192 == pytest.approx(3.6, rel=0.08)  # 3.6
+    assert x.pop_syd_at_8192 == pytest.approx(12.5, rel=0.08)  # 12.5
+    assert b.cores_for_12_syd == pytest.approx(40000, rel=0.1)  # ~40000
+    assert x.cores_for_12_syd == pytest.approx(7500, rel=0.1)  # ~7500
+    assert b.power_kw_for_12_syd == pytest.approx(293.0, rel=0.1)  # 293.0
+    assert x.power_kw_for_12_syd == pytest.approx(363.2, rel=0.1)  # 363.2
+
+
+def test_power_headline_ratios(benchmark):
+    """'a difference of 6.6 times' per core; 'a ratio of 2.68' on
+    MFlops/W; '24% more aggregate power' at fixed throughput."""
+
+    def run():
+        wcore = XT4_QC.power.hpl_watts_per_core / BGP.power.hpl_watts_per_core
+        green = hpl_mflops_per_watt(BGP, 8192) / hpl_mflops_per_watt(XT4_QC, 30976)
+        cols = {c.machine: c for c in build_table3([BGP, XT4_QC])}
+        agg = (
+            cols["XT4/QC"].power_kw_for_12_syd / cols["BG/P"].power_kw_for_12_syd
+        )
+        return wcore, green, agg
+
+    wcore, green, agg = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert wcore == pytest.approx(6.6, rel=0.02)
+    assert green == pytest.approx(2.68, rel=0.03)
+    assert 1.1 < agg < 1.6  # paper: 1.24

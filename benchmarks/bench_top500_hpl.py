@@ -1,0 +1,29 @@
+"""Regenerate the Section II.C TOP500 HPL run on the ORNL BG/P."""
+
+import pytest
+
+from repro.core import run_experiment
+from repro.kernels import HplModel
+from repro.machines import BGP
+from repro.power import measure_hpl
+
+
+def test_top500_render(benchmark, save_artifact):
+    text = benchmark(run_experiment, "top500")
+    save_artifact("top500", text)
+    assert "614399" in text
+
+
+def test_top500_score(benchmark):
+    """'a performance score of 2.140e4 gigaflops' — ranked #74 on the
+    June 2008 TOP500 list."""
+    res = benchmark(HplModel(BGP).top500_run)
+    assert res.gflops == pytest.approx(21400, rel=0.03)
+
+
+def test_green500_score(benchmark):
+    """'a score of 310.93 MFLOPS/watt ... fifth overall on the
+    Green500 List' — our model lands at the Table-3 (347.6) level; the
+    measured TOP500 run sustained slightly less than the HPCC run."""
+    run = benchmark(measure_hpl, BGP, 8192)
+    assert 300 < run.mflops_per_watt < 360

@@ -1,0 +1,32 @@
+"""Shared fixtures for the figure/table regeneration benches.
+
+Each bench regenerates one paper artifact under pytest-benchmark timing
+and writes the rendered text to ``benchmarks/output/<id>.txt`` so the
+reproduction is inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Callable: save_artifact(experiment_id, text)."""
+
+    def _save(experiment_id: str, text: str) -> pathlib.Path:
+        path = artifact_dir / f"{experiment_id}.txt"
+        path.write_text(text)
+        return path
+
+    return _save

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Collective-network study (the paper's Fig. 3 experiment).
+
+Demonstrates the three collective effects the paper measured:
+
+1. the tree network makes BG/P broadcast latency nearly independent of
+   process count (vs the XT's log-growing software tree);
+2. the tree ALU makes *double*-precision allreduce fast on BG/P while
+   *single*-precision falls back to a slow software path;
+3. the dedicated barrier network completes a full-machine barrier in
+   microseconds.
+
+Every point can also be cross-checked against the message-level
+simulator (done here at small scale).
+
+Usage::
+
+    python examples/collective_networks.py
+"""
+
+from repro.core import format_table
+from repro.imb import ImbBenchmark
+from repro.machines import BGP, XT4_QC
+from repro.simmpi import CostModel
+
+
+def main() -> None:
+    print("=== 1. Broadcast latency vs process count (32 KB payload) ===\n")
+    rows = []
+    for p in (16, 128, 1024, 8192, 30976):
+        rows.append(
+            [
+                p,
+                round(CostModel(BGP, "VN", p).bcast_time(32768) * 1e6, 1),
+                round(CostModel(XT4_QC, "VN", p).bcast_time(32768) * 1e6, 1),
+            ]
+        )
+    print(format_table(["processes", "BG/P (us)", "XT4/QC (us)"], rows))
+
+    print("\n=== 2. Allreduce precision effect (8192 processes) ===\n")
+    rows = []
+    for nbytes in (64, 4096, 32768, 1 << 20):
+        b = CostModel(BGP, "VN", 8192)
+        x = CostModel(XT4_QC, "VN", 8192)
+        rows.append(
+            [
+                nbytes,
+                round(b.allreduce_time(nbytes, "float64") * 1e6, 1),
+                round(b.allreduce_time(nbytes, "float32") * 1e6, 1),
+                round(x.allreduce_time(nbytes, "float64") * 1e6, 1),
+                round(x.allreduce_time(nbytes, "float32") * 1e6, 1),
+            ]
+        )
+    print(
+        format_table(
+            ["bytes", "BG/P f64 (us)", "BG/P f32 (us)", "XT f64 (us)", "XT f32 (us)"],
+            rows,
+        )
+    )
+    print(
+        "\n-> BG/P: float64 rides the tree ALU; float32 takes the software\n"
+        "   path over the torus (the Fig. 3a effect).  The XT is agnostic."
+    )
+
+    print("\n=== 3. Barrier cost ===\n")
+    for p in (1024, 8192, 30976):  # 30976 = all of Jaguar's cores
+        b = CostModel(BGP, "VN", p).barrier_time() * 1e6
+        x = CostModel(XT4_QC, "VN", p).barrier_time() * 1e6
+        print(f"  {p:6d} ranks: BG/P {b:5.2f} us (barrier network)   XT {x:6.1f} us")
+
+    print("\n=== Cross-check: message-level simulation at 64 ranks ===\n")
+    for machine in (BGP, XT4_QC):
+        bench = ImbBenchmark(machine)
+        des = bench.measure_des("bcast", processes=64, nbytes=32768)
+        ana = bench.size_sweep("bcast", processes=64, sizes=[32768])[0]
+        print(
+            f"  {machine.name:7s} bcast 32KB: DES {des.latency_us:7.1f} us   "
+            f"analytic {ana.latency_us:7.1f} us"
+        )
+
+
+if __name__ == "__main__":
+    main()

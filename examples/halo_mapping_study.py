@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""HALO process-mapping study (the paper's Fig. 2c/d experiment).
+
+Evaluates the nearest-neighbour halo exchange on an 8192-core BG/P
+partition (128 x 64 virtual process grid, VN mode) under all eight of
+the paper's predefined mappings, across halo sizes.  Shows the paper's
+finding: "optimizing with respect to process/processor mapping is
+likely unimportant when communication is latency dominated, but may be
+important when communication is bandwidth limited."
+
+Usage::
+
+    python examples/halo_mapping_study.py
+"""
+
+from repro.halo import HaloBenchmark
+from repro.core import format_table
+from repro.machines import BGP
+from repro.topology import PAPER_FIG2_MAPPINGS
+
+GRID = (64, 64)  # 4096 cores in VN mode
+WORDS = [8, 128, 2048, 16384, 65536]
+
+
+def main() -> None:
+    print(f"=== HALO on BG/P, {GRID[0] * GRID[1]} cores VN, grid {GRID} ===\n")
+    benches = {
+        m: HaloBenchmark(BGP, GRID, mode="VN", mapping=m)
+        for m in PAPER_FIG2_MAPPINGS
+    }
+    rows = []
+    for mapping, hb in benches.items():
+        rows.append(
+            [mapping, *[f"{hb.time_analytic(w) * 1e6:.1f}" for w in WORDS]]
+        )
+    print(
+        format_table(
+            ["mapping", *[f"{w} words (us)" for w in WORDS]],
+            rows,
+            title="Exchange time by mapping and halo size",
+        )
+    )
+
+    print("\nSpread (worst mapping / best mapping) per halo size:")
+    for w in WORDS:
+        times = [hb.time_analytic(w) for hb in benches.values()]
+        tag = "mapping matters!" if max(times) / min(times) > 1.5 else "insensitive"
+        print(f"  {w:7d} words: {max(times) / min(times):5.2f}x   ({tag})")
+
+    print("\nProtocol comparison at 2048 words, TXYZ (Fig. 2a):")
+    hb = benches["TXYZ"]
+    for proto in ("ISEND_IRECV", "IRECV_SEND", "PERSISTENT", "SENDRECV"):
+        print(f"  {proto:12s}: {hb.time_analytic(2048, proto) * 1e6:7.1f} us")
+
+    print("\nCross-check against the message-level simulator (small grid):")
+    small = HaloBenchmark(BGP, (8, 8), mode="VN", mapping="TXYZ")
+    for w in (8, 2048):
+        des = small.run_des(w) * 1e6
+        ana = small.time_analytic(w) * 1e6
+        print(f"  {w:5d} words: DES {des:7.1f} us   analytic {ana:7.1f} us")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""POP tenth-degree scaling study (the paper's Fig. 4 + Table 3 story).
+
+Sweeps the Parallel Ocean Program model from 2,000 to 40,000 processes
+on BG/P and the XT4, printing per-phase times, the SYD throughput
+metric, the 3.6x/2.5x cross-machine factors, and the science-driven
+power normalization that is the paper's headline conclusion.
+
+Usage::
+
+    python examples/pop_scaling_study.py
+"""
+
+from repro.apps.pop import PopModel, CG_SIGNATURE, CHRONGEAR_SIGNATURE
+from repro.core import format_table
+from repro.machines import BGP, XT4_DC
+
+
+def main() -> None:
+    procs = [2000, 4000, 8000, 16000, 22500, 32000, 40000]
+
+    print("=== POP tenth-degree benchmark (3600 x 2400 x 40) ===\n")
+    for machine in (BGP, XT4_DC):
+        pop = PopModel(machine)
+        rows = []
+        for r in pop.sweep(procs):
+            rows.append(
+                [
+                    r.processes,
+                    round(r.baroclinic_s_per_day, 1),
+                    round(r.barotropic_s_per_day, 2),
+                    round(r.imbalance_s_per_day, 2),
+                    round(r.syd, 2),
+                ]
+            )
+        print(
+            format_table(
+                ["procs", "baroclinic s/day", "barotropic s/day", "imbalance s/day", "SYD"],
+                rows,
+                title=f"{machine.name} (VN mode, Chronopoulos-Gear solver)",
+            )
+        )
+        print()
+
+    b, x = PopModel(BGP), PopModel(XT4_DC)
+    print("Cross-machine factors (paper: 3.6x at 8000, 2.5x at 22500):")
+    for p in (8000, 22500):
+        print(f"  {p:6d} processes: XT4 is {x.run(p).syd / b.run(p).syd:.2f}x faster")
+
+    print("\nSolver variants at 8000 processes on BG/P (Fig. 4a):")
+    for sig in (CG_SIGNATURE, CHRONGEAR_SIGNATURE):
+        r = b.run(8000, solver=sig)
+        print(f"  {sig.name:10s}: {r.syd:.2f} SYD")
+
+    print("\nScience-driven power normalization (Table 3):")
+    for machine, pop in ((BGP, b), (XT4_DC, x)):
+        cores = pop.cores_for_syd(12.0)
+        kw = cores * machine.power.normal_watts_per_core / 1e3
+        print(f"  {machine.name:7s}: {cores:6d} cores for 12 SYD -> {kw:6.1f} kW")
+
+    print("\nMemory wall (Section III.A):")
+    try:
+        b.run(48000)
+    except MemoryError as exc:
+        print(f"  48000 processes: {exc}")
+
+
+if __name__ == "__main__":
+    main()

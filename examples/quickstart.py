@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: simulate MPI programs on BlueGene/P and Cray XT4 models.
+
+Runs a ping-pong and a broadcast at message level on both machines,
+prints their latency/bandwidth character (paper Table 2's headline:
+BG/P = low latency, XT = high bandwidth; Fig. 3's headline: the BG/P
+tree network makes broadcast almost free), then regenerates the paper's
+Table 1.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.machines import BGP, XT4_QC
+from repro.simmpi import Cluster
+from repro.core import run_experiment
+
+
+def pingpong(comm, nbytes):
+    """A classic two-rank ping-pong, written like an MPI program."""
+    if comm.rank == 0:
+        yield from comm.send(1, nbytes=nbytes)
+        yield from comm.recv(src=1)
+    elif comm.rank == 1:
+        yield from comm.recv(src=0)
+        yield from comm.send(0, nbytes=nbytes)
+    return comm.now
+
+
+def broadcast(comm, nbytes):
+    yield from comm.bcast(nbytes, root=0)
+    return comm.now
+
+
+def main() -> None:
+    print("=== Point-to-point character (Table 2) ===")
+    for machine in (BGP, XT4_QC):
+        small = Cluster(machine, ranks=2, mode="SMP").run(pingpong, 8)
+        large = Cluster(machine, ranks=2, mode="SMP").run(pingpong, 1 << 20)
+        latency_us = small.elapsed / 2 * 1e6
+        bandwidth = (1 << 20) / (large.elapsed / 2) / 1e9
+        print(
+            f"{machine.name:7s}  latency {latency_us:6.2f} us   "
+            f"bandwidth {bandwidth:5.2f} GB/s"
+        )
+
+    print("\n=== Broadcast of 32 KB to 256 ranks (Fig. 3c) ===")
+    for machine in (BGP, XT4_QC):
+        res = Cluster(machine, ranks=256, mode="VN").run(broadcast, 32 * 1024)
+        network = "tree network" if machine.tree else "binomial software tree"
+        print(f"{machine.name:7s}  {res.elapsed * 1e6:8.1f} us   ({network})")
+
+    print("\n=== Table 1 (regenerated from the machine catalog) ===")
+    print(run_experiment("table1"))
+
+
+if __name__ == "__main__":
+    main()

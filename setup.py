@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``pip install -e .`` / ``python setup.py develop`` on toolchains
+that predate PEP 660 editable installs (no ``wheel`` package needed).
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro: a full reproduction of "Early Evaluation of IBM BlueGene/P"
+(Alam et al., SC 2008) as a simulation-backed evaluation framework.
+
+The paper measured real BlueGene/P and Cray XT hardware; this library
+substitutes parametric machine models, a link-level discrete-event
+network/MPI simulator, and mini-app workloads so that every table and
+figure of the paper can be regenerated on a laptop.
+
+Quick start::
+
+    from repro.machines import BGP, XT4_QC
+    from repro.simmpi import Cluster
+
+    def pingpong(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=8)
+            yield from comm.recv(src=1)
+        else:
+            yield from comm.recv(src=0)
+            yield from comm.send(0, nbytes=8)
+        return comm.now
+
+    print(Cluster(BGP, ranks=2, mode="VN").run(pingpong).elapsed)
+
+See ``DESIGN.md`` for the system inventory and the per-experiment
+index, and ``EXPERIMENTS.md`` for paper-vs-measured comparisons.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simengine",
+    "machines",
+    "topology",
+    "simmpi",
+    "memmodel",
+    "kernels",
+    "halo",
+    "imb",
+    "apps",
+    "power",
+    "core",
+]

@@ -1,0 +1,3 @@
+"""Mini-app reimplementations of the paper's five applications
+(POP, CAM, S3D, GYRO, LAMMPS/PMEMD) — real numerics at laptop scale
+plus calibrated performance models."""

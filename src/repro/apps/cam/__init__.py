@@ -1,0 +1,36 @@
+"""CAM: the Community Atmosphere Model mini-app (paper Section III.B, Fig. 5)."""
+
+from .spectral import SpectralTransform, spectral_roundtrip_error
+from .fv import fv_advect_step, courant_number
+from .physics import column_physics_step, PhysicsLoadModel
+from .model import (
+    CamBenchmark,
+    CamModel,
+    CamResult,
+    SPECTRAL_T42,
+    SPECTRAL_T85,
+    FV_1_9x2_5,
+    FV_0_47x0_63,
+    CAM_BENCHMARKS,
+    CAM_SUSTAINED_GFLOPS,
+    OPENMP_EFFICIENCY,
+)
+
+__all__ = [
+    "SpectralTransform",
+    "spectral_roundtrip_error",
+    "fv_advect_step",
+    "courant_number",
+    "column_physics_step",
+    "PhysicsLoadModel",
+    "CamBenchmark",
+    "CamModel",
+    "CamResult",
+    "SPECTRAL_T42",
+    "SPECTRAL_T85",
+    "FV_1_9x2_5",
+    "FV_0_47x0_63",
+    "CAM_BENCHMARKS",
+    "CAM_SUSTAINED_GFLOPS",
+    "OPENMP_EFFICIENCY",
+]

@@ -1,0 +1,87 @@
+"""Replay CAM's per-step schedule on the message-level simulator.
+
+Spectral dycore: compute + two transform transposes (alltoall) + one
+spectral-sum allreduce per step.  FV dycore: compute + six halo sweeps
++ one small allreduce.  Cross-validates the Fig. 5 model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...machines.specs import MachineSpec
+from ...simmpi import Cluster
+from ...halo.exchange import neighbors2d
+from .model import CamBenchmark, CamModel, CAM_SUSTAINED_GFLOPS
+from .physics import PhysicsLoadModel
+
+__all__ = ["replay_steps", "CamReplayResult"]
+
+
+@dataclass(frozen=True)
+class CamReplayResult:
+    machine: str
+    benchmark: str
+    tasks: int
+    seconds_per_step: float
+    messages: int
+
+
+def replay_steps(
+    machine: MachineSpec,
+    benchmark: CamBenchmark,
+    tasks: int,
+    steps: int = 1,
+    load_balanced: bool = True,
+) -> CamReplayResult:
+    """Run ``steps`` CAM timesteps at message level (pure MPI, VN)."""
+    if tasks < 1 or steps < 1:
+        raise ValueError("tasks and steps must be >= 1")
+    tasks = min(tasks, benchmark.mpi_rank_limit)
+    sustained = CAM_SUSTAINED_GFLOPS[benchmark.dycore][machine.name] * 1e9
+    pts = benchmark.points3d / tasks
+    t_compute = (
+        pts
+        * benchmark.flops_per_point
+        / sustained
+        * PhysicsLoadModel().imbalance(load_balanced)
+    )
+    if benchmark.dycore == "spectral":
+        state_bytes = benchmark.points3d * 8 * 4
+        per_pair = max(1, int(state_bytes / tasks**2))
+    else:
+        halo_bytes = int(benchmark.nlon * benchmark.nlev * 8 * 2)
+        # 1-D latitude decomposition for the replay's halo ring.
+        grid = (1, tasks)
+
+    def program(comm):
+        t0 = comm.now
+        for step in range(steps):
+            yield from comm.compute(seconds=t_compute)
+            if benchmark.dycore == "spectral":
+                yield from comm.alltoall(per_pair)
+                yield from comm.alltoall(per_pair)
+                yield from comm.allreduce(2048, dtype="float64")
+            else:
+                nb = neighbors2d(comm.rank, grid)
+                for sweep in range(6):
+                    tag = 100 * step + 10 * sweep
+                    reqs = [
+                        comm.irecv(src=nb["north"], tag=tag),
+                        comm.irecv(src=nb["south"], tag=tag + 1),
+                        comm.isend(nb["south"], halo_bytes, tag=tag),
+                        comm.isend(nb["north"], halo_bytes, tag=tag + 1),
+                    ]
+                    yield from comm.waitall(reqs)
+                yield from comm.allreduce(256, dtype="float64")
+        return comm.now - t0
+
+    cluster = Cluster(machine, ranks=tasks, mode="VN")
+    res = cluster.run(program)
+    return CamReplayResult(
+        machine=machine.name,
+        benchmark=benchmark.name,
+        tasks=tasks,
+        seconds_per_step=max(res.returns) / steps,
+        messages=res.messages,
+    )

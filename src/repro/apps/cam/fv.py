@@ -1,0 +1,52 @@
+"""CAM's finite-volume (Lin) dycore: a real conservative advection step.
+
+The FV dycore [17] advances the flow with flux-form semi-Lagrangian
+transport.  The mini-kernel here is a 2-D conservative upwind
+advection on the lat-lon grid — enough to test the conservation and
+CFL properties the real dycore guarantees, and to carry the work
+signature for the performance model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fv_advect_step", "courant_number"]
+
+
+def courant_number(u: float, v: float, dx: float, dy: float, dt: float) -> float:
+    """The advective CFL number of a step."""
+    if min(dx, dy, dt) <= 0:
+        raise ValueError("dx, dy, dt must be positive")
+    return max(abs(u) * dt / dx, abs(v) * dt / dy)
+
+
+def fv_advect_step(
+    q: np.ndarray, u: float, v: float, dx: float, dy: float, dt: float
+) -> np.ndarray:
+    """One flux-form upwind advection step (periodic).
+
+    Flux form guarantees exact conservation of sum(q); the tests assert
+    it and the CFL limit.
+    """
+    if q.ndim != 2:
+        raise ValueError("q must be 2-D (ny, nx)")
+    if courant_number(u, v, dx, dy, dt) > 1.0:
+        raise ValueError("CFL violation: reduce dt or velocity")
+    cx = u * dt / dx
+    cy = v * dt / dy
+    # X fluxes (upwind).
+    if cx >= 0:
+        fx = cx * q
+        out = q - fx + np.roll(fx, 1, axis=1)
+    else:
+        fx = -cx * q
+        out = q - fx + np.roll(fx, -1, axis=1)
+    # Y fluxes.
+    if cy >= 0:
+        fy = cy * out
+        out = out - fy + np.roll(fy, 1, axis=0)
+    else:
+        fy = -cy * out
+        out = out - fy + np.roll(fy, -1, axis=0)
+    return out

@@ -1,0 +1,75 @@
+"""Replay GYRO's per-step schedule on the message-level simulator.
+
+Per step: distribution-function compute, ``transposes_per_step``
+MPI_ALLTOALLs (the FFT field-solve transposes of Section III.D), and
+the small collision/diagnostic reductions.  Cross-validates the Fig. 7
+model, in particular the mechanism tests care about: the alltoall and
+allreduce costs that separate the machines at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...machines.specs import MachineSpec
+from ...simmpi import Cluster
+from .grid5d import GyroProblem, B1_STD
+from .model import GyroModel, GYRO_SUSTAINED_GFLOPS, UNOPTIMIZED_ALLTOALL_PENALTY
+from .fieldsolve import fieldsolve_flops
+
+__all__ = ["replay_steps", "GyroReplayResult"]
+
+
+@dataclass(frozen=True)
+class GyroReplayResult:
+    machine: str
+    problem: str
+    processes: int
+    seconds_per_step: float
+    messages: int
+
+
+def replay_steps(
+    machine: MachineSpec,
+    processes: int,
+    problem: GyroProblem = B1_STD,
+    steps: int = 1,
+    mode: str = "VN",
+) -> GyroReplayResult:
+    """Run ``steps`` GYRO timesteps at message level."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if not problem.valid_process_count(processes):
+        raise ValueError(
+            f"{problem.name} runs on multiples of {problem.n_toroidal}"
+        )
+    sustained = GYRO_SUSTAINED_GFLOPS[machine.name] * 1e9
+    t_compute = (
+        problem.points * problem.flops_per_point / processes
+        + fieldsolve_flops(problem.n_radial, problem.n_toroidal) / processes
+    ) / sustained
+    per_pair = max(1, int(problem.points * 8.0 / processes**2))
+    # The paper's BG/P runs lacked the optimized alltoall; replay the
+    # penalty as extra payload so the DES carries it too.
+    if machine.name == "BG/P":
+        per_pair = int(per_pair * UNOPTIMIZED_ALLTOALL_PENALTY)
+
+    def program(comm):
+        t0 = comm.now
+        for _ in range(steps):
+            yield from comm.compute(seconds=t_compute)
+            for _t in range(problem.transposes_per_step):
+                yield from comm.alltoall(per_pair)
+            for _r in range(problem.reductions_per_step):
+                yield from comm.allreduce(problem.reduction_bytes, dtype="float64")
+        return comm.now - t0
+
+    cluster = Cluster(machine, ranks=processes, mode=mode)
+    res = cluster.run(program)
+    return GyroReplayResult(
+        machine=machine.name,
+        problem=problem.name,
+        processes=processes,
+        seconds_per_step=max(res.returns) / steps,
+        messages=res.messages,
+    )

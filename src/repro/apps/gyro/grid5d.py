@@ -1,0 +1,131 @@
+"""GYRO's five-dimensional grid and decomposition rules.
+
+"GYRO uses a five-dimensional grid and propagates the system forward
+in time using a fourth-order, explicit, Eulerian algorithm" (paper
+Section III.D).  The two benchmark problems:
+
+* **B1-std**: 16 toroidal modes, electrostatic, kinetic electrons —
+  grid 16 x 140 x 8 x 8 x 20, runs on multiples of 16 processes,
+  "smaller but requires more work per grid point".
+* **B3-gtc**: 64 toroidal modes, adiabatic ions — grid
+  64 x 400 x 8 x 8 x 20, runs on multiples of 64, FFT-based field
+  solve with large timesteps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GyroProblem", "B1_STD", "B3_GTC", "B3_GTC_MODIFIED"]
+
+
+@dataclass(frozen=True)
+class GyroProblem:
+    """One GYRO benchmark configuration."""
+
+    name: str
+    n_toroidal: int  # also the process-count granularity
+    n_radial: int
+    n_theta: int
+    n_lambda: int  # pitch angle
+    n_energy: int
+    timesteps: int
+    #: flops per 5-D grid point per step (B1 does more per point)
+    flops_per_point: float
+    #: resident bytes per 5-D grid point per rank share
+    bytes_per_point: float
+    #: uses the FFT (alltoall-transpose) field solve?
+    fft_field_solve: bool
+    #: bytes of *replicated* state every rank holds regardless of the
+    #: process count (geometry, field arrays, FFT workspaces) — what
+    #: actually forces B3-gtc into DUAL mode on BG/P
+    base_memory: float = 200e6
+    #: distributed-array transposes (MPI_ALLTOALL) per timestep
+    transposes_per_step: int = 8
+    #: small global reductions per timestep (collision operator,
+    #: implicit electron advance, diagnostics)
+    reductions_per_step: int = 20
+    #: payload of each small reduction, bytes
+    reduction_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if min(
+            self.n_toroidal, self.n_radial, self.n_theta, self.n_lambda, self.n_energy
+        ) < 1:
+            raise ValueError("all grid extents must be >= 1")
+
+    @property
+    def points(self) -> int:
+        return (
+            self.n_toroidal
+            * self.n_radial
+            * self.n_theta
+            * self.n_lambda
+            * self.n_energy
+        )
+
+    def valid_process_count(self, processes: int) -> bool:
+        """GYRO runs on multiples of the toroidal mode count."""
+        return processes >= 1 and processes % self.n_toroidal == 0
+
+    def memory_per_rank(self, processes: int) -> float:
+        """Resident bytes per rank (distribution + field arrays)."""
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        return self.points * self.bytes_per_point / processes + self.base_memory
+
+
+#: "a 16 toroidal-mode electrostatic (electrons and ions, 1 field) case
+#: on a 16x140x8x8x20 grid ... 500 timesteps"
+B1_STD = GyroProblem(
+    name="B1-std",
+    n_toroidal=16,
+    n_radial=140,
+    n_theta=8,
+    n_lambda=8,
+    n_energy=20,
+    timesteps=500,
+    flops_per_point=4000.0,  # kinetic electrons + collisions
+    bytes_per_point=640.0,
+    fft_field_solve=False,
+    base_memory=200e6,
+    transposes_per_step=8,
+    reductions_per_step=60,  # kinetic electrons: collision + implicit solves
+)
+
+#: "a 64 toroidal-mode adiabatic (ions only, 1 field) case on a
+#: 64x400x8x8x20 grid ... 100 timesteps"
+B3_GTC = GyroProblem(
+    name="B3-gtc",
+    n_toroidal=64,
+    n_radial=400,
+    n_theta=8,
+    n_lambda=8,
+    n_energy=20,
+    timesteps=100,
+    flops_per_point=1500.0,  # adiabatic: "simple field solves"
+    bytes_per_point=880.0,
+    fft_field_solve=True,
+    base_memory=700e6,  # replicated arrays force DUAL mode on BG/P
+    transposes_per_step=4,
+    reductions_per_step=20,
+)
+
+#: "The problem was modified to fit the memory of a BG/P" — the weak-
+#: scaling base problem whose ENERGY GRID stays constant as processes
+#: increase (Fig. 7c).
+B3_GTC_MODIFIED = GyroProblem(
+    name="B3-gtc-modified",
+    n_toroidal=64,
+    n_radial=400,
+    n_theta=8,
+    n_lambda=8,
+    n_energy=8,
+    timesteps=100,
+    flops_per_point=1500.0,
+    bytes_per_point=400.0,
+    fft_field_solve=True,
+    base_memory=350e6,  # "modified to fit the memory of a BG/P"
+    transposes_per_step=4,
+    reductions_per_step=20,
+)

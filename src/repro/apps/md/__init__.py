@@ -1,0 +1,36 @@
+"""Molecular dynamics: LAMMPS/PMEMD mini-apps (paper Section III.E, Fig. 8)."""
+
+from .system import MdSystem, RUBISCO, make_lattice_system
+from .forces import lj_forces_bruteforce, velocity_verlet, kinetic_energy
+from .cells import CellList, lj_forces_celllist
+from .pme import spread_charges, reciprocal_potential, pme_fft_flops
+from .models import (
+    MdModel,
+    LammpsModel,
+    PmemdModel,
+    MdResult,
+    MD_SUSTAINED_GFLOPS,
+    FLOPS_PER_PAIR,
+    FLOPS_PER_ATOM,
+)
+
+__all__ = [
+    "MdSystem",
+    "RUBISCO",
+    "make_lattice_system",
+    "lj_forces_bruteforce",
+    "velocity_verlet",
+    "kinetic_energy",
+    "CellList",
+    "lj_forces_celllist",
+    "spread_charges",
+    "reciprocal_potential",
+    "pme_fft_flops",
+    "MdModel",
+    "LammpsModel",
+    "PmemdModel",
+    "MdResult",
+    "MD_SUSTAINED_GFLOPS",
+    "FLOPS_PER_PAIR",
+    "FLOPS_PER_ATOM",
+]

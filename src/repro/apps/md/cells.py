@@ -1,0 +1,95 @@
+"""Cell lists: the O(n) neighbour machinery of LAMMPS-style MD.
+
+Space is binned into cells at least one cutoff wide; each atom only
+tests the 27 surrounding cells.  The tests verify the cell-list force
+computation matches the brute-force reference exactly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .forces import _minimum_image
+
+__all__ = ["CellList", "lj_forces_celllist"]
+
+
+class CellList:
+    """A periodic cell decomposition of the box."""
+
+    def __init__(self, box: Tuple[float, float, float], cutoff: float) -> None:
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        self.box = np.asarray(box, dtype=float)
+        if np.any(self.box <= 0):
+            raise ValueError("box must be positive")
+        self.dims = np.maximum(1, (self.box / cutoff).astype(int))
+        self.cutoff = cutoff
+        self._cells: Dict[Tuple[int, int, int], List[int]] = defaultdict(list)
+
+    def build(self, pos: np.ndarray) -> None:
+        """Bin all atoms."""
+        self._cells.clear()
+        idx = np.floor(pos / self.box * self.dims).astype(int) % self.dims
+        for i, key in enumerate(map(tuple, idx)):
+            self._cells[key].append(i)
+
+    def cell_of(self, p: np.ndarray) -> Tuple[int, int, int]:
+        return tuple((np.floor(p / self.box * self.dims).astype(int) % self.dims))
+
+    def neighbor_candidates(self, p: np.ndarray) -> List[int]:
+        """Atoms in the 27 cells around ``p`` (including its own)."""
+        cx, cy, cz = self.cell_of(p)
+        out: List[int] = []
+        seen = set()
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    key = (
+                        (cx + dx) % self.dims[0],
+                        (cy + dy) % self.dims[1],
+                        (cz + dz) % self.dims[2],
+                    )
+                    if key in seen:
+                        continue  # small boxes alias cells
+                    seen.add(key)
+                    out.extend(self._cells.get(key, ()))
+        return out
+
+
+def lj_forces_celllist(
+    pos: np.ndarray,
+    box: Tuple[float, float, float],
+    cutoff: float,
+    epsilon: float = 1.0,
+    sigma: float = 1.0,
+) -> Tuple[np.ndarray, float]:
+    """LJ forces via cell lists; matches the brute-force reference."""
+    cl = CellList(box, cutoff)
+    cl.build(pos)
+    boxv = np.asarray(box, dtype=float)
+    forces = np.zeros_like(pos)
+    energy = 0.0
+    for i in range(pos.shape[0]):
+        cands = [j for j in cl.neighbor_candidates(pos[i]) if j > i]
+        if not cands:
+            continue
+        cj = np.array(cands)
+        d = _minimum_image(pos[cj] - pos[i], boxv)
+        r2 = (d * d).sum(axis=1)
+        mask = r2 < cutoff * cutoff
+        if not mask.any():
+            continue
+        r2m = r2[mask]
+        inv2 = sigma * sigma / r2m
+        inv6 = inv2**3
+        inv12 = inv6**2
+        fmag = 24.0 * epsilon * (2.0 * inv12 - inv6) / r2m
+        fv = fmag[:, None] * d[mask]
+        forces[i] -= fv.sum(axis=0)
+        np.add.at(forces, cj[mask], fv)
+        energy += float((4.0 * epsilon * (inv12 - inv6)).sum())
+    return forces, energy

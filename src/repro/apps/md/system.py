@@ -1,0 +1,97 @@
+"""Molecular-dynamics systems: particles, boxes, and the RuBisCO target.
+
+"Our target system is RuBisCO enzyme; this model consists of 290,220
+atoms with explicit treatment of solvent.  The dimensions of the
+simulation box are 150 x 150 x 135 Angstrom approximately and inner and
+outer cut-offs of 10 and 11 Angstrom were used ... the time-step is 1
+femto-second" (paper Section III.E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["MdSystem", "RUBISCO", "make_lattice_system"]
+
+
+@dataclass(frozen=True)
+class MdSystem:
+    """An MD workload description."""
+
+    name: str
+    n_atoms: int
+    box: Tuple[float, float, float]  # Angstrom
+    inner_cutoff: float  # Angstrom
+    outer_cutoff: float  # Angstrom
+    timestep_fs: float
+    #: PME reciprocal-space grid (about 1 point per Angstrom)
+    pme_grid: Tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        if self.n_atoms < 1:
+            raise ValueError("n_atoms must be >= 1")
+        if self.inner_cutoff <= 0 or self.outer_cutoff < self.inner_cutoff:
+            raise ValueError("cutoffs must satisfy 0 < inner <= outer")
+        if min(self.box) <= 2 * self.outer_cutoff:
+            raise ValueError("box must exceed twice the outer cutoff")
+
+    @property
+    def volume(self) -> float:
+        x, y, z = self.box
+        return x * y * z
+
+    @property
+    def density(self) -> float:
+        """Atoms per cubic Angstrom (~0.1 for solvated biomolecules)."""
+        return self.n_atoms / self.volume
+
+    @property
+    def neighbors_per_atom(self) -> float:
+        """Mean atoms within the outer cutoff of one atom."""
+        r = self.outer_cutoff
+        return self.density * (4.0 / 3.0) * np.pi * r**3
+
+    @property
+    def pairs_per_atom(self) -> float:
+        """Half-list pair count per atom."""
+        return self.neighbors_per_atom / 2.0
+
+
+#: The paper's target system.
+RUBISCO = MdSystem(
+    name="RuBisCO",
+    n_atoms=290_220,
+    box=(150.0, 150.0, 135.0),
+    inner_cutoff=10.0,
+    outer_cutoff=11.0,
+    timestep_fs=1.0,
+    pme_grid=(150, 150, 135),
+)
+
+
+def make_lattice_system(
+    n_side: int = 6, spacing: float = 1.2, name: str = "lattice"
+) -> Tuple[MdSystem, np.ndarray]:
+    """A small cubic-lattice system for real force/integration tests.
+
+    Returns the system descriptor and the (n, 3) positions.  Spacing is
+    in units of the LJ sigma; the box is periodic.
+    """
+    if n_side < 2:
+        raise ValueError("n_side must be >= 2")
+    coords = np.arange(n_side) * spacing
+    pos = np.array([(x, y, z) for x in coords for y in coords for z in coords])
+    edge = n_side * spacing
+    sys = MdSystem(
+        name=name,
+        n_atoms=n_side**3,
+        box=(edge, edge, edge),
+        inner_cutoff=min(2.5, edge / 2.0 - 1e-9),
+        outer_cutoff=min(2.5, edge / 2.0 - 1e-9),
+        timestep_fs=1.0,
+        pme_grid=(8, 8, 8),
+    )
+    return sys, pos

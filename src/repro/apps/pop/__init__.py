@@ -1,0 +1,49 @@
+"""POP: the Parallel Ocean Program mini-app (paper Section III.A, Fig. 4)."""
+
+from .grid import PopGrid, TENTH_DEGREE, decompose, imbalance, Imbalance
+from .solvers import (
+    laplacian_2d,
+    cg_solve,
+    chrongear_solve,
+    SolverSignature,
+    CG_SIGNATURE,
+    CHRONGEAR_SIGNATURE,
+)
+from .baroclinic import baroclinic_step_numpy, BaroclinicWork, BAROCLINIC_WORK
+from .barotropic import BarotropicConfig, TENTH_DEGREE_BAROTROPIC
+from .des_replay import replay_steps, PopReplayResult
+from .model import (
+    PopModel,
+    PopResult,
+    POP_SUSTAINED_GFLOPS,
+    STEPS_PER_SIMDAY,
+    MAX_BGP_PROCESSES,
+    seconds_per_simday_to_syd,
+)
+
+__all__ = [
+    "PopGrid",
+    "TENTH_DEGREE",
+    "decompose",
+    "imbalance",
+    "Imbalance",
+    "laplacian_2d",
+    "cg_solve",
+    "chrongear_solve",
+    "SolverSignature",
+    "CG_SIGNATURE",
+    "CHRONGEAR_SIGNATURE",
+    "baroclinic_step_numpy",
+    "BaroclinicWork",
+    "BAROCLINIC_WORK",
+    "BarotropicConfig",
+    "TENTH_DEGREE_BAROTROPIC",
+    "PopModel",
+    "PopResult",
+    "POP_SUSTAINED_GFLOPS",
+    "STEPS_PER_SIMDAY",
+    "MAX_BGP_PROCESSES",
+    "seconds_per_simday_to_syd",
+    "replay_steps",
+    "PopReplayResult",
+]

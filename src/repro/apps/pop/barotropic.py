@@ -1,0 +1,47 @@
+"""POP's barotropic phase: the 2-D implicit solve.
+
+"the barotropic phase is dominated by the solution of a 2D, implicit
+system whose performance is sensitive to network latency and typically
+scales poorly on all platforms" (paper Section III.A).
+
+The phase runs a preconditioned CG solver (standard or Chronopoulos-
+Gear, see :mod:`.solvers`) to convergence every timestep; its parallel
+cost is iterations x (tiny local stencil + 2-D halo + one or two
+global 8/16-byte reductions).  The reduction term is what
+differentiates machines: the BG/P tree network keeps it flat in
+process count; the XT's software allreduce grows with log(p) x
+latency — the mechanism behind Fig. 4d's XT4 barotropic saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .solvers import SolverSignature, CG_SIGNATURE, CHRONGEAR_SIGNATURE
+
+__all__ = ["BarotropicConfig", "TENTH_DEGREE_BAROTROPIC"]
+
+
+@dataclass(frozen=True)
+class BarotropicConfig:
+    """Per-timestep structure of the barotropic solve."""
+
+    #: CG iterations to convergence each timestep
+    iterations_per_step: int
+    #: halo exchanges per iteration (one, for the operator apply)
+    halos_per_iteration: int
+    #: halo width in points
+    halo_width: int
+
+    def __post_init__(self) -> None:
+        if self.iterations_per_step < 1:
+            raise ValueError("need at least one solver iteration per step")
+
+
+#: Tenth-degree benchmark: the 2-D system converges in ~120 CG
+#: iterations per timestep at this resolution.
+TENTH_DEGREE_BAROTROPIC = BarotropicConfig(
+    iterations_per_step=120,
+    halos_per_iteration=1,
+    halo_width=1,
+)

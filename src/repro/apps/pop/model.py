@@ -1,0 +1,309 @@
+"""The POP tenth-degree performance model (paper Fig. 4, Table 3).
+
+Combines the baroclinic work signature, the land-mask load imbalance,
+the barotropic solver signature, and the machine communication model
+into per-phase times and the climate community's throughput metric,
+Simulation Years per Day (SYD).
+
+Calibration: the single per-machine constant is the sustained per-core
+flop rate for POP-like irregular Fortran (:data:`POP_SUSTAINED_GFLOPS`),
+set so the 8000-process points match the paper (BG/P 3.6 SYD; XT4
+~3.6x faster — Fig. 4c / Table 3).  Everything else — the scaling
+curves, the barotropic saturation on the XT, the BG/P's continued
+scaling to 40k — is *derived* from the communication and imbalance
+models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...machines.specs import MachineSpec
+from ...machines.modes import Mode, resolve_mode
+from ...simmpi.cost import CostModel
+from .grid import PopGrid, TENTH_DEGREE, decompose, imbalance
+from .baroclinic import BAROCLINIC_WORK, BaroclinicWork
+from .barotropic import BarotropicConfig, TENTH_DEGREE_BAROTROPIC
+from .solvers import SolverSignature, CG_SIGNATURE, CHRONGEAR_SIGNATURE
+
+__all__ = ["PopModel", "PopResult", "POP_SUSTAINED_GFLOPS", "seconds_per_simday_to_syd"]
+
+#: Sustained per-core GFlop/s running POP (calibrated to Fig. 4c/Table 3:
+#: the XT4 is ~3.6x faster per process at 8000 processes; BG/P delivers
+#: 3.6 SYD on 8192 cores).  POP 1.4.3 sustains ~10% of peak on the
+#: in-order PPC450 and ~14% on the out-of-order Opteron.
+POP_SUSTAINED_GFLOPS: Dict[str, float] = {
+    "BG/P": 0.34,
+    "BG/L": 0.26,
+    "XT3": 1.30,
+    "XT4/DC": 1.51,
+    "XT4/QC": 1.45,
+}
+
+#: Baroclinic timesteps per simulated day at tenth-degree resolution.
+STEPS_PER_SIMDAY = 216
+
+#: The paper's observed failure point: "Experiments with more than
+#: 40000 processes failed due to lack of memory for the large number of
+#: MPI derived data types that the POP code generates."
+MAX_BGP_PROCESSES = 40000
+
+
+def seconds_per_simday_to_syd(seconds: float) -> float:
+    """Convert wall seconds per simulated day to Simulation Years/Day."""
+    if seconds <= 0:
+        raise ValueError("seconds per simulated day must be positive")
+    return 86400.0 / (seconds * 365.0)
+
+
+@dataclass(frozen=True)
+class PopResult:
+    """One modeled POP configuration."""
+
+    machine: str
+    mode: str
+    solver: str
+    processes: int
+    baroclinic_s_per_day: float
+    barotropic_s_per_day: float
+    imbalance_s_per_day: float  # process-0 barrier time (Fig. 4b)
+    syd: float
+    #: the halo-exchange share inside the baroclinic time (used by the
+    #: mapping-sensitivity analysis)
+    halo_s_per_day: float = 0.0
+
+    @property
+    def seconds_per_simday(self) -> float:
+        return (
+            self.baroclinic_s_per_day
+            + self.barotropic_s_per_day
+            + self.imbalance_s_per_day
+        )
+
+
+class PopModel:
+    """POP on one machine; evaluate any process count / mode / solver."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        grid: PopGrid = TENTH_DEGREE,
+        baroclinic: BaroclinicWork = BAROCLINIC_WORK,
+        barotropic: BarotropicConfig = TENTH_DEGREE_BAROTROPIC,
+    ) -> None:
+        self.machine = machine
+        self.grid = grid
+        self.baroclinic = baroclinic
+        self.barotropic = barotropic
+        try:
+            self.sustained = POP_SUSTAINED_GFLOPS[machine.name] * 1e9
+        except KeyError:
+            raise KeyError(
+                f"no POP calibration for {machine.name!r}; add it to "
+                "POP_SUSTAINED_GFLOPS"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        processes: int,
+        mode: Mode | str = "VN",
+        solver: SolverSignature = CHRONGEAR_SIGNATURE,
+        enforce_memory_limit: bool = True,
+    ) -> PopResult:
+        """Model one configuration; returns per-phase times and SYD."""
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        if (
+            enforce_memory_limit
+            and self.machine.name == "BG/P"
+            and processes > MAX_BGP_PROCESSES
+        ):
+            raise MemoryError(
+                f"POP runs with more than {MAX_BGP_PROCESSES} processes fail "
+                "on BG/P: the MPI derived datatypes POP generates exhaust "
+                "node memory (paper Section III.A)"
+            )
+        modecfg = resolve_mode(self.machine, mode)
+        cost = CostModel(self.machine, modecfg.mode, processes)
+
+        px, py = decompose(processes, self.grid.nx, self.grid.ny)
+        block_x = self.grid.nx / px
+        block_y = self.grid.ny / py
+        imb = imbalance(self.grid, processes)
+        mean_pts3d = imb.mean_points * self.grid.levels
+
+        # Small blocks lose efficiency to their boundary work (shorter
+        # vector loops, ghost-cell arithmetic): a surface-to-volume
+        # penalty that grows as blocks shrink.
+        s2v = 2.0 * (block_x + block_y) / (block_x * block_y)
+        block_eff = 1.0 / (1.0 + 1.2 * s2v)
+
+        # POP's rake algorithm rebalances blocks across ranks, hiding
+        # most of the raw land/ocean imbalance at modest scales; the
+        # residual grows as blocks shrink toward the continent scale.
+        residual = 0.8 * min(1.0, math.sqrt(processes / 40000.0))
+        imb_factor = 1.0 + (imb.factor - 1.0) * residual
+
+        # -- baroclinic ------------------------------------------------
+        t_bc_compute = (
+            mean_pts3d
+            * self.baroclinic.flops_per_point
+            / (self.sustained * block_eff)
+        )
+        edge = max(block_x, block_y)
+        halo_bytes = int(
+            self.baroclinic.halo_width
+            * edge
+            * self.grid.levels
+            * 8
+            * self.baroclinic.halo_fields
+        )
+        t_bc_halo = self.baroclinic.halo_exchanges * (
+            2.0 * cost.p2p_time(halo_bytes, hops=1.0)
+        )
+        t_bc = t_bc_compute + t_bc_halo
+        # Process-0 barrier time = the imbalance the paper isolated.
+        t_imb = t_bc_compute * (imb_factor - 1.0)
+
+        # -- barotropic --------------------------------------------------
+        pts2d = imb.mean_points
+        per_iter_compute = (
+            pts2d * solver.flops_per_point / self.sustained
+        )
+        halo2d_bytes = int(self.barotropic.halo_width * edge * 8)
+        per_iter_halo = self.barotropic.halos_per_iteration * (
+            2.0 * cost.p2p_time(halo2d_bytes, hops=1.0)
+        )
+        per_iter_reduce = solver.allreduces_per_iter * cost.allreduce_time(
+            solver.allreduce_bytes, dtype="float64"
+        )
+        t_bt = self.barotropic.iterations_per_step * (
+            per_iter_compute + per_iter_halo + per_iter_reduce
+        )
+
+        per_day = STEPS_PER_SIMDAY
+        bc_day = t_bc * per_day
+        bt_day = t_bt * per_day
+        imb_day = t_imb * per_day
+        return PopResult(
+            machine=self.machine.name,
+            mode=modecfg.mode.value,
+            solver=solver.name,
+            processes=processes,
+            baroclinic_s_per_day=bc_day,
+            barotropic_s_per_day=bt_day,
+            imbalance_s_per_day=imb_day,
+            syd=seconds_per_simday_to_syd(bc_day + bt_day + imb_day),
+            halo_s_per_day=t_bc_halo * per_day,
+        )
+
+    def sweep(
+        self,
+        process_counts: List[int],
+        mode: Mode | str = "VN",
+        solver: SolverSignature = CHRONGEAR_SIGNATURE,
+    ) -> List[PopResult]:
+        """A scaling curve (one line of Fig. 4)."""
+        out = []
+        for p in process_counts:
+            try:
+                out.append(self.run(p, mode=mode, solver=solver))
+            except (MemoryError, ValueError):
+                break  # the paper's curves end here too (or the machine does)
+        return out
+
+    def mapping_sensitivity(
+        self,
+        processes: int = 8000,
+        mode: Mode | str = "VN",
+        mappings: Optional[List[str]] = None,
+    ) -> Dict[str, float]:
+        """SYD per process-to-processor mapping.
+
+        Reproduces the paper's Section III.A observation: "The
+        difference in performance between using the TXYZ ordering and
+        the best observed among the other predefined mappings was less
+        than 1.4% for VN mode and less than 1% for SMP mode" — POP's
+        halo traffic is too small a fraction of its runtime for the
+        mapping to matter.
+
+        Only BlueGene machines have the mapping concept.
+        """
+        from ...halo.bench import HaloBenchmark
+        from ...topology.mapping import PAPER_FIG2_MAPPINGS
+
+        if self.machine.tree is None:
+            raise ValueError("process mappings are a BlueGene concept")
+        if mappings is None:
+            mappings = list(PAPER_FIG2_MAPPINGS)
+        base = self.run(processes, mode=mode)
+        other = base.seconds_per_simday - base.halo_s_per_day
+
+        px, py = decompose(processes, self.grid.nx, self.grid.ny)
+        # Halo width in 32-bit words, from the baroclinic exchange size.
+        edge = max(self.grid.nx / px, self.grid.ny / py)
+        words = max(
+            1,
+            int(
+                self.baroclinic.halo_width
+                * edge
+                * self.grid.levels
+                * self.baroclinic.halo_fields
+                * 2  # 8-byte reals as 32-bit words
+            ),
+        )
+        halo_times = {
+            m: HaloBenchmark(self.machine, (px, py), mode=mode, mapping=m).time_analytic(words)
+            for m in mappings
+        }
+        ref = halo_times.get("TXYZ", next(iter(halo_times.values())))
+        out = {}
+        for m, t in halo_times.items():
+            scaled_halo = base.halo_s_per_day * (t / ref)
+            out[m] = seconds_per_simday_to_syd(other + scaled_halo)
+        return out
+
+    def cores_for_syd(
+        self, target_syd: float, mode: Mode | str = "VN", hi: int = 65536
+    ) -> int:
+        """Smallest process count reaching ``target_syd`` (Table 3's
+        power-normalization question), or raise if unreachable."""
+        best: Optional[int] = None
+        candidates = []
+        p = 64
+        while p <= hi:
+            candidates.append(p)
+            p *= 2
+        if self.machine.name == "BG/P" and hi > MAX_BGP_PROCESSES:
+            # The ladder must not step over the paper's 40k memory wall.
+            candidates = [c for c in candidates if c < MAX_BGP_PROCESSES]
+            candidates.append(MAX_BGP_PROCESSES)
+        # Walk the ladder, then bisect the bracketing interval.
+        prev = None
+        for p in candidates:
+            try:
+                r = self.run(p, mode=mode)
+            except (MemoryError, ValueError):
+                break
+            if r.syd >= target_syd:
+                best = p
+                break
+            prev = p
+        if best is None:
+            raise ValueError(
+                f"{self.machine.name} cannot reach {target_syd} SYD within "
+                f"{hi} processes"
+            )
+        if prev is None:
+            return best
+        lo, hi2 = prev, best
+        while hi2 - lo > max(64, lo // 16):
+            mid = (lo + hi2) // 2
+            if self.run(mid, mode=mode).syd >= target_syd:
+                hi2 = mid
+            else:
+                lo = mid
+        return hi2

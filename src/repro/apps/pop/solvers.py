@@ -1,0 +1,156 @@
+"""The barotropic linear solvers: standard CG and Chronopoulos-Gear.
+
+POP's barotropic phase solves a 2-D implicit system each timestep
+(paper Section III.A).  The paper evaluated the standard
+conjugate-gradient formulation against the Chronopoulos-Gear s-step
+variant [5], whose point is *fewer global reductions per iteration*
+(one fused allreduce instead of two dependent ones) at the cost of a
+little extra local arithmetic — exactly the trade that matters on a
+latency-dominated barotropic solve.
+
+Both solvers are implemented for real (numpy) against the 2-D
+five-point operator and verified in the tests; the performance model
+reads their per-iteration communication/compute signatures from
+:data:`CG_SIGNATURE` / :data:`CHRONGEAR_SIGNATURE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "laplacian_2d",
+    "cg_solve",
+    "chrongear_solve",
+    "SolverSignature",
+    "CG_SIGNATURE",
+    "CHRONGEAR_SIGNATURE",
+]
+
+
+def laplacian_2d(x: np.ndarray) -> np.ndarray:
+    """The 2-D five-point operator (periodic), shifted to be SPD."""
+    return 5.0 * x - (
+        np.roll(x, 1, 0) + np.roll(x, -1, 0) + np.roll(x, 1, 1) + np.roll(x, -1, 1)
+    )
+
+
+@dataclass
+class SolveResult:
+    x: np.ndarray
+    iterations: int
+    residual: float
+    #: global reductions the run would have issued on a parallel machine
+    reductions: int
+
+
+def cg_solve(
+    b: np.ndarray,
+    operator: Callable[[np.ndarray], np.ndarray] = laplacian_2d,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+) -> SolveResult:
+    """Standard conjugate gradients.
+
+    Two *dependent* global reductions per iteration (r.z and p.Ap): on
+    a parallel machine each is an MPI_Allreduce that cannot overlap the
+    other.
+    """
+    x = np.zeros_like(b)
+    r = b - operator(x)
+    p = r.copy()
+    rs = float((r * r).sum())
+    reductions = 1
+    it = 0
+    norm_b = float(np.sqrt((b * b).sum())) or 1.0
+    while it < max_iter and np.sqrt(rs) / norm_b > tol:
+        ap = operator(p)
+        alpha = rs / float((p * ap).sum())
+        reductions += 1  # p.Ap
+        x += alpha * p
+        r -= alpha * ap
+        rs_new = float((r * r).sum())
+        reductions += 1  # r.r
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+        it += 1
+    return SolveResult(x=x, iterations=it, residual=np.sqrt(rs) / norm_b, reductions=reductions)
+
+
+def chrongear_solve(
+    b: np.ndarray,
+    operator: Callable[[np.ndarray], np.ndarray] = laplacian_2d,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+) -> SolveResult:
+    """Chronopoulos-Gear single-reduction CG.
+
+    Restructures the recurrences so the two inner products of an
+    iteration are computed together — one *fused* allreduce per
+    iteration, plus one extra vector operation ("a little slower ...
+    for smaller process counts ... a little faster for larger process
+    counts", paper Section III.A).
+    """
+    x = np.zeros_like(b)
+    r = b - operator(x)
+    norm_b = float(np.sqrt((b * b).sum())) or 1.0
+
+    p = r.copy()
+    s = operator(p)
+    # Fused reduction: (r.r, p.s) in one allreduce.
+    rho = float((r * r).sum())
+    sigma = float((p * s).sum())
+    reductions = 1
+    it = 0
+    while it < max_iter and np.sqrt(rho) / norm_b > tol:
+        alpha = rho / sigma
+        x += alpha * p
+        r -= alpha * s
+        z = operator(r)
+        rho_new = float((r * r).sum())
+        delta = float((r * z).sum())
+        reductions += 1  # ONE fused allreduce for both dot products
+        beta = rho_new / rho
+        p = r + beta * p
+        s = z + beta * s
+        sigma = delta - beta * beta * sigma
+        rho = rho_new
+        it += 1
+    return SolveResult(x=x, iterations=it, residual=np.sqrt(rho) / norm_b, reductions=reductions)
+
+
+@dataclass(frozen=True)
+class SolverSignature:
+    """Per-iteration cost signature for the performance model."""
+
+    name: str
+    #: dependent allreduces per iteration
+    allreduces_per_iter: int
+    #: bytes per allreduce (fused reductions carry two scalars)
+    allreduce_bytes: int
+    #: local flops per grid point per iteration
+    flops_per_point: float
+    #: local memory traffic per grid point per iteration (bytes)
+    bytes_per_point: float
+
+
+#: Standard CG: 2 dependent 8-byte reductions, ~30 flops/point.
+CG_SIGNATURE = SolverSignature(
+    name="CG",
+    allreduces_per_iter=2,
+    allreduce_bytes=8,
+    flops_per_point=30.0,
+    bytes_per_point=160.0,
+)
+
+#: Chronopoulos-Gear: 1 fused 16-byte reduction, ~10% more local work.
+CHRONGEAR_SIGNATURE = SolverSignature(
+    name="ChronGear",
+    allreduces_per_iter=1,
+    allreduce_bytes=16,
+    flops_per_point=33.0,
+    bytes_per_point=176.0,
+)

@@ -1,0 +1,41 @@
+"""S3D: direct numerical simulation of combustion (paper Section III.C, Fig. 6)."""
+
+from .stencil import DERIV_WIDTH, FILTER_WIDTH, deriv8, filter10, deriv8_3d
+from .rk import RK_STAGES, rk4_6stage_step, integrate
+from .chemistry import (
+    SPECIES,
+    N_SPECIES,
+    reaction_rates,
+    advance_chemistry,
+    CHEM_FLOPS_PER_POINT,
+)
+from .model import (
+    S3dModel,
+    S3dResult,
+    S3D_SUSTAINED_GFLOPS,
+    N_VARS,
+    FLOPS_PER_POINT_PER_STAGE,
+    pressure_wave_demo,
+)
+
+__all__ = [
+    "DERIV_WIDTH",
+    "FILTER_WIDTH",
+    "deriv8",
+    "filter10",
+    "deriv8_3d",
+    "RK_STAGES",
+    "rk4_6stage_step",
+    "integrate",
+    "SPECIES",
+    "N_SPECIES",
+    "reaction_rates",
+    "advance_chemistry",
+    "CHEM_FLOPS_PER_POINT",
+    "S3dModel",
+    "S3dResult",
+    "S3D_SUSTAINED_GFLOPS",
+    "N_VARS",
+    "FLOPS_PER_POINT_PER_STAGE",
+    "pressure_wave_demo",
+]

@@ -1,0 +1,118 @@
+"""Replay S3D's per-step schedule on the message-level simulator.
+
+Per RK stage: a compute block, then the 6-face ghost exchange of all
+conserved variables (non-blocking sends/receives among nearest
+neighbours in the 3-D processor topology — Section III.C); per step:
+one small monitoring allreduce.  Cross-validates the Fig. 6 weak-
+scaling model against the simulated network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ...machines.specs import MachineSpec
+from ...simmpi import Cluster
+from .model import S3dModel, S3D_SUSTAINED_GFLOPS, FLOPS_PER_POINT_PER_STAGE, N_VARS
+from .chemistry import CHEM_FLOPS_PER_POINT
+from .stencil import DERIV_WIDTH
+from .rk import RK_STAGES
+
+__all__ = ["replay_steps", "S3dReplayResult"]
+
+
+@dataclass(frozen=True)
+class S3dReplayResult:
+    machine: str
+    processes: int
+    seconds_per_step: float
+    messages: int
+
+
+def _proc_grid(processes: int) -> Tuple[int, int, int]:
+    """The most-cubic 3-D processor decomposition."""
+    best = (processes, 1, 1)
+    score = float("inf")
+    x = 1
+    while x <= processes:
+        if processes % x == 0:
+            rem = processes // x
+            y = 1
+            while y <= rem:
+                if rem % y == 0:
+                    dims = (x, y, rem // y)
+                    s = max(dims) / min(dims)
+                    if s < score:
+                        score = s
+                        best = dims
+                y += 1
+        x += 1
+    return best
+
+
+def _neighbors3d(rank: int, dims: Tuple[int, int, int]) -> Dict[str, int]:
+    px, py, pz = dims
+    i = rank % px
+    j = (rank // px) % py
+    k = rank // (px * py)
+
+    def at(ii, jj, kk):
+        return (ii % px) + (jj % py) * px + (kk % pz) * px * py
+
+    return {
+        "xm": at(i - 1, j, k),
+        "xp": at(i + 1, j, k),
+        "ym": at(i, j - 1, k),
+        "yp": at(i, j + 1, k),
+        "zm": at(i, j, k - 1),
+        "zp": at(i, j, k + 1),
+    }
+
+
+def replay_steps(
+    machine: MachineSpec,
+    processes: int,
+    edge: int = 50,
+    steps: int = 1,
+    mode: str = "VN",
+) -> S3dReplayResult:
+    """Run ``steps`` S3D timesteps at message level."""
+    if processes < 1 or steps < 1:
+        raise ValueError("processes and steps must be >= 1")
+    dims = _proc_grid(processes)
+    sustained = S3D_SUSTAINED_GFLOPS[machine.name] * 1e9
+    points = edge**3
+    t_stage = points * FLOPS_PER_POINT_PER_STAGE / sustained
+    t_chem = points * CHEM_FLOPS_PER_POINT / sustained
+    face_bytes = int(DERIV_WIDTH * edge * edge * 8 * N_VARS)
+    pairs = (("xm", "xp"), ("ym", "yp"), ("zm", "zp"))
+
+    def program(comm):
+        nb = _neighbors3d(comm.rank, dims)
+        t0 = comm.now
+        for step in range(steps):
+            for stage in range(RK_STAGES):
+                yield from comm.compute(seconds=t_stage)
+                tag = 100 * step + 10 * stage
+                reqs = []
+                for d, (lo, hi) in enumerate(pairs):
+                    reqs.append(comm.irecv(src=nb[lo], tag=tag + 2 * d))
+                    reqs.append(comm.irecv(src=nb[hi], tag=tag + 2 * d + 1))
+                for d, (lo, hi) in enumerate(pairs):
+                    reqs.append(comm.isend(nb[hi], face_bytes, tag=tag + 2 * d))
+                    reqs.append(comm.isend(nb[lo], face_bytes, tag=tag + 2 * d + 1))
+                yield from comm.waitall(reqs)
+            yield from comm.compute(seconds=t_chem)
+            yield from comm.allreduce(64, dtype="float64")  # monitoring
+        return comm.now - t0
+
+    cluster = Cluster(machine, ranks=processes, mode=mode)
+    res = cluster.run(program)
+    return S3dReplayResult(
+        machine=machine.name,
+        processes=processes,
+        seconds_per_step=max(res.returns) / steps,
+        messages=res.messages,
+    )

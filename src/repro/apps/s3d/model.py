@@ -1,0 +1,156 @@
+"""S3D performance model and the pressure-wave test problem (Fig. 6).
+
+"The problem size is kept at 50^3 grid points per MPI-thread ...  The
+code performance is measured by the computational cost (in core-hours)
+per grid point per time step."  S3D weak-scales almost perfectly — the
+figure's flat lines — because communication is nearest-neighbour only
+and the per-rank working set is constant.
+
+* :func:`pressure_wave_demo` — the actual test problem at laptop
+  scale: a Gaussian temperature bump launches pressure waves under the
+  real stencil + RK integrator (tests assert wave propagation and
+  conservation).
+* :class:`S3dModel` — the cost model used for the figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ...machines.specs import MachineSpec
+from ...machines.modes import Mode, resolve_mode
+from ...simmpi.cost import CostModel
+from .stencil import DERIV_WIDTH, deriv8, filter10
+from .rk import RK_STAGES, rk4_6stage_step
+from .chemistry import N_SPECIES, CHEM_FLOPS_PER_POINT
+
+__all__ = ["S3dModel", "S3dResult", "S3D_SUSTAINED_GFLOPS", "pressure_wave_demo"]
+
+#: Sustained per-core GFlop/s on S3D's stencil+chemistry mix
+#: (calibrated so XT4/QC ≈ 2.3x BG/P per core, the Fig. 6 spread).
+S3D_SUSTAINED_GFLOPS: Dict[str, float] = {
+    "BG/P": 0.42,
+    "BG/L": 0.31,
+    "XT3": 0.85,
+    "XT4/DC": 0.92,
+    "XT4/QC": 0.97,
+}
+
+#: Conserved variables: density, momentum (3), energy + species.
+N_VARS = 5 + N_SPECIES
+
+#: Flops per grid point per RK stage: three 9-point derivative sweeps
+#: per variable, filters, EOS/transport, plus chemistry.
+FLOPS_PER_POINT_PER_STAGE = 3 * 2 * 9 * N_VARS + 600.0
+
+
+@dataclass(frozen=True)
+class S3dResult:
+    machine: str
+    processes: int
+    points_per_rank: int
+    seconds_per_step: float
+    core_hours_per_point_step: float
+
+
+class S3dModel:
+    """S3D weak-scaling cost model."""
+
+    def __init__(self, machine: MachineSpec, mode: Mode | str = "VN") -> None:
+        self.machine = machine
+        self.mode = resolve_mode(machine, mode)
+        try:
+            self.sustained = S3D_SUSTAINED_GFLOPS[machine.name] * 1e9
+        except KeyError:
+            raise KeyError(f"no S3D calibration for {machine.name!r}") from None
+
+    def run(self, processes: int, edge: int = 50) -> S3dResult:
+        """Model one weak-scaled run with ``edge``^3 points per rank."""
+        if processes < 1 or edge < 2 * DERIV_WIDTH + 1:
+            raise ValueError("invalid processes or edge length")
+        points = edge**3
+        flops_per_step = (
+            points * (RK_STAGES * FLOPS_PER_POINT_PER_STAGE + CHEM_FLOPS_PER_POINT)
+        )
+        t_compute = flops_per_step / self.sustained
+
+        t_comm = 0.0
+        if processes > 1:
+            cost = CostModel(self.machine, self.mode.mode, processes)
+            # Ghost exchange per RK stage: 6 faces x width-4 ghost slab
+            # of all conserved variables.
+            face_bytes = int(DERIV_WIDTH * edge * edge * 8 * N_VARS)
+            per_stage = 6.0 * cost.p2p_time(face_bytes, hops=1.0)
+            t_comm = RK_STAGES * per_stage
+            # Monitoring: one small allreduce per step (Section III.C:
+            # "Global communications are only required for monitoring").
+            t_comm += cost.allreduce_time(64, dtype="float64")
+
+        seconds = t_compute + t_comm
+        core_hours = seconds / 3600.0 / points
+        return S3dResult(
+            machine=self.machine.name,
+            processes=processes,
+            points_per_rank=points,
+            seconds_per_step=seconds,
+            core_hours_per_point_step=core_hours,
+        )
+
+    def weak_scaling(self, process_counts: List[int], edge: int = 50) -> List[S3dResult]:
+        """One Fig. 6 curve (points beyond the machine's size are
+        omitted, as in the paper's plots)."""
+        out = []
+        for p in process_counts:
+            try:
+                out.append(self.run(p, edge))
+            except ValueError:
+                continue
+        return out
+
+
+def pressure_wave_demo(
+    n: int = 32, steps: int = 20, dt: float = 0.02
+) -> Dict[str, float]:
+    """The paper's pressure-wave test problem, executed for real (1-D
+    acoustics with the 8th-order stencil + 6-stage RK + filter).
+
+    "The simulation's initial condition consists of a Gaussian
+    temperature profile centered in the domain with periodic boundary
+    conditions.  When integrated in time, the initial temperature
+    non-uniformity gives rise to pressure waves and spreading of the
+    temperature profile."
+
+    Returns diagnostics the tests assert: mass conservation error,
+    how far the wave front travelled, and the initial/final pressure
+    peak ratio (the bump splits into two half-amplitude waves).
+    """
+    x = np.linspace(0, 1, n, endpoint=False)
+    dx = 1.0 / n
+    c = 1.0  # sound speed
+    p0 = np.exp(-((x - 0.5) ** 2) / 0.005)  # pressure bump (temperature)
+    u0 = np.zeros(n)
+    state0 = np.stack([p0, u0])
+
+    def rhs(state: np.ndarray) -> np.ndarray:
+        p, u = state
+        dp = deriv8(p, dx)
+        du = deriv8(u, dx)
+        return np.stack([-c * du, -c * dp])
+
+    state = state0.copy()
+    for _ in range(steps):
+        state = rk4_6stage_step(state, rhs, dt)
+        state[0] = filter10(state[0], strength=0.2)
+        state[1] = filter10(state[1], strength=0.2)
+
+    p_final = state[0]
+    travel = c * steps * dt
+    return {
+        "mass_error": float(abs(p_final.sum() - p0.sum()) / abs(p0.sum())),
+        "expected_travel": travel,
+        "peak_ratio": float(p_final.max() / p0.max()),
+        "center_drop": float(p_final[n // 2] / p0[n // 2]),
+    }

@@ -1,0 +1,145 @@
+"""Command-line interface: regenerate paper artifacts and run checks.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro run table3           # regenerate one artifact
+    python -m repro run all -o out/      # regenerate everything to files
+    python -m repro validate             # check the ten paper claims
+    python -m repro machines             # show the machine catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from .core.evaluation import EXPERIMENTS
+
+    descriptions = {
+        "table1": "System configuration summary",
+        "table2": "HPCC comparison, 4096 processes VN",
+        "fig1": "HPCC HPL/FFT/PTRANS/RandomAccess scaling",
+        "fig2": "HALO protocols/mappings/grids on BG/P",
+        "fig3": "IMB Allreduce/Bcast latency",
+        "top500": "TOP500 HPL run (Section II.C)",
+        "fig4": "POP tenth-degree benchmark",
+        "fig5": "CAM spectral/FV benchmarks",
+        "fig6": "S3D weak scaling",
+        "fig7": "GYRO strong/weak scaling",
+        "fig8": "LAMMPS/PMEMD on RuBisCO",
+        "table3": "Power comparison",
+        "lists": "TOP500/Green500 placement + density (extension)",
+    }
+    for eid in EXPERIMENTS:
+        print(f"  {eid:8s} {descriptions.get(eid, '')}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .core.evaluation import EXPERIMENTS, run_experiment
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    outdir: Optional[pathlib.Path] = (
+        pathlib.Path(args.output) if args.output else None
+    )
+    if outdir:
+        outdir.mkdir(parents=True, exist_ok=True)
+    for eid in ids:
+        try:
+            text = run_experiment(eid)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if outdir:
+            path = outdir / f"{eid}.txt"
+            path.write_text(text + "\n")
+            print(f"wrote {path}")
+        else:
+            print(text)
+            print()
+    return 0
+
+
+def _cmd_validate(_args: argparse.Namespace) -> int:
+    from .core.validate import CLAIMS, ValidationError
+
+    failed: List[str] = []
+    for claim in CLAIMS:
+        try:
+            claim.verify()
+            status = "PASS"
+        except ValidationError:
+            status = "FAIL"
+            failed.append(claim.id)
+        print(f"  [{status}] {claim.id}: {claim.statement}")
+    if failed:
+        print(f"\n{len(failed)} claim(s) failed: {failed}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(CLAIMS)} paper claims hold")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .machines import get_machine
+    from .core.compare import render_comparison
+
+    try:
+        a = get_machine(args.machine_a)
+        b = get_machine(args.machine_b)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(render_comparison(a, b, processes=args.processes))
+    return 0
+
+
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    from .core.evaluation import table1_config
+
+    print(table1_config())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Early Evaluation of IBM BlueGene/P' (SC'08): "
+            "regenerate the paper's tables and figures from machine models."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate an artifact (or 'all')")
+    p_run.add_argument("experiment", help="experiment id, or 'all'")
+    p_run.add_argument("-o", "--output", help="directory to write .txt artifacts")
+    p_run.set_defaults(fn=_cmd_run)
+
+    sub.add_parser(
+        "validate", help="check the ten qualitative paper claims"
+    ).set_defaults(fn=_cmd_validate)
+
+    p_cmp = sub.add_parser("compare", help="compare two machines across the suite")
+    p_cmp.add_argument("machine_a")
+    p_cmp.add_argument("machine_b")
+    p_cmp.add_argument("-p", "--processes", type=int, default=1024)
+    p_cmp.set_defaults(fn=_cmd_compare)
+
+    sub.add_parser("machines", help="print the machine catalog (Table 1)").set_defaults(
+        fn=_cmd_machines
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,44 @@
+"""Evaluation core: metrics, reports, the experiment registry, and the
+paper-shape validation harness."""
+
+from .metrics import (
+    speedup,
+    parallel_efficiency,
+    weak_scaling_efficiency,
+    crossover_point,
+    relative_factor,
+)
+from .report import format_table, format_series, figure_to_csv, Figure, Series
+from .sweep import Sweep, SweepPoint
+from .hpcc import HpccColumn, build_table2, TABLE2_ROWS
+from .validate import Claim, CLAIMS, validate_all, ValidationError
+from .evaluation import EXPERIMENTS, run_experiment, experiment_ids
+from .compare import ComparisonRow, compare_machines, render_comparison
+
+__all__ = [
+    "speedup",
+    "parallel_efficiency",
+    "weak_scaling_efficiency",
+    "crossover_point",
+    "relative_factor",
+    "format_table",
+    "format_series",
+    "figure_to_csv",
+    "Figure",
+    "Series",
+    "Sweep",
+    "SweepPoint",
+    "HpccColumn",
+    "build_table2",
+    "TABLE2_ROWS",
+    "Claim",
+    "CLAIMS",
+    "validate_all",
+    "ValidationError",
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+    "ComparisonRow",
+    "compare_machines",
+    "render_comparison",
+]

@@ -1,0 +1,167 @@
+"""Side-by-side machine comparison across the full evaluation suite.
+
+``compare_machines(a, b)`` runs every kernel and application model on
+two machines at a common scale and reports the ratios — the programmatic
+version of what the paper does between BG/P and the XT4 across its
+whole evaluation section.  Works for any pair from the catalog,
+including user-defined machines (see ``examples/custom_machine.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..machines.specs import MachineSpec
+from ..machines.power import hpl_mflops_per_watt
+from ..simmpi.cost import CostModel
+from .report import format_table
+
+__all__ = ["ComparisonRow", "compare_machines", "render_comparison"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One metric of the comparison."""
+
+    metric: str
+    unit: str
+    a_value: float
+    b_value: float
+    #: True when larger is better for this metric
+    higher_is_better: bool = True
+
+    @property
+    def ratio(self) -> float:
+        """b / a (how many times machine B's value is machine A's)."""
+        return self.b_value / self.a_value if self.a_value else float("inf")
+
+    @property
+    def winner(self) -> str:
+        if self.a_value == self.b_value:
+            return "tie"
+        a_wins = (self.a_value > self.b_value) == self.higher_is_better
+        return "A" if a_wins else "B"
+
+
+def compare_machines(
+    a: MachineSpec,
+    b: MachineSpec,
+    processes: int = 1024,
+    pop_processes: int = 8000,
+) -> List[ComparisonRow]:
+    """Evaluate both machines across kernels, comms, apps and power."""
+    if processes < 2:
+        raise ValueError("need at least 2 processes to compare")
+    from ..kernels.dgemm import DgemmModel
+    from ..kernels.hpl import HplModel
+    from ..memmodel.stream import StreamModel
+    from ..apps.s3d.model import S3dModel, S3D_SUSTAINED_GFLOPS
+    from ..apps.pop.model import PopModel, POP_SUSTAINED_GFLOPS
+
+    rows: List[ComparisonRow] = []
+
+    def add(metric, unit, av, bv, higher=True):
+        rows.append(ComparisonRow(metric, unit, av, bv, higher))
+
+    # -- node character ------------------------------------------------
+    add("peak per core", "GF/s", a.node.core.peak_flops / 1e9, b.node.core.peak_flops / 1e9)
+    add(
+        "DGEMM per process",
+        "GF/s",
+        DgemmModel(a).rate_per_process_gflops(),
+        DgemmModel(b).rate_per_process_gflops(),
+    )
+    add(
+        "STREAM per process (EP)",
+        "GB/s",
+        StreamModel(a).bandwidth_per_process(a.node.cores) / 1e9,
+        StreamModel(b).bandwidth_per_process(b.node.cores) / 1e9,
+    )
+
+    # -- network character ------------------------------------------------
+    ca = CostModel(a, "VN", processes)
+    cb = CostModel(b, "VN", processes)
+    add("MPI latency", "us", ca.p2p_time(8) * 1e6, cb.p2p_time(8) * 1e6, higher=False)
+    add("p2p bandwidth", "GB/s", ca.p2p_bandwidth / 1e9, cb.p2p_bandwidth / 1e9)
+    add(
+        f"barrier @ {processes}",
+        "us",
+        ca.barrier_time() * 1e6,
+        cb.barrier_time() * 1e6,
+        higher=False,
+    )
+    add(
+        f"bcast 32KB @ {processes}",
+        "us",
+        ca.bcast_time(32768) * 1e6,
+        cb.bcast_time(32768) * 1e6,
+        higher=False,
+    )
+    add(
+        f"allreduce 32KB f64 @ {processes}",
+        "us",
+        ca.allreduce_time(32768) * 1e6,
+        cb.allreduce_time(32768) * 1e6,
+        higher=False,
+    )
+
+    # -- benchmarks and applications ----------------------------------------
+    add(
+        f"HPL @ {processes}",
+        "TF/s",
+        HplModel(a).run(processes).gflops / 1e3,
+        HplModel(b).run(processes).gflops / 1e3,
+    )
+    if a.name in S3D_SUSTAINED_GFLOPS and b.name in S3D_SUSTAINED_GFLOPS:
+        add(
+            "S3D cost per point-step",
+            "core-h",
+            S3dModel(a).run(min(processes, 512)).core_hours_per_point_step,
+            S3dModel(b).run(min(processes, 512)).core_hours_per_point_step,
+            higher=False,
+        )
+    if a.name in POP_SUSTAINED_GFLOPS and b.name in POP_SUSTAINED_GFLOPS:
+        try:
+            add(
+                f"POP SYD @ {pop_processes}",
+                "SYD",
+                PopModel(a).run(pop_processes).syd,
+                PopModel(b).run(pop_processes).syd,
+            )
+        except (MemoryError, ValueError):
+            pass
+
+    # -- power -------------------------------------------------------------
+    add(
+        "power per core (HPL)",
+        "W",
+        a.power.hpl_watts_per_core,
+        b.power.hpl_watts_per_core,
+        higher=False,
+    )
+    add("Green500", "MF/W", hpl_mflops_per_watt(a), hpl_mflops_per_watt(b))
+    return rows
+
+
+def render_comparison(
+    a: MachineSpec, b: MachineSpec, rows: Optional[List[ComparisonRow]] = None, **kw
+) -> str:
+    """Human-readable comparison table."""
+    rows = compare_machines(a, b, **kw) if rows is None else rows
+    table = [
+        [
+            r.metric,
+            r.unit,
+            r.a_value,
+            r.b_value,
+            round(r.ratio, 3),
+            {"A": a.name, "B": b.name, "tie": "tie"}[r.winner],
+        ]
+        for r in rows
+    ]
+    return format_table(
+        ["metric", "unit", a.name, b.name, f"{b.name}/{a.name}", "winner"],
+        table,
+        title=f"Machine comparison: {a.name} vs {b.name}",
+    )

@@ -1,0 +1,120 @@
+"""HPCC Table 2: the full benchmark-suite comparison.
+
+"Table 2 shows the results of HPCC tests that are largely independent
+of process count, including the single processor and embarrassingly
+parallel tests ... taken using 4096 processes" (paper Section II.A),
+plus the low-level communication rows.  The XT's problem sizes are
+automatically ~4x larger because its nodes carry 4x the memory —
+exactly the asymmetry the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import resolve_mode
+from ..kernels.dgemm import DgemmModel
+from ..kernels.fft import FftModel
+from ..kernels.hpl import HplModel
+from ..kernels.ptrans import PtransModel
+from ..kernels.randomaccess import RandomAccessModel
+from ..kernels.pingpong import pingpong_analytic
+from ..kernels.ring import random_ring_analytic
+from ..memmodel.stream import StreamModel
+
+__all__ = ["HpccColumn", "build_table2", "TABLE2_ROWS"]
+
+
+@dataclass(frozen=True)
+class HpccColumn:
+    """One machine's HPCC figures (Table 2 column)."""
+
+    machine: str
+    processes: int
+    # single-process / embarrassingly-parallel tests
+    dgemm_single_gflops: float
+    dgemm_ep_gflops: float
+    stream_single_gbs: float
+    stream_ep_gbs: float
+    fft_single_gflops: float
+    fft_ep_gflops: float
+    ra_single_gups: float
+    ra_ep_gups: float
+    # parallel tests at the table's process count
+    hpl_tflops: float
+    mpifft_gflops: float
+    ptrans_gbs: float
+    mpi_ra_gups: float
+    # communication tests
+    pingpong_latency_us: float
+    pingpong_bandwidth_gbs: float
+    ring_latency_us: float
+    ring_bandwidth_gbs: float
+
+
+#: Human-readable row labels in table order.
+TABLE2_ROWS: List[str] = [
+    "DGEMM single (GFlop/s)",
+    "DGEMM EP (GFlop/s)",
+    "STREAM triad single (GB/s)",
+    "STREAM triad EP (GB/s)",
+    "FFT single (GFlop/s)",
+    "FFT EP (GFlop/s)",
+    "RandomAccess single (GUP/s)",
+    "RandomAccess EP (GUP/s)",
+    "G-HPL (TFlop/s)",
+    "MPI FFT (GFlop/s)",
+    "PTRANS (GB/s)",
+    "MPI RandomAccess (GUP/s)",
+    "Ping-pong latency (us)",
+    "Ping-pong bandwidth (GB/s)",
+    "Random-ring latency (us)",
+    "Random-ring bandwidth (GB/s)",
+]
+
+
+def build_column(machine: MachineSpec, processes: int = 4096, mode: str = "VN") -> HpccColumn:
+    """Evaluate every HPCC component on one machine."""
+    modecfg = resolve_mode(machine, mode)
+    dgemm = DgemmModel(machine, mode)
+    stream = StreamModel(machine, mode)
+    fft = FftModel(machine, mode)
+    ra = RandomAccessModel(machine, mode)
+    hpl = HplModel(machine, mode).run(processes)
+    mpifft = fft.mpi_run(processes)
+    ptrans = PtransModel(machine, mode).run(processes)
+    mpi_ra = ra.run(processes, variant="stock")
+    ping_small = pingpong_analytic(machine, 8, mode)
+    ping_big = pingpong_analytic(machine, 1 << 21, mode)
+    ring = random_ring_analytic(machine, processes, mode)
+
+    single_rate = dgemm.rate_per_process_gflops()
+    return HpccColumn(
+        machine=machine.name,
+        processes=processes,
+        dgemm_single_gflops=single_rate,
+        dgemm_ep_gflops=single_rate,  # compute-bound: no decline
+        stream_single_gbs=stream.bandwidth_per_process(1) / 1e9,
+        stream_ep_gbs=stream.bandwidth_per_process(machine.node.cores) / 1e9,
+        fft_single_gflops=fft.single_process_gflops(),
+        fft_ep_gflops=fft.single_process_gflops(),
+        ra_single_gups=ra.run(1).gups_per_process,
+        ra_ep_gups=ra.run(1).gups_per_process,  # private tables
+        hpl_tflops=hpl.gflops / 1e3,
+        mpifft_gflops=mpifft.gflops_total,
+        ptrans_gbs=ptrans.gb_per_s,
+        mpi_ra_gups=mpi_ra.gups_total,
+        pingpong_latency_us=ping_small.latency_us,
+        pingpong_bandwidth_gbs=ping_big.bandwidth_gbs,
+        ring_latency_us=ring.latency_us,
+        ring_bandwidth_gbs=ring.bandwidth_gbs_per_process,
+    )
+
+
+def build_table2(
+    machines: List[MachineSpec], processes: int = 4096, mode: str = "VN"
+) -> Dict[str, HpccColumn]:
+    """Table 2 for any set of machines (paper: BG/P vs XT4/QC)."""
+    return {m.name: build_column(m, processes, mode) for m in machines}

@@ -1,0 +1,65 @@
+"""Common evaluation metrics."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "speedup",
+    "parallel_efficiency",
+    "weak_scaling_efficiency",
+    "crossover_point",
+    "relative_factor",
+]
+
+
+def speedup(base_time: float, time: float) -> float:
+    """Classic strong-scaling speedup."""
+    if base_time <= 0 or time <= 0:
+        raise ValueError("times must be positive")
+    return base_time / time
+
+
+def parallel_efficiency(
+    base_time: float, base_procs: int, time: float, procs: int
+) -> float:
+    """Strong-scaling efficiency relative to a baseline point."""
+    if base_procs < 1 or procs < 1:
+        raise ValueError("process counts must be >= 1")
+    return speedup(base_time, time) / (procs / base_procs)
+
+
+def weak_scaling_efficiency(base_time: float, time: float) -> float:
+    """Weak scaling: ideal keeps the time constant."""
+    if base_time <= 0 or time <= 0:
+        raise ValueError("times must be positive")
+    return base_time / time
+
+
+def relative_factor(a: float, b: float) -> float:
+    """How many times larger ``a`` is than ``b``."""
+    if b == 0:
+        raise ValueError("division by zero baseline")
+    return a / b
+
+
+def crossover_point(
+    xs: Sequence[float], ya: Sequence[float], yb: Sequence[float]
+) -> float | None:
+    """The x where curve ``ya`` first overtakes ``yb`` (linear interp).
+
+    Returns ``None`` if no crossover occurs in the sampled range.  Used
+    to locate e.g. the process count where BG/P barotropic performance
+    overtakes the XT4's (paper: "indications are that Barotropic
+    performance is superior on the BG/P for 22500 processes and
+    higher").
+    """
+    if not (len(xs) == len(ya) == len(yb)) or len(xs) < 2:
+        raise ValueError("need three equal-length sequences of >= 2 points")
+    diff = [a - b for a, b in zip(ya, yb)]
+    for i in range(1, len(xs)):
+        if diff[i - 1] < 0 <= diff[i]:
+            span = diff[i] - diff[i - 1]
+            t = -diff[i - 1] / span if span else 0.0
+            return xs[i - 1] + t * (xs[i] - xs[i - 1])
+    return None

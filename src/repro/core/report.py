@@ -1,0 +1,151 @@
+"""ASCII table/series rendering for the benchmark harness.
+
+Every bench regenerates its paper table or figure as text: tables as
+aligned columns, figures as labelled series (x, y pairs) — the same
+rows/series the paper plots, minus the ink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "Figure", "Series"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        a = abs(value)
+        if a >= 1e5 or a < 1e-3:
+            return f"{value:.3g}"
+        if a >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class Series:
+    """One labelled (x, y) curve of a figure."""
+
+    def __init__(self, label: str, points: List[Tuple[float, float]]) -> None:
+        self.label = label
+        self.points = list(points)
+
+    @property
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+
+class Figure:
+    """A figure as a set of series, renderable as text."""
+
+    def __init__(self, title: str, xlabel: str, ylabel: str) -> None:
+        self.title = title
+        self.xlabel = xlabel
+        self.ylabel = ylabel
+        self.series: List[Series] = []
+
+    def add(self, label: str, points: List[Tuple[float, float]]) -> "Figure":
+        self.series.append(Series(label, points))
+        return self
+
+    def render(self) -> str:
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(f"x: {self.xlabel}   y: {self.ylabel}")
+        for s in self.series:
+            lines.append(f"-- {s.label}")
+            for x, y in s.points:
+                lines.append(f"   {_fmt(x):>12}  {_fmt(y)}")
+        return "\n".join(lines)
+
+    def render_chart(self, width: int = 50, log_y: bool = False) -> str:
+        """Render the series as horizontal ASCII bars per x value.
+
+        Good enough to eyeball a scaling curve in a terminal; the data
+        rows of :meth:`render` remain the canonical artifact.
+        """
+        import math
+
+        if width < 10:
+            raise ValueError("chart width must be >= 10")
+        if not self.series:
+            return self.render()
+        ys = [y for s in self.series for _x, y in s.points if y > 0 or not log_y]
+        if not ys:
+            return self.render()
+        top = max(ys)
+        lo = min(y for y in ys if y > 0) if log_y else 0.0
+
+        def bar(y: float) -> str:
+            if log_y:
+                if y <= 0:
+                    return ""
+                frac = (math.log10(y) - math.log10(lo)) / max(
+                    1e-12, math.log10(top) - math.log10(lo)
+                )
+            else:
+                frac = y / top if top > 0 else 0.0
+            return "#" * max(1, int(round(frac * width)))
+
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(f"x: {self.xlabel}   bars: {self.ylabel}"
+                     f"{' (log scale)' if log_y else ''}")
+        label_w = max(len(s.label) for s in self.series)
+        for s in self.series:
+            lines.append(f"-- {s.label}")
+            for x, y in s.points:
+                lines.append(
+                    f"   {_fmt(x):>12} |{bar(y):<{width}}| {_fmt(y)}"
+                )
+        return "\n".join(lines)
+
+
+def format_series(figure: Figure) -> str:
+    """Convenience alias for ``figure.render()``."""
+    return figure.render()
+
+
+def figure_to_csv(figure: Figure) -> str:
+    """Export a figure's series as CSV (series,x,y rows with header).
+
+    Lets users replot the regenerated artifacts with their own tools.
+    """
+    lines = ["series,x,y"]
+    for s in figure.series:
+        label = s.label.replace('"', '""')
+        quoted = f'"{label}"' if ("," in s.label or '"' in s.label) else label
+        for x, y in s.points:
+            lines.append(f"{quoted},{x!r},{y!r}")
+    return "\n".join(lines)

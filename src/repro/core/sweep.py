@@ -1,0 +1,59 @@
+"""Generic parameter-sweep helper used by the benches and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+__all__ = ["Sweep", "SweepPoint"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a sweep."""
+
+    params: Dict[str, Any]
+    value: Any
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
+
+
+@dataclass
+class Sweep:
+    """Cartesian-product sweep over named parameter axes.
+
+    Points whose evaluation raises are recorded with the error message
+    instead of aborting the sweep — matching how the paper's curves
+    simply omit failed configurations (POP >40k, CAM FV pure-MPI).
+    """
+
+    axes: Dict[str, List[Any]] = field(default_factory=dict)
+
+    def add_axis(self, name: str, values: Iterable[Any]) -> "Sweep":
+        vals = list(values)
+        if not vals:
+            raise ValueError(f"axis {name!r} has no values")
+        self.axes[name] = vals
+        return self
+
+    def run(self, fn: Callable[..., Any]) -> List[SweepPoint]:
+        """Evaluate ``fn(**params)`` over the product of all axes."""
+        if not self.axes:
+            raise ValueError("no axes defined")
+        names = list(self.axes)
+        out: List[SweepPoint] = []
+        for combo in product(*(self.axes[n] for n in names)):
+            params = dict(zip(names, combo))
+            try:
+                out.append(SweepPoint(params=params, value=fn(**params)))
+            except Exception as exc:  # noqa: BLE001 - sweep isolation
+                out.append(SweepPoint(params=params, value=None, error=str(exc)))
+        return out
+
+    @staticmethod
+    def successes(points: List[SweepPoint]) -> List[SweepPoint]:
+        return [p for p in points if p.ok]

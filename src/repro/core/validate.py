@@ -1,0 +1,175 @@
+"""Shape validation: the paper's qualitative findings as executable checks.
+
+``validate_all()`` runs every claim from DESIGN.md Section 4 against
+the models and reports pass/fail — the reproduction's own regression
+harness (also exercised by the test suite and the benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..machines import BGP, BGL, XT3, XT4_DC, XT4_QC
+from ..simmpi.cost import CostModel
+from ..kernels.dgemm import DgemmModel
+from ..kernels.hpl import HplModel
+from ..memmodel.stream import StreamModel
+from ..apps.pop.model import PopModel
+from ..apps.cam.model import CamModel, SPECTRAL_T85, FV_1_9x2_5
+from ..apps.s3d.model import S3dModel
+from ..apps.gyro.model import GyroModel
+from ..apps.gyro.grid5d import B1_STD
+from ..apps.md.models import LammpsModel
+
+__all__ = ["Claim", "CLAIMS", "validate_all", "ValidationError"]
+
+
+class ValidationError(AssertionError):
+    """A paper-shape claim failed against the models."""
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One qualitative finding of the paper."""
+
+    id: str
+    statement: str
+    check: Callable[[], bool]
+
+    def verify(self) -> None:
+        if not self.check():
+            raise ValidationError(f"claim {self.id} failed: {self.statement}")
+
+
+def _c1() -> bool:
+    """BG/P per-process dense rates below the XT4/QC; both HPL-scale well."""
+    b = DgemmModel(BGP).rate_per_process_gflops()
+    x = DgemmModel(XT4_QC).rate_per_process_gflops()
+    hb = [HplModel(BGP).run(p).efficiency for p in (1024, 8192)]
+    hx = [HplModel(XT4_QC).run(p).efficiency for p in (1024, 8192)]
+    return b < x and min(hb) > 0.7 and min(hx) > 0.7
+
+
+def _c2() -> bool:
+    """BG/P STREAM: higher absolute and smaller single->EP decline."""
+    sb, sx = StreamModel(BGP), StreamModel(XT4_QC)
+    return (
+        sb.bandwidth_per_process(4) > sx.bandwidth_per_process(4)
+        and sb.decline_ratio() > sx.decline_ratio()
+    )
+
+
+def _c3() -> bool:
+    """BG/P lower MPI latency; XT higher bandwidth."""
+    b, x = CostModel(BGP, "VN", 64), CostModel(XT4_QC, "VN", 64)
+    return b.p2p_time(8) < x.p2p_time(8) and b.p2p_bandwidth < x.p2p_bandwidth
+
+
+def _c4() -> bool:
+    """HALO: mapping choice irrelevant for small halos, large for big."""
+    from ..halo.bench import HaloBenchmark
+
+    small, big = [], []
+    for m in ("TXYZ", "XYZT"):
+        hb = HaloBenchmark(BGP, grid=(32, 32), mode="VN", mapping=m)
+        small.append(hb.time_analytic(8))
+        big.append(hb.time_analytic(50000))
+    small_spread = max(small) / min(small)
+    big_spread = max(big) / min(big)
+    return small_spread < 1.5 and big_spread > 1.5
+
+
+def _c5() -> bool:
+    """BG/P Bcast >> XT; BG/P double-precision allreduce >> single."""
+    p, nb = 1024, 32 * 1024
+    b, x = CostModel(BGP, "VN", p), CostModel(XT4_QC, "VN", p)
+    bcast_ok = b.bcast_time(nb) < x.bcast_time(nb) / 2
+    prec_ok = b.allreduce_time(nb, "float64") < b.allreduce_time(nb, "float32") / 2
+    return bcast_ok and prec_ok
+
+
+def _c6() -> bool:
+    """POP: XT4 ~3.6x at 8000, ~2.5x at 22500; BG/P scales to 40k."""
+    b, x = PopModel(BGP), PopModel(XT4_DC)
+    r8 = x.run(8000).syd / b.run(8000).syd
+    r22 = x.run(22500).syd / b.run(22500).syd
+    scaled = b.run(40000).syd / b.run(8000).syd
+    return 3.0 <= r8 <= 4.2 and 2.0 <= r22 <= 3.0 and scaled > 2.5
+
+
+def _c7() -> bool:
+    """CAM: XT factors in the paper's ranges; hybrid extends scaling."""
+    spect_factor = (
+        CamModel(XT4_QC, SPECTRAL_T85).run(64).syd
+        / CamModel(BGP, SPECTRAL_T85).run(64).syd
+    )
+    fv_factor = (
+        CamModel(XT4_QC, FV_1_9x2_5).run(256).syd
+        / CamModel(BGP, FV_1_9x2_5).run(256).syd
+    )
+    cm = CamModel(BGP, SPECTRAL_T85)
+    hybrid_wins = cm.run(2048, hybrid=True).syd > cm.run(2048, hybrid=False).syd
+    return spect_factor >= 3.0 and 1.9 <= fv_factor <= 2.6 and hybrid_wins
+
+
+def _c8() -> bool:
+    """S3D: near-flat weak scaling everywhere; BG/P cost/point higher."""
+    sb, sx = S3dModel(BGP), S3dModel(XT4_QC)
+    curve = [sb.run(p).core_hours_per_point_step for p in (8, 512, 8192)]
+    flat = max(curve) / min(curve) < 1.25
+    costlier = (
+        sb.run(512).core_hours_per_point_step
+        > sx.run(512).core_hours_per_point_step
+    )
+    return flat and costlier
+
+
+def _c9() -> bool:
+    """GYRO B1-std: XT4 efficiency collapses first; BG/P keeps scaling."""
+    gb, gx = GyroModel(BGP, B1_STD), GyroModel(XT4_QC, B1_STD)
+    eff = lambda g: g.run(2048).speedup_vs(g.run(16)) / (2048 / 16)
+    return eff(gb) > 0.7 and eff(gx) < 0.6
+
+
+def _c10() -> bool:
+    """Power: ~6.6x W/core; ~2.7x MFlops/W; modest gap at fixed SYD."""
+    from ..machines.power import hpl_mflops_per_watt
+
+    wcore = XT4_QC.power.hpl_watts_per_core / BGP.power.hpl_watts_per_core
+    mfw = hpl_mflops_per_watt(BGP, 8192) / hpl_mflops_per_watt(XT4_QC, 30976)
+    b_kw = PopModel(BGP).cores_for_syd(12.0) * BGP.power.normal_watts_per_core / 1e3
+    x_kw = (
+        PopModel(XT4_DC).cores_for_syd(12.0)
+        * XT4_DC.power.normal_watts_per_core
+        / 1e3
+    )
+    gap = x_kw / b_kw
+    return 6.0 <= wcore <= 7.2 and 2.3 <= mfw <= 3.1 and 1.0 <= gap <= 1.7
+
+
+CLAIMS: List[Claim] = [
+    Claim("C1", "BG/P per-process dense rates < XT4/QC; both scale", _c1),
+    Claim("C2", "BG/P STREAM higher and declines less single->EP", _c2),
+    Claim("C3", "BG/P lower latency; XT higher bandwidth", _c3),
+    Claim("C4", "HALO mapping matters only at large volume", _c4),
+    Claim("C5", "Tree network: Bcast win + allreduce precision effect", _c5),
+    Claim("C6", "POP factors 3.6x/2.5x; BG/P scales to 40k", _c6),
+    Claim("C7", "CAM factors in range; OpenMP extends scalability", _c7),
+    Claim("C8", "S3D flat weak scaling; BG/P cost/point higher", _c8),
+    Claim("C9", "GYRO: XT4 runs out of work; BG/P continues", _c9),
+    Claim("C10", "Power: 6.6x W/core but modest science-normalized gap", _c10),
+]
+
+
+def validate_all(raise_on_failure: bool = True) -> List[str]:
+    """Verify every claim; returns the list of failed claim ids."""
+    failed = []
+    for claim in CLAIMS:
+        try:
+            claim.verify()
+        except ValidationError:
+            failed.append(claim.id)
+    if failed and raise_on_failure:
+        raise ValidationError(f"claims failed: {failed}")
+    return failed

@@ -1,0 +1,25 @@
+"""The Wallcraft HALO benchmark (paper Section II.B.1, Figure 2)."""
+
+from .exchange import (
+    WORD_BYTES,
+    HaloSpec,
+    halo_exchange_numpy,
+    halo_program,
+    neighbors2d,
+)
+from .protocols import Protocol, PROTOCOLS, get_protocol
+from .bench import HaloBenchmark, HaloPoint, best_mapping
+
+__all__ = [
+    "WORD_BYTES",
+    "HaloSpec",
+    "halo_exchange_numpy",
+    "halo_program",
+    "neighbors2d",
+    "Protocol",
+    "PROTOCOLS",
+    "get_protocol",
+    "HaloBenchmark",
+    "HaloPoint",
+    "best_mapping",
+]

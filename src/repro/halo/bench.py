@@ -1,0 +1,229 @@
+"""HALO benchmark harness: DES runs + static-congestion analytic model.
+
+The paper's Figure 2 sweeps halo sizes from a few words to ~10^5 words
+on up to 8192 cores and eight process-to-processor mappings.  Message-
+level simulation of every point would be needlessly slow, so the
+harness offers two evaluators sharing the machine model:
+
+* :meth:`HaloBenchmark.run_des` — message-level simulation (used at
+  small scale and by the validation tests);
+* :meth:`HaloBenchmark.time_analytic` — static congestion analysis:
+  route every message of a phase over the torus once, find the
+  most-loaded link, and combine the bandwidth term with the per-message
+  overhead/latency terms.  Link loads scale linearly with the halo
+  width, so the routing work is done once per (grid, mapping) and
+  reused across the sweep.
+
+The mapping sensitivity of Fig. 2c/d emerges from the congestion
+analysis: mappings that fold the virtual process grid badly onto the
+torus concentrate halo traffic onto few links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode, resolve_mode
+from ..simmpi import Cluster
+from ..simmpi.cost import CostModel
+from ..topology.mapping import Mapping
+from ..topology.partition import allocate
+from ..topology.torus import Torus3D
+from .exchange import WORD_BYTES, HaloSpec, halo_program, neighbors2d
+from .protocols import Protocol, get_protocol
+
+__all__ = ["HaloBenchmark", "HaloPoint", "best_mapping"]
+
+
+@dataclass(frozen=True)
+class HaloPoint:
+    """One point of a HALO curve."""
+
+    machine: str
+    grid: Tuple[int, int]
+    mapping: str
+    words: int
+    protocol: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class _PhaseShape:
+    """Mapping-dependent structure of one exchange phase (unit halo)."""
+
+    #: most-loaded directed link, in units of N words
+    max_link_units: float
+    #: longest route among the phase's messages, in hops
+    max_hops: int
+    #: number of network (inter-node) messages the busiest rank sends
+    net_msgs: int
+    #: number of shared-memory messages the busiest rank sends
+    shm_msgs: int
+
+
+class HaloBenchmark:
+    """HALO on one machine/mode/grid/mapping configuration."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        grid: Tuple[int, int],
+        mode: Mode | str = "VN",
+        mapping: str = "TXYZ",
+    ) -> None:
+        self.machine = machine
+        self.grid = grid
+        self.mode = resolve_mode(machine, mode)
+        self.mapping_name = mapping.upper()
+        ranks = grid[0] * grid[1]
+        nodes = self.mode.nodes_for_ranks(ranks)
+        self.partition = allocate(machine, nodes)
+        self.mapping = Mapping(
+            self.mapping_name, self.partition.torus_shape, self.mode.tasks_per_node
+        )
+        if self.mapping.size < ranks:
+            raise ValueError(
+                f"grid {grid} needs {ranks} ranks; mapping offers {self.mapping.size}"
+            )
+        self.ranks = ranks
+        self.cost = CostModel(machine, self.mode.mode, ranks, partition=self.partition)
+        self._torus = Torus3D(self.partition.torus_shape, machine.torus)
+        self._phases: Optional[List[_PhaseShape]] = None
+
+    # ------------------------------------------------------------------
+    # analytic path
+    # ------------------------------------------------------------------
+    def _analyze_phases(self) -> List[_PhaseShape]:
+        """Route all messages of both phases once (unit halo width)."""
+        if self._phases is not None:
+            return self._phases
+        phases = []
+        for phase in (0, 1):
+            loads: Dict[tuple, float] = {}
+            max_hops = 0
+            worst_net, worst_shm = 0, 0
+            per_rank_counts: Dict[int, Tuple[int, int]] = {}
+            for rank in range(self.ranks):
+                nb = neighbors2d(rank, self.grid)
+                if phase == 0:
+                    msgs = [(nb["north"], 1.0), (nb["south"], 2.0)]
+                else:
+                    msgs = [(nb["west"], 1.0), (nb["east"], 2.0)]
+                net = shm = 0
+                src_node = self.mapping.node_of(rank)
+                for peer, units in msgs:
+                    dst_node = self.mapping.node_of(peer)
+                    if src_node == dst_node:
+                        shm += 1
+                        continue
+                    net += 1
+                    route = self._torus.route(src_node, dst_node)
+                    max_hops = max(max_hops, len(route))
+                    for key in route:
+                        loads[key] = loads.get(key, 0.0) + units
+                worst_net = max(worst_net, net)
+                worst_shm = max(worst_shm, shm)
+            phases.append(
+                _PhaseShape(
+                    max_link_units=max(loads.values()) if loads else 0.0,
+                    max_hops=max_hops,
+                    net_msgs=worst_net,
+                    shm_msgs=worst_shm,
+                )
+            )
+        self._phases = phases
+        return phases
+
+    def time_analytic(self, words: int, protocol: str = "ISEND_IRECV") -> float:
+        """Predicted seconds for one full (two-phase) exchange."""
+        if words < 1:
+            raise ValueError("words must be >= 1")
+        proto = get_protocol(protocol)
+        mpi = self.machine.mpi
+        link_bw = (
+            self.machine.torus.link_bandwidth
+            / self.partition.contention_multiplier
+        )
+        total = 0.0
+        for shape in self._analyze_phases():
+            n_bytes = words * WORD_BYTES  # north/west message
+            s_bytes = 2 * words * WORD_BYTES  # south/east message
+            biggest = s_bytes
+            msgs = shape.net_msgs + shape.shm_msgs
+            overhead = msgs * (mpi.send_overhead + mpi.recv_overhead)
+            overhead += msgs * 2 * proto.setup_overhead
+            if biggest > mpi.eager_threshold:
+                overhead += shape.net_msgs * mpi.rendezvous_overhead
+            latency = mpi.latency + shape.max_hops * self.machine.torus.hop_latency
+            # Bandwidth terms: contended links, own injection, shm copies.
+            t_link = shape.max_link_units * words * WORD_BYTES / link_bw
+            own_bytes = (n_bytes + s_bytes) * (shape.net_msgs / 2.0)
+            t_inject = own_bytes / self.cost.p2p_bandwidth
+            t_shm = (
+                shape.shm_msgs * (n_bytes + s_bytes) / 2.0
+            ) / self.cost.shm_bandwidth()
+            transfer = max(t_link, t_inject) + t_shm
+            if proto.serializes:
+                # Sendrecv pairs run back to back: two latency charges
+                # and no overlap between the two directions.
+                total += overhead + 2 * latency + transfer * 1.15
+            else:
+                total += overhead + latency + transfer
+        return total
+
+    # ------------------------------------------------------------------
+    # message-level path
+    # ------------------------------------------------------------------
+    def run_des(
+        self, words: int, protocol: str = "ISEND_IRECV", iterations: int = 1
+    ) -> float:
+        """Simulate the exchange at message level; mean seconds/iteration."""
+        spec = HaloSpec(grid=self.grid, words=words)
+        proto = get_protocol(protocol)
+        cluster = Cluster(
+            self.machine,
+            ranks=self.ranks,
+            mode=self.mode.mode,
+            mapping=self.mapping_name,
+            partition=self.partition,
+        )
+        res = cluster.run(halo_program, spec, proto, iterations)
+        return max(res.returns) / iterations
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        words_list: List[int],
+        protocol: str = "ISEND_IRECV",
+    ) -> List[HaloPoint]:
+        """Analytic sweep over halo widths (one Fig. 2 curve)."""
+        return [
+            HaloPoint(
+                machine=self.machine.name,
+                grid=self.grid,
+                mapping=self.mapping_name,
+                words=w,
+                protocol=protocol,
+                seconds=self.time_analytic(w, protocol),
+            )
+            for w in words_list
+        ]
+
+
+def best_mapping(
+    machine: MachineSpec,
+    grid: Tuple[int, int],
+    words: int,
+    mappings: List[str],
+    mode: Mode | str = "VN",
+) -> Tuple[str, float]:
+    """The cheapest mapping for a configuration (Fig. 2e/f uses this)."""
+    best: Tuple[str, float] | None = None
+    for name in mappings:
+        t = HaloBenchmark(machine, grid, mode=mode, mapping=name).time_analytic(words)
+        if best is None or t < best[1]:
+            best = (name, t)
+    assert best is not None
+    return best

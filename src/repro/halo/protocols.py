@@ -1,0 +1,80 @@
+"""Messaging protocols for the HALO exchange (paper Fig. 2a/b).
+
+The HALO suite implements the same exchange over several MPI-1
+protocols; the paper compared them and found "performance is relatively
+insensitive to the choice of protocol, though MPI_SENDRECV is slower
+than the other options for certain halo sizes."
+
+Each protocol drives one *phase* of the exchange (a set of sends plus
+the matching receives) with a different completion structure:
+
+* ``ISEND_IRECV``  — post all irecvs, all isends, wait on everything
+  (fully overlapped; the suite's usual best performer).
+* ``IRECV_SEND``   — pre-post receives, then *blocking* sends.
+* ``PERSISTENT``   — like ISEND_IRECV but with reused (persistent)
+  requests, saving a little per-message setup.
+* ``SENDRECV``     — paired MPI_Sendrecv calls, which serialize the
+  two directions of a phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["Protocol", "PROTOCOLS", "get_protocol"]
+
+#: (peer, nbytes, tag) triples.
+SendSpec = Tuple[int, int, int]
+RecvSpec = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """One messaging strategy for a HALO phase."""
+
+    name: str
+    #: extra per-message software cost in seconds (request setup etc.)
+    setup_overhead: float
+    #: whether the phase's exchanges are serialized pairwise
+    serializes: bool
+
+    def exchange(self, comm, sends: List[SendSpec], recvs: List[RecvSpec]):
+        """Run one phase: all ``sends`` and the matching ``recvs``."""
+        if self.serializes:
+            # MPI_Sendrecv: pair each send with a receive; pairs run
+            # one after the other.
+            for (dst, sb, stag), (src, rb, rtag) in zip(sends, recvs):
+                if self.setup_overhead:
+                    yield comm.env.timeout(self.setup_overhead)
+                yield from comm.sendrecv(
+                    dst=dst, send_bytes=sb, src=src, tag=stag, recv_tag=rtag
+                )
+            return
+        # Overlapped: pre-post receives, issue sends, complete all.
+        if self.setup_overhead:
+            yield comm.env.timeout(self.setup_overhead * (len(sends) + len(recvs)))
+        reqs = [comm.irecv(src=src, tag=rtag) for (src, _rb, rtag) in recvs]
+        sreqs = [comm.isend(dst, nbytes, tag=stag) for (dst, nbytes, stag) in sends]
+        yield from comm.waitall(reqs + sreqs)
+
+
+PROTOCOLS: dict[str, Protocol] = {
+    p.name: p
+    for p in (
+        Protocol("ISEND_IRECV", setup_overhead=0.1e-6, serializes=False),
+        Protocol("IRECV_SEND", setup_overhead=0.1e-6, serializes=False),
+        Protocol("PERSISTENT", setup_overhead=0.0, serializes=False),
+        Protocol("SENDRECV", setup_overhead=0.0, serializes=True),
+    )
+}
+
+
+def get_protocol(name: str) -> Protocol:
+    """Look up a protocol by (case-insensitive) name."""
+    try:
+        return PROTOCOLS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {sorted(PROTOCOLS)}"
+        ) from None

@@ -1,0 +1,5 @@
+"""IMB-style MPI collective latency benchmarks (paper Fig. 3)."""
+
+from .harness import ImbBenchmark, ImbPoint, DEFAULT_SIZES, DEFAULT_PROC_COUNTS
+
+__all__ = ["ImbBenchmark", "ImbPoint", "DEFAULT_SIZES", "DEFAULT_PROC_COUNTS"]

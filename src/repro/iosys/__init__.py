@@ -1,0 +1,13 @@
+"""I/O subsystem: collective-network forwarding to I/O nodes and GPFS
+(paper Sections I.A-I.C)."""
+
+from .gpfs import GpfsConfig, EUGENE_SCRATCH, EUGENE_HOME
+from .forwarding import IoForwarding, IoEstimate
+
+__all__ = [
+    "GpfsConfig",
+    "EUGENE_SCRATCH",
+    "EUGENE_HOME",
+    "IoForwarding",
+    "IoEstimate",
+]

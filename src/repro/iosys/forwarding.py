@@ -1,0 +1,109 @@
+"""I/O forwarding: compute nodes -> collective network -> I/O nodes -> 10 GigE.
+
+Paper Section I.A: "The Compute Nodes are not directly connected to
+this [10 Gigabit Ethernet] network.  All I/O traffic is passed from the
+Compute Nodes, over the global collective network, to the I/O Nodes,
+and then, onto the 10 Gigabit Ethernet network."
+
+Section I.B/C: ORNL runs 16 I/O nodes per rack (one ION per 64 compute
+nodes); ANL runs a 64-to-1 ratio as well.
+
+The model: an application write is limited by the narrowest stage of
+compute-side tree links -> ION 10 GigE NICs -> the external switch ->
+the filesystem.  This is what turned up the "system I/O performance
+issue" the CAM study hit (and had fixed) on BG/P.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..machines.specs import MachineSpec
+from .gpfs import GpfsConfig, EUGENE_SCRATCH
+
+__all__ = ["IoForwarding", "IoEstimate"]
+
+
+@dataclass(frozen=True)
+class IoEstimate:
+    """Predicted performance of one parallel-I/O operation."""
+
+    nbytes: float
+    seconds: float
+    bottleneck: str
+
+    @property
+    def bandwidth(self) -> float:
+        return self.nbytes / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class IoForwarding:
+    """The I/O path of a BG partition."""
+
+    machine: MachineSpec
+    compute_nodes: int
+    #: compute nodes served by one I/O node (Sections I.B/C: 64)
+    compute_per_ion: int = 64
+    #: one ION's 10 GigE NIC, sustained bytes/s
+    ion_nic_bandwidth: float = 1.1e9
+    #: the external switch fabric ceiling (ORNL: 256-port Myricom)
+    switch_bandwidth: float = 30e9
+    filesystem: GpfsConfig = EUGENE_SCRATCH
+
+    def __post_init__(self) -> None:
+        if self.compute_nodes < 1 or self.compute_per_ion < 1:
+            raise ValueError("node counts must be >= 1")
+        if self.machine.tree is None:
+            raise ValueError(
+                f"{self.machine.name} has no collective network; its I/O "
+                "goes over the torus (not modeled here)"
+            )
+
+    @property
+    def io_nodes(self) -> int:
+        return max(1, math.ceil(self.compute_nodes / self.compute_per_ion))
+
+    def stage_bandwidths(self) -> Dict[str, float]:
+        """Sustained bytes/s of each stage of the forwarding path."""
+        tree = self.machine.tree
+        # Each ION drains its compute group over the tree: the group's
+        # aggregate uplink is one tree link's worth into the ION.
+        tree_bw = self.io_nodes * tree.link_bandwidth
+        return {
+            "collective-tree": tree_bw,
+            "ion-nics": self.io_nodes * self.ion_nic_bandwidth,
+            "switch": self.switch_bandwidth,
+            "filesystem": self.filesystem.aggregate_bandwidth,
+        }
+
+    def write(self, nbytes: float, writers: int | None = None) -> IoEstimate:
+        """Model a collective write of ``nbytes`` from the partition.
+
+        ``writers`` caps the participating ranks (an application that
+        funnels I/O through few ranks cannot saturate the path).
+        """
+        if nbytes < 0:
+            raise ValueError("negative write size")
+        stages = self.stage_bandwidths()
+        if writers is not None:
+            if writers < 1:
+                raise ValueError("writers must be >= 1")
+            # A single writer drives at most one tree link / one ION.
+            stages["writer-fanout"] = writers * min(
+                self.machine.tree.link_bandwidth, self.ion_nic_bandwidth
+            )
+        name, bw = min(stages.items(), key=lambda kv: kv[1])
+        # Metadata: one create/open round per writer group.
+        t_meta = (writers or self.io_nodes) / self.filesystem.metadata_ops_per_second
+        return IoEstimate(
+            nbytes=nbytes,
+            seconds=nbytes / bw + t_meta,
+            bottleneck=name,
+        )
+
+    def read(self, nbytes: float, readers: int | None = None) -> IoEstimate:
+        """Reads share the same forwarding path."""
+        return self.write(nbytes, writers=readers)

@@ -1,0 +1,86 @@
+"""The GPFS storage subsystem of the ORNL BG/P (paper Section I.B).
+
+"The system uses two GPFS filesystems, one for scratch space (~70 TB)
+and a second for longer term code storage (~18 TB).  The GPFS system
+includes 8 file servers and 2 metadata servers.  Data is stored in 24
+LUNs, each of which is approximately 3.6 TB in size.  Individual LUNs
+are an 8+2 array of DDN disks, which communicate through dual DDN
+SA29500s using Infiniband."
+
+The model: aggregate filesystem bandwidth limited by the narrowest of
+file servers, LUN arrays, and controller links; metadata operations
+rate-limited by the metadata servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpfsConfig", "EUGENE_SCRATCH", "EUGENE_HOME"]
+
+TB = 1e12
+
+
+@dataclass(frozen=True)
+class GpfsConfig:
+    """One GPFS filesystem."""
+
+    name: str
+    capacity_bytes: float
+    file_servers: int
+    metadata_servers: int
+    luns: int
+    lun_capacity_bytes: float
+    #: sustained streaming bandwidth of one LUN's 8+2 DDN array, bytes/s
+    lun_bandwidth: float = 400e6
+    #: bandwidth one file server can push (10 GigE NIC-limited), bytes/s
+    server_bandwidth: float = 1.1e9
+    #: controller (dual DDN SA29500, InfiniBand) ceiling, bytes/s
+    controller_bandwidth: float = 5.0e9
+    #: metadata ops/s one metadata server sustains
+    mds_ops_per_server: float = 8000.0
+
+    def __post_init__(self) -> None:
+        if min(self.file_servers, self.metadata_servers, self.luns) < 1:
+            raise ValueError("servers and LUN counts must be >= 1")
+        if self.capacity_bytes <= 0 or self.lun_capacity_bytes <= 0:
+            raise ValueError("capacities must be positive")
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Sustained streaming bandwidth of the filesystem, bytes/s."""
+        return min(
+            self.luns * self.lun_bandwidth,
+            self.file_servers * self.server_bandwidth,
+            self.controller_bandwidth,
+        )
+
+    @property
+    def metadata_ops_per_second(self) -> float:
+        return self.metadata_servers * self.mds_ops_per_server
+
+    def usable_fraction_check(self) -> float:
+        """LUN capacity vs advertised capacity (sanity diagnostic)."""
+        return self.luns * self.lun_capacity_bytes / self.capacity_bytes
+
+
+#: Eugene's scratch filesystem (Section I.B).
+EUGENE_SCRATCH = GpfsConfig(
+    name="scratch",
+    capacity_bytes=70 * TB,
+    file_servers=8,
+    metadata_servers=2,
+    luns=24,
+    lun_capacity_bytes=3.6 * TB,
+)
+
+#: Eugene's longer-term code-storage filesystem.
+EUGENE_HOME = GpfsConfig(
+    name="home",
+    capacity_bytes=18 * TB,
+    file_servers=8,
+    metadata_servers=2,
+    luns=24,
+    lun_capacity_bytes=3.6 * TB,
+    lun_bandwidth=200e6,  # shared with scratch traffic
+)

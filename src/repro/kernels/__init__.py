@@ -1,0 +1,35 @@
+"""HPCC kernels: real small-scale implementations + scalable models."""
+
+from .dgemm import DgemmModel, dgemm_flops, run_dgemm_numpy
+from .hpl import HplModel, HplResult, hpl_flops, run_lu_numpy, block_size_for
+from .fft import FftModel, fft_flops, run_fft_numpy
+from .ptrans import PtransModel, PtransResult, run_ptrans_numpy
+from .randomaccess import RandomAccessModel, GupsResult, run_randomaccess_numpy
+from .pingpong import PingPongResult, pingpong_analytic, run_pingpong_des
+from .ring import RingResult, random_ring_analytic, run_random_ring_des
+
+__all__ = [
+    "DgemmModel",
+    "dgemm_flops",
+    "run_dgemm_numpy",
+    "HplModel",
+    "HplResult",
+    "hpl_flops",
+    "run_lu_numpy",
+    "block_size_for",
+    "FftModel",
+    "fft_flops",
+    "run_fft_numpy",
+    "PtransModel",
+    "PtransResult",
+    "run_ptrans_numpy",
+    "RandomAccessModel",
+    "GupsResult",
+    "run_randomaccess_numpy",
+    "PingPongResult",
+    "pingpong_analytic",
+    "run_pingpong_des",
+    "RingResult",
+    "random_ring_analytic",
+    "run_random_ring_des",
+]

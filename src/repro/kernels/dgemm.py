@@ -1,0 +1,100 @@
+"""DGEMM: dense matrix-matrix multiply (HPCC single/EP test, Table 2).
+
+Two faces, like every kernel in this package:
+
+* :func:`run_dgemm_numpy` — actually multiplies matrices (numpy/BLAS)
+  and verifies the result; used for correctness tests.
+* :class:`DgemmModel` — predicts the 2008 machines' rates from the
+  machine model.  DGEMM is compute-bound at any reasonable size, so the
+  rate is ``peak x dgemm_efficiency`` per core; the paper's Table 2
+  commentary ("the BG/P's lower clock rate ... likely reason for its
+  smaller processing rate on the DGEMM") is then immediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode, resolve_mode
+from ..memmodel.roofline import KernelWork, Roofline
+
+__all__ = ["dgemm_flops", "run_dgemm_numpy", "DgemmModel"]
+
+
+def dgemm_flops(n: int, m: int | None = None, k: int | None = None) -> float:
+    """Flop count of C += A(n x k) * B(k x m): 2 n m k."""
+    m = n if m is None else m
+    k = n if k is None else k
+    if min(n, m, k) < 1:
+        raise ValueError("matrix dimensions must be >= 1")
+    return 2.0 * n * m * k
+
+
+@dataclass(frozen=True)
+class DgemmRun:
+    """Result of an actual DGEMM execution."""
+
+    n: int
+    seconds: float
+    gflops: float
+    max_error: float
+
+
+def run_dgemm_numpy(n: int = 256, rng_seed: int = 11) -> DgemmRun:
+    """Execute C = A @ B + C and verify against a reference computation."""
+    import time
+
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(rng_seed)
+    a = rng.random((n, n))
+    b = rng.random((n, n))
+    c = rng.random((n, n))
+    c0 = c.copy()
+    t0 = time.perf_counter()
+    c += a @ b
+    dt = time.perf_counter() - t0
+    # Spot-check a few entries against explicit dot products.
+    idx = rng.integers(0, n, size=(8, 2))
+    err = max(
+        abs(c[i, j] - (c0[i, j] + float(a[i, :] @ b[:, j]))) for i, j in idx
+    )
+    return DgemmRun(
+        n=n,
+        seconds=dt,
+        gflops=dgemm_flops(n) / dt / 1e9 if dt > 0 else 0.0,
+        max_error=err,
+    )
+
+
+class DgemmModel:
+    """Predicted DGEMM rate on a modeled machine (HPCC Table 2 rows)."""
+
+    def __init__(self, machine: MachineSpec, mode: Mode | str = "VN") -> None:
+        self.machine = machine
+        self.roofline = Roofline(machine, mode)
+
+    def rate_per_process_gflops(self, n: int = 4096) -> float:
+        """Sustained GFlop/s of one process running a local DGEMM.
+
+        ``n`` barely matters once the kernel is blocked for cache; the
+        blocked kernel streams each matrix panel once per block pass.
+        """
+        eff = self.machine.node.core.dgemm_efficiency
+        # A cache-blocked DGEMM moves roughly 3 matrices x n^2 doubles
+        # from DRAM per n/nb passes; at typical nb this is far below
+        # the compute time, so the roofline resolves compute-bound.
+        work = KernelWork(
+            flops=dgemm_flops(n),
+            dram_bytes=3.0 * 8.0 * n * n,
+            flop_efficiency=eff,
+        )
+        return self.roofline.rate_gflops(work)
+
+    def single_equals_ep(self) -> bool:
+        """DGEMM is compute-bound: EP rate equals single-process rate
+        (unlike STREAM, Table 2)."""
+        return True

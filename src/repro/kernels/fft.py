@@ -1,0 +1,129 @@
+"""FFT kernel (HPCC single/EP/MPI FFT; Fig. 1b).
+
+* :func:`run_fft_numpy` — a real radix-2 iterative Cooley-Tukey FFT,
+  verified against ``numpy.fft`` (tests exercise it).
+* :class:`FftModel` — performance model.  A large 1-D FFT makes
+  O(log n / log(cache factor)) passes through memory, so it is
+  memory-bandwidth bound on both 2008 machines; the parallel (MPI)
+  version adds the global transposes (alltoall) of the six-step
+  algorithm.  Table 2 commentary: "the XT's larger problem size and
+  comparable memory bandwidth account at least partially for the
+  difference in performance".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode, resolve_mode
+from ..simmpi.cost import CostModel
+
+__all__ = ["fft_flops", "run_fft_numpy", "FftModel"]
+
+
+def fft_flops(n: int) -> float:
+    """HPCC's FFT flop count: 5 n log2(n)."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("n must be a power of two >= 2")
+    return 5.0 * n * math.log2(n)
+
+
+def run_fft_numpy(n: int = 1024, rng_seed: int = 3) -> float:
+    """Iterative radix-2 FFT; returns max abs error vs numpy.fft.fft."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("n must be a power of two >= 2")
+    rng = np.random.default_rng(rng_seed)
+    x = rng.random(n) + 1j * rng.random(n)
+
+    # Bit-reversal permutation.
+    levels = n.bit_length() - 1
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=int)
+    for b in range(levels):
+        rev |= ((idx >> b) & 1) << (levels - 1 - b)
+    y = x[rev].astype(complex)
+
+    # Iterative butterflies.
+    size = 2
+    while size <= n:
+        half = size // 2
+        w = np.exp(-2j * np.pi * np.arange(half) / size)
+        y2 = y.reshape(-1, size)
+        even = y2[:, :half].copy()
+        odd = y2[:, half:] * w
+        y2[:, :half] = even + odd
+        y2[:, half:] = even - odd
+        size *= 2
+
+    return float(np.max(np.abs(y - np.fft.fft(x))))
+
+
+@dataclass(frozen=True)
+class FftResult:
+    machine: str
+    processes: int
+    n_global: int
+    gflops_total: float
+    gflops_per_process: float
+
+
+class FftModel:
+    """HPCC FFT performance model (single-process and MPI variants)."""
+
+    #: fraction of a pass's data that stays in cache between passes for
+    #: a tuned (four-step cache-blocked) FFT — it makes ~3 full sweeps
+    #: of memory instead of log2(n).
+    _MEMORY_PASSES = 3.0
+    #: flops fraction of peak the butterfly inner loop sustains when
+    #: compute-bound (complex arithmetic maps poorly to FMA pipes)
+    _FLOP_EFF = 0.35
+
+    def __init__(self, machine: MachineSpec, mode: Mode | str = "VN") -> None:
+        self.machine = machine
+        self.mode = resolve_mode(machine, mode)
+
+    def local_problem_size(self, fill_fraction: float = 0.40) -> int:
+        """Per-process FFT length: HPCC sizes the (complex) vector plus
+        workspace to a fraction of memory; rounded down to a power of 2."""
+        elems = int(self.mode.memory_per_task * fill_fraction / 16)
+        return 1 << max(1, elems.bit_length() - 1)
+
+    def single_process_gflops(self, n: Optional[int] = None) -> float:
+        """One process transforming its local vector (Table 2 rows)."""
+        n = self.local_problem_size() if n is None else n
+        flops = fft_flops(n)
+        t_flop = flops / (self.mode.peak_flops_per_task * self._FLOP_EFF)
+        bytes_moved = self._MEMORY_PASSES * 16.0 * n * 2  # read + write
+        t_mem = bytes_moved / self.mode.stream_bw_per_task
+        return flops / max(t_flop, t_mem) / 1e9
+
+    def mpi_run(self, processes: int, fill_fraction: float = 0.40) -> FftResult:
+        """The MPI FFT: local work + two alltoall transposes (Fig. 1b)."""
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        n_local = self.local_problem_size(fill_fraction)
+        n_global = n_local * processes
+        flops_local = fft_flops(n_local) + 5.0 * n_local * math.log2(max(2, processes))
+        t_flop = flops_local / (self.mode.peak_flops_per_task * self._FLOP_EFF)
+        t_mem = self._MEMORY_PASSES * 32.0 * n_local / self.mode.stream_bw_per_task
+        t_local = max(t_flop, t_mem)
+        t_comm = 0.0
+        if processes > 1:
+            cost = CostModel(self.machine, self.mode.mode, processes)
+            per_pair = 16.0 * n_local / processes
+            t_comm = 2.0 * cost.alltoall_time(per_pair)
+        total_flops = processes * flops_local
+        seconds = t_local + t_comm
+        g_total = total_flops / seconds / 1e9
+        return FftResult(
+            machine=self.machine.name,
+            processes=processes,
+            n_global=n_global,
+            gflops_total=g_total,
+            gflops_per_process=g_total / processes,
+        )

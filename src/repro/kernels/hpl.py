@@ -1,0 +1,184 @@
+"""High Performance Linpack (HPCC HPL, Fig. 1a; TOP500 run, Section II.C).
+
+* :func:`run_lu_numpy` — a real right-looking blocked LU factorization
+  with partial pivoting, verified by reconstruction (tests).
+* :class:`HplModel` — scalable performance model.  HPL time is modeled
+  as ``max(compute, panel-communication)`` plus pivot-search latency:
+  compute at the tuned-DGEMM rate, communication as the O(N^2/sqrt(P))
+  panel broadcast volume at point-to-point bandwidth.  At the paper's
+  configurations the model lands within a few percent of the published
+  Rmax values (see tests/kernels/test_hpl.py).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode, resolve_mode
+from ..simmpi.cost import CostModel
+from ..memmodel.workingset import hpcc_problem_size
+
+__all__ = ["hpl_flops", "run_lu_numpy", "HplModel", "HplResult", "block_size_for"]
+
+
+def hpl_flops(n: int) -> float:
+    """The standard HPL flop count: 2/3 n^3 + 3/2 n^2."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return (2.0 / 3.0) * n**3 + 1.5 * n**2
+
+
+def block_size_for(machine: MachineSpec) -> int:
+    """The HPL blocking factor NB the paper used per machine.
+
+    Section II.A: "we used 144 and 168 on the BG/P and XT,
+    respectively" (the BG/L value follows BG/P; NB=96 was the TOP500
+    run's choice, passed explicitly by that bench).
+    """
+    return 144 if machine.name.startswith("BG") else 168
+
+
+@dataclass(frozen=True)
+class LuRun:
+    """Result of a real LU factorization."""
+
+    n: int
+    residual: float  # ||PA - LU|| / (||A|| n eps)
+    pivot_growth: float
+
+
+def run_lu_numpy(n: int = 128, block: int = 32, rng_seed: int = 5) -> LuRun:
+    """Blocked right-looking LU with partial pivoting, then verify.
+
+    This is the computational heart of HPL, executed for real at
+    laptop scale: factor A into P, L, U and measure the scaled residual
+    (HPL's own correctness figure of merit).
+    """
+    if n < 1 or block < 1:
+        raise ValueError("n and block must be >= 1")
+    rng = np.random.default_rng(rng_seed)
+    a0 = rng.random((n, n)) - 0.5
+    a = a0.copy()
+    piv = np.arange(n)
+
+    for k0 in range(0, n, block):
+        k1 = min(k0 + block, n)
+        # Panel factorization with partial pivoting.
+        for k in range(k0, k1):
+            p = k + int(np.argmax(np.abs(a[k:, k])))
+            if p != k:
+                a[[k, p], :] = a[[p, k], :]
+                piv[[k, p]] = piv[[p, k]]
+            if a[k, k] != 0.0:
+                a[k + 1 :, k] /= a[k, k]
+                if k + 1 < k1:
+                    a[k + 1 :, k + 1 : k1] -= np.outer(
+                        a[k + 1 :, k], a[k, k + 1 : k1]
+                    )
+        # Update the trailing matrix (the DGEMM that dominates HPL).
+        if k1 < n:
+            l_panel = a[k1:, k0:k1]
+            lu_block = a[k0:k1, k0:k1]
+            # Solve the row block: U12 = L11^-1 A12 (unit lower tri).
+            for k in range(k0, k1):
+                a[k + 1 : k1, k1:] -= np.outer(a[k + 1 : k1, k], a[k, k1:])
+            a[k1:, k1:] -= l_panel @ a[k0:k1, k1:]
+
+    lower = np.tril(a, -1) + np.eye(n)
+    upper = np.triu(a)
+    pa = a0[piv, :]
+    resid = np.linalg.norm(pa - lower @ upper, ord=np.inf)
+    scale = np.linalg.norm(a0, ord=np.inf) * n * np.finfo(float).eps
+    return LuRun(n=n, residual=resid / scale, pivot_growth=float(np.abs(upper).max()))
+
+
+@dataclass(frozen=True)
+class HplResult:
+    """One modeled HPL run."""
+
+    machine: str
+    processes: int
+    n: int
+    gflops: float
+    efficiency: float  # fraction of aggregate peak
+    seconds: float
+
+
+class HplModel:
+    """Scalable HPL performance model for a machine + mode."""
+
+    #: headroom above the Table-3 sustained efficiency that the
+    #: communication terms consume at the calibration scale
+    _EFF_HEADROOM = 1.025
+
+    def __init__(self, machine: MachineSpec, mode: Mode | str = "VN") -> None:
+        self.machine = machine
+        self.mode = resolve_mode(machine, mode)
+
+    def problem_size(self, processes: int, fill_fraction: float = 0.80) -> int:
+        """The HPCC-guideline N for ``processes`` ranks (80% of memory)."""
+        return hpcc_problem_size(
+            self.mode.memory_per_task,
+            processes,
+            fill_fraction=fill_fraction,
+            block=block_size_for(self.machine),
+        )
+
+    def run(
+        self,
+        processes: int,
+        n: Optional[int] = None,
+        nb: Optional[int] = None,
+        fill_fraction: float = 0.80,
+    ) -> HplResult:
+        """Model one HPL execution and return rate/efficiency."""
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        n = self.problem_size(processes, fill_fraction) if n is None else n
+        nb = block_size_for(self.machine) if nb is None else nb
+        cost = CostModel(self.machine, self.mode.mode, processes)
+
+        flops = hpl_flops(n)
+        # Smaller blocking factors sustain a little less of peak (more
+        # panel work per DGEMM flop); the paper's TOP500 run (NB=96)
+        # sustained 76.7% vs the HPCC run's (NB=144) 78.5%.
+        nb_factor = 1.0 - 3.5 / nb
+        eff = min(1.0, self.machine.hpl_efficiency * self._EFF_HEADROOM * nb_factor)
+        agg_rate = processes * self.mode.peak_flops_per_task * eff
+        t_compute = flops / agg_rate
+
+        # Panel broadcasts/row swaps: each process touches O(N^2/sqrt(P))
+        # bytes of panel traffic over the run.
+        comm_bytes = 8.0 * n * n / math.sqrt(processes)
+        t_comm = comm_bytes / cost.p2p_bandwidth if processes > 1 else 0.0
+
+        # Pivot search: one small allreduce per column block per sqrt(P)
+        # column of the process grid.
+        steps = max(1, n // nb)
+        t_pivot = steps * cost.allreduce_time(16, dtype="float64") if processes > 1 else 0.0
+
+        seconds = max(t_compute, t_comm) + t_pivot
+        gflops = flops / seconds / 1e9
+        peak = processes * self.mode.peak_flops_per_task / 1e9
+        return HplResult(
+            machine=self.machine.name,
+            processes=processes,
+            n=n,
+            gflops=gflops,
+            efficiency=gflops / peak,
+            seconds=seconds,
+        )
+
+    def top500_run(self) -> HplResult:
+        """The paper's Section II.C configuration on the ORNL BG/P.
+
+        "one problem of size 614399, block size 96, process grid size
+        64x128" on 8192 cores, filling ~70% of memory; the measured
+        score was 2.140e4 GFlop/s.
+        """
+        return self.run(processes=64 * 128, n=614399, nb=96)

@@ -1,0 +1,73 @@
+"""Ping-pong latency/bandwidth (the HPCC communication rows of Table 2).
+
+Runs both as a DES program (real message-level simulation) and as an
+analytic query, for any pair of ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode
+from ..simmpi import Cluster, CostModel
+
+__all__ = ["PingPongResult", "run_pingpong_des", "pingpong_analytic"]
+
+
+@dataclass(frozen=True)
+class PingPongResult:
+    machine: str
+    nbytes: int
+    latency_us: float  # one-way latency for this size
+    bandwidth_gbs: float  # payload bandwidth at this size
+
+
+def run_pingpong_des(
+    machine: MachineSpec,
+    nbytes: int = 8,
+    repeats: int = 10,
+    mode: Mode | str = "SMP",
+) -> PingPongResult:
+    """Message-level ping-pong between two nodes, averaged over repeats."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    def program(comm):
+        for _ in range(repeats):
+            if comm.rank == 0:
+                yield from comm.send(1, nbytes=nbytes)
+                yield from comm.recv(src=1)
+            else:
+                yield from comm.recv(src=0)
+                yield from comm.send(0, nbytes=nbytes)
+        return comm.now
+
+    cluster = Cluster(machine, ranks=2, mode=mode)
+    res = cluster.run(program)
+    rtt = res.elapsed / repeats
+    one_way = rtt / 2.0
+    return PingPongResult(
+        machine=machine.name,
+        nbytes=nbytes,
+        latency_us=one_way * 1e6,
+        bandwidth_gbs=(nbytes / one_way) / 1e9 if one_way > 0 else 0.0,
+    )
+
+
+def pingpong_analytic(
+    machine: MachineSpec,
+    nbytes: int = 8,
+    mode: Mode | str = "SMP",
+    hops: Optional[float] = 1.0,
+) -> PingPongResult:
+    """Closed-form ping-pong between adjacent nodes."""
+    cost = CostModel(machine, mode, ranks=2)
+    one_way = cost.p2p_time(nbytes, hops=hops)
+    return PingPongResult(
+        machine=machine.name,
+        nbytes=nbytes,
+        latency_us=one_way * 1e6,
+        bandwidth_gbs=(nbytes / one_way) / 1e9 if one_way > 0 else 0.0,
+    )

@@ -1,0 +1,134 @@
+"""PTRANS: parallel matrix transpose (Fig. 1c).
+
+* :func:`run_ptrans_numpy` — a real block-cyclic distributed transpose
+  executed in-process over simulated rank buffers; verified exactly.
+* :class:`PtransModel` — performance model.  A global transpose moves
+  the entire matrix across the process grid's anti-diagonal, so the
+  paper calls it a bisection-bandwidth stress test.  Fragmented XT
+  allocations share links with other jobs, giving the run-to-run
+  variability the paper observed ("a higher degree of variability on
+  the XT ... susceptible to fragmentation").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode, resolve_mode
+from ..simmpi.cost import CostModel
+from ..simengine import make_rng
+from ..memmodel.workingset import hpcc_problem_size
+
+__all__ = ["run_ptrans_numpy", "PtransModel", "PtransResult"]
+
+
+def run_ptrans_numpy(
+    n: int = 64, grid: Tuple[int, int] = (2, 2), block: int = 8, rng_seed: int = 9
+) -> float:
+    """Distributed block-cyclic A = A^T + B; returns max abs error.
+
+    Implements the actual PTRANS data movement: each process owns the
+    block-cyclic pieces of A and B; the transpose requires exchanging
+    blocks between grid positions (p, q) and (q, p).  The distributed
+    result is compared against the dense reference.
+    """
+    pr, pc = grid
+    if n % (block * pr) or n % (block * pc):
+        raise ValueError("n must be divisible by block*grid in each dimension")
+    rng = np.random.default_rng(rng_seed)
+    a = rng.random((n, n))
+    b = rng.random((n, n))
+    reference = a.T + b
+
+    # Owner of global block (bi, bj) in a block-cyclic layout.
+    def owner(bi: int, bj: int) -> Tuple[int, int]:
+        return (bi % pr, bj % pc)
+
+    nb = n // block
+    # "Distribute": each process holds a dict of its blocks.
+    blocks = {}
+    for bi in range(nb):
+        for bj in range(nb):
+            blocks[(bi, bj)] = a[
+                bi * block : (bi + 1) * block, bj * block : (bj + 1) * block
+            ].copy()
+
+    # Exchange: for the transpose, block (bi,bj) of A^T comes from
+    # block (bj,bi) of A — owned, in general, by a different process.
+    out = np.empty_like(a)
+    exchanged = 0
+    for bi in range(nb):
+        for bj in range(nb):
+            src_owner = owner(bj, bi)
+            dst_owner = owner(bi, bj)
+            if src_owner != dst_owner:
+                exchanged += 1  # would be an MPI message
+            out[
+                bi * block : (bi + 1) * block, bj * block : (bj + 1) * block
+            ] = blocks[(bj, bi)].T
+    out += b
+    assert exchanged > 0 or pr * pc == 1
+    return float(np.max(np.abs(out - reference)))
+
+
+@dataclass(frozen=True)
+class PtransResult:
+    machine: str
+    processes: int
+    n: int
+    gb_per_s: float
+
+
+class PtransModel:
+    """PTRANS rate model: transpose volume over bisection bandwidth."""
+
+    #: fraction of raw bisection bandwidth a real PTRANS achieves
+    #: (routing imbalance, protocol overheads)
+    _EFFICIENCY = 0.45
+
+    def __init__(self, machine: MachineSpec, mode: Mode | str = "VN") -> None:
+        self.machine = machine
+        self.mode = resolve_mode(machine, mode)
+
+    def run(
+        self,
+        processes: int,
+        n: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        utilization: float = 0.7,
+    ) -> PtransResult:
+        """Model one PTRANS run (a fresh allocation each call: on the
+        XT this is where the run-to-run spread comes from)."""
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        cost = CostModel(
+            self.machine,
+            self.mode.mode,
+            processes,
+            rng=rng if rng is not None else make_rng(),
+            utilization=utilization,
+        )
+        if n is None:
+            n = hpcc_problem_size(self.mode.memory_per_task, processes, 0.80)
+        matrix_bytes = 8.0 * n * n
+        # All but the diagonal blocks cross the grid; ~half crosses the
+        # machine bisection in each direction.
+        cross_bytes = matrix_bytes / 2.0
+        bis = cost._torus.bisection_bandwidth() / cost.partition.contention_multiplier
+        t_net = cross_bytes / (bis * self._EFFICIENCY)
+        # Local copy in/out of send buffers at memory bandwidth.
+        t_mem = 2.0 * matrix_bytes / (
+            processes * self.mode.stream_bw_per_task
+        )
+        seconds = max(t_net, t_mem)
+        return PtransResult(
+            machine=self.machine.name,
+            processes=processes,
+            n=n,
+            gb_per_s=matrix_bytes / seconds / 1e9,
+        )

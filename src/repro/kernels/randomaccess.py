@@ -1,0 +1,131 @@
+"""RandomAccess (GUPS) — HPCC's network-latency stress test (Fig. 1d).
+
+* :func:`run_randomaccess_numpy` — the real HPCC update kernel
+  (xor-shift address stream, table xor-updates), self-verifying the
+  way HPCC does: running the stream twice restores the table.
+* :class:`RandomAccessModel` — performance model for the stock
+  algorithm and the ``RA_SANDIA_OPT2`` bucketed variant the paper also
+  measured.  Remote updates dominate: the stock code sends tiny
+  messages (latency-bound); the Sandia variant aggregates updates into
+  buckets routed software-hypercube-style (bandwidth-bound), which is
+  why it wins at scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode, resolve_mode
+from ..memmodel.cache import CacheModel
+from ..simmpi.cost import CostModel
+
+__all__ = ["run_randomaccess_numpy", "RandomAccessModel", "GupsResult"]
+
+#: The HPCC polynomial for the pseudo-random address stream.
+_POLY = 0x0000000000000007
+
+
+def _ra_stream(count: int, seed: int = 1) -> np.ndarray:
+    """HPCC-style pseudo-random 64-bit stream (simplified LFSR)."""
+    out = np.empty(count, dtype=np.uint64)
+    x = np.uint64(seed if seed != 0 else 1)
+    for i in range(count):
+        hi = bool(x & np.uint64(1 << 63))
+        x = np.uint64((int(x) << 1) & 0xFFFFFFFFFFFFFFFF)
+        if hi:
+            x ^= np.uint64(_POLY)
+        out[i] = x
+    return out
+
+
+def run_randomaccess_numpy(log2_table: int = 10, updates_factor: int = 4) -> bool:
+    """Run the real update kernel and self-verify.
+
+    Each update does ``table[addr & (size-1)] ^= addr``.  Replaying the
+    identical stream undoes every xor, so the table must return to its
+    initial state — HPCC's own verification idea.
+    """
+    size = 1 << log2_table
+    table = np.arange(size, dtype=np.uint64)
+    initial = table.copy()
+    stream = _ra_stream(size * updates_factor)
+    idx = (stream & np.uint64(size - 1)).astype(np.int64)
+    for _ in range(2):  # apply twice: xor is an involution
+        # note: np.bitwise_xor.at handles repeated indices correctly
+        np.bitwise_xor.at(table, idx, stream)
+    return bool(np.array_equal(table, initial))
+
+
+@dataclass(frozen=True)
+class GupsResult:
+    machine: str
+    processes: int
+    gups_total: float
+    gups_per_process: float
+    variant: str
+
+
+class RandomAccessModel:
+    """GUPS prediction for the stock and SANDIA_OPT2 variants."""
+
+    #: stock HPCC look-ahead window (updates batched per send)
+    _STOCK_BATCH = 1024
+    #: Sandia bucket size in updates
+    _SANDIA_BUCKET = 4096
+
+    def __init__(self, machine: MachineSpec, mode: Mode | str = "VN") -> None:
+        self.machine = machine
+        self.mode = resolve_mode(machine, mode)
+        self.cache = CacheModel(machine)
+
+    def local_update_rate(self) -> float:
+        """Updates/s one process achieves on its own table share.
+
+        The table fills half of memory, so every access misses cache
+        and pays DRAM latency; a few misses overlap on the XT's
+        out-of-order Opteron, none on the BG/P's in-order PPC450.
+        """
+        table_bytes = int(self.mode.memory_per_task // 2)
+        lat = self.cache.random_access_latency(
+            table_bytes, cores_sharing=self.mode.tasks_per_node
+        )
+        overlap = 1.0 if self.machine.name.startswith("BG") else 2.5
+        return overlap / lat
+
+    def run(self, processes: int, variant: str = "stock") -> GupsResult:
+        """Model a ``processes``-rank MPI RandomAccess run."""
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        if variant not in ("stock", "sandia"):
+            raise ValueError("variant must be 'stock' or 'sandia'")
+        local = self.local_update_rate()
+        if processes == 1:
+            per = local
+        else:
+            cost = CostModel(self.machine, self.mode.mode, processes)
+            remote_frac = (processes - 1) / processes
+            if variant == "stock":
+                # Updates travel in small batched messages; each batch
+                # pays a p2p latency and carries _STOCK_BATCH/P updates
+                # for each destination on average — latency dominated.
+                batch = max(1.0, self._STOCK_BATCH / processes)
+                t_per_update = cost.p2p_time(8.0 * batch) / batch
+            else:
+                # Sandia OPT2: hypercube-routed buckets; each update is
+                # forwarded log2(P) times but in big aggregated messages.
+                hops = math.log2(processes)
+                t_per_update = hops * (8.0 / cost.random_ring_bandwidth())
+            net_rate = 1.0 / t_per_update
+            per = 1.0 / (remote_frac / net_rate + (1 - remote_frac) / local)
+        return GupsResult(
+            machine=self.machine.name,
+            processes=processes,
+            gups_total=per * processes / 1e9,
+            gups_per_process=per / 1e9,
+            variant=variant,
+        )

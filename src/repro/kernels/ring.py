@@ -1,0 +1,79 @@
+"""Random-ring latency/bandwidth (HPCC communication rows of Table 2).
+
+Every rank sends to a randomly chosen ring neighbour, so messages take
+average-distance routes and share links — the metric that separates a
+low-latency torus (BG/P) from a high-bandwidth one (XT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode
+from ..simengine import make_rng
+from ..simmpi import Cluster, CostModel
+
+__all__ = ["RingResult", "random_ring_analytic", "run_random_ring_des"]
+
+
+@dataclass(frozen=True)
+class RingResult:
+    machine: str
+    processes: int
+    latency_us: float
+    bandwidth_gbs_per_process: float
+
+
+def random_ring_analytic(
+    machine: MachineSpec, processes: int, mode: Mode | str = "VN"
+) -> RingResult:
+    """Closed-form random-ring figures for Table 2."""
+    cost = CostModel(machine, mode, processes)
+    return RingResult(
+        machine=machine.name,
+        processes=processes,
+        latency_us=cost.random_ring_latency() * 1e6,
+        bandwidth_gbs_per_process=cost.random_ring_bandwidth() / 1e9,
+    )
+
+
+def run_random_ring_des(
+    machine: MachineSpec,
+    processes: int = 32,
+    nbytes: int = 1 << 17,
+    mode: Mode | str = "VN",
+    rng: Optional[np.random.Generator] = None,
+) -> RingResult:
+    """Message-level random ring: a random permutation defines the ring;
+    each rank exchanges ``nbytes`` with both ring neighbours."""
+    if processes < 2:
+        raise ValueError("need at least 2 processes for a ring")
+    rng = rng if rng is not None else make_rng()
+    perm = rng.permutation(processes)
+    position = {int(r): i for i, r in enumerate(perm)}
+
+    def program(comm):
+        i = position[comm.rank]
+        right = int(perm[(i + 1) % processes])
+        left = int(perm[(i - 1) % processes])
+        t0 = comm.now
+        req_l = comm.irecv(src=left, tag=1)
+        req_r = comm.irecv(src=right, tag=2)
+        yield from comm.send(right, nbytes, tag=1)
+        yield from comm.send(left, nbytes, tag=2)
+        yield from comm.waitall([req_l, req_r])
+        return comm.now - t0
+
+    cluster = Cluster(machine, ranks=processes, mode=mode)
+    res = cluster.run(program)
+    mean_t = float(np.mean(res.returns))
+    return RingResult(
+        machine=machine.name,
+        processes=processes,
+        latency_us=mean_t * 1e6,
+        bandwidth_gbs_per_process=(2.0 * nbytes / mean_t) / 1e9,
+    )

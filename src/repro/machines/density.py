@@ -1,0 +1,73 @@
+"""Physical density and footprint analysis (paper Section I.A).
+
+"The design is intended to provide a highly scalable, physically dense
+system with relatively low power requirements per flop ... packaged
+densely at 4096 cores per rack without the need for exotic cooling
+technologies (e.g., liquid cooling).  In fact, other architectures have
+dramatically fewer cores per rack: the dual core Cray XT3 has 192 cores
+per rack; the quad core Cray XT4 has 384 cores per rack."
+
+This module turns those numbers into the procurement-style questions a
+center asks: racks, floor space, and power to field a given capability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .specs import MachineSpec
+
+__all__ = ["Footprint", "footprint_for_peak", "footprint_for_cores", "density_ratio"]
+
+#: Floor area per rack, m^2 (rack + service clearance).
+_RACK_AREA_M2 = 1.8
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The physical cost of fielding a configuration."""
+
+    machine: str
+    cores: int
+    racks: int
+    floor_area_m2: float
+    peak_tflops: float
+    power_kw: float
+
+    @property
+    def tflops_per_rack(self) -> float:
+        return self.peak_tflops / self.racks if self.racks else 0.0
+
+    @property
+    def tflops_per_m2(self) -> float:
+        return self.peak_tflops / self.floor_area_m2 if self.floor_area_m2 else 0.0
+
+
+def footprint_for_cores(machine: MachineSpec, cores: int) -> Footprint:
+    """Racks/area/power to field ``cores`` cores."""
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    racks = math.ceil(cores / machine.cores_per_rack)
+    peak = cores * machine.node.core.peak_flops / 1e12
+    return Footprint(
+        machine=machine.name,
+        cores=cores,
+        racks=racks,
+        floor_area_m2=racks * _RACK_AREA_M2,
+        peak_tflops=peak,
+        power_kw=machine.power.aggregate(cores, "normal") / 1e3,
+    )
+
+
+def footprint_for_peak(machine: MachineSpec, tflops: float) -> Footprint:
+    """Racks/area/power to field ``tflops`` of peak."""
+    if tflops <= 0:
+        raise ValueError("tflops must be positive")
+    cores = math.ceil(tflops * 1e12 / machine.node.core.peak_flops)
+    return footprint_for_cores(machine, cores)
+
+
+def density_ratio(a: MachineSpec, b: MachineSpec) -> float:
+    """Cores-per-rack ratio a/b (Section I.A: BG/P vs XT3 is ~21x)."""
+    return a.cores_per_rack / b.cores_per_rack

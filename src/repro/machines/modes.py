@@ -1,0 +1,126 @@
+"""Execution modes: how MPI tasks and threads occupy a compute node.
+
+The paper (Section I.A) describes three BG/P modes:
+
+* **SMP**  — one MPI task per node, up to 4 threads (the default);
+* **DUAL** — two MPI tasks per node, up to 2 threads each (new in BG/P);
+* **VN**   — four MPI tasks per node, one thread each ("virtual node").
+
+The Cray XTs have analogous modes (Section I.D): **SN** (one task per
+node, like SMP) and **VN** (one task per core).
+
+A mode determines how node resources — memory capacity, memory
+bandwidth, and network injection bandwidth — are divided among the MPI
+tasks on the node, which drives every per-process performance number in
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from .specs import MachineSpec
+
+__all__ = ["Mode", "ModeConfig", "resolve_mode", "available_modes"]
+
+
+class Mode(str, Enum):
+    """Named execution modes from the paper."""
+
+    SMP = "SMP"  # BG: 1 task/node (<=4 threads); also maps to XT 'SN'
+    DUAL = "DUAL"  # BG/P only: 2 tasks/node
+    VN = "VN"  # 1 task per core
+    SN = "SN"  # XT name for one-task-per-node
+
+    @property
+    def canonical(self) -> "Mode":
+        """SN is the XT spelling of SMP (Section I.D)."""
+        return Mode.SMP if self is Mode.SN else self
+
+
+@dataclass(frozen=True)
+class ModeConfig:
+    """A mode resolved against a concrete machine."""
+
+    mode: Mode
+    machine: MachineSpec
+    tasks_per_node: int
+    threads_per_task: int
+
+    @property
+    def memory_per_task(self) -> float:
+        """Bytes of RAM available to each MPI task."""
+        return self.machine.node.memory.capacity_bytes / self.tasks_per_node
+
+    @property
+    def stream_bw_per_task(self) -> float:
+        """Sustained memory bandwidth available per task, bytes/s."""
+        return self.machine.node.memory.stream_per_process(self.tasks_per_node)
+
+    @property
+    def injection_bw_per_task(self) -> float:
+        """Network injection bandwidth share per task, bytes/s.
+
+        Section I.A: 'This bandwidth is shared among the node's four
+        cores.'
+        """
+        return self.machine.torus.injection_bandwidth / self.tasks_per_node
+
+    @property
+    def peak_flops_per_task(self) -> float:
+        """Peak flop/s a task can reach (its cores, incl. threads)."""
+        cores_per_task = self.machine.node.cores // self.tasks_per_node
+        return cores_per_task * self.machine.node.core.peak_flops
+
+    def ranks_for_nodes(self, nodes: int) -> int:
+        """MPI ranks launched on ``nodes`` nodes."""
+        return nodes * self.tasks_per_node
+
+    def nodes_for_ranks(self, ranks: int) -> int:
+        """Nodes needed to host ``ranks`` MPI ranks (ceiling division)."""
+        return -(-ranks // self.tasks_per_node)
+
+
+def available_modes(machine: MachineSpec) -> Tuple[Mode, ...]:
+    """Modes a machine supports.
+
+    DUAL exists only on BG/P (Section I.A: 'a new mode in the BG/P
+    system'); the XTs use SN/VN naming.
+    """
+    if machine.name == "BG/P":
+        return (Mode.SMP, Mode.DUAL, Mode.VN)
+    if machine.name == "BG/L":
+        # BG/L supported coprocessor (one task) and virtual-node modes.
+        return (Mode.SMP, Mode.VN)
+    return (Mode.SN, Mode.VN)
+
+
+def resolve_mode(machine: MachineSpec, mode: Mode | str) -> ModeConfig:
+    """Resolve ``mode`` against ``machine``, validating support."""
+    if isinstance(mode, str):
+        mode = Mode(mode.upper())
+    allowed = available_modes(machine)
+    # Accept the cross-family synonym (SMP <-> SN) transparently.
+    if mode not in allowed and mode.canonical not in {m.canonical for m in allowed}:
+        raise ValueError(
+            f"mode {mode.value} is not available on {machine.name}; "
+            f"choose from {[m.value for m in allowed]}"
+        )
+    cores = machine.node.cores
+    canonical = mode.canonical
+    if canonical is Mode.SMP:
+        tasks = 1
+    elif canonical is Mode.DUAL:
+        tasks = 2
+    else:  # VN
+        tasks = cores
+    if tasks > cores:
+        raise ValueError(
+            f"{mode.value} needs {tasks} cores/node but {machine.name} has {cores}"
+        )
+    threads = cores // tasks
+    return ModeConfig(
+        mode=mode, machine=machine, tasks_per_node=tasks, threads_per_task=threads
+    )

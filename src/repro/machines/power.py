@@ -1,0 +1,111 @@
+"""Power accounting (paper Section IV, Table 3).
+
+The paper measured wall-plug power while running TOP500 HPL and
+"normal" science workloads, then derived:
+
+* watts per core (HPL and normal),
+* HPL MFlops/s per watt (the Green500 metric),
+* aggregate power to reach a fixed science throughput (POP
+  'Simulation Years per Day').
+
+This module reproduces those derivations from the per-core power rates
+in :class:`~repro.machines.specs.PowerSpec`.  The simulated "power
+meter" integrates power over a run's timeline, supporting phase-level
+attribution (e.g. an application that alternates compute-heavy and
+communication-heavy phases draws slightly different power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .specs import MachineSpec
+
+__all__ = ["PowerMeter", "PowerSample", "hpl_mflops_per_watt", "aggregate_power_kw"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One interval of a power trace."""
+
+    start: float  # seconds
+    end: float  # seconds
+    watts: float
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def joules(self) -> float:
+        return self.watts * self.duration
+
+
+@dataclass
+class PowerMeter:
+    """Integrates a machine's power draw over a simulated run.
+
+    Use :meth:`record` to log intervals, then read :attr:`total_joules`,
+    :meth:`average_watts`, and per-label breakdowns.  The per-core rate
+    is chosen by workload kind per the paper's measurement method:
+    ``"hpl"`` while running HPL, ``"normal"`` for science codes,
+    ``"idle"`` otherwise.
+    """
+
+    machine: MachineSpec
+    cores: int
+    samples: List[PowerSample] = field(default_factory=list)
+
+    def watts_for(self, kind: str) -> float:
+        """Instantaneous draw of the allocated cores for workload ``kind``."""
+        return self.machine.power.aggregate(self.cores, kind)
+
+    def record(self, start: float, end: float, kind: str = "normal", label: str = "") -> PowerSample:
+        """Log one interval at the draw rate of workload ``kind``."""
+        if end < start:
+            raise ValueError(f"interval ends before it starts: [{start}, {end}]")
+        sample = PowerSample(start, end, self.watts_for(kind), label or kind)
+        self.samples.append(sample)
+        return sample
+
+    @property
+    def total_joules(self) -> float:
+        return sum(s.joules for s in self.samples)
+
+    @property
+    def elapsed(self) -> float:
+        if not self.samples:
+            return 0.0
+        return max(s.end for s in self.samples) - min(s.start for s in self.samples)
+
+    def average_watts(self) -> float:
+        """Energy-weighted mean power over the recorded span."""
+        t = self.elapsed
+        return self.total_joules / t if t > 0 else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Joules per label."""
+        out: Dict[str, float] = {}
+        for s in self.samples:
+            out[s.label] = out.get(s.label, 0.0) + s.joules
+        return out
+
+
+def hpl_mflops_per_watt(machine: MachineSpec, cores: Optional[int] = None) -> float:
+    """The Green500 metric: sustained HPL MFlop/s per watt.
+
+    Table 3 reports 347.6 for BG/P and 129.7 for the XT4/QC; Section
+    II.C reports 310.93 for the ORNL BG/P's specific TOP500 run (which
+    sustained a slightly lower fraction of peak than the Table 3 run).
+    """
+    n = machine.total_cores if cores is None else cores
+    rmax_flops = n * machine.node.core.peak_flops * machine.hpl_efficiency
+    watts = machine.power.aggregate(n, "hpl")
+    return (rmax_flops / 1e6) / watts
+
+
+def aggregate_power_kw(machine: MachineSpec, cores: int, kind: str = "normal") -> float:
+    """Aggregate kilowatts drawn by ``cores`` cores under ``kind`` load."""
+    return machine.power.aggregate(cores, kind) / 1e3

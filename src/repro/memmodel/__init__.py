@@ -1,0 +1,25 @@
+"""Node memory-system models: caches, STREAM, roofline, working sets."""
+
+from .cache import CacheModel
+from .roofline import Roofline, KernelWork
+from .stream import StreamModel, StreamResult, STREAM_BYTES_PER_ITER, run_stream_numpy
+from .workingset import (
+    hpcc_problem_size,
+    hpl_local_matrix_bytes,
+    grid_working_set,
+    fits_in_memory,
+)
+
+__all__ = [
+    "CacheModel",
+    "Roofline",
+    "KernelWork",
+    "StreamModel",
+    "StreamResult",
+    "STREAM_BYTES_PER_ITER",
+    "run_stream_numpy",
+    "hpcc_problem_size",
+    "hpl_local_matrix_bytes",
+    "grid_working_set",
+    "fits_in_memory",
+]

@@ -1,0 +1,119 @@
+"""Cache-hierarchy model.
+
+Estimates DRAM traffic and effective access latency for the three
+access patterns that matter to the paper's kernels:
+
+* ``streaming`` — unit-stride sweeps (STREAM, DGEMM panels, stencils):
+  hardware prefetch hides latency; traffic = touched bytes (plus
+  write-allocate where applicable).
+* ``random`` — dependent random accesses (RandomAccess/GUPS): every
+  access outside the covering cache level pays that level's latency.
+* ``blocked`` — tiled kernels (DGEMM, FFT stages): traffic divided by
+  the reuse factor the covering level provides.
+
+Latency numbers are per-machine-family estimates documented inline; the
+absolute values matter less than the BG/P-vs-XT relationships (the XT's
+deeper out-of-order core overlaps more misses; the BG/P's in-order
+PPC450 cannot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..machines.specs import MachineSpec, NodeSpec, CacheLevel
+
+__all__ = ["CacheModel", "AccessPattern"]
+
+#: Valid access-pattern names.
+AccessPattern = str
+_PATTERNS = ("streaming", "random", "blocked")
+
+
+@dataclass(frozen=True)
+class _LevelTiming:
+    """Latency (seconds) and the cache level it belongs to."""
+
+    level: Optional[CacheLevel]
+    latency: float
+    name: str
+
+
+class CacheModel:
+    """Cache behaviour of one node of a machine."""
+
+    def __init__(self, machine: MachineSpec) -> None:
+        self.machine = machine
+        node = machine.node
+        clk = 1.0 / node.core.clock_hz
+        # Cycle-count latencies by family; DRAM latency in seconds.
+        if machine.name.startswith("BG"):
+            # PPC450: L1 4cy, L3 (eDRAM) ~50cy, DRAM ~104cy.
+            self._levels = [
+                _LevelTiming(node.l1, 4 * clk, "L1"),
+                _LevelTiming(node.l3, 50 * clk, "L3"),
+                _LevelTiming(None, 104 * clk, "DRAM"),
+            ]
+        else:
+            # Opteron: L1 3cy, L2 12cy, (L3 ~40cy on Barcelona), DRAM ~60ns.
+            levels = [
+                _LevelTiming(node.l1, 3 * clk, "L1"),
+                _LevelTiming(node.l2, 12 * clk, "L2"),
+            ]
+            if node.l3 is not None:
+                levels.append(_LevelTiming(node.l3, 40 * clk, "L3"))
+            levels.append(_LevelTiming(None, 60e-9, "DRAM"))
+            self._levels = levels
+
+    # ------------------------------------------------------------------
+    def covering_level(self, working_set: int, cores_sharing: int = 1) -> _LevelTiming:
+        """Smallest level that holds ``working_set`` bytes.
+
+        ``cores_sharing`` splits shared levels among the active cores.
+        """
+        if working_set < 0:
+            raise ValueError("working set must be non-negative")
+        for lt in self._levels:
+            if lt.level is None:
+                return lt  # DRAM holds everything
+            size = lt.level.size_bytes
+            if lt.level.shared and cores_sharing > 1:
+                size //= cores_sharing
+            if working_set <= size:
+                return lt
+        return self._levels[-1]
+
+    def random_access_latency(self, working_set: int, cores_sharing: int = 1) -> float:
+        """Seconds per dependent random access into ``working_set`` bytes."""
+        return self.covering_level(working_set, cores_sharing).latency
+
+    def line_bytes(self) -> int:
+        return self.machine.node.l1.line_bytes
+
+    def dram_traffic(
+        self,
+        touched_bytes: float,
+        working_set: int,
+        pattern: AccessPattern = "streaming",
+        reuse: float = 1.0,
+        cores_sharing: int = 1,
+    ) -> float:
+        """Bytes that actually move from DRAM for a kernel.
+
+        ``touched_bytes`` is the total data volume the kernel touches;
+        ``working_set`` its resident set; ``reuse`` the reuse factor a
+        blocked kernel achieves within the covering level.
+        """
+        if pattern not in _PATTERNS:
+            raise ValueError(f"unknown pattern {pattern!r}; choose from {_PATTERNS}")
+        lt = self.covering_level(working_set, cores_sharing)
+        if lt.level is not None:
+            return 0.0  # fits in cache: no DRAM traffic after warm-up
+        if pattern == "streaming":
+            return touched_bytes
+        if pattern == "blocked":
+            return touched_bytes / max(1.0, reuse)
+        # random: every access drags a full line for (typically) 8 bytes
+        line = self.line_bytes()
+        return touched_bytes * (line / 8.0)

@@ -1,0 +1,100 @@
+"""Roofline execution model: time = max(flop-limited, memory-limited).
+
+Every kernel/application workload in the reproduction reduces its
+per-rank work to (flops, dram_bytes, efficiency) tuples; this module
+turns them into time on a given machine+mode, honouring how the mode
+splits node resources among MPI tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode, ModeConfig, resolve_mode
+
+__all__ = ["Roofline", "KernelWork"]
+
+
+@dataclass(frozen=True)
+class KernelWork:
+    """Per-rank work of one kernel invocation."""
+
+    flops: float = 0.0
+    dram_bytes: float = 0.0
+    #: fraction of peak flops the kernel's inner loop can sustain when
+    #: compute-bound (vectorisation/FMA quality); 1.0 = perfectly tuned
+    flop_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.dram_bytes < 0:
+            raise ValueError("work quantities must be non-negative")
+        if not 0 < self.flop_efficiency <= 1:
+            raise ValueError("flop_efficiency must be in (0, 1]")
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per DRAM byte (inf for in-cache kernels)."""
+        return self.flops / self.dram_bytes if self.dram_bytes > 0 else float("inf")
+
+    def __add__(self, other: "KernelWork") -> "KernelWork":
+        return KernelWork(
+            flops=self.flops + other.flops,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            flop_efficiency=min(self.flop_efficiency, other.flop_efficiency),
+        )
+
+    def scaled(self, factor: float) -> "KernelWork":
+        """The same kernel with ``factor`` times the work."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return KernelWork(
+            flops=self.flops * factor,
+            dram_bytes=self.dram_bytes * factor,
+            flop_efficiency=self.flop_efficiency,
+        )
+
+
+class Roofline:
+    """Per-rank execution-time estimator for one machine + mode."""
+
+    def __init__(self, machine: MachineSpec, mode: Mode | str = "VN") -> None:
+        self.machine = machine
+        self.mode: ModeConfig = resolve_mode(machine, mode)
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak flop/s available to one task (its cores)."""
+        return self.mode.peak_flops_per_task
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Sustained DRAM bandwidth available to one task, bytes/s."""
+        return self.mode.stream_bw_per_task
+
+    def time(self, work: KernelWork, threads_efficiency: float = 1.0) -> float:
+        """Execution time of ``work`` on one rank.
+
+        ``threads_efficiency`` discounts the task's extra cores when
+        OpenMP threading is imperfect (1.0 = perfect scaling over the
+        task's cores, used by the CAM hybrid-mode model).
+        """
+        if not 0 < threads_efficiency <= 1:
+            raise ValueError("threads_efficiency must be in (0, 1]")
+        threads = self.mode.threads_per_task
+        effective_flops = self.peak_flops * work.flop_efficiency
+        if threads > 1:
+            # one core always contributes fully; extras are discounted
+            frac = (1 + (threads - 1) * threads_efficiency) / threads
+            effective_flops *= frac
+        t_flop = work.flops / effective_flops if effective_flops > 0 else 0.0
+        t_mem = (
+            work.dram_bytes / self.mem_bandwidth if self.mem_bandwidth > 0 else 0.0
+        )
+        return max(t_flop, t_mem)
+
+    def rate_gflops(self, work: KernelWork) -> float:
+        """Achieved GFlop/s for ``work`` on one rank."""
+        t = self.time(work)
+        return (work.flops / t) / 1e9 if t > 0 else 0.0

@@ -1,0 +1,122 @@
+"""STREAM bandwidth model (HPCC STREAM components of paper Table 2).
+
+The four STREAM kernels move different byte counts per iteration
+(write-allocate included, as on both machines' write-back caches):
+
+=======  =======================  =============================
+kernel   operation                bytes/iteration (8B doubles)
+=======  =======================  =============================
+copy     c[i] = a[i]              24  (read a, RFO c, write c)
+scale    b[i] = s*c[i]            24
+add      c[i] = a[i] + b[i]       32
+triad    a[i] = b[i] + s*c[i]     32
+=======  =======================  =============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode, resolve_mode
+
+__all__ = ["STREAM_BYTES_PER_ITER", "StreamModel", "run_stream_numpy"]
+
+#: Bytes moved per loop iteration, including write-allocate traffic.
+STREAM_BYTES_PER_ITER: Dict[str, int] = {
+    "copy": 24,
+    "scale": 24,
+    "add": 32,
+    "triad": 32,
+}
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Measured/modelled STREAM rates in bytes/s."""
+
+    copy: float
+    scale: float
+    add: float
+    triad: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "copy": self.copy,
+            "scale": self.scale,
+            "add": self.add,
+            "triad": self.triad,
+        }
+
+
+class StreamModel:
+    """Predict STREAM rates per process on a machine in a given mode."""
+
+    def __init__(self, machine: MachineSpec, mode: Mode | str = "VN") -> None:
+        self.machine = machine
+        self.mode = resolve_mode(machine, mode)
+
+    def bandwidth_per_process(self, processes_per_node: int | None = None) -> float:
+        """Sustained triad bytes/s for each of ``processes_per_node``.
+
+        Defaults to the mode's task count.  Passing 1 gives the HPCC
+        'single process' figure; the mode's full count gives the
+        'embarrassingly parallel' figure (paper Table 2).
+        """
+        ppn = (
+            self.mode.tasks_per_node if processes_per_node is None else processes_per_node
+        )
+        return self.machine.node.memory.stream_per_process(ppn)
+
+    def rates(self, processes_per_node: int | None = None) -> StreamResult:
+        """All four kernel rates; copy/scale run slightly faster than
+        add/triad because they move fewer bytes per iteration but the
+        *bandwidth* is the same — rates here are bytes/s, so equal."""
+        bw = self.bandwidth_per_process(processes_per_node)
+        return StreamResult(copy=bw, scale=bw, add=bw, triad=bw)
+
+    def decline_ratio(self) -> float:
+        """EP-rate / single-rate: 1.0 means no decline under full load.
+
+        Table 2 commentary: BG/P shows *less* decline than the XT.
+        """
+        single = self.bandwidth_per_process(1)
+        ep = self.bandwidth_per_process(self.machine.node.cores)
+        return ep / single if single > 0 else 0.0
+
+
+def run_stream_numpy(n: int = 1_000_000, repeats: int = 3) -> StreamResult:
+    """Actually run STREAM with numpy on the host (validation path).
+
+    Returns measured bytes/s for each kernel; used by tests to confirm
+    the byte-count accounting, not to predict 2008 hardware.
+    """
+    import time
+
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(7)
+    a = rng.random(n)
+    b = rng.random(n)
+    c = rng.random(n)
+    s = 1.5
+    rates: Dict[str, float] = {}
+
+    def timed(fn, bytes_per_iter: int) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return n * bytes_per_iter / best
+
+    rates["copy"] = timed(lambda: np.copyto(c, a), STREAM_BYTES_PER_ITER["copy"])
+    rates["scale"] = timed(lambda: np.multiply(c, s, out=b), STREAM_BYTES_PER_ITER["scale"])
+    rates["add"] = timed(lambda: np.add(a, b, out=c), STREAM_BYTES_PER_ITER["add"])
+    rates["triad"] = timed(
+        lambda: np.add(b, s * c, out=a), STREAM_BYTES_PER_ITER["triad"]
+    )
+    return StreamResult(**rates)

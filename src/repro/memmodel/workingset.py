@@ -1,0 +1,64 @@
+"""Working-set sizing helpers shared by kernel and application models."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+__all__ = [
+    "hpcc_problem_size",
+    "hpl_local_matrix_bytes",
+    "grid_working_set",
+    "fits_in_memory",
+]
+
+
+def hpcc_problem_size(
+    memory_per_task: float,
+    tasks: int,
+    fill_fraction: float = 0.80,
+    block: int = 1,
+) -> int:
+    """HPCC global problem dimension N for an HPL-style dense matrix.
+
+    Follows the HPCC developers' guidance the paper quotes: size the
+    matrix to ``fill_fraction`` (80%) of aggregate memory.  The result
+    is rounded down to a multiple of ``block`` (the HPL blocking factor
+    NB; the paper used 144 on BG/P and 168 on the XT).
+    """
+    if not 0 < fill_fraction <= 1:
+        raise ValueError("fill_fraction must be in (0, 1]")
+    if tasks < 1 or memory_per_task <= 0:
+        raise ValueError("need at least one task with positive memory")
+    total = memory_per_task * tasks * fill_fraction
+    n = int(math.sqrt(total / 8.0))
+    if block > 1:
+        n -= n % block
+    return max(block, n)
+
+
+def hpl_local_matrix_bytes(n: int, tasks: int) -> float:
+    """Bytes of the HPL matrix resident on each task."""
+    if n < 1 or tasks < 1:
+        raise ValueError("n and tasks must be >= 1")
+    return 8.0 * n * n / tasks
+
+
+def grid_working_set(
+    local_points: int, variables: int, bytes_per_value: int = 8
+) -> int:
+    """Resident bytes for a structured-grid rank with ``variables``
+    state arrays over ``local_points`` points."""
+    if local_points < 0 or variables < 0:
+        raise ValueError("sizes must be non-negative")
+    return local_points * variables * bytes_per_value
+
+
+def fits_in_memory(working_set: float, memory_per_task: float, headroom: float = 0.9) -> bool:
+    """Whether a rank's working set fits its memory share.
+
+    ``headroom`` reserves a fraction for the OS/MPI buffers — the
+    effect behind the paper's POP >40k-rank failures and the CAM pure-
+    MPI FV 0.47x0.63 failures.
+    """
+    return working_set <= memory_per_task * headroom

@@ -1,0 +1,29 @@
+"""Power analysis (paper Section IV, Table 3)."""
+
+from .table3 import PowerColumn, build_table3, build_column, TABLE3_CORES, TARGET_SYD
+from .measure import MeasuredRun, measure_hpl, measure_pop
+from .lists import (
+    ListPlacement,
+    place_configuration,
+    top500_rank,
+    green500_rank,
+    TOP500_JUNE_2008_ANCHORS,
+    GREEN500_JUNE_2008_ANCHORS,
+)
+
+__all__ = [
+    "PowerColumn",
+    "build_table3",
+    "build_column",
+    "TABLE3_CORES",
+    "TARGET_SYD",
+    "MeasuredRun",
+    "measure_hpl",
+    "measure_pop",
+    "ListPlacement",
+    "place_configuration",
+    "top500_rank",
+    "green500_rank",
+    "TOP500_JUNE_2008_ANCHORS",
+    "GREEN500_JUNE_2008_ANCHORS",
+]

@@ -1,0 +1,120 @@
+"""TOP500 / Green500 context (paper Section I and II.C).
+
+The paper situates its machines on the June-2008 lists:
+
+* "In early 2008, BG/L systems lead the TOP500 list, holding 21 slots,
+  with BG/P holding five slots.  Ten of the top 50 systems ... were
+  from the BlueGene family."
+* "BG/P and BG/L own the top 26 spots on the Green500 list."
+* The ORNL BG/P's TOP500 run "ranked it as number 74 on the June 2008
+  TOP500 list" and its 310.93 MFLOPS/watt "ranks this system fifth
+  overall on the Green500 List".
+
+This module encodes the published anchor points of those lists so a
+modeled configuration can be placed on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..machines.specs import MachineSpec
+from ..machines.power import hpl_mflops_per_watt
+from ..kernels.hpl import HplModel
+
+__all__ = [
+    "top500_rank",
+    "green500_rank",
+    "ListPlacement",
+    "place_configuration",
+    "TOP500_JUNE_2008_ANCHORS",
+    "GREEN500_JUNE_2008_ANCHORS",
+]
+
+#: (rank, Rmax GFlop/s) anchor points of the June-2008 TOP500.
+TOP500_JUNE_2008_ANCHORS: List[Tuple[int, float]] = [
+    (1, 1_026_000.0),  # Roadrunner: first petaflop Linpack
+    (2, 478_200.0),  # BG/L at LLNL
+    (5, 205_000.0),  # Jaguar XT4 (the paper's Table 3 machine)
+    (10, 106_100.0),
+    (25, 53_390.0),
+    (50, 35_170.0),
+    (74, 21_400.0),  # Eugene, the ORNL BG/P (Section II.C)
+    (100, 16_670.0),
+    (250, 11_080.0),
+    (500, 9_000.0),  # list entry floor
+]
+
+#: (rank, MFlops/W) anchor points of the June-2008 Green500.
+GREEN500_JUNE_2008_ANCHORS: List[Tuple[int, float]] = [
+    (1, 488.1),  # Roadrunner Cell blades
+    (5, 310.9),  # the ORNL BG/P run (Section II.C)
+    (26, 205.0),  # bottom of the BlueGene block ("top 26 spots")
+    (50, 100.0),
+    (100, 58.0),
+    (250, 30.0),
+    (500, 12.0),
+]
+
+
+def _rank_from_anchors(value: float, anchors: List[Tuple[int, float]]) -> int:
+    """Interpolate a list rank from (rank, metric) anchors.
+
+    Metrics decrease with rank; log-linear interpolation between the
+    bracketing anchors; beyond the floor returns rank 501 ("off list").
+    """
+    import math
+
+    if value >= anchors[0][1]:
+        return anchors[0][0]
+    if value < anchors[-1][1]:
+        return anchors[-1][0] + 1
+    for (r_hi, v_hi), (r_lo, v_lo) in zip(anchors, anchors[1:]):
+        if v_lo <= value <= v_hi:
+            # interpolate in log(value) between the anchors
+            f = (math.log(v_hi) - math.log(value)) / (
+                math.log(v_hi) - math.log(v_lo)
+            )
+            return round(r_hi + f * (r_lo - r_hi))
+    return anchors[-1][0] + 1  # pragma: no cover
+
+
+def top500_rank(rmax_gflops: float) -> int:
+    """June-2008 TOP500 rank for a sustained HPL score."""
+    if rmax_gflops <= 0:
+        raise ValueError("Rmax must be positive")
+    return _rank_from_anchors(rmax_gflops, TOP500_JUNE_2008_ANCHORS)
+
+
+def green500_rank(mflops_per_watt: float) -> int:
+    """June-2008 Green500 rank for a power-efficiency score."""
+    if mflops_per_watt <= 0:
+        raise ValueError("MFlops/W must be positive")
+    return _rank_from_anchors(mflops_per_watt, GREEN500_JUNE_2008_ANCHORS)
+
+
+@dataclass(frozen=True)
+class ListPlacement:
+    """A configuration's standing on both June-2008 lists."""
+
+    machine: str
+    cores: int
+    rmax_gflops: float
+    mflops_per_watt: float
+    top500_rank: int
+    green500_rank: int
+
+
+def place_configuration(machine: MachineSpec, cores: int, mode: str = "VN") -> ListPlacement:
+    """Model HPL on ``cores`` cores and place the result on the lists."""
+    hpl = HplModel(machine, mode).run(cores)
+    mfw = hpl_mflops_per_watt(machine, cores)
+    return ListPlacement(
+        machine=machine.name,
+        cores=cores,
+        rmax_gflops=hpl.gflops,
+        mflops_per_watt=mfw,
+        top500_rank=top500_rank(hpl.gflops),
+        green500_rank=green500_rank(mfw),
+    )

@@ -1,0 +1,95 @@
+"""The paper's Table 3: the power comparison, fully derived.
+
+Reproduces every row of Table 3 from the machine models:
+
+* measured aggregate power under HPL and normal load (kW, W/core),
+* peak and HPL-sustained flops,
+* the Green500 metric (HPL MFlop/s per watt),
+* POP SYD at 8192 cores with its aggregate power,
+* cores (and aggregate power) needed to reach 12 SYD — the paper's
+  science-driven normalization, where the BG/P's 6.6x per-core power
+  advantage shrinks to a 24% aggregate-power difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..machines.specs import MachineSpec
+from ..machines.power import hpl_mflops_per_watt
+from ..apps.pop.model import PopModel
+
+__all__ = ["PowerColumn", "build_table3", "TABLE3_CORES"]
+
+#: The core counts Table 3 normalizes to, per machine.
+TABLE3_CORES: Dict[str, int] = {
+    "BG/P": 8192,  # the ORNL two-rack system
+    "XT4/QC": 30976,  # Jaguar as of March 2008
+}
+
+#: The science-driven throughput target of Table 3's bottom block.
+TARGET_SYD = 12.0
+#: POP SYD is quoted "normalizing to 8192 cores".
+SYD_CORES = 8192
+
+
+@dataclass(frozen=True)
+class PowerColumn:
+    """One machine's column of Table 3."""
+
+    machine: str
+    cores: int
+    hpl_power_kw: float
+    hpl_watts_per_core: float
+    normal_power_kw: float
+    normal_watts_per_core: float
+    peak_tflops: float
+    hpl_rmax_tflops: float
+    mflops_per_watt: float
+    pop_syd_at_8192: float
+    pop_power_kw_at_8192: float
+    cores_for_12_syd: Optional[int]
+    power_kw_for_12_syd: Optional[float]
+
+
+def build_column(machine: MachineSpec, cores: Optional[int] = None) -> PowerColumn:
+    """Compute one Table 3 column from the machine + POP models."""
+    n = TABLE3_CORES.get(machine.name, machine.total_cores) if cores is None else cores
+    power = machine.power
+    hpl_kw = power.aggregate(n, "hpl") / 1e3
+    normal_kw = power.aggregate(n, "normal") / 1e3
+    peak_tf = n * machine.node.core.peak_flops / 1e12
+    rmax_tf = peak_tf * machine.hpl_efficiency
+
+    pop = PopModel(machine)
+    syd = pop.run(SYD_CORES).syd
+    pop_kw = power.aggregate(SYD_CORES, "normal") / 1e3
+
+    try:
+        cores12 = pop.cores_for_syd(TARGET_SYD)
+        kw12 = power.aggregate(cores12, "normal") / 1e3
+    except (ValueError, KeyError):
+        cores12 = None
+        kw12 = None
+
+    return PowerColumn(
+        machine=machine.name,
+        cores=n,
+        hpl_power_kw=hpl_kw,
+        hpl_watts_per_core=power.hpl_watts_per_core,
+        normal_power_kw=normal_kw,
+        normal_watts_per_core=power.normal_watts_per_core,
+        peak_tflops=peak_tf,
+        hpl_rmax_tflops=rmax_tf,
+        mflops_per_watt=hpl_mflops_per_watt(machine, n),
+        pop_syd_at_8192=syd,
+        pop_power_kw_at_8192=pop_kw,
+        cores_for_12_syd=cores12,
+        power_kw_for_12_syd=kw12,
+    )
+
+
+def build_table3(machines: List[MachineSpec]) -> List[PowerColumn]:
+    """All columns of Table 3 (paper order: BG/P then XT/QC)."""
+    return [build_column(m) for m in machines]

@@ -1,0 +1,41 @@
+"""Discrete-event simulation engine underpinning the whole reproduction.
+
+Public surface::
+
+    from repro.simengine import Engine, US, MS
+
+    env = Engine()
+
+    def worker(env):
+        yield env.timeout(3 * US)
+        return "done"
+
+    env.process(worker(env))
+    env.run()
+"""
+
+from .engine import Engine, EmptySchedule, US, MS, NS
+from .events import Event, Timeout, AllOf, AnyOf, Interrupt
+from .process import Process
+from .resources import Resource, Channel, SerialLink
+from .rng import make_rng, spawn, DEFAULT_SEED
+
+__all__ = [
+    "Engine",
+    "EmptySchedule",
+    "US",
+    "MS",
+    "NS",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Channel",
+    "SerialLink",
+    "make_rng",
+    "spawn",
+    "DEFAULT_SEED",
+]

@@ -1,0 +1,154 @@
+"""The discrete-event simulation engine.
+
+:class:`Engine` owns the simulation clock and the pending-event queue.
+Time is a ``float`` in **seconds** throughout the simulator; helper
+constants for microseconds etc. live in :data:`US` and friends.
+
+Determinism: events scheduled for the same timestamp are processed in
+scheduling order (a monotonically increasing sequence number breaks
+ties), so repeated runs of the same workload produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from .events import Event, Timeout, AllOf, AnyOf
+from .process import Process
+
+__all__ = ["Engine", "EmptySchedule", "US", "MS", "NS"]
+
+#: One microsecond, in simulation seconds.
+US = 1e-6
+#: One millisecond, in simulation seconds.
+MS = 1e-3
+#: One nanosecond, in simulation seconds.
+NS = 1e-9
+
+
+class EmptySchedule(Exception):
+    """Raised internally when the event queue runs dry."""
+
+
+class Engine:
+    """Discrete-event simulation core.
+
+    Typical use::
+
+        env = Engine()
+
+        def worker(env):
+            yield env.timeout(2.5)
+            return "done"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert env.now == 2.5
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        #: Count of events processed; useful for cost accounting in tests.
+        self.events_processed = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- event construction ----------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event triggering ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events) -> AllOf:
+        """Event triggering when every event in ``events`` has triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event triggering when any event in ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new simulation process from a generator coroutine."""
+        return Process(self, generator)
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue ``event`` for processing ``delay`` seconds from now."""
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        try:
+            when, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        self.events_processed += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks or ():
+            cb(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: propagate to the driver of run().
+            exc = event._value
+            raise exc
+
+    # -- driving -----------------------------------------------------------
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a number (run up to
+        that simulation time), or an :class:`Event` (run until it
+        triggers, returning its value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+        else:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} lies in the past (now={self._now})"
+                )
+
+        while True:
+            if stop_event is not None and stop_event.processed:
+                if not stop_event.ok:
+                    raise stop_event.value
+                return stop_event.value
+            nxt = self.peek()
+            if nxt == float("inf"):
+                if stop_event is not None:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered (deadlock?)"
+                    )
+                return None
+            if nxt > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+    def run_all(self) -> float:
+        """Run to exhaustion and return the final simulation time."""
+        self.run()
+        return self._now

@@ -1,0 +1,43 @@
+"""Simulated MPI over the discrete-event engine, plus the analytic twin.
+
+Two levels of fidelity share one set of machine parameters:
+
+* :class:`Cluster` / :class:`RankComm` — message-level simulation with
+  link contention (run real communication schedules);
+* :class:`CostModel` — closed-form LogGP-style estimates (drive the
+  paper-scale sweeps).
+"""
+
+from .comm import Cluster, RankComm, ClusterResult, ANY_SOURCE, ANY_TAG
+from .cost import CostModel
+from .p2p import Message, Transport
+from .reqs import Request
+from .datatypes import DTYPE_SIZES, bytes_of, FLOAT32, FLOAT64, INT32, INT64
+from .stats import CommStats, attach_stats
+from .timeline import Timeline, Interval, attach_timeline
+from .subcomm import SubComm, split_by
+
+__all__ = [
+    "Cluster",
+    "RankComm",
+    "ClusterResult",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CostModel",
+    "Message",
+    "Transport",
+    "Request",
+    "DTYPE_SIZES",
+    "bytes_of",
+    "FLOAT32",
+    "FLOAT64",
+    "INT32",
+    "INT64",
+    "CommStats",
+    "attach_stats",
+    "Timeline",
+    "Interval",
+    "attach_timeline",
+    "SubComm",
+    "split_by",
+]

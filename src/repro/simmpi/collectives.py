@@ -1,0 +1,376 @@
+"""Software collective algorithms, composed of point-to-point messages.
+
+These run inside the discrete-event simulation, so torus contention
+affects them realistically.  The XTs always use these; BlueGene machines
+use them only when the collective-tree hardware cannot (e.g. the
+single-precision Allreduce of paper Fig. 3a/b, or Alltoall which has no
+tree offload).
+
+All functions are generators to be driven with ``yield from`` inside a
+rank program, and all take the per-rank communicator as first argument.
+Tags are drawn from a reserved range so collectives never match user
+point-to-point traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .comm import RankComm
+
+__all__ = [
+    "dissemination_barrier",
+    "binomial_bcast",
+    "recursive_doubling_allreduce",
+    "binomial_reduce",
+    "ring_allgather",
+    "pairwise_alltoall",
+]
+
+#: Base tag for collective-internal messages.
+_COLL_TAG = 1 << 20
+
+
+def dissemination_barrier(comm: "RankComm"):
+    """Dissemination barrier: ceil(log2 p) rounds of 0-byte messages."""
+    p = comm.size
+    if p == 1:
+        return
+    rank = comm.rank
+    k = 1
+    rnd = 0
+    while k < p:
+        dst = (rank + k) % p
+        src = (rank - k) % p
+        req = comm.irecv(src=src, tag=_COLL_TAG + rnd)
+        yield from comm.send(dst, 0, tag=_COLL_TAG + rnd)
+        yield from comm.wait(req)
+        k <<= 1
+        rnd += 1
+
+
+def binomial_bcast(comm: "RankComm", nbytes: int, root: int = 0):
+    """Binomial-tree broadcast (any rank count)."""
+    p = comm.size
+    if p == 1:
+        return
+    if nbytes < 0:
+        raise ValueError("negative payload")
+    rank = comm.rank
+    relative = (rank - root) % p
+    # Receive from parent (unless root).
+    mask = 1
+    while mask < p:
+        if relative & mask:
+            src = (relative - mask + root) % p
+            yield from comm.recv(src=src, tag=_COLL_TAG + 64)
+            break
+        mask <<= 1
+    # Forward to children.
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < p:
+            dst = (relative + mask + root) % p
+            yield from comm.send(dst, nbytes, tag=_COLL_TAG + 64)
+        mask >>= 1
+
+
+def binomial_reduce(comm: "RankComm", nbytes: int, root: int = 0):
+    """Binomial-tree reduction to ``root`` with per-merge combine cost."""
+    p = comm.size
+    if p == 1:
+        return
+    rank = comm.rank
+    relative = (rank - root) % p
+    mask = 1
+    while mask < p:
+        if relative & mask:
+            dst = (relative - mask + root) % p
+            yield from comm.send(dst, nbytes, tag=_COLL_TAG + 96)
+            return
+        src_rel = relative + mask
+        if src_rel < p:
+            src = (src_rel + root) % p
+            yield from comm.recv(src=src, tag=_COLL_TAG + 96)
+            yield from comm.compute(bytes_moved=3 * nbytes)  # combine
+        mask <<= 1
+
+
+def recursive_doubling_allreduce(comm: "RankComm", nbytes: int):
+    """MPICH-style recursive-doubling allreduce (any rank count).
+
+    Non-power-of-two counts fold the remainder ranks in a pre-phase and
+    unfold in a post-phase, exactly like the production algorithm.
+    """
+    p = comm.size
+    if p == 1:
+        yield from comm.compute(bytes_moved=3 * nbytes)
+        return
+    rank = comm.rank
+    pof2 = 1 << (p.bit_length() - 1)
+    rem = p - pof2
+    tag = _COLL_TAG + 128
+
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from comm.send(rank + 1, nbytes, tag=tag)
+            newrank = -1
+        else:
+            yield from comm.recv(src=rank - 1, tag=tag)
+            yield from comm.compute(bytes_moved=3 * nbytes)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            peer_new = newrank ^ mask
+            peer = peer_new * 2 + 1 if peer_new < rem else peer_new + rem
+            yield from comm.sendrecv(
+                dst=peer, send_bytes=nbytes, src=peer, tag=tag + 1
+            )
+            yield from comm.compute(bytes_moved=3 * nbytes)
+            mask <<= 1
+
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from comm.recv(src=rank + 1, tag=tag + 2)
+        else:
+            yield from comm.send(rank - 1, nbytes, tag=tag + 2)
+
+
+#: Payload size above which allreduce switches from recursive doubling
+#: to the Rabenseifner reduce-scatter/allgather algorithm (MPICH uses a
+#: comparable cutoff).  Shared with the analytic CostModel.
+ALLREDUCE_RD_THRESHOLD = 2048
+
+
+def rabenseifner_allreduce(comm: "RankComm", nbytes: int):
+    """Reduce-scatter + allgather allreduce (bandwidth-optimal).
+
+    Recursive halving reduce-scatter followed by recursive doubling
+    allgather.  Non-power-of-two rank counts fold the remainder first,
+    as in :func:`recursive_doubling_allreduce`.
+    """
+    p = comm.size
+    if p == 1:
+        yield from comm.compute(bytes_moved=3 * nbytes)
+        return
+    rank = comm.rank
+    pof2 = 1 << (p.bit_length() - 1)
+    rem = p - pof2
+    tag = _COLL_TAG + 320
+
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from comm.send(rank + 1, nbytes, tag=tag)
+            newrank = -1
+        else:
+            yield from comm.recv(src=rank - 1, tag=tag)
+            yield from comm.compute(bytes_moved=3 * nbytes)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank != -1:
+
+        def old(nr: int) -> int:
+            return nr * 2 + 1 if nr < rem else nr + rem
+
+        # Reduce-scatter: halve the payload each round.
+        chunk = nbytes
+        mask = 1
+        while mask < pof2:
+            chunk //= 2
+            peer = old(newrank ^ mask)
+            yield from comm.sendrecv(
+                dst=peer, send_bytes=chunk, src=peer, tag=tag + 1
+            )
+            yield from comm.compute(bytes_moved=3 * chunk)
+            mask <<= 1
+        # Allgather: double the payload each round.
+        mask = pof2 >> 1
+        while mask > 0:
+            peer = old(newrank ^ mask)
+            yield from comm.sendrecv(
+                dst=peer, send_bytes=chunk, src=peer, tag=tag + 2
+            )
+            chunk *= 2
+            mask >>= 1
+
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from comm.recv(src=rank + 1, tag=tag + 3)
+        else:
+            yield from comm.send(rank - 1, nbytes, tag=tag + 3)
+
+
+def software_allreduce(comm: "RankComm", nbytes: int):
+    """Algorithm dispatch shared with the analytic model."""
+    if nbytes <= ALLREDUCE_RD_THRESHOLD:
+        yield from recursive_doubling_allreduce(comm, nbytes)
+    else:
+        yield from rabenseifner_allreduce(comm, nbytes)
+
+
+def ring_allgather(comm: "RankComm", nbytes_per_rank: int):
+    """Ring allgather: p-1 neighbour shifts of one contribution each."""
+    p = comm.size
+    if p == 1:
+        return
+    rank = comm.rank
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    for step in range(p - 1):
+        tag = _COLL_TAG + 192 + step
+        req = comm.irecv(src=left, tag=tag)
+        yield from comm.send(right, nbytes_per_rank, tag=tag)
+        yield from comm.wait(req)
+
+
+def bruck_alltoall(comm: "RankComm", nbytes_per_pair: int):
+    """Bruck alltoall: ceil(log2 p) rounds, each moving half the
+    aggregate payload — the small-message algorithm production MPIs use."""
+    p = comm.size
+    if p == 1:
+        return
+    rank = comm.rank
+    round_bytes = int(nbytes_per_pair * p / 2)
+    delta = 1
+    rnd = 0
+    while delta < p:
+        dst = (rank + delta) % p
+        src = (rank - delta) % p
+        tag = _COLL_TAG + 384 + rnd
+        req = comm.irecv(src=src, tag=tag)
+        yield from comm.send(dst, round_bytes, tag=tag)
+        yield from comm.wait(req)
+        delta <<= 1
+        rnd += 1
+
+
+def pairwise_alltoall(comm: "RankComm", nbytes_per_pair: int):
+    """Pairwise-exchange alltoall: p-1 rounds of sendrecv."""
+    p = comm.size
+    if p == 1:
+        return
+    rank = comm.rank
+    is_pof2 = (p & (p - 1)) == 0
+    for k in range(1, p):
+        if is_pof2:
+            peer_s = peer_r = rank ^ k
+        else:
+            peer_s = (rank + k) % p
+            peer_r = (rank - k) % p
+        tag = _COLL_TAG + 256 + k
+        req = comm.irecv(src=peer_r, tag=tag)
+        yield from comm.send(peer_s, nbytes_per_pair, tag=tag)
+        yield from comm.wait(req)
+
+
+def recursive_halving_reduce_scatter(comm: "RankComm", nbytes_total: int):
+    """Reduce-scatter via recursive halving (power-of-two optimized).
+
+    Each round exchanges half the remaining vector with a partner and
+    combines; non-power-of-two counts fold the remainder first.
+    """
+    p = comm.size
+    if p == 1:
+        yield from comm.compute(bytes_moved=3 * nbytes_total)
+        return
+    rank = comm.rank
+    pof2 = 1 << (p.bit_length() - 1)
+    rem = p - pof2
+    tag = _COLL_TAG + 576
+
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            yield from comm.send(rank + 1, nbytes_total, tag=tag)
+            newrank = -1
+        else:
+            yield from comm.recv(src=rank - 1, tag=tag)
+            yield from comm.compute(bytes_moved=3 * nbytes_total)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank != -1:
+
+        def old(nr: int) -> int:
+            return nr * 2 + 1 if nr < rem else nr + rem
+
+        chunk = nbytes_total
+        mask = 1
+        while mask < pof2:
+            chunk //= 2
+            peer = old(newrank ^ mask)
+            yield from comm.sendrecv(dst=peer, send_bytes=chunk, src=peer, tag=tag + 1)
+            yield from comm.compute(bytes_moved=3 * chunk)
+            mask <<= 1
+
+    if rank < 2 * rem and rank % 2 == 0:
+        # Collect this rank's result segment from its partner.
+        yield from comm.recv(src=rank + 1, tag=tag + 2)
+    elif rank < 2 * rem:
+        yield from comm.send(rank - 1, max(1, nbytes_total // p), tag=tag + 2)
+
+
+def binomial_gather(comm: "RankComm", nbytes_per_rank: int, root: int = 0):
+    """Binomial-tree gather to ``root``; payloads double up the tree.
+
+    This is PMEMD's coordinate-output pattern (paper Section III.E).
+    """
+    p = comm.size
+    if p == 1:
+        return
+    rank = comm.rank
+    relative = (rank - root) % p
+    tag = _COLL_TAG + 448
+    # Each node accumulates the subtree below it, then forwards.
+    accumulated = 1
+    mask = 1
+    while mask < p:
+        if relative & mask:
+            dst = (relative - mask + root) % p
+            yield from comm.send(dst, nbytes_per_rank * accumulated, tag=tag)
+            return
+        src_rel = relative + mask
+        if src_rel < p:
+            subtree = min(mask, p - src_rel)
+            yield from comm.recv(src=(src_rel + root) % p, tag=tag)
+            accumulated += subtree
+        mask <<= 1
+
+
+def binomial_scatter(comm: "RankComm", nbytes_per_rank: int, root: int = 0):
+    """Binomial-tree scatter from ``root``; payloads halve down the tree."""
+    p = comm.size
+    if p == 1:
+        return
+    rank = comm.rank
+    relative = (rank - root) % p
+    tag = _COLL_TAG + 512
+    # Receive my subtree's data from my parent (unless root).
+    mask = 1
+    while mask < p:
+        if relative & mask:
+            src = (relative - mask + root) % p
+            yield from comm.recv(src=src, tag=tag)
+            break
+        mask <<= 1
+    # Forward the halves below me.
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < p:
+            dst = (relative + mask + root) % p
+            subtree = min(mask, p - (relative + mask))
+            yield from comm.send(dst, nbytes_per_rank * subtree, tag=tag)
+        mask >>= 1
+
+
+def log2_rounds(p: int) -> int:
+    """ceil(log2(p)) with log2(1) == 0 (helper shared with tests)."""
+    return 0 if p <= 1 else math.ceil(math.log2(p))

@@ -1,0 +1,396 @@
+"""The simulated cluster and per-rank communicator.
+
+:class:`Cluster` assembles everything needed to run an MPI program on a
+simulated machine: a node partition, the torus (with contended links),
+the collective tree / barrier networks where the machine has them, a
+process mapping, and the analytic :class:`~repro.simmpi.cost.CostModel`
+sharing the same parameters.
+
+A *program* is a generator function ``program(comm, *args)`` executed
+once per rank; ``comm`` is a :class:`RankComm` whose operations are
+yielded from::
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=1024)
+        elif comm.rank == 1:
+            msg = yield from comm.recv(src=0)
+        yield from comm.barrier()
+        return comm.now
+
+    cluster = Cluster(BGP, ranks=2, mode="VN")
+    result = cluster.run(program)
+    print(result.elapsed)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..simengine import Engine, Event, Process
+from ..machines.specs import MachineSpec
+from ..machines.modes import Mode, ModeConfig, resolve_mode
+from ..topology.mapping import Mapping
+from ..topology.partition import Partition, allocate
+from ..topology.torus import Torus3D
+from ..topology.tree import TreeNetwork
+from ..topology.barrier import BarrierNetwork
+from .cost import CostModel
+from .p2p import ANY_SOURCE, ANY_TAG, Message, Transport
+from .reqs import Request
+from . import collectives as _algos
+
+__all__ = ["Cluster", "RankComm", "ClusterResult", "ANY_SOURCE", "ANY_TAG"]
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one :meth:`Cluster.run`."""
+
+    elapsed: float
+    returns: List[Any]
+    messages: int
+    bytes_sent: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<ClusterResult elapsed={self.elapsed:.6g}s "
+            f"messages={self.messages} bytes={self.bytes_sent}>"
+        )
+
+
+class _OpSync:
+    """Rendezvous for one hardware-collective invocation."""
+
+    __slots__ = ("remaining", "event", "kind")
+
+    def __init__(self, env: Engine, n: int, kind: str) -> None:
+        self.remaining = n
+        self.event = Event(env)
+        self.kind = kind
+
+
+class Cluster:
+    """A job: machine + mode + partition + networks + rank programs."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        ranks: int,
+        mode: Mode | str = "SMP",
+        mapping: str = "XYZT",
+        env: Optional[Engine] = None,
+        partition: Optional[Partition] = None,
+        rng: Optional[np.random.Generator] = None,
+        utilization: float = 0.0,
+        adaptive_routing: bool = False,
+    ) -> None:
+        if ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        self.machine = machine
+        self.mode: ModeConfig = resolve_mode(machine, mode)
+        self.ranks = ranks
+        self.env = env if env is not None else Engine()
+        nodes = self.mode.nodes_for_ranks(ranks)
+        if partition is None:
+            partition = allocate(machine, nodes, rng=rng, utilization=utilization)
+        self.partition = partition
+        self.nodes = nodes
+        self.torus: Torus3D = partition.build_torus(self.env)
+        self.tree: Optional[TreeNetwork] = (
+            TreeNetwork(nodes, machine.tree, self.env)
+            if machine.tree is not None
+            else None
+        )
+        self.barrier_net: Optional[BarrierNetwork] = (
+            BarrierNetwork(nodes, self.env) if machine.tree is not None else None
+        )
+        self.mapping = Mapping(
+            mapping, partition.torus_shape, self.mode.tasks_per_node
+        )
+        if self.mapping.size < ranks:
+            raise ValueError(
+                f"mapping capacity {self.mapping.size} < {ranks} ranks "
+                f"(shape {partition.torus_shape}, "
+                f"{self.mode.tasks_per_node} tasks/node)"
+            )
+        self.transport = Transport(
+            self.env, self.torus, self.mapping, machine,
+            adaptive_routing=adaptive_routing,
+        )
+        #: analytic twin sharing the same partition (for cross-validation)
+        self.cost = CostModel(machine, self.mode.mode, ranks, partition=partition)
+        # Collective-synchronization state.
+        self._op_counters: Dict[int, int] = {}
+        self._op_syncs: Dict[int, _OpSync] = {}
+        #: optional per-rank activity recorder (see simmpi.timeline)
+        self.timeline = None
+
+    # -- running programs ---------------------------------------------------
+    def run(self, program: Callable, *args: Any) -> ClusterResult:
+        """Execute ``program(comm, *args)`` on every rank to completion."""
+        start = self.env.now
+        procs: List[Process] = []
+        for r in range(self.ranks):
+            comm = RankComm(self, r)
+            procs.append(self.env.process(program(comm, *args)))
+        done = self.env.all_of(procs)
+        self.env.run(done)
+        return ClusterResult(
+            elapsed=self.env.now - start,
+            returns=[p.value for p in procs],
+            messages=self.transport.messages_sent,
+            bytes_sent=self.transport.bytes_sent,
+        )
+
+    # -- hardware-collective synchronisation ---------------------------------
+    def _next_sync(self, rank: int, kind: str) -> _OpSync:
+        idx = self._op_counters.get(rank, 0)
+        self._op_counters[rank] = idx + 1
+        sync = self._op_syncs.get(idx)
+        if sync is None:
+            sync = self._op_syncs[idx] = _OpSync(self.env, self.ranks, kind)
+        elif sync.kind != kind:
+            raise RuntimeError(
+                f"collective mismatch at op {idx}: rank {rank} called "
+                f"{kind!r} but others called {sync.kind!r}"
+            )
+        return sync
+
+
+class RankComm:
+    """Per-rank communicator handle (the ``comm`` of a rank program)."""
+
+    __slots__ = ("cluster", "rank")
+
+    def __init__(self, cluster: Cluster, rank: int) -> None:
+        if not 0 <= rank < cluster.ranks:
+            raise ValueError(f"rank {rank} outside [0, {cluster.ranks})")
+        self.cluster = cluster
+        self.rank = rank
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.cluster.ranks
+
+    @property
+    def env(self) -> Engine:
+        return self.cluster.env
+
+    @property
+    def now(self) -> float:
+        return self.cluster.env.now
+
+    @property
+    def machine(self) -> MachineSpec:
+        return self.cluster.machine
+
+    def node_coords(self) -> Tuple[int, int, int]:
+        """Torus coordinates of the node hosting this rank."""
+        return self.cluster.mapping.node_of(self.rank)
+
+    # -- point-to-point --------------------------------------------------------
+    def send(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
+        """Blocking send (generator; drive with ``yield from``)."""
+        self._check_peer(dst)
+        yield from self.cluster.transport.send(self.rank, dst, nbytes, tag, payload)
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns the :class:`Message`."""
+        if src != ANY_SOURCE:
+            self._check_peer(src)
+        ev = self.cluster.transport.post_recv(self.rank, src, tag)
+        msg = yield ev
+        yield self.env.timeout(self.machine.mpi.recv_overhead)
+        return msg
+
+    def isend(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None) -> Request:
+        """Nonblocking send; completes at eager-injection/rendezvous end."""
+        self._check_peer(dst)
+        proc = self.env.process(
+            self.cluster.transport.send(self.rank, dst, nbytes, tag, payload)
+        )
+        return Request(kind="send", completion=proc)
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; posted immediately (matching order!)."""
+        if src != ANY_SOURCE:
+            self._check_peer(src)
+        ev = self.cluster.transport.post_recv(self.rank, src, tag)
+        return Request(
+            kind="recv", completion=ev, overhead=self.machine.mpi.recv_overhead
+        )
+
+    def wait(self, req: Request):
+        """Wait for one request; returns its result (Message for recvs)."""
+        value = yield req.completion
+        if req.overhead > 0:
+            yield self.env.timeout(req.overhead)
+        return value
+
+    def waitall(self, reqs: List[Request]):
+        """Wait for all requests; returns their results in order."""
+        values = yield self.env.all_of([r.completion for r in reqs])
+        overhead = sum(r.overhead for r in reqs)
+        if overhead > 0:
+            yield self.env.timeout(overhead)
+        return values
+
+    def sendrecv(
+        self,
+        dst: int,
+        send_bytes: int,
+        src: int,
+        tag: int = 0,
+        recv_tag: Optional[int] = None,
+    ):
+        """Simultaneous send+receive (deadlock-free).
+
+        Matches MPI_Sendrecv: the receive is posted before the send
+        starts, both complete before returning.
+        """
+        rtag = tag if recv_tag is None else recv_tag
+        req = self.irecv(src=src, tag=rtag)
+        yield from self.send(dst, send_bytes, tag=tag)
+        msg = yield from self.wait(req)
+        return msg
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"peer rank {peer} outside [0, {self.size})")
+
+    # -- computation --------------------------------------------------------------
+    def compute(self, flops: float = 0.0, bytes_moved: float = 0.0, seconds: float = 0.0):
+        """Occupy this rank with computation.
+
+        Either give raw work (``flops`` and/or ``bytes_moved``; a
+        roofline picks the binding resource for the current mode) or an
+        explicit duration in ``seconds``.
+        """
+        t = self.cluster.cost.compute_time(flops, bytes_moved) + seconds
+        if t > 0:
+            start = self.env.now
+            yield self.env.timeout(t)
+            if self.cluster.timeline is not None:
+                self.cluster.timeline.record(
+                    self.rank, start, self.env.now, "compute"
+                )
+
+    # -- collectives -------------------------------------------------------------
+    def barrier(self):
+        """MPI_Barrier: hardware barrier network on BG, dissemination on XT."""
+        cl = self.cluster
+        if cl.barrier_net is not None:
+            sync = cl._next_sync(self.rank, "barrier")
+            sync.remaining -= 1
+            if sync.remaining == 0:
+                wait_ev = cl.barrier_net.wait()
+                wait_ev.callbacks.append(lambda _e, s=sync: s.event.succeed())
+            yield sync.event
+        else:
+            yield from _algos.dissemination_barrier(self)
+
+    def bcast(self, nbytes: int, root: int = 0, dtype: str = "byte"):
+        """MPI_Bcast: tree-network broadcast on BG, binomial on XT."""
+        cl = self.cluster
+        if cl.tree is not None:
+            mpi = self.machine.mpi
+            yield self.env.timeout(mpi.send_overhead if self.rank == root else 0.0)
+            sync = cl._next_sync(self.rank, "bcast")
+            sync.remaining -= 1
+            if sync.remaining == 0:
+                dur = cl.tree.broadcast_time(nbytes)
+                if cl.mode.tasks_per_node > 1:
+                    dur += nbytes / cl.transport.shm_bandwidth()
+                occ = cl.tree.occupy(dur)
+                occ.callbacks.append(lambda _e, s=sync: s.event.succeed())
+            yield sync.event
+            yield self.env.timeout(mpi.recv_overhead)
+        else:
+            yield from _algos.binomial_bcast(self, nbytes, root)
+
+    def reduce(self, nbytes: int, root: int = 0, dtype: str = "float64"):
+        """MPI_Reduce: tree network when the ALU supports the dtype."""
+        cl = self.cluster
+        if cl.tree is not None and cl.tree.spec.supports_reduce(dtype):
+            yield from self._tree_reduction(nbytes, dtype, allreduce=False)
+        else:
+            yield from _algos.binomial_reduce(self, nbytes, root)
+
+    def allreduce(self, nbytes: int, dtype: str = "float64"):
+        """MPI_Allreduce.
+
+        BG + hardware dtype: tree reduce+broadcast (the fast
+        double-precision path of paper Fig. 3a/b).  Otherwise software
+        recursive doubling over the torus.
+        """
+        cl = self.cluster
+        if cl.tree is not None and cl.tree.spec.supports_reduce(dtype):
+            yield from self._tree_reduction(nbytes, dtype, allreduce=True)
+        else:
+            yield from _algos.software_allreduce(self, nbytes)
+
+    def _tree_reduction(self, nbytes: int, dtype: str, allreduce: bool):
+        cl = self.cluster
+        mpi = self.machine.mpi
+        yield self.env.timeout(mpi.send_overhead)
+        # Tasks sharing a node pre-combine their contributions in memory
+        # (same cost formula as the analytic model).
+        local = cl.cost._local_combine_time(nbytes)
+        if local > 0:
+            yield self.env.timeout(local)
+        kind = "allreduce" if allreduce else "reduce"
+        sync = cl._next_sync(self.rank, kind)
+        sync.remaining -= 1
+        if sync.remaining == 0:
+            dur = (
+                cl.tree.allreduce_time(nbytes, dtype)
+                if allreduce
+                else cl.tree.reduce_time(nbytes, dtype)
+            )
+            occ = cl.tree.occupy(dur)
+            occ.callbacks.append(lambda _e, s=sync: s.event.succeed())
+        yield sync.event
+        yield self.env.timeout(mpi.recv_overhead)
+
+    def allgather(self, nbytes_per_rank: int):
+        """MPI_Allgather (ring algorithm on all machines)."""
+        yield from _algos.ring_allgather(self, nbytes_per_rank)
+
+    def reduce_scatter(self, nbytes_total: int):
+        """MPI_Reduce_scatter (recursive halving)."""
+        yield from _algos.recursive_halving_reduce_scatter(self, nbytes_total)
+
+    def gather(self, nbytes_per_rank: int, root: int = 0):
+        """MPI_Gather (binomial tree; payloads grow toward the root)."""
+        yield from _algos.binomial_gather(self, nbytes_per_rank, root)
+
+    def scatter(self, nbytes_per_rank: int, root: int = 0):
+        """MPI_Scatter (binomial tree; payloads shrink from the root)."""
+        yield from _algos.binomial_scatter(self, nbytes_per_rank, root)
+
+    def alltoall(self, nbytes_per_pair: int):
+        """MPI_Alltoall (no tree offload exists).
+
+        Algorithm choice matches the analytic model: Bruck when its
+        round structure is estimated cheaper (small payloads), pairwise
+        exchange otherwise.
+        """
+        p = self.size
+        if p > 1:
+            import math as _math
+
+            cost = self.cluster.cost
+            pairwise_est = (p - 1) * cost.p2p_time(nbytes_per_pair)
+            bruck_est = _math.ceil(_math.log2(p)) * cost.p2p_time(
+                nbytes_per_pair * p / 2.0
+            )
+            if bruck_est < pairwise_est:
+                yield from _algos.bruck_alltoall(self, nbytes_per_pair)
+                return
+        yield from _algos.pairwise_alltoall(self, nbytes_per_pair)

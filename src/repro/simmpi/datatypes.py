@@ -1,0 +1,36 @@
+"""Datatype bookkeeping for the simulated MPI layer."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["DTYPE_SIZES", "bytes_of", "FLOAT32", "FLOAT64", "INT32", "INT64"]
+
+FLOAT32 = "float32"
+FLOAT64 = "float64"
+INT32 = "int32"
+INT64 = "int64"
+
+#: Size in bytes of each supported element type.
+DTYPE_SIZES: Dict[str, int] = {
+    FLOAT32: 4,
+    FLOAT64: 8,
+    INT32: 4,
+    INT64: 8,
+    "float": 4,  # the IMB benchmark's MPI_FLOAT (Section II.B.2)
+    "double": 8,
+    "int": 4,
+    "byte": 1,
+}
+
+
+def bytes_of(count: int, dtype: str = FLOAT64) -> int:
+    """Payload size of ``count`` elements of ``dtype``."""
+    if count < 0:
+        raise ValueError(f"negative element count: {count}")
+    try:
+        return count * DTYPE_SIZES[dtype]
+    except KeyError:
+        raise KeyError(
+            f"unknown dtype {dtype!r}; known: {sorted(DTYPE_SIZES)}"
+        ) from None

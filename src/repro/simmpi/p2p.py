@@ -1,0 +1,261 @@
+"""Point-to-point message transport for the simulated MPI.
+
+Implements MPI-like matching semantics (source/tag matching, FIFO per
+pair, wildcards) over the link-level torus model:
+
+* **Eager protocol** (payload <= eager threshold): the sender pays its
+  CPU overhead, injects the message, and completes immediately; the
+  payload is buffered at the receiver if no recv is posted yet.
+* **Rendezvous protocol** (payload > threshold): an RTS control message
+  travels to the receiver; the bulk data transfer starts only when the
+  matching receive is posted *and* the RTS has arrived, after the
+  machine's rendezvous handshake cost; the sender completes when the
+  data has fully arrived (synchronous-send semantics).
+
+Messages traverse the torus with cut-through routing: each directed
+link serializes its own traffic (see ``SerialLink.book``), the head
+advances one hop latency per router, and delivery happens when the tail
+clears the last link.  Intra-node transfers bypass the network and move
+at shared-memory bandwidth (paper Section I.A: "Optimizations in the
+system software allow peer tasks on a Compute Node to communicate via
+shared memory").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional
+
+from ..simengine import Engine, Event
+from ..topology.mapping import Mapping
+from ..topology.torus import Torus3D
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Transport"]
+
+#: Wildcards, MPI-style.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Message:
+    """A delivered message as seen by the receiver."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    payload: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Message {self.src}->{self.dst} tag={self.tag} {self.nbytes}B>"
+
+
+@dataclass
+class _Envelope:
+    """Transport-internal: a message en route or awaiting a match."""
+
+    msg: Message
+    #: eager: fires when the payload has fully arrived at the receiver
+    arrival: Optional[Event] = None
+    #: rendezvous: fires (for the sender) when the transfer completes
+    sender_done: Optional[Event] = None
+    #: rendezvous: True once the RTS control message has arrived
+    rts_arrived: bool = False
+    #: rendezvous: the matched receive's completion event
+    matched_recv: Optional[Event] = None
+
+
+@dataclass
+class _PostedRecv:
+    src: int
+    tag: int
+    event: Event
+
+    def matches(self, msg: Message) -> bool:
+        return (self.src in (ANY_SOURCE, msg.src)) and (
+            self.tag in (ANY_TAG, msg.tag)
+        )
+
+
+class _MatchQueue:
+    """Per-rank unexpected-message queue + posted-receive queue."""
+
+    __slots__ = ("env", "transport", "unexpected", "posted")
+
+    def __init__(self, env: Engine, transport: "Transport") -> None:
+        self.env = env
+        self.transport = transport
+        self.unexpected: Deque[_Envelope] = deque()
+        self.posted: Deque[_PostedRecv] = deque()
+
+    def post_recv(self, src: int, tag: int) -> Event:
+        """Post a receive; the returned event fires at data arrival."""
+        ev = Event(self.env)
+        pr = _PostedRecv(src, tag, ev)
+        for i, envl in enumerate(self.unexpected):
+            if pr.matches(envl.msg):
+                del self.unexpected[i]
+                self._pair(envl, ev)
+                return ev
+        self.posted.append(pr)
+        return ev
+
+    def incoming(self, envelope: _Envelope) -> None:
+        """An arrived message (or rendezvous RTS) is ready to match."""
+        for i, pr in enumerate(self.posted):
+            if pr.matches(envelope.msg):
+                del self.posted[i]
+                self._pair(envelope, pr.event)
+                return
+        self.unexpected.append(envelope)
+
+    def _pair(self, envelope: _Envelope, recv_event: Event) -> None:
+        if envelope.sender_done is not None:
+            envelope.matched_recv = recv_event
+            self.transport._rendezvous_matched(envelope)
+        elif envelope.arrival is not None and not envelope.arrival.triggered:
+            envelope.arrival.callbacks.append(
+                lambda _e, e=envelope, r=recv_event: r.succeed(e.msg)
+            )
+        else:
+            recv_event.succeed(envelope.msg)
+
+
+class Transport:
+    """Moves messages between ranks over the partition's networks."""
+
+    def __init__(
+        self,
+        env: Engine,
+        torus: Torus3D,
+        mapping: Mapping,
+        machine,
+        adaptive_routing: bool = False,
+    ) -> None:
+        self.env = env
+        self.torus = torus
+        self.mapping = mapping
+        self.machine = machine
+        #: use the torus's adaptive (congestion-aware) routing per
+        #: message instead of deterministic dimension order
+        self.adaptive_routing = adaptive_routing
+        self.queues: Dict[int, _MatchQueue] = {}
+        #: total messages injected (stats)
+        self.messages_sent = 0
+        #: total payload bytes injected (stats)
+        self.bytes_sent = 0
+
+    # -- plumbing ---------------------------------------------------------
+    def queue_of(self, rank: int) -> _MatchQueue:
+        q = self.queues.get(rank)
+        if q is None:
+            q = self.queues[rank] = _MatchQueue(self.env, self)
+        return q
+
+    def _same_node(self, a: int, b: int) -> bool:
+        return self.mapping.node_of(a) == self.mapping.node_of(b)
+
+    def shm_bandwidth(self) -> float:
+        """Intra-node copy bandwidth: ~half the node STREAM rate."""
+        return self.machine.node.memory.node_stream / 2.0
+
+    def _network_delivery_delay(self, src: int, dst: int, nbytes: int) -> float:
+        """Book the route now; return delay until the tail arrives."""
+        mpi = self.machine.mpi
+        a, b = self.mapping.node_of(src), self.mapping.node_of(dst)
+        if self.adaptive_routing:
+            route = self.torus.route_adaptive(a, b, float(nbytes))
+        else:
+            route = self.torus.route(a, b)
+        head = self.env.now + mpi.latency
+        tail = head
+        for key in route:
+            head, tail = self.torus.links[key].book(float(nbytes), head)
+        return tail - self.env.now
+
+    def _shm_delivery_delay(self, nbytes: int) -> float:
+        return 0.5 * self.machine.mpi.latency + nbytes / self.shm_bandwidth()
+
+    def _schedule_eager_arrival(self, envelope: _Envelope, delay: float) -> None:
+        ev = Event(self.env)
+        ev._ok = True
+        ev._value = envelope.msg
+        self.env.schedule(ev, delay=delay)
+        envelope.arrival = ev
+        ev.callbacks.append(
+            lambda _e: self.queue_of(envelope.msg.dst).incoming(envelope)
+        )
+
+    # -- sends -------------------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
+        """Blocking send (generator).  Completes per protocol semantics."""
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        mpi = self.machine.mpi
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        msg = Message(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload)
+
+        yield self.env.timeout(mpi.send_overhead)
+
+        intranode = src != dst and self._same_node(src, dst)
+        if src == dst:
+            envl = _Envelope(msg)
+            self._schedule_eager_arrival(envl, delay=0.0)
+            return
+        if nbytes <= mpi.eager_threshold or intranode:
+            envl = _Envelope(msg)
+            delay = (
+                self._shm_delivery_delay(nbytes)
+                if intranode
+                else self._network_delivery_delay(src, dst, nbytes)
+            )
+            self._schedule_eager_arrival(envl, delay)
+            return
+
+        # Rendezvous: RTS control message first, then the bulk transfer.
+        done = Event(self.env)
+        envl = _Envelope(msg, sender_done=done)
+        rts_delay = self._network_delivery_delay(src, dst, 0)
+        rts_ev = Event(self.env)
+        rts_ev._ok = True
+        rts_ev._value = None
+        self.env.schedule(rts_ev, delay=rts_delay)
+        rts_ev.callbacks.append(lambda _e: self._rts_arrived(envl))
+        yield done
+
+    def _rts_arrived(self, envelope: _Envelope) -> None:
+        envelope.rts_arrived = True
+        self.queue_of(envelope.msg.dst).incoming(envelope)
+
+    def _rendezvous_matched(self, envelope: _Envelope) -> None:
+        """Both sides are ready (called by the match queue)."""
+        if not envelope.rts_arrived:  # pragma: no cover - defensive
+            return
+        msg = envelope.msg
+        intranode = self._same_node(msg.src, msg.dst)
+        delay = self.machine.mpi.rendezvous_overhead + (
+            self._shm_delivery_delay(msg.nbytes)
+            if intranode
+            else self._network_delivery_delay(msg.src, msg.dst, msg.nbytes)
+        )
+        ev = Event(self.env)
+        ev._ok = True
+        ev._value = msg
+        self.env.schedule(ev, delay=delay)
+
+        def _deliver(_e: Event) -> None:
+            recv = envelope.matched_recv
+            assert recv is not None and envelope.sender_done is not None
+            recv.succeed(msg)
+            if not envelope.sender_done.triggered:
+                envelope.sender_done.succeed()
+
+        ev.callbacks.append(_deliver)
+
+    # -- receives ------------------------------------------------------------
+    def post_recv(self, dst: int, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Post a receive; returned event fires when the data has arrived."""
+        return self.queue_of(dst).post_recv(src, tag)

@@ -1,0 +1,102 @@
+"""Communication statistics and tracing for simulated runs.
+
+Wraps a :class:`~repro.simmpi.comm.Cluster`'s transport with counters a
+performance analyst would want from a real run: message-size
+histograms, per-pair traffic matrices, link utilisation summaries, and
+a compact event trace.  This is the kind of instrumentation the paper's
+authors used (the IBM HPC Toolkit of reference [15]) to attribute
+application time to the networks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .comm import Cluster
+
+__all__ = ["CommStats", "attach_stats"]
+
+
+@dataclass
+class TraceEvent:
+    """One send, as recorded by the tracer."""
+
+    time: float
+    src: int
+    dst: int
+    nbytes: int
+    tag: int
+
+
+@dataclass
+class CommStats:
+    """Aggregated communication statistics of one simulated run."""
+
+    messages: int = 0
+    bytes_total: int = 0
+    #: message count per power-of-two size bucket (log2 of bytes, -1 for 0)
+    size_histogram: Counter = field(default_factory=Counter)
+    #: (src, dst) -> bytes
+    traffic_matrix: Dict[Tuple[int, int], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    trace: List[TraceEvent] = field(default_factory=list)
+    #: cap on stored trace events (statistics keep accumulating)
+    trace_limit: int = 10000
+
+    def record(self, time: float, src: int, dst: int, nbytes: int, tag: int) -> None:
+        self.messages += 1
+        self.bytes_total += nbytes
+        bucket = -1 if nbytes == 0 else int(math.log2(nbytes))
+        self.size_histogram[bucket] += 1
+        self.traffic_matrix[(src, dst)] += nbytes
+        if len(self.trace) < self.trace_limit:
+            self.trace.append(TraceEvent(time, src, dst, nbytes, tag))
+
+    # -- analysis -----------------------------------------------------------
+    def mean_message_bytes(self) -> float:
+        return self.bytes_total / self.messages if self.messages else 0.0
+
+    def heaviest_pairs(self, n: int = 5) -> List[Tuple[Tuple[int, int], int]]:
+        """The n most-communicating (src, dst) pairs."""
+        return sorted(self.traffic_matrix.items(), key=lambda kv: -kv[1])[:n]
+
+    def rank_volume(self, rank: int) -> Tuple[int, int]:
+        """(bytes sent, bytes received) for one rank."""
+        sent = sum(v for (s, _d), v in self.traffic_matrix.items() if s == rank)
+        recv = sum(v for (_s, d), v in self.traffic_matrix.items() if d == rank)
+        return sent, recv
+
+    def summary(self) -> str:
+        """A human-readable digest."""
+        lines = [
+            f"messages: {self.messages}",
+            f"bytes:    {self.bytes_total}",
+            f"mean msg: {self.mean_message_bytes():.1f} B",
+            "size histogram (log2-byte buckets):",
+        ]
+        for bucket in sorted(self.size_histogram):
+            label = "0B" if bucket == -1 else f"2^{bucket}"
+            lines.append(f"  {label:>6}: {self.size_histogram[bucket]}")
+        return "\n".join(lines)
+
+
+def attach_stats(cluster: Cluster, trace_limit: int = 10000) -> CommStats:
+    """Instrument a cluster's transport; returns the live stats object.
+
+    Every subsequent send on the cluster is recorded.  Idempotent-safe:
+    attaching twice layers two recorders (avoid).
+    """
+    stats = CommStats(trace_limit=trace_limit)
+    transport = cluster.transport
+    original_send = transport.send
+
+    def recording_send(src, dst, nbytes, tag=0, payload=None):
+        stats.record(transport.env.now, src, dst, nbytes, tag)
+        return original_send(src, dst, nbytes, tag, payload)
+
+    transport.send = recording_send  # type: ignore[method-assign]
+    return stats

@@ -1,0 +1,165 @@
+"""Sub-communicators: MPI_Comm_split for the simulated MPI.
+
+Applications like GYRO and CAM decompose their transposes over row and
+column communicators rather than COMM_WORLD; this module provides the
+same facility::
+
+    def program(comm):
+        row = split_by(comm, lambda r: r // 4)   # rows of four ranks
+        yield from row.allreduce(1024, dtype="float64")
+
+A :class:`SubComm` exposes the familiar communicator API with ranks
+renumbered inside the subgroup; point-to-point traffic is translated to
+parent-rank messages on a reserved tag band, and collectives run the
+software algorithms over the subgroup (the BG/P tree network serves the
+full partition; subgroup collectives took the torus path on the real
+machine too, absent a configured class route).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .comm import RankComm, ANY_SOURCE, ANY_TAG
+from . import collectives as _algos
+
+__all__ = ["SubComm", "split_by"]
+
+#: Tag band reserved for subgroup traffic (above the collective band).
+_SUB_TAG = 1 << 24
+
+
+class SubComm:
+    """A communicator over a subgroup of a cluster's ranks."""
+
+    __slots__ = ("parent", "group", "rank", "_group_id")
+
+    def __init__(self, parent: RankComm, group: List[int], group_id: int) -> None:
+        if parent.rank not in group:
+            raise ValueError("parent rank is not a member of the subgroup")
+        if len(set(group)) != len(group):
+            raise ValueError("subgroup contains duplicate ranks")
+        self.parent = parent
+        self.group = list(group)
+        self.rank = self.group.index(parent.rank)
+        self._group_id = group_id
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    @property
+    def env(self):
+        return self.parent.env
+
+    @property
+    def now(self) -> float:
+        return self.parent.now
+
+    @property
+    def machine(self):
+        return self.parent.machine
+
+    @property
+    def cluster(self):
+        return self.parent.cluster
+
+    def world_rank(self, sub_rank: int) -> int:
+        """Translate a subgroup rank to the cluster rank."""
+        return self.group[sub_rank]
+
+    def _tag(self, tag: int) -> int:
+        # Isolate subgroup traffic per group id and user tag.  The
+        # stride exceeds the collective-internal tag band (~2^20), so
+        # concurrent collectives on different subgroups cannot collide.
+        return _SUB_TAG + self._group_id * (1 << 22) + tag
+
+    # -- point-to-point ---------------------------------------------------------
+    def send(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
+        yield from self.parent.send(
+            self.world_rank(dst), nbytes, tag=self._tag(tag), payload=payload
+        )
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        wsrc = ANY_SOURCE if src == ANY_SOURCE else self.world_rank(src)
+        wtag = ANY_TAG if tag == ANY_TAG else self._tag(tag)
+        msg = yield from self.parent.recv(src=wsrc, tag=wtag)
+        return msg
+
+    def isend(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
+        return self.parent.isend(
+            self.world_rank(dst), nbytes, tag=self._tag(tag), payload=payload
+        )
+
+    def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
+        wsrc = ANY_SOURCE if src == ANY_SOURCE else self.world_rank(src)
+        wtag = ANY_TAG if tag == ANY_TAG else self._tag(tag)
+        return self.parent.irecv(src=wsrc, tag=wtag)
+
+    def wait(self, req):
+        value = yield from self.parent.wait(req)
+        return value
+
+    def waitall(self, reqs):
+        values = yield from self.parent.waitall(reqs)
+        return values
+
+    def sendrecv(self, dst: int, send_bytes: int, src: int, tag: int = 0,
+                 recv_tag: Optional[int] = None):
+        rtag = tag if recv_tag is None else recv_tag
+        req = self.irecv(src=src, tag=rtag)
+        yield from self.send(dst, send_bytes, tag=tag)
+        msg = yield from self.wait(req)
+        return msg
+
+    # -- compute ---------------------------------------------------------------
+    def compute(self, flops: float = 0.0, bytes_moved: float = 0.0, seconds: float = 0.0):
+        yield from self.parent.compute(
+            flops=flops, bytes_moved=bytes_moved, seconds=seconds
+        )
+
+    # -- collectives (software algorithms over the subgroup) --------------------
+    def barrier(self):
+        yield from _algos.dissemination_barrier(self)
+
+    def bcast(self, nbytes: int, root: int = 0, dtype: str = "byte"):
+        yield from _algos.binomial_bcast(self, nbytes, root)
+
+    def reduce(self, nbytes: int, root: int = 0, dtype: str = "float64"):
+        yield from _algos.binomial_reduce(self, nbytes, root)
+
+    def allreduce(self, nbytes: int, dtype: str = "float64"):
+        yield from _algos.software_allreduce(self, nbytes)
+
+    def allgather(self, nbytes_per_rank: int):
+        yield from _algos.ring_allgather(self, nbytes_per_rank)
+
+    def alltoall(self, nbytes_per_pair: int):
+        yield from _algos.pairwise_alltoall(self, nbytes_per_pair)
+
+    def gather(self, nbytes_per_rank: int, root: int = 0):
+        yield from _algos.binomial_gather(self, nbytes_per_rank, root)
+
+    def scatter(self, nbytes_per_rank: int, root: int = 0):
+        yield from _algos.binomial_scatter(self, nbytes_per_rank, root)
+
+
+def split_by(comm: RankComm, color_fn, key_fn=None) -> SubComm:
+    """MPI_Comm_split with an explicit shared color function.
+
+    ``color_fn(world_rank) -> color`` is evaluated for every rank (it
+    must be pure), sidestepping the coordination a real MPI performs::
+
+        row = split_by(comm, lambda r: r // 4)        # rows of 4
+        col = split_by(comm, lambda r: r % 4)         # columns
+    """
+    colors: Dict[int, List[int]] = {}
+    for r in range(comm.size):
+        colors.setdefault(color_fn(r), []).append(r)
+    my_color = color_fn(comm.rank)
+    group = colors[my_color]
+    if key_fn is not None:
+        group = sorted(group, key=key_fn)
+    group_ids = {c: i for i, c in enumerate(sorted(colors, key=repr))}
+    return SubComm(comm, group, group_ids[my_color])

@@ -1,0 +1,118 @@
+"""Per-rank activity timelines from simulated runs.
+
+Records (rank, start, end, kind) intervals — ``compute`` from
+roofline-costed compute blocks, ``send`` for injection overheads — and
+derives the analyst's staples: per-rank busy fractions, the critical
+rank, and an ASCII Gantt strip.  The paper's authors did exactly this
+kind of attribution (with the IBM HPC toolkit) to split POP into its
+baroclinic/barotropic phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .comm import Cluster
+
+__all__ = ["Interval", "Timeline", "attach_timeline"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One busy interval of one rank."""
+
+    rank: int
+    start: float
+    end: float
+    kind: str  # "compute" | "send"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """All recorded intervals of one run."""
+
+    intervals: List[Interval] = field(default_factory=list)
+
+    def record(self, rank: int, start: float, end: float, kind: str) -> None:
+        if end < start:
+            raise ValueError("interval ends before it starts")
+        self.intervals.append(Interval(rank, start, end, kind))
+
+    # -- analysis -----------------------------------------------------------
+    def span(self) -> Tuple[float, float]:
+        if not self.intervals:
+            return (0.0, 0.0)
+        return (
+            min(i.start for i in self.intervals),
+            max(i.end for i in self.intervals),
+        )
+
+    def busy_seconds(self, rank: int, kind: Optional[str] = None) -> float:
+        return sum(
+            i.duration
+            for i in self.intervals
+            if i.rank == rank and (kind is None or i.kind == kind)
+        )
+
+    def busy_fraction(self, rank: int) -> float:
+        lo, hi = self.span()
+        total = hi - lo
+        return self.busy_seconds(rank) / total if total > 0 else 0.0
+
+    def critical_rank(self) -> int:
+        """The rank with the most busy time (the load-imbalance culprit)."""
+        ranks = {i.rank for i in self.intervals}
+        if not ranks:
+            raise ValueError("empty timeline")
+        return max(ranks, key=self.busy_seconds)
+
+    def gantt(self, width: int = 60) -> str:
+        """ASCII strip chart: '#' compute, '>' send, '.' idle."""
+        lo, hi = self.span()
+        total = hi - lo
+        ranks = sorted({i.rank for i in self.intervals})
+        if total <= 0 or not ranks:
+            return "(empty timeline)"
+        lines = []
+        for r in ranks:
+            cells = ["."] * width
+            for i in self.intervals:
+                if i.rank != r:
+                    continue
+                a = int((i.start - lo) / total * width)
+                b = max(a + 1, int((i.end - lo) / total * width))
+                ch = "#" if i.kind == "compute" else ">"
+                for c in range(a, min(b, width)):
+                    if cells[c] == "." or ch == "#":
+                        cells[c] = ch
+            lines.append(f"rank {r:>4} |{''.join(cells)}|")
+        return "\n".join(lines)
+
+
+def attach_timeline(cluster: Cluster) -> Timeline:
+    """Instrument a cluster; returns the live timeline.
+
+    Hooks the roofline compute path (via the cluster's ``timeline``
+    slot) and wraps the transport's injection so every rank's busy
+    periods are captured.  Attach before ``run``.
+    """
+    timeline = Timeline()
+    cluster.timeline = timeline
+
+    transport = cluster.transport
+    original_send = transport.send
+
+    def recording_send(src, dst, nbytes, tag=0, payload=None):
+        start = transport.env.now
+        result = yield from original_send(src, dst, nbytes, tag, payload)
+        end = transport.env.now
+        timeline.record(src, start, end, "send")
+        return result
+
+    transport.send = recording_send  # type: ignore[method-assign]
+    return timeline

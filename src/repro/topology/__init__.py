@@ -1,0 +1,34 @@
+"""Interconnect topologies: 3-D torus, collective tree, barrier network,
+process mappings, and the allocation/fragmentation model."""
+
+from .torus import Torus3D, Coord, LinkKey
+from .tree import TreeNetwork
+from .barrier import BarrierNetwork, software_barrier_time
+from .mapping import (
+    Mapping,
+    PREDEFINED_MAPPINGS,
+    PAPER_FIG2_MAPPINGS,
+    coords_of_rank,
+    rank_of_coords,
+)
+from .partition import Partition, allocate
+from .analysis import TrafficAnalysis, analyze_pattern, compare_mappings
+
+__all__ = [
+    "Torus3D",
+    "Coord",
+    "LinkKey",
+    "TreeNetwork",
+    "BarrierNetwork",
+    "software_barrier_time",
+    "Mapping",
+    "PREDEFINED_MAPPINGS",
+    "PAPER_FIG2_MAPPINGS",
+    "coords_of_rank",
+    "rank_of_coords",
+    "Partition",
+    "allocate",
+    "TrafficAnalysis",
+    "analyze_pattern",
+    "compare_mappings",
+]

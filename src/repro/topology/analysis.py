@@ -1,0 +1,117 @@
+"""Static traffic analysis on torus topologies.
+
+Route a communication pattern once and study where the bytes land:
+per-link loads, the maximally loaded link (which sets the bandwidth
+term of any phase-structured exchange), and per-mapping comparisons.
+The HALO harness uses this machinery inline; here it is exposed for
+library users studying their own patterns (the paper's authors did the
+same analysis to choose POP/CAM mappings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..machines.specs import MachineSpec
+from .mapping import Mapping
+from .torus import Torus3D, LinkKey
+
+__all__ = ["TrafficAnalysis", "analyze_pattern", "compare_mappings"]
+
+#: A communication pattern: (src_rank, dst_rank, bytes) triples.
+Pattern = Iterable[Tuple[int, int, float]]
+
+
+@dataclass(frozen=True)
+class TrafficAnalysis:
+    """Result of routing one pattern over one mapping."""
+
+    mapping: str
+    total_bytes: float
+    network_messages: int
+    intranode_messages: int
+    max_link_bytes: float
+    mean_link_bytes: float
+    max_hops: int
+    loads: Dict[LinkKey, float]
+
+    @property
+    def congestion_factor(self) -> float:
+        """Max over mean link load: 1.0 = perfectly spread traffic."""
+        return (
+            self.max_link_bytes / self.mean_link_bytes
+            if self.mean_link_bytes > 0
+            else 1.0
+        )
+
+    def phase_seconds(self, link_bandwidth: float) -> float:
+        """Bandwidth-term duration of the pattern as one phase."""
+        if link_bandwidth <= 0:
+            raise ValueError("link bandwidth must be positive")
+        return self.max_link_bytes / link_bandwidth
+
+    def hottest(self, n: int = 5) -> List[Tuple[LinkKey, float]]:
+        return sorted(self.loads.items(), key=lambda kv: -kv[1])[:n]
+
+
+def analyze_pattern(
+    machine: MachineSpec,
+    shape: Sequence[int],
+    mapping: str,
+    tasks_per_node: int,
+    pattern: Pattern,
+) -> TrafficAnalysis:
+    """Route every message of ``pattern``; accumulate per-link loads."""
+    torus = Torus3D(shape, machine.torus)
+    mp = Mapping(mapping, tuple(shape), tasks_per_node)
+    loads: Dict[LinkKey, float] = {}
+    total = 0.0
+    net = intra = 0
+    max_hops = 0
+    for src, dst, nbytes in pattern:
+        if nbytes < 0:
+            raise ValueError("negative message size in pattern")
+        total += nbytes
+        a, b = mp.node_of(src), mp.node_of(dst)
+        if a == b:
+            intra += 1
+            continue
+        net += 1
+        route = torus.route(a, b)
+        max_hops = max(max_hops, len(route))
+        for key in route:
+            loads[key] = loads.get(key, 0.0) + nbytes
+    values = list(loads.values())
+    return TrafficAnalysis(
+        mapping=mp.order,
+        total_bytes=total,
+        network_messages=net,
+        intranode_messages=intra,
+        max_link_bytes=max(values) if values else 0.0,
+        mean_link_bytes=sum(values) / len(values) if values else 0.0,
+        max_hops=max_hops,
+        loads=loads,
+    )
+
+
+def compare_mappings(
+    machine: MachineSpec,
+    shape: Sequence[int],
+    tasks_per_node: int,
+    pattern_fn: Callable[[int], Pattern],
+    mappings: Sequence[str],
+) -> Dict[str, TrafficAnalysis]:
+    """Analyze one pattern under several mappings.
+
+    ``pattern_fn(n_ranks)`` builds the pattern for the mapping's
+    capacity (all mappings over one shape have equal capacity).
+    """
+    if not mappings:
+        raise ValueError("no mappings given")
+    capacity = Mapping(mappings[0], tuple(shape), tasks_per_node).size
+    pattern = list(pattern_fn(capacity))
+    return {
+        m: analyze_pattern(machine, shape, m, tasks_per_node, pattern)
+        for m in mappings
+    }

@@ -1,0 +1,241 @@
+"""The 3-D torus interconnect.
+
+Both machine families route point-to-point traffic over a 3-D torus
+(BG/P: embedded routers, 425 MB/s links; XT: SeaStar/SeaStar2).  The
+model is link-level: every directed nearest-neighbour link is a
+:class:`~repro.simengine.resources.SerialLink`, messages follow
+deterministic dimension-order (X then Y then Z) routes with shortest
+wrap-around direction per dimension, and contention arises naturally
+when two messages share a directed link.
+
+For analytic (non-DES) estimates the class also provides hop counts,
+average/max distances, and bisection bandwidth — the quantities behind
+the PTRANS and HALO discussions in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..simengine import Engine, SerialLink
+from ..machines.specs import TorusSpec
+
+__all__ = ["Torus3D", "Coord", "LinkKey"]
+
+Coord = Tuple[int, int, int]
+#: A directed link: (from_node, to_node) coordinates.
+LinkKey = Tuple[Coord, Coord]
+
+
+@dataclass(frozen=True)
+class _Shape:
+    x: int
+    y: int
+    z: int
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+
+class Torus3D:
+    """A 3-D torus of nodes with directed, contended links.
+
+    Parameters
+    ----------
+    shape:
+        (X, Y, Z) node extents.  Extent 1 in a dimension means that
+        dimension does not exist (no self-links are created).
+    spec:
+        Link bandwidth/latency parameters from the machine model.
+    env:
+        A simulation engine.  If omitted, the torus works in *analytic*
+        mode only (routing and distance queries; no link objects).
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        spec: TorusSpec,
+        env: Optional[Engine] = None,
+    ) -> None:
+        if len(shape) != 3 or any(d < 1 for d in shape):
+            raise ValueError(f"torus shape must be 3 positive extents, got {shape}")
+        self.shape: Coord = (int(shape[0]), int(shape[1]), int(shape[2]))
+        self.spec = spec
+        self.env = env
+        self.links: Dict[LinkKey, SerialLink] = {}
+        if env is not None:
+            self._build_links(env)
+
+    # -- construction -----------------------------------------------------
+    def _build_links(self, env: Engine) -> None:
+        for node in self.nodes():
+            for nbr in self.neighbors(node):
+                key = (node, nbr)
+                if key not in self.links:
+                    self.links[key] = SerialLink(
+                        env,
+                        bandwidth=self.spec.link_bandwidth,
+                        latency=self.spec.hop_latency,
+                        name=f"{node}->{nbr}",
+                    )
+
+    # -- basic queries ------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        x, y, z = self.shape
+        return x * y * z
+
+    def nodes(self) -> Iterator[Coord]:
+        X, Y, Z = self.shape
+        for z in range(Z):
+            for y in range(Y):
+                for x in range(X):
+                    yield (x, y, z)
+
+    def contains(self, node: Coord) -> bool:
+        return all(0 <= c < d for c, d in zip(node, self.shape))
+
+    def neighbors(self, node: Coord) -> List[Coord]:
+        """Nearest neighbours over torus wrap-around (up to 6)."""
+        if not self.contains(node):
+            raise ValueError(f"{node} outside torus {self.shape}")
+        out: List[Coord] = []
+        for dim in range(3):
+            ext = self.shape[dim]
+            if ext == 1:
+                continue
+            for step in (+1, -1):
+                nbr = list(node)
+                nbr[dim] = (nbr[dim] + step) % ext
+                cand = tuple(nbr)
+                if cand != node and cand not in out:
+                    out.append(cand)  # type: ignore[arg-type]
+        return out
+
+    # -- distances ----------------------------------------------------------
+    def hop_distance(self, a: Coord, b: Coord) -> int:
+        """Minimal hops between two nodes (per-dimension shortest wrap)."""
+        total = 0
+        for dim in range(3):
+            ext = self.shape[dim]
+            d = abs(a[dim] - b[dim])
+            total += min(d, ext - d)
+        return total
+
+    def average_distance(self) -> float:
+        """Mean hop distance between distinct node pairs (closed form).
+
+        For a ring of even extent k the mean one-dimension distance over
+        all ordered pairs (including self) is k/4; for odd k it is
+        (k*k - 1) / (4*k).  Dimensions are independent, so the torus
+        mean is the sum over dimensions.
+        """
+        mean = 0.0
+        for ext in self.shape:
+            if ext == 1:
+                continue
+            if ext % 2 == 0:
+                mean += ext / 4.0
+            else:
+                mean += (ext * ext - 1) / (4.0 * ext)
+        return mean
+
+    def max_distance(self) -> int:
+        """Torus diameter in hops."""
+        return sum(ext // 2 for ext in self.shape if ext > 1)
+
+    def bisection_links(self) -> int:
+        """Directed links crossing the worst-case bisection plane.
+
+        Cutting the torus across its *largest* dimension severs
+        ``2 * (other-dims product)`` bidirectional link bundles (the cut
+        crosses the torus twice because of wrap-around), i.e. twice that
+        many directed links per direction.
+        """
+        X, Y, Z = sorted(self.shape)
+        # largest extent is Z after sorting; plane area = X*Y
+        return 4 * X * Y  # 2 cuts x 2 directions x plane area
+
+    def bisection_bandwidth(self) -> float:
+        """Bytes/s crossing the bisection in one direction."""
+        return self.bisection_links() / 2 * self.spec.link_bandwidth
+
+    # -- routing --------------------------------------------------------------
+    def route(
+        self, src: Coord, dst: Coord, dim_order: Tuple[int, int, int] = (0, 1, 2)
+    ) -> List[LinkKey]:
+        """Dimension-order route with shortest wrap per dimension.
+
+        ``dim_order`` selects the traversal order of the dimensions
+        (default X, Y, Z — the deterministic route).
+        """
+        if not self.contains(src) or not self.contains(dst):
+            raise ValueError(f"route endpoints outside torus {self.shape}")
+        if sorted(dim_order) != [0, 1, 2]:
+            raise ValueError(f"dim_order must permute (0, 1, 2), got {dim_order}")
+        path: List[LinkKey] = []
+        cur = list(src)
+        for dim in dim_order:
+            ext = self.shape[dim]
+            if ext == 1:
+                continue
+            delta = (dst[dim] - cur[dim]) % ext
+            if delta == 0:
+                continue
+            # choose the shorter wrap direction; ties go +
+            step = +1 if delta <= ext - delta else -1
+            hops = delta if step == +1 else ext - delta
+            for _ in range(hops):
+                nxt = list(cur)
+                nxt[dim] = (nxt[dim] + step) % ext
+                path.append((tuple(cur), tuple(nxt)))  # type: ignore[arg-type]
+                cur = nxt
+        assert tuple(cur) == tuple(dst)
+        return path
+
+    def route_adaptive(self, src: Coord, dst: Coord, nbytes: float) -> List[LinkKey]:
+        """Pick the less-congested of the XYZ and ZYX dimension orders.
+
+        BG/P's torus supports adaptive routing; this coarse model
+        chooses, per message, whichever of the two canonical dimension
+        orders would deliver the head earliest given current link
+        bookings.  Requires DES mode (link objects).
+        """
+        if self.env is None:
+            raise RuntimeError("adaptive routing needs an engine (DES mode)")
+        best_path: Optional[List[LinkKey]] = None
+        best_finish = float("inf")
+        for order in ((0, 1, 2), (2, 1, 0)):
+            path = self.route(src, dst, dim_order=order)
+            head = self.env.now
+            finish = head
+            for key in path:
+                link = self.links[key]
+                start = max(head, link._free_at)
+                finish = start + link.latency + nbytes / link.bandwidth
+                head = start + link.latency
+            if finish < best_finish:
+                best_finish = finish
+                best_path = path
+        assert best_path is not None
+        return best_path
+
+    def route_links(self, src: Coord, dst: Coord) -> List[SerialLink]:
+        """The SerialLink objects along the route (DES mode only)."""
+        if self.env is None:
+            raise RuntimeError("torus was built without an engine (analytic mode)")
+        return [self.links[k] for k in self.route(src, dst)]
+
+    # -- utilisation ------------------------------------------------------------
+    def link_utilisation(self) -> Dict[LinkKey, float]:
+        """Per-link utilisation fraction since simulation start."""
+        return {k: l.utilization() for k, l in self.links.items()}
+
+    def hottest_links(self, n: int = 5) -> List[Tuple[LinkKey, float]]:
+        """The ``n`` most-utilised links (contention diagnostics)."""
+        u = self.link_utilisation()
+        return sorted(u.items(), key=lambda kv: kv[1], reverse=True)[:n]

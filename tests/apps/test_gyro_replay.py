@@ -1,0 +1,38 @@
+"""Integration: GYRO's schedule replayed at message level."""
+
+import pytest
+
+from repro.apps.gyro import B1_STD, GyroModel
+from repro.apps.gyro.des_replay import replay_steps
+from repro.machines import BGP, XT4_QC
+
+
+@pytest.mark.parametrize("machine", [BGP, XT4_QC], ids=lambda m: m.name)
+def test_replay_agrees_with_model(machine):
+    rep = replay_steps(machine, processes=16, problem=B1_STD)
+    ana = GyroModel(machine, B1_STD).run(16, mode="VN").seconds_per_step
+    assert rep.seconds_per_step == pytest.approx(ana, rel=0.5)
+
+
+def test_replay_respects_process_granularity():
+    with pytest.raises(ValueError):
+        replay_steps(BGP, processes=20, problem=B1_STD)
+
+
+def test_replay_reductions_cheaper_on_bgp():
+    """The mechanism behind Fig. 7a: GYRO's many small reductions ride
+    the BG/P tree.  Compare *communication-only* replays (zero compute)
+    at equal rank counts."""
+    from dataclasses import replace
+
+    comm_only = replace(B1_STD, flops_per_point=1e-9)
+    b = replay_steps(BGP, 32, problem=comm_only)
+    x = replay_steps(XT4_QC, 32, problem=comm_only)
+    # XT must ship its reductions as p2p messages; BG/P's ride the tree.
+    assert x.messages > b.messages
+
+
+def test_replay_multiple_steps():
+    one = replay_steps(BGP, 16, problem=B1_STD, steps=1)
+    two = replay_steps(BGP, 16, problem=B1_STD, steps=2)
+    assert two.seconds_per_step == pytest.approx(one.seconds_per_step, rel=0.1)

@@ -1,0 +1,187 @@
+"""MD: force/cell/PME correctness + Fig. 8 shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import BGP, XT3, XT4_DC
+from repro.apps.md import (
+    MdSystem,
+    RUBISCO,
+    make_lattice_system,
+    lj_forces_bruteforce,
+    lj_forces_celllist,
+    velocity_verlet,
+    CellList,
+    spread_charges,
+    reciprocal_potential,
+    pme_fft_flops,
+    LammpsModel,
+    PmemdModel,
+)
+
+
+# ---------------------------------------------------------------------------
+# the RuBisCO workload (paper Section III.E)
+# ---------------------------------------------------------------------------
+def test_rubisco_descriptor():
+    assert RUBISCO.n_atoms == 290_220
+    assert RUBISCO.box == (150.0, 150.0, 135.0)
+    assert RUBISCO.inner_cutoff == 10.0 and RUBISCO.outer_cutoff == 11.0
+    assert RUBISCO.timestep_fs == 1.0
+
+
+def test_rubisco_density_realistic():
+    # Solvated biomolecules sit near 0.1 atoms/A^3.
+    assert RUBISCO.density == pytest.approx(0.0955, abs=0.005)
+
+
+def test_system_validation():
+    with pytest.raises(ValueError):
+        MdSystem("x", 0, (50, 50, 50), 10, 11, 1.0, (32, 32, 32))
+    with pytest.raises(ValueError):
+        MdSystem("x", 10, (50, 50, 50), 11, 10, 1.0, (32, 32, 32))
+    with pytest.raises(ValueError):
+        MdSystem("x", 10, (20, 50, 50), 10, 11, 1.0, (32, 32, 32))
+
+
+# ---------------------------------------------------------------------------
+# forces
+# ---------------------------------------------------------------------------
+def _jiggled_lattice(n_side=4, seed=9):
+    sys_, pos = make_lattice_system(n_side, 1.3)
+    rng = np.random.default_rng(seed)
+    pos = (pos + rng.uniform(-0.1, 0.1, pos.shape)) % np.array(sys_.box)
+    return sys_, pos
+
+
+def test_newtons_third_law():
+    sys_, pos = _jiggled_lattice()
+    f, _ = lj_forces_bruteforce(pos, sys_.box, sys_.inner_cutoff)
+    assert np.max(np.abs(f.sum(axis=0))) < 1e-10
+
+
+def test_celllist_matches_bruteforce():
+    sys_, pos = _jiggled_lattice(5)
+    f1, e1 = lj_forces_bruteforce(pos, sys_.box, sys_.inner_cutoff)
+    f2, e2 = lj_forces_celllist(pos, sys_.box, sys_.inner_cutoff)
+    assert np.allclose(f1, f2, atol=1e-10)
+    assert e1 == pytest.approx(e2)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(3, 5), st.integers(0, 100))
+def test_celllist_property(n_side, seed):
+    sys_, pos = _jiggled_lattice(n_side, seed)
+    f1, e1 = lj_forces_bruteforce(pos, sys_.box, sys_.inner_cutoff)
+    f2, e2 = lj_forces_celllist(pos, sys_.box, sys_.inner_cutoff)
+    assert np.allclose(f1, f2, atol=1e-9)
+
+
+def test_energy_conservation_nve():
+    """Velocity-Verlet NVE drift stays tiny over a short run."""
+    sys_, pos = _jiggled_lattice(3)
+    rng = np.random.default_rng(11)
+    vel = 0.05 * rng.standard_normal(pos.shape)
+    _, _, trace = velocity_verlet(
+        pos, vel, sys_.box, sys_.inner_cutoff, dt=0.002, steps=50
+    )
+    drift = abs(trace[-1] - trace[0]) / max(1e-12, abs(trace[0]))
+    assert drift < 0.01
+
+
+def test_force_validation():
+    with pytest.raises(ValueError):
+        lj_forces_bruteforce(np.zeros((4, 3)), (1, 1, 1), cutoff=0.0)
+    with pytest.raises(ValueError):
+        CellList((0, 1, 1), 0.5)
+
+
+# ---------------------------------------------------------------------------
+# PME
+# ---------------------------------------------------------------------------
+def test_charge_spreading_conserves_charge():
+    rng = np.random.default_rng(12)
+    pos = rng.uniform(0, 10, (100, 3))
+    q = rng.standard_normal(100)
+    grid = spread_charges(pos, q, (10, 10, 10), (8, 8, 8))
+    assert grid.sum() == pytest.approx(q.sum())
+
+
+def test_reciprocal_potential_solves_poisson():
+    rng = np.random.default_rng(13)
+    rho = rng.standard_normal((8, 8, 8))
+    rho -= rho.mean()  # neutral
+    phi = reciprocal_potential(rho, (10.0, 10.0, 10.0))
+    # Verify by applying -laplacian/4pi spectrally.
+    kx = 2 * np.pi * np.fft.fftfreq(8, d=10 / 8)
+    k2 = kx[:, None, None] ** 2 + kx[None, :, None] ** 2 + kx[None, None, :] ** 2
+    back = np.real(np.fft.ifftn(np.fft.fftn(phi) * k2)) / (4 * np.pi)
+    assert np.allclose(back, rho, atol=1e-10)
+
+
+def test_pme_flops_validation():
+    assert pme_fft_flops((16, 16, 16)) > 0
+    with pytest.raises(ValueError):
+        pme_fft_flops((1, 1, 1))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 shapes
+# ---------------------------------------------------------------------------
+def test_lammps_outscales_pmemd():
+    """'PMEMD scaling is limited due to higher rate of increase in
+    communication volume per MPI task ... and higher output
+    frequencies.'"""
+    for m in (BGP, XT4_DC):
+        l, p = LammpsModel(m), PmemdModel(m)
+        l_eff = l.run(4096).speedup_vs(l.run(64)) / 64
+        p_eff = p.run(4096).speedup_vs(p.run(64)) / 64
+        assert l_eff > p_eff
+
+
+def test_bgp_higher_parallel_efficiency():
+    """'The collective network of the BG/P results in relatively higher
+    parallel efficiencies.'
+
+    The effect shows on LAMMPS, whose per-step reductions ride the tree
+    network; PMEMD is limited by its slab FFT on *both* machines, so
+    there the efficiencies are close.
+    """
+    b, x = LammpsModel(BGP), LammpsModel(XT4_DC)
+    eff_b = b.run(4096).speedup_vs(b.run(64)) / 64
+    eff_x = x.run(4096).speedup_vs(x.run(64)) / 64
+    assert eff_b > eff_x
+    pb, px = PmemdModel(BGP), PmemdModel(XT4_DC)
+    eff_pb = pb.run(4096).speedup_vs(pb.run(64)) / 64
+    eff_px = px.run(4096).speedup_vs(px.run(64)) / 64
+    assert eff_pb == pytest.approx(eff_px, rel=0.2)
+
+
+def test_xt_faster_absolute():
+    for Model in (LammpsModel, PmemdModel):
+        assert Model(XT4_DC).run(512).ns_per_day > Model(BGP).run(512).ns_per_day
+
+
+def test_generation_improvements():
+    """'subsequent generations of the systems ... result in performance
+    improvements' — XT4/DC above XT3 at scale."""
+    assert (
+        LammpsModel(XT4_DC).run(2048).ns_per_day
+        > LammpsModel(XT3).run(2048).ns_per_day
+    )
+
+
+def test_ns_per_day_sane():
+    r = LammpsModel(XT4_DC).run(1024)
+    assert 1.0 < r.ns_per_day < 100.0
+
+
+def test_scaling_skips_oversized():
+    runs = LammpsModel(XT3).scaling([64, 10**7])
+    assert [r.processes for r in runs] == [64]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LammpsModel(BGP).run(0)

@@ -1,0 +1,37 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table3" in out and "fig4" in out
+
+
+def test_run_single(capsys):
+    assert main(["run", "top500"]) == 0
+    assert "614399" in capsys.readouterr().out
+
+
+def test_run_unknown(capsys):
+    assert main(["run", "fig99"]) == 2
+
+
+def test_run_to_directory(tmp_path, capsys):
+    assert main(["run", "table1", "-o", str(tmp_path)]) == 0
+    assert (tmp_path / "table1.txt").exists()
+    assert "BG/P" in (tmp_path / "table1.txt").read_text()
+
+
+def test_machines(capsys):
+    assert main(["machines"]) == 0
+    out = capsys.readouterr().out
+    assert "XT4/QC" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

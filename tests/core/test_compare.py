@@ -1,0 +1,58 @@
+"""Machine-comparison tool tests."""
+
+import pytest
+
+from repro.core import ComparisonRow, compare_machines, render_comparison
+from repro.machines import BGP, BGL, XT4_QC
+
+
+def test_rows_cover_the_paper_story():
+    rows = {r.metric: r for r in compare_machines(BGP, XT4_QC)}
+    # Compute: XT wins.
+    assert rows["DGEMM per process"].winner == "B"
+    assert rows["HPL @ 1024"].winner == "B"
+    # Memory + latency + collectives: BG/P wins.
+    assert rows["STREAM per process (EP)"].winner == "A"
+    assert rows["MPI latency"].winner == "A"
+    assert rows["bcast 32KB @ 1024"].winner == "A"
+    # Power: BG/P wins.
+    assert rows["power per core (HPL)"].winner == "A"
+    assert rows["Green500"].winner == "A"
+    # Bandwidth: XT wins.
+    assert rows["p2p bandwidth"].winner == "B"
+
+
+def test_ratio_and_winner_semantics():
+    r = ComparisonRow("m", "u", a_value=2.0, b_value=6.0, higher_is_better=True)
+    assert r.ratio == 3.0
+    assert r.winner == "B"
+    r2 = ComparisonRow("m", "u", a_value=2.0, b_value=6.0, higher_is_better=False)
+    assert r2.winner == "A"
+    assert ComparisonRow("m", "u", 1.0, 1.0).winner == "tie"
+
+
+def test_bgl_vs_bgp():
+    """Generational comparison within the family works too."""
+    rows = {r.metric: r for r in compare_machines(BGL, BGP, processes=256)}
+    assert rows["peak per core"].winner == "B"  # BG/P faster
+
+
+def test_render_contains_names_and_ratio_column():
+    text = render_comparison(BGP, XT4_QC, processes=256)
+    assert "BG/P" in text and "XT4/QC" in text
+    assert "XT4/QC/BG/P" in text
+    assert "winner" in text
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        compare_machines(BGP, XT4_QC, processes=1)
+
+
+def test_cli_compare(capsys):
+    from repro.cli import main
+
+    assert main(["compare", "bgp", "xt3", "-p", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "XT3" in out
+    assert main(["compare", "bgp", "nonsense"]) == 2

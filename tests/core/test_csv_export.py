@@ -1,0 +1,29 @@
+"""CSV export of figures."""
+
+import csv
+import io
+
+from repro.core import Figure, figure_to_csv
+
+
+def test_csv_roundtrip():
+    fig = (
+        Figure("F", "x", "y")
+        .add("a", [(1, 2.0), (2, 4.0)])
+        .add("b, with comma", [(1, 3.0)])
+    )
+    text = figure_to_csv(fig)
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0] == ["series", "x", "y"]
+    assert rows[1] == ["a", "1", "2.0"]
+    assert rows[3][0] == "b, with comma"  # quoting survived
+
+
+def test_csv_empty_figure():
+    assert figure_to_csv(Figure("F", "x", "y")) == "series,x,y"
+
+
+def test_csv_preserves_precision():
+    fig = Figure("F", "x", "y").add("s", [(1, 0.123456789012345)])
+    text = figure_to_csv(fig)
+    assert "0.123456789012345" in text

@@ -1,0 +1,57 @@
+"""ASCII chart rendering tests."""
+
+import pytest
+
+from repro.core import Figure
+
+
+def _fig():
+    return (
+        Figure("Scaling", "procs", "TF")
+        .add("BG/P", [(256, 1.0), (1024, 4.0), (4096, 16.0)])
+        .add("XT4", [(256, 2.5), (1024, 10.0), (4096, 40.0)])
+    )
+
+
+def test_chart_renders_bars():
+    text = _fig().render_chart(width=20)
+    assert "Scaling" in text
+    assert "#" in text
+    # The largest value gets the full-width bar.
+    assert "#" * 20 in text
+
+
+def test_chart_bars_proportional():
+    text = _fig().render_chart(width=40)
+    lines = [l for l in text.splitlines() if "|" in l]
+    bars = [l.split("|")[1].count("#") for l in lines]
+    # 6 points; last of second series is the maximum.
+    assert max(bars) == 40
+    assert bars[0] < bars[1] < bars[2]
+
+
+def test_chart_log_scale():
+    fig = Figure("Latency", "bytes", "us").add(
+        "m", [(4, 1.0), (4096, 10.0), (1 << 20, 1000.0)]
+    )
+    linear = fig.render_chart(width=30)
+    log = fig.render_chart(width=30, log_y=True)
+    # On a linear scale the small values collapse to minimum-width bars;
+    # the log scale separates them.
+    def bars(text):
+        return [
+            l.split("|")[1].count("#") for l in text.splitlines() if "|" in l
+        ]
+
+    assert bars(linear)[0] == 1
+    assert bars(log)[0] < bars(log)[1] < bars(log)[2]
+
+
+def test_chart_width_validation():
+    with pytest.raises(ValueError):
+        _fig().render_chart(width=5)
+
+
+def test_chart_empty_figure_falls_back():
+    fig = Figure("Empty", "x", "y")
+    assert "Empty" in fig.render_chart()

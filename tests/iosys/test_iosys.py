@@ -1,0 +1,106 @@
+"""I/O subsystem tests (paper Sections I.A-I.C)."""
+
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.iosys import EUGENE_SCRATCH, EUGENE_HOME, GpfsConfig, IoForwarding
+
+
+# ---------------------------------------------------------------------------
+# GPFS
+# ---------------------------------------------------------------------------
+def test_eugene_scratch_from_paper():
+    """'~70 TB ... 8 file servers and 2 metadata servers ... 24 LUNs,
+    each ... approximately 3.6 TB'."""
+    fs = EUGENE_SCRATCH
+    assert fs.capacity_bytes == pytest.approx(70e12)
+    assert fs.file_servers == 8
+    assert fs.metadata_servers == 2
+    assert fs.luns == 24
+    assert fs.lun_capacity_bytes == pytest.approx(3.6e12)
+
+
+def test_lun_capacity_covers_advertised():
+    """24 x 3.6 TB = 86.4 TB raw for a ~70 TB filesystem (8+2 parity)."""
+    assert EUGENE_SCRATCH.usable_fraction_check() == pytest.approx(
+        86.4 / 70, rel=0.01
+    )
+
+
+def test_aggregate_bandwidth_is_min_of_stages():
+    fs = EUGENE_SCRATCH
+    assert fs.aggregate_bandwidth == min(
+        fs.luns * fs.lun_bandwidth,
+        fs.file_servers * fs.server_bandwidth,
+        fs.controller_bandwidth,
+    )
+
+
+def test_home_slower_than_scratch():
+    assert EUGENE_HOME.aggregate_bandwidth < EUGENE_SCRATCH.aggregate_bandwidth
+
+
+def test_gpfs_validation():
+    with pytest.raises(ValueError):
+        GpfsConfig("x", 1e12, 0, 1, 1, 1e12)
+    with pytest.raises(ValueError):
+        GpfsConfig("x", 0, 1, 1, 1, 1e12)
+
+
+# ---------------------------------------------------------------------------
+# forwarding
+# ---------------------------------------------------------------------------
+def test_ion_ratio_64_to_1():
+    """'each IO node serves the I/O requests from 64 compute nodes'."""
+    io = IoForwarding(BGP, compute_nodes=2048)
+    assert io.io_nodes == 32  # two racks x 16 IONs
+
+
+def test_xt_has_no_tree_path():
+    with pytest.raises(ValueError):
+        IoForwarding(XT4_QC, compute_nodes=128)
+
+
+def test_write_bandwidth_bounded_by_filesystem():
+    io = IoForwarding(BGP, compute_nodes=2048)
+    est = io.write(100e9)
+    assert est.bandwidth <= EUGENE_SCRATCH.aggregate_bandwidth * 1.01
+    assert est.bottleneck in io.stage_bandwidths()
+
+
+def test_small_partition_limited_by_ions():
+    """A one-ION partition cannot exceed one NIC."""
+    io = IoForwarding(BGP, compute_nodes=32)
+    est = io.write(10e9)
+    assert est.bandwidth <= io.ion_nic_bandwidth * 1.01
+    assert est.bottleneck in ("collective-tree", "ion-nics")
+
+
+def test_few_writers_cannot_saturate():
+    """Funnelled I/O (the anti-pattern behind the CAM I/O issue)."""
+    io = IoForwarding(BGP, compute_nodes=2048)
+    one = io.write(10e9, writers=1)
+    many = io.write(10e9, writers=256)
+    assert one.seconds > many.seconds
+    assert one.bottleneck == "writer-fanout"
+
+
+def test_bigger_partitions_write_faster_until_fs_limit():
+    small = IoForwarding(BGP, compute_nodes=64).write(50e9)
+    large = IoForwarding(BGP, compute_nodes=4096).write(50e9)
+    assert large.seconds < small.seconds
+
+
+def test_read_symmetric():
+    io = IoForwarding(BGP, compute_nodes=512)
+    assert io.read(1e9).seconds == io.write(1e9).seconds
+
+
+def test_validation():
+    io = IoForwarding(BGP, compute_nodes=512)
+    with pytest.raises(ValueError):
+        io.write(-1)
+    with pytest.raises(ValueError):
+        io.write(1e9, writers=0)
+    with pytest.raises(ValueError):
+        IoForwarding(BGP, compute_nodes=0)

@@ -1,0 +1,65 @@
+"""Ping-pong and random-ring kernels: DES vs analytic, machine shapes."""
+
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.kernels import (
+    pingpong_analytic,
+    run_pingpong_des,
+    random_ring_analytic,
+    run_random_ring_des,
+)
+
+
+def test_pingpong_latency_ordering():
+    """Table 2: BG/P strength is low latency."""
+    b = pingpong_analytic(BGP, 8)
+    x = pingpong_analytic(XT4_QC, 8)
+    assert b.latency_us < x.latency_us
+
+
+def test_pingpong_bandwidth_ordering():
+    """Table 2: XT strength is high bandwidth."""
+    b = pingpong_analytic(BGP, 1 << 21)
+    x = pingpong_analytic(XT4_QC, 1 << 21)
+    assert x.bandwidth_gbs > b.bandwidth_gbs
+
+
+def test_pingpong_des_close_to_analytic():
+    for machine in (BGP, XT4_QC):
+        des = run_pingpong_des(machine, nbytes=8, repeats=5)
+        ana = pingpong_analytic(machine, 8)
+        assert des.latency_us == pytest.approx(ana.latency_us, rel=0.5)
+
+
+def test_pingpong_repeats_validation():
+    with pytest.raises(ValueError):
+        run_pingpong_des(BGP, repeats=0)
+
+
+def test_bgp_latency_microseconds():
+    """BG/P MPI ping-pong latency is single-digit microseconds."""
+    lat = pingpong_analytic(BGP, 0).latency_us
+    assert 2.0 < lat < 8.0
+
+
+def test_ring_ordering():
+    b = random_ring_analytic(BGP, 4096)
+    x = random_ring_analytic(XT4_QC, 4096)
+    assert b.latency_us < x.latency_us
+    assert x.bandwidth_gbs_per_process > b.bandwidth_gbs_per_process
+
+
+def test_ring_bandwidth_drops_with_scale():
+    """More nodes => longer average routes => less per-process BW."""
+    small = random_ring_analytic(BGP, 256)
+    large = random_ring_analytic(BGP, 16384)
+    assert large.bandwidth_gbs_per_process < small.bandwidth_gbs_per_process
+
+
+def test_ring_des_runs():
+    res = run_random_ring_des(BGP, processes=16, nbytes=1 << 14)
+    assert res.latency_us > 0
+    assert res.bandwidth_gbs_per_process > 0
+    with pytest.raises(ValueError):
+        run_random_ring_des(BGP, processes=1)

@@ -1,0 +1,81 @@
+"""Execution-mode resolution (SMP/DUAL/VN, SN/VN) per paper Section I.A/D."""
+
+import pytest
+
+from repro.machines import BGP, BGL, XT4_QC, Mode, available_modes, resolve_mode
+
+
+def test_bgp_supports_three_modes():
+    assert available_modes(BGP) == (Mode.SMP, Mode.DUAL, Mode.VN)
+
+
+def test_xt_uses_sn_vn():
+    assert available_modes(XT4_QC) == (Mode.SN, Mode.VN)
+
+
+def test_bgl_has_no_dual():
+    assert Mode.DUAL not in available_modes(BGL)
+
+
+def test_dual_rejected_on_xt():
+    with pytest.raises(ValueError):
+        resolve_mode(XT4_QC, Mode.DUAL)
+
+
+def test_smp_mode_tasks_and_threads():
+    cfg = resolve_mode(BGP, "SMP")
+    assert cfg.tasks_per_node == 1
+    assert cfg.threads_per_task == 4
+
+
+def test_dual_mode_splits_evenly():
+    # "Memory and cores are split evenly between the two tasks."
+    cfg = resolve_mode(BGP, "DUAL")
+    assert cfg.tasks_per_node == 2
+    assert cfg.threads_per_task == 2
+    assert cfg.memory_per_task == pytest.approx(1 * 1024**3)
+
+
+def test_vn_mode_one_task_per_core():
+    cfg = resolve_mode(BGP, "VN")
+    assert cfg.tasks_per_node == 4
+    assert cfg.threads_per_task == 1
+    assert cfg.memory_per_task == pytest.approx(0.5 * 1024**3)
+
+
+def test_sn_is_smp_synonym():
+    xt_sn = resolve_mode(XT4_QC, "SN")
+    assert xt_sn.tasks_per_node == 1
+    # SMP accepted on XT via canonicalization.
+    xt_smp = resolve_mode(XT4_QC, "SMP")
+    assert xt_smp.tasks_per_node == 1
+
+
+def test_injection_bandwidth_shared_among_tasks():
+    # Section I.A: torus bandwidth "is shared among the node's four cores".
+    vn = resolve_mode(BGP, "VN")
+    smp = resolve_mode(BGP, "SMP")
+    assert vn.injection_bw_per_task == pytest.approx(smp.injection_bw_per_task / 4)
+
+
+def test_stream_bandwidth_share():
+    vn = resolve_mode(BGP, "VN")
+    single = BGP.node.memory.single_core_stream
+    quarter = BGP.node.memory.node_stream / 4
+    assert vn.stream_bw_per_task == pytest.approx(min(single, quarter))
+
+
+def test_peak_flops_per_task():
+    assert resolve_mode(BGP, "SMP").peak_flops_per_task == pytest.approx(13.6e9)
+    assert resolve_mode(BGP, "VN").peak_flops_per_task == pytest.approx(3.4e9)
+
+
+def test_rank_node_conversions():
+    cfg = resolve_mode(BGP, "VN")
+    assert cfg.ranks_for_nodes(16) == 64
+    assert cfg.nodes_for_ranks(64) == 16
+    assert cfg.nodes_for_ranks(65) == 17  # ceiling
+
+
+def test_mode_string_case_insensitive():
+    assert resolve_mode(BGP, "vn").tasks_per_node == 4

@@ -1,0 +1,127 @@
+"""Spec dataclass validation and derived quantities."""
+
+import pytest
+
+from repro.machines import (
+    BGP,
+    XT4_QC,
+    CacheLevel,
+    CoreSpec,
+    MemorySpec,
+    MpiSpec,
+    PowerSpec,
+    TorusSpec,
+    TreeSpec,
+)
+
+
+# ---------------------------------------------------------------------------
+# CacheLevel
+# ---------------------------------------------------------------------------
+def test_cache_validation():
+    with pytest.raises(ValueError):
+        CacheLevel(size_bytes=0, shared=False)
+    with pytest.raises(ValueError):
+        CacheLevel(size_bytes=1024, shared=False, line_bytes=48)  # not pow2
+
+
+# ---------------------------------------------------------------------------
+# MemorySpec
+# ---------------------------------------------------------------------------
+def test_memory_defaults_derive_from_peak():
+    m = MemorySpec(capacity_bytes=1 << 30, peak_bandwidth=10e9)
+    assert m.single_core_stream == pytest.approx(3.5e9)
+    assert m.node_stream == pytest.approx(7.0e9)
+
+
+def test_memory_validation():
+    with pytest.raises(ValueError):
+        MemorySpec(capacity_bytes=0, peak_bandwidth=1e9)
+    with pytest.raises(ValueError):
+        MemorySpec(capacity_bytes=1, peak_bandwidth=1e9, node_stream=2e9)
+
+
+def test_stream_per_process_regimes():
+    m = MemorySpec(
+        capacity_bytes=1 << 30,
+        peak_bandwidth=10e9,
+        single_core_stream=4e9,
+        node_stream=8e9,
+    )
+    assert m.stream_per_process(1) == 4e9  # single-core limited
+    assert m.stream_per_process(4) == 2e9  # node-bandwidth share
+    with pytest.raises(ValueError):
+        m.stream_per_process(0)
+
+
+# ---------------------------------------------------------------------------
+# CoreSpec / TorusSpec / TreeSpec
+# ---------------------------------------------------------------------------
+def test_core_peak():
+    c = CoreSpec(clock_hz=1e9, flops_per_cycle=4)
+    assert c.peak_flops == 4e9
+
+
+def test_torus_single_stream():
+    t = TorusSpec(link_bandwidth=500e6, links_per_node=6, hop_latency=1e-7)
+    assert t.single_stream_bandwidth == 500e6
+    assert t.injection_bandwidth == 6e9
+
+
+def test_torus_injection_cap():
+    t = TorusSpec(
+        link_bandwidth=2e9, links_per_node=6, hop_latency=1e-7, injection_cap=6.4e9
+    )
+    assert t.injection_bandwidth == 6.4e9
+
+
+def test_tree_dtype_support():
+    tree = TreeSpec(link_bandwidth=850e6, links_per_node=3, hop_latency=1e-7)
+    assert tree.supports_reduce("float64")
+    assert tree.supports_reduce("int32")
+    assert not tree.supports_reduce("float32")
+
+
+# ---------------------------------------------------------------------------
+# MpiSpec / PowerSpec
+# ---------------------------------------------------------------------------
+def test_mpi_validation():
+    with pytest.raises(ValueError):
+        MpiSpec(
+            latency=-1,
+            send_overhead=0,
+            recv_overhead=0,
+            eager_threshold=1024,
+            rendezvous_overhead=0,
+        )
+
+
+def test_power_aggregate_kinds():
+    p = PowerSpec(hpl_watts_per_core=10.0, normal_watts_per_core=8.0)
+    assert p.aggregate(100, "hpl") == 1000
+    assert p.aggregate(100, "normal") == 800
+    assert p.aggregate(100, "idle") == pytest.approx(480)
+    with pytest.raises(KeyError):
+        p.aggregate(1, "turbo")
+
+
+# ---------------------------------------------------------------------------
+# MachineSpec derived values
+# ---------------------------------------------------------------------------
+def test_machine_totals():
+    assert BGP.total_cores == BGP.total_nodes * 4
+    assert BGP.peak_flops_total == pytest.approx(BGP.total_nodes * 13.6e9)
+
+
+def test_watts_per_gflop_peak():
+    # BG/P SoC+system: ~2.3 W per peak GFlop/s at wall (1.8 for the SoC
+    # alone per Section I.A; ours includes the full-system share).
+    assert 1.8 < BGP.watts_per_gflop_peak < 2.6
+    assert XT4_QC.watts_per_gflop_peak > 2 * BGP.watts_per_gflop_peak
+
+
+def test_hpl_efficiency_bounds():
+    import dataclasses
+
+    with pytest.raises(ValueError):
+        dataclasses.replace(BGP, hpl_efficiency=1.5)

@@ -1,0 +1,66 @@
+"""Cache-hierarchy model tests."""
+
+import pytest
+
+from repro.machines import BGP, XT3, XT4_QC
+from repro.memmodel import CacheModel
+
+
+def test_covering_level_walks_hierarchy():
+    cm = CacheModel(BGP)
+    assert cm.covering_level(16 * 1024).name == "L1"
+    assert cm.covering_level(1024 * 1024).name == "L3"
+    assert cm.covering_level(64 * 1024 * 1024).name == "DRAM"
+
+
+def test_xt3_has_no_l3():
+    cm = CacheModel(XT3)
+    names = [lt.name for lt in cm._levels]
+    assert "L3" not in names
+    assert names[-1] == "DRAM"
+
+
+def test_xt4qc_has_l3():
+    cm = CacheModel(XT4_QC)
+    assert "L3" in [lt.name for lt in cm._levels]
+
+
+def test_shared_level_split_among_cores():
+    cm = CacheModel(BGP)
+    ws = 3 * 1024 * 1024  # fits 8MB L3 alone, not an eighth of it
+    assert cm.covering_level(ws, cores_sharing=1).name == "L3"
+    assert cm.covering_level(ws, cores_sharing=4).name == "DRAM"
+
+
+def test_latency_increases_down_hierarchy():
+    cm = CacheModel(BGP)
+    l1 = cm.random_access_latency(1024)
+    l3 = cm.random_access_latency(1024 * 1024)
+    dram = cm.random_access_latency(1 << 30)
+    assert l1 < l3 < dram
+
+
+def test_negative_working_set_rejected():
+    with pytest.raises(ValueError):
+        CacheModel(BGP).covering_level(-1)
+
+
+def test_dram_traffic_zero_when_cached():
+    cm = CacheModel(BGP)
+    assert cm.dram_traffic(1e6, working_set=8 * 1024) == 0.0
+
+
+def test_dram_traffic_patterns():
+    cm = CacheModel(BGP)
+    ws = 1 << 30
+    streaming = cm.dram_traffic(1e6, ws, "streaming")
+    blocked = cm.dram_traffic(1e6, ws, "blocked", reuse=10)
+    rand = cm.dram_traffic(1e6, ws, "random")
+    assert streaming == 1e6
+    assert blocked == pytest.approx(1e5)
+    assert rand > streaming  # whole lines dragged per 8-byte access
+
+
+def test_unknown_pattern_rejected():
+    with pytest.raises(ValueError):
+        CacheModel(BGP).dram_traffic(1.0, 1 << 30, "zigzag")

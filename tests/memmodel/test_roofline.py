@@ -1,0 +1,76 @@
+"""Roofline model tests."""
+
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.memmodel import KernelWork, Roofline
+
+
+def test_work_validation():
+    with pytest.raises(ValueError):
+        KernelWork(flops=-1)
+    with pytest.raises(ValueError):
+        KernelWork(flops=1, flop_efficiency=0)
+    with pytest.raises(ValueError):
+        KernelWork(flops=1, flop_efficiency=1.5)
+
+
+def test_arithmetic_intensity():
+    w = KernelWork(flops=100, dram_bytes=50)
+    assert w.arithmetic_intensity == 2.0
+    assert KernelWork(flops=100).arithmetic_intensity == float("inf")
+
+
+def test_work_addition_and_scaling():
+    a = KernelWork(flops=10, dram_bytes=5, flop_efficiency=0.9)
+    b = KernelWork(flops=20, dram_bytes=15, flop_efficiency=0.5)
+    c = a + b
+    assert c.flops == 30 and c.dram_bytes == 20
+    assert c.flop_efficiency == 0.5  # pessimistic merge
+    s = a.scaled(3)
+    assert s.flops == 30 and s.dram_bytes == 15
+
+
+def test_compute_bound_kernel():
+    r = Roofline(BGP, "VN")
+    w = KernelWork(flops=3.4e9, dram_bytes=0)
+    assert r.time(w) == pytest.approx(1.0)
+    assert r.rate_gflops(w) == pytest.approx(3.4)
+
+
+def test_memory_bound_kernel():
+    r = Roofline(BGP, "VN")
+    bw = r.mem_bandwidth
+    w = KernelWork(flops=1.0, dram_bytes=bw)  # 1 second of traffic
+    assert r.time(w) == pytest.approx(1.0)
+
+
+def test_flop_efficiency_slows_compute():
+    r = Roofline(BGP, "VN")
+    full = r.time(KernelWork(flops=1e9))
+    half = r.time(KernelWork(flops=1e9, flop_efficiency=0.5))
+    assert half == pytest.approx(2 * full)
+
+
+def test_smp_mode_has_more_resources():
+    smp = Roofline(BGP, "SMP")
+    vn = Roofline(BGP, "VN")
+    assert smp.peak_flops == pytest.approx(4 * vn.peak_flops)
+    assert smp.mem_bandwidth > vn.mem_bandwidth
+
+
+def test_thread_efficiency_discount():
+    r = Roofline(BGP, "SMP")  # 4 threads per task
+    w = KernelWork(flops=13.6e9)
+    perfect = r.time(w, threads_efficiency=1.0)
+    imperfect = r.time(w, threads_efficiency=0.5)
+    assert perfect == pytest.approx(1.0)
+    # 1 + 3*0.5 = 2.5 effective cores out of 4.
+    assert imperfect == pytest.approx(4 / 2.5, rel=0.01)
+    with pytest.raises(ValueError):
+        r.time(w, threads_efficiency=0.0)
+
+
+def test_xt_faster_per_core_than_bgp():
+    w = KernelWork(flops=1e9)
+    assert Roofline(XT4_QC, "VN").time(w) < Roofline(BGP, "VN").time(w)

@@ -1,0 +1,84 @@
+"""STREAM model + real numpy STREAM execution."""
+
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.memmodel import StreamModel, STREAM_BYTES_PER_ITER, run_stream_numpy
+from repro.memmodel.workingset import (
+    hpcc_problem_size,
+    hpl_local_matrix_bytes,
+    grid_working_set,
+    fits_in_memory,
+)
+
+
+def test_byte_counts():
+    assert STREAM_BYTES_PER_ITER["copy"] == 24
+    assert STREAM_BYTES_PER_ITER["triad"] == 32
+
+
+def test_single_process_rate():
+    sm = StreamModel(BGP)
+    assert sm.bandwidth_per_process(1) == pytest.approx(4.3e9)
+
+
+def test_full_node_share():
+    sm = StreamModel(BGP)
+    assert sm.bandwidth_per_process(4) == pytest.approx(10.2e9 / 4)
+
+
+def test_paper_stream_shape():
+    """Table 2: BG/P higher absolute bandwidth, smaller decline."""
+    b, x = StreamModel(BGP), StreamModel(XT4_QC)
+    assert b.bandwidth_per_process(4) > x.bandwidth_per_process(4)
+    assert b.decline_ratio() > x.decline_ratio()
+
+
+def test_rates_struct():
+    rates = StreamModel(BGP).rates(1).as_dict()
+    assert set(rates) == {"copy", "scale", "add", "triad"}
+    assert all(v > 0 for v in rates.values())
+
+
+def test_run_stream_numpy_executes():
+    res = run_stream_numpy(n=200_000, repeats=1)
+    # The host machine is fast; just sanity-check the plumbing.
+    assert res.triad > 1e8
+    assert res.copy > 1e8
+
+
+def test_run_stream_numpy_validation():
+    with pytest.raises(ValueError):
+        run_stream_numpy(n=0)
+
+
+# ---------------------------------------------------------------------------
+# working sets
+# ---------------------------------------------------------------------------
+def test_hpcc_problem_size_block_rounding():
+    n = hpcc_problem_size(512 * 2**20, 8192, 0.8, block=144)
+    assert n % 144 == 0
+    assert n > 0
+
+
+def test_hpcc_problem_size_matches_paper_scale():
+    """The ORNL TOP500 run used N=614399 at ~70% of 2 GB x 2048 nodes."""
+    n = hpcc_problem_size(512 * 2**20, 8192, fill_fraction=0.70)
+    assert n == pytest.approx(614399, rel=0.02)
+
+
+def test_hpl_local_matrix_bytes():
+    assert hpl_local_matrix_bytes(1000, 10) == pytest.approx(8e5)
+    with pytest.raises(ValueError):
+        hpl_local_matrix_bytes(0, 1)
+
+
+def test_grid_working_set():
+    assert grid_working_set(100, 5) == 4000
+    with pytest.raises(ValueError):
+        grid_working_set(-1, 5)
+
+
+def test_fits_in_memory_headroom():
+    assert fits_in_memory(800, 1000, headroom=0.9)
+    assert not fits_in_memory(950, 1000, headroom=0.9)

@@ -1,0 +1,102 @@
+"""TOP500/Green500 placement and physical-density analysis."""
+
+import pytest
+
+from repro.machines import (
+    BGP,
+    XT3,
+    XT4_QC,
+    density_ratio,
+    footprint_for_cores,
+    footprint_for_peak,
+)
+from repro.power import (
+    GREEN500_JUNE_2008_ANCHORS,
+    TOP500_JUNE_2008_ANCHORS,
+    green500_rank,
+    place_configuration,
+    top500_rank,
+)
+
+
+# ---------------------------------------------------------------------------
+# list placement
+# ---------------------------------------------------------------------------
+def test_eugene_places_at_paper_ranks():
+    """Section II.C: Eugene was #74 on the TOP500 and 5th on the
+    Green500 (June 2008)."""
+    pl = place_configuration(BGP, 8192)
+    assert pl.top500_rank == pytest.approx(74, abs=5)
+    assert pl.green500_rank == pytest.approx(5, abs=2)
+
+
+def test_jaguar_places_top_five():
+    """Jaguar's 205 TF was #5 on the June-2008 list."""
+    pl = place_configuration(XT4_QC, 30976)
+    assert pl.top500_rank <= 6
+
+
+def test_anchor_ranks_exact():
+    assert top500_rank(21_400.0) == 74
+    assert top500_rank(2_000_000.0) == 1  # above Roadrunner: rank 1
+    assert top500_rank(100.0) == 501  # off the list
+    assert green500_rank(310.9) == 5
+    assert green500_rank(1.0) == 501
+
+
+def test_rank_monotone_in_score():
+    scores = [10_000, 21_400, 50_000, 205_000, 500_000]
+    ranks = [top500_rank(s) for s in scores]
+    assert ranks == sorted(ranks, reverse=True)
+
+
+def test_rank_validation():
+    with pytest.raises(ValueError):
+        top500_rank(0)
+    with pytest.raises(ValueError):
+        green500_rank(-1)
+
+
+def test_anchor_tables_sorted():
+    for anchors in (TOP500_JUNE_2008_ANCHORS, GREEN500_JUNE_2008_ANCHORS):
+        ranks = [r for r, _ in anchors]
+        vals = [v for _, v in anchors]
+        assert ranks == sorted(ranks)
+        assert vals == sorted(vals, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# density / footprint
+# ---------------------------------------------------------------------------
+def test_density_ratios_from_paper():
+    """Section I.A: 4096 vs 192 vs 384 cores per rack."""
+    assert density_ratio(BGP, XT3) == pytest.approx(4096 / 192)
+    assert density_ratio(BGP, XT4_QC) == pytest.approx(4096 / 384)
+
+
+def test_petaflop_needs_72_racks():
+    """Section I.A: 'A BG/P system with 72 racks ... 1 PFlop/s'."""
+    fp = footprint_for_peak(BGP, 1000.0)
+    assert fp.racks == 72
+    # Filled racks carry the paper's 294,912 cores.
+    assert fp.racks * BGP.cores_per_rack == 294_912
+
+
+def test_same_peak_fewer_bgp_racks():
+    """Density is the point: far fewer racks than the XT for the same
+    peak."""
+    bgp = footprint_for_peak(BGP, 100.0)
+    xt = footprint_for_peak(XT4_QC, 100.0)
+    assert bgp.racks < xt.racks / 3
+
+
+def test_footprint_power_uses_normal_draw():
+    fp = footprint_for_cores(BGP, 8192)
+    assert fp.power_kw == pytest.approx(8192 * 7.3 / 1e3)
+
+
+def test_footprint_validation():
+    with pytest.raises(ValueError):
+        footprint_for_cores(BGP, 0)
+    with pytest.raises(ValueError):
+        footprint_for_peak(BGP, 0.0)

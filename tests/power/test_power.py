@@ -1,0 +1,110 @@
+"""Power analysis: Table 3 reproduction + the measurement harness."""
+
+import pytest
+
+from repro.machines import BGP, XT4_QC, PowerMeter, hpl_mflops_per_watt
+from repro.power import build_table3, build_column, measure_hpl, measure_pop
+
+
+# ---------------------------------------------------------------------------
+# PowerMeter plumbing
+# ---------------------------------------------------------------------------
+def test_meter_integrates_energy():
+    meter = PowerMeter(BGP, cores=100)
+    meter.record(0.0, 10.0, kind="normal")
+    expected_watts = 100 * 7.3
+    assert meter.total_joules == pytest.approx(expected_watts * 10)
+    assert meter.average_watts() == pytest.approx(expected_watts)
+
+
+def test_meter_hpl_draws_more():
+    meter = PowerMeter(BGP, cores=8192)
+    assert meter.watts_for("hpl") > meter.watts_for("normal") > meter.watts_for("idle")
+
+
+def test_meter_interval_validation():
+    with pytest.raises(ValueError):
+        PowerMeter(BGP, cores=1).record(5.0, 2.0)
+
+
+def test_meter_breakdown():
+    meter = PowerMeter(BGP, cores=10)
+    meter.record(0, 1, "normal", "compute")
+    meter.record(1, 2, "normal", "compute")
+    meter.record(2, 3, "idle", "wait")
+    bd = meter.breakdown()
+    assert set(bd) == {"compute", "wait"}
+    assert bd["compute"] > bd["wait"]
+
+
+# ---------------------------------------------------------------------------
+# Table 3 values against the paper
+# ---------------------------------------------------------------------------
+def test_table3_bgp_column():
+    c = build_column(BGP)
+    assert c.cores == 8192
+    assert c.hpl_power_kw == pytest.approx(63, rel=0.02)  # paper: 63
+    assert c.normal_power_kw == pytest.approx(60, rel=0.02)  # paper: 60
+    assert c.peak_tflops == pytest.approx(27.9, rel=0.01)
+    assert c.hpl_rmax_tflops == pytest.approx(21.9, rel=0.01)
+    assert c.mflops_per_watt == pytest.approx(347.6, rel=0.02)
+    assert c.pop_syd_at_8192 == pytest.approx(3.6, rel=0.08)
+    assert c.pop_power_kw_at_8192 == pytest.approx(60.0, rel=0.02)
+    assert c.cores_for_12_syd == pytest.approx(40000, rel=0.1)
+    assert c.power_kw_for_12_syd == pytest.approx(293.0, rel=0.1)
+
+
+def test_table3_xt_column():
+    c = build_column(XT4_QC)
+    assert c.cores == 30976
+    assert c.hpl_power_kw == pytest.approx(1580, rel=0.01)
+    assert c.normal_power_kw == pytest.approx(1500, rel=0.01)
+    assert c.peak_tflops == pytest.approx(260.2, rel=0.01)
+    assert c.hpl_rmax_tflops == pytest.approx(205.0, rel=0.01)
+    assert c.mflops_per_watt == pytest.approx(129.7, rel=0.02)
+    assert c.pop_syd_at_8192 == pytest.approx(12.5, rel=0.08)
+    assert c.pop_power_kw_at_8192 == pytest.approx(396.7, rel=0.02)
+    assert c.cores_for_12_syd == pytest.approx(7500, rel=0.1)
+    assert c.power_kw_for_12_syd == pytest.approx(363.2, rel=0.1)
+
+
+def test_green500_ratio():
+    """'BG/P provides about 348 MFlops per watt, while the Cray XT
+    generates about 130 ... a ratio of 2.68.'"""
+    ratio = hpl_mflops_per_watt(BGP, 8192) / hpl_mflops_per_watt(XT4_QC, 30976)
+    assert ratio == pytest.approx(2.68, rel=0.03)
+
+
+def test_science_normalized_gap_much_smaller():
+    """Section IV: at fixed 12 SYD the XT needs only ~24% more power —
+    'a considerably smaller difference' than the 6.6x per-core gap."""
+    cols = {c.machine: c for c in build_table3([BGP, XT4_QC])}
+    gap = cols["XT4/QC"].power_kw_for_12_syd / cols["BG/P"].power_kw_for_12_syd
+    per_core_gap = 51.0 / 7.7
+    assert 1.1 < gap < 1.6
+    assert gap < per_core_gap / 3
+
+
+# ---------------------------------------------------------------------------
+# measurement harness
+# ---------------------------------------------------------------------------
+def test_measure_hpl_bgp():
+    run = measure_hpl(BGP, 8192)
+    assert run.mflops_per_watt == pytest.approx(347.6, rel=0.03)
+    assert run.joules > 0
+
+
+def test_measure_pop_phases():
+    run = measure_pop(BGP, 8000)
+    assert run.workload == "POP"
+    assert run.figure_of_merit == pytest.approx(3.6, rel=0.1)
+    # POP draws a touch less than nameplate 'normal' because the
+    # imbalance tail idles.
+    assert run.average_watts < BGP.power.aggregate(8000, "normal")
+
+
+def test_power_efficiency_holds_under_normal_load():
+    """'on average, BG/P required 7.3 watts per core and the XT
+    required 48 watts per core'."""
+    assert BGP.power.normal_watts_per_core == pytest.approx(7.3)
+    assert XT4_QC.power.normal_watts_per_core == pytest.approx(48.4)

@@ -1,0 +1,124 @@
+"""Unit tests for event primitives: triggering, conditions, failure."""
+
+import pytest
+
+from repro.simengine import Engine, Event, Interrupt
+
+
+def test_event_initially_untriggered():
+    env = Engine()
+    ev = env.event()
+    assert not ev.triggered
+    assert not ev.processed
+
+
+def test_succeed_sets_value():
+    env = Engine()
+    ev = env.event()
+    ev.succeed(99)
+    assert ev.triggered
+    assert ev.value == 99
+
+
+def test_value_before_trigger_raises():
+    env = Engine()
+    with pytest.raises(RuntimeError):
+        env.event().value
+
+
+def test_double_trigger_rejected():
+    env = Engine()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+
+
+def test_fail_requires_exception():
+    env = Engine()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_all_of_collects_values_in_submission_order():
+    env = Engine()
+
+    def proc(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    # Finish out of order; values must still come back in submission order.
+    a = env.process(proc(env, 3.0, "a"))
+    b = env.process(proc(env, 1.0, "b"))
+    cond = env.all_of([a, b])
+    env.run()
+    assert cond.value == ["a", "b"]
+    assert env.now == 3.0
+
+
+def test_any_of_fires_on_first():
+    env = Engine()
+
+    def proc(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    a = env.process(proc(env, 3.0, "slow"))
+    b = env.process(proc(env, 1.0, "fast"))
+    cond = env.any_of([a, b])
+    env.run(until=cond)
+    assert cond.value == "fast"
+    assert env.now == 1.0
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Engine()
+    cond = env.all_of([])
+    assert cond.triggered
+
+
+def test_all_of_with_already_processed_event():
+    env = Engine()
+    ev = env.event()
+    ev.succeed("x")
+    env.run()  # process it
+    cond = env.all_of([ev])
+    env.run()
+    assert cond.value == ["x"]
+
+
+def test_condition_rejects_foreign_engine():
+    env1, env2 = Engine(), Engine()
+    ev = env2.event()
+    with pytest.raises(ValueError):
+        env1.all_of([ev])
+
+
+def test_interrupt_cause_accessible():
+    exc = Interrupt("reason")
+    assert exc.cause == "reason"
+    assert Interrupt().cause is None
+
+
+def test_process_interrupt():
+    env = Engine()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as i:
+            log.append((env.now, i.cause))
+        yield env.timeout(1.0)
+        log.append((env.now, "done"))
+
+    def waker(env, victim):
+        yield env.timeout(2.0)
+        victim.interrupt("wake-up")
+
+    victim = env.process(sleeper(env))
+    env.process(waker(env, victim))
+    env.run()
+    # Interrupted at t=2, resumed work finishes at t=3; the abandoned
+    # 100 s timeout still drains the queue but resumes nobody.
+    assert log == [(2.0, "wake-up"), (3.0, "done")]

@@ -1,0 +1,124 @@
+"""Property-based tests on simulation invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import BGP, XT4_QC
+from repro.simengine import Engine, SerialLink
+from repro.simmpi import Cluster, attach_stats
+
+
+# ---------------------------------------------------------------------------
+# engine invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=25)
+@given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20))
+def test_time_never_goes_backwards(delays):
+    """Whatever the schedule, observed time is monotone."""
+    env = Engine()
+    seen = []
+
+    def proc(env, delay):
+        yield env.timeout(delay)
+        seen.append(env.now)
+
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    assert seen == sorted(seen)
+    assert env.now == pytest.approx(max(delays))
+
+
+@settings(max_examples=25)
+@given(st.lists(st.tuples(st.floats(1.0, 1e6), st.floats(0.0, 1e6)), min_size=1, max_size=30))
+def test_link_conserves_busy_time(transfers):
+    """Sum of booked durations equals accumulated busy time."""
+    env = Engine()
+    link = SerialLink(env, bandwidth=1e9)
+    expected = 0.0
+    for nbytes, earliest in transfers:
+        link.book(nbytes, earliest)
+        expected += nbytes / 1e9
+    assert link.busy_time == pytest.approx(expected)
+    assert link.transfers == len(transfers)
+
+
+@settings(max_examples=25)
+@given(st.lists(st.floats(1.0, 1e6), min_size=2, max_size=20))
+def test_link_bookings_never_overlap(sizes):
+    """FIFO serialization: each booking starts at or after the
+    previous one's bandwidth slot ends."""
+    env = Engine()
+    link = SerialLink(env, bandwidth=1e9, latency=1e-7)
+    prev_tail = 0.0
+    for nbytes in sizes:
+        head, tail = link.book(nbytes, earliest=0.0)
+        # head includes the latency; the bandwidth slot is [head - lat?]
+        assert tail - head == pytest.approx(nbytes / 1e9)
+        assert tail >= prev_tail
+        prev_tail = tail
+
+
+# ---------------------------------------------------------------------------
+# MPI invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(2, 8),
+    st.lists(st.integers(0, 1 << 16), min_size=1, max_size=6),
+    st.integers(0, 2**31),
+)
+def test_random_exchange_schedules_complete(p, sizes, seed):
+    """Random all-pairs exchange patterns always terminate (no deadlock)
+    and deliver exactly the injected bytes."""
+    rng = np.random.default_rng(seed)
+    targets = {r: int(rng.integers(0, p)) for r in range(p)}
+
+    def program(comm):
+        # every rank sends each size to a random target and must
+        # receive whatever arrives (count known globally per rank)
+        my_sends = [(targets[comm.rank], s) for s in sizes]
+        incoming = sum(1 for r in range(p) if targets[r] == comm.rank) * len(sizes)
+        reqs = [comm.irecv() for _ in range(incoming)]
+        for dst, nbytes in my_sends:
+            yield from comm.send(dst, nbytes=nbytes)
+        yield from comm.waitall(reqs)
+        return comm.now
+
+    cluster = Cluster(BGP, ranks=p, mode="VN")
+    stats = attach_stats(cluster)
+    res = cluster.run(program)
+    assert stats.messages == p * len(sizes)
+    assert stats.bytes_total == p * sum(sizes)
+    assert all(t >= 0 for t in res.returns)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(2, 10), st.integers(0, 1 << 14))
+def test_collective_sequence_terminates(p, nbytes):
+    """Any machine, any rank count: a collective medley completes."""
+
+    def program(comm):
+        yield from comm.barrier()
+        yield from comm.bcast(nbytes, root=0)
+        yield from comm.allreduce(max(8, nbytes), dtype="float32")
+        yield from comm.gather(64, root=p - 1)
+        return comm.now
+
+    for machine in (BGP, XT4_QC):
+        res = Cluster(machine, ranks=p, mode="VN").run(program)
+        finish = res.returns
+        assert max(finish) > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 20), st.integers(1, 1 << 18))
+def test_message_time_monotone_in_size(hops_seed, nbytes):
+    """A bigger payload between the same pair never arrives earlier."""
+    from repro.simmpi import CostModel
+
+    c = CostModel(BGP, "VN", 64)
+    t1 = c.p2p_time(nbytes)
+    t2 = c.p2p_time(nbytes * 2)
+    assert t2 >= t1

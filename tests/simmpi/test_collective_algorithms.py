@@ -1,0 +1,108 @@
+"""Algorithm-level unit tests: message counts and structure of each
+software collective, independent of machine parameters."""
+
+import math
+
+import pytest
+
+from repro.machines import XT4_QC
+from repro.simmpi import Cluster
+
+
+def count_messages(program, ranks, machine=XT4_QC):
+    res = Cluster(machine, ranks=ranks, mode="VN").run(program)
+    return res.messages
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 7, 8, 16])
+def test_binomial_bcast_message_count(p):
+    """A binomial broadcast moves exactly p-1 messages."""
+
+    def program(comm):
+        yield from comm.bcast(4096, root=0)
+
+    assert count_messages(program, p) == p - 1
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+def test_dissemination_barrier_message_count(p):
+    """Dissemination barrier: p x ceil(log2 p) zero-byte messages."""
+
+    def program(comm):
+        yield from comm.barrier()
+
+    assert count_messages(program, p) == p * math.ceil(math.log2(p))
+
+
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_recursive_doubling_allreduce_count(p):
+    """Power-of-two recursive doubling: p x log2 p messages (small
+    payload keeps it below the Rabenseifner switch)."""
+
+    def program(comm):
+        yield from comm.allreduce(64, dtype="float32")
+
+    assert count_messages(program, p) == p * int(math.log2(p))
+
+
+def test_allreduce_non_pof2_extra_messages():
+    """Non-power-of-two adds the fold/unfold pre/post messages."""
+
+    def program(comm):
+        yield from comm.allreduce(64, dtype="float32")
+
+    pof2 = count_messages(program, 4)
+    non = count_messages(program, 5)  # rem=1: +2 extra messages
+    assert non == 4 * 2 + 2  # 4 effective ranks x 2 rounds + fold pair
+
+
+@pytest.mark.parametrize("p", [2, 5, 8])
+def test_ring_allgather_count(p):
+    def program(comm):
+        yield from comm.allgather(256)
+
+    assert count_messages(program, p) == p * (p - 1)
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+def test_bruck_alltoall_count(p):
+    def program(comm):
+        yield from comm.alltoall(8)  # tiny: Bruck wins
+
+    assert count_messages(program, p) == p * math.ceil(math.log2(p))
+
+
+@pytest.mark.parametrize("p", [3, 5, 6])
+def test_pairwise_alltoall_non_pof2(p):
+    def program(comm):
+        yield from comm.alltoall(1 << 20)  # big: pairwise
+
+    assert count_messages(program, p) == p * (p - 1)
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+def test_reduce_scatter_completes(p):
+    def program(comm):
+        yield from comm.reduce_scatter(8192)
+        return comm.now
+
+    res = Cluster(XT4_QC, ranks=p, mode="VN").run(program)
+    assert all(t > 0 for t in res.returns)
+
+
+def test_reduce_scatter_single_rank():
+    def program(comm):
+        yield from comm.reduce_scatter(8192)
+        return comm.now
+
+    res = Cluster(XT4_QC, ranks=1, mode="VN").run(program)
+    assert res.messages == 0
+
+
+def test_reduce_message_count():
+    """Binomial reduce to root: p-1 messages."""
+
+    def program(comm):
+        yield from comm.reduce(2048, root=0)
+
+    assert count_messages(program, 8) == 7

@@ -1,0 +1,108 @@
+"""DES vs analytic cross-validation.
+
+The figure benches trust the analytic CostModel at scales where
+message-level simulation is impractical; these tests anchor that trust
+by checking the two levels agree within tolerance at small scale, on
+both machine families, for the operations the paper's figures use.
+"""
+
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.simmpi import Cluster
+
+
+def des_elapsed(machine, ranks, program, mode="SMP", mapping="XYZT"):
+    return Cluster(machine, ranks=ranks, mode=mode, mapping=mapping).run(program).elapsed
+
+
+TOL = 0.5  # relative tolerance between fidelity levels
+
+
+@pytest.mark.parametrize("machine", [BGP, XT4_QC], ids=lambda m: m.name)
+@pytest.mark.parametrize("nbytes", [8, 1024, 1 << 17])
+def test_pingpong_des_vs_analytic(machine, nbytes):
+    def pingpong(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=nbytes)
+            yield from comm.recv(src=1)
+        else:
+            yield from comm.recv(src=0)
+            yield from comm.send(0, nbytes=nbytes)
+
+    # SMP mode: both ranks on distinct, adjacent nodes.
+    cluster = Cluster(machine, ranks=2, mode="SMP")
+    des = cluster.run(pingpong).elapsed
+    analytic = cluster.cost.pingpong_time(nbytes, hops=1.0)
+    assert des == pytest.approx(analytic, rel=TOL)
+
+
+@pytest.mark.parametrize("machine", [BGP, XT4_QC], ids=lambda m: m.name)
+def test_barrier_des_vs_analytic(machine):
+    def program(comm):
+        yield from comm.barrier()
+
+    cluster = Cluster(machine, ranks=16, mode="SMP")
+    des = cluster.run(program).elapsed
+    analytic = cluster.cost.barrier_time()
+    assert des == pytest.approx(analytic, rel=TOL)
+
+
+@pytest.mark.parametrize("machine", [BGP, XT4_QC], ids=lambda m: m.name)
+@pytest.mark.parametrize("nbytes", [512, 32 * 1024])
+def test_bcast_des_vs_analytic(machine, nbytes):
+    def program(comm):
+        yield from comm.bcast(nbytes, root=0)
+
+    cluster = Cluster(machine, ranks=16, mode="SMP")
+    des = cluster.run(program).elapsed
+    analytic = cluster.cost.bcast_time(nbytes)
+    assert des == pytest.approx(analytic, rel=TOL)
+
+
+@pytest.mark.parametrize("machine", [BGP, XT4_QC], ids=lambda m: m.name)
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+def test_allreduce_des_vs_analytic(machine, dtype):
+    nbytes = 4096
+
+    def program(comm):
+        yield from comm.allreduce(nbytes, dtype=dtype)
+
+    cluster = Cluster(machine, ranks=16, mode="SMP")
+    des = cluster.run(program).elapsed
+    analytic = cluster.cost.allreduce_time(nbytes, dtype=dtype)
+    assert des == pytest.approx(analytic, rel=TOL)
+
+
+@pytest.mark.parametrize("machine", [BGP, XT4_QC], ids=lambda m: m.name)
+def test_alltoall_des_vs_analytic(machine):
+    nbytes = 2048
+
+    def program(comm):
+        yield from comm.alltoall(nbytes)
+
+    cluster = Cluster(machine, ranks=16, mode="SMP")
+    des = cluster.run(program).elapsed
+    analytic = cluster.cost.alltoall_time(nbytes)
+    # Alltoall is the loosest model (pairwise DES vs bound-based
+    # analytic); accept a factor-2 agreement.
+    assert des == pytest.approx(analytic, rel=1.0)
+
+
+def test_relative_machine_ordering_preserved():
+    """Whatever the absolute gaps, DES and analytic must agree on *who
+    wins* — that is what the figures assert."""
+
+    def pingpong(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=8)
+            yield from comm.recv(src=1)
+        else:
+            yield from comm.recv(src=0)
+            yield from comm.send(0, nbytes=8)
+
+    des_bgp = des_elapsed(BGP, 2, pingpong)
+    des_xt = des_elapsed(XT4_QC, 2, pingpong)
+    c_bgp = Cluster(BGP, ranks=2, mode="SMP").cost.pingpong_time(8)
+    c_xt = Cluster(XT4_QC, ranks=2, mode="SMP").cost.pingpong_time(8)
+    assert (des_bgp < des_xt) == (c_bgp < c_xt)

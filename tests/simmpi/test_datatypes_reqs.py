@@ -1,0 +1,53 @@
+"""Datatype bookkeeping and request-handle semantics."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.simmpi import Cluster, DTYPE_SIZES, Request, bytes_of
+
+
+def test_dtype_sizes():
+    assert DTYPE_SIZES["float32"] == 4
+    assert DTYPE_SIZES["float64"] == 8
+    assert DTYPE_SIZES["double"] == 8
+    assert DTYPE_SIZES["float"] == 4  # IMB's MPI_FLOAT
+
+
+def test_bytes_of():
+    assert bytes_of(100) == 800  # float64 default
+    assert bytes_of(100, "float32") == 400
+    with pytest.raises(ValueError):
+        bytes_of(-1)
+    with pytest.raises(KeyError):
+        bytes_of(1, "quaternion")
+
+
+def test_request_result_before_completion():
+    def program(comm):
+        if comm.rank == 0:
+            req = comm.irecv(src=1)
+            assert not req.complete
+            with pytest.raises(RuntimeError):
+                req.result()
+            msg = yield from comm.wait(req)
+            assert req.complete
+            assert req.result().payload == "hi"
+            return msg.payload
+        yield from comm.send(0, nbytes=8, payload="hi")
+
+    res = Cluster(BGP, ranks=2, mode="SMP").run(program)
+    assert res.returns[0] == "hi"
+
+
+def test_waitall_returns_in_order():
+    def program(comm):
+        if comm.rank == 0:
+            reqs = [comm.irecv(src=1, tag=t) for t in (0, 1, 2)]
+            msgs = yield from comm.waitall(reqs)
+            return [m.payload for m in msgs]
+        # Send in reverse tag order; waitall must still return by tag.
+        for t in (2, 1, 0):
+            yield from comm.send(0, nbytes=8, tag=t, payload=t)
+
+    res = Cluster(BGP, ranks=2, mode="SMP").run(program)
+    assert res.returns[0] == [0, 1, 2]

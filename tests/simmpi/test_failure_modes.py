@@ -1,0 +1,93 @@
+"""Failure injection: the simulator must fail loudly, not silently."""
+
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.simmpi import Cluster
+
+
+def test_unmatched_recv_deadlocks_with_diagnosis():
+    """A receive that can never match must surface as a deadlock, not
+    hang or silently complete."""
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.recv(src=1, tag=99)  # never sent
+        else:
+            yield from comm.compute(seconds=1.0)
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        Cluster(BGP, ranks=2, mode="SMP").run(program)
+
+
+def test_missing_collective_participant_deadlocks():
+    def program(comm):
+        if comm.rank != 3:
+            yield from comm.allreduce(1024, dtype="float32")
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        Cluster(XT4_QC, ranks=4, mode="VN").run(program)
+
+
+def test_rendezvous_without_receiver_deadlocks():
+    big = BGP.mpi.eager_threshold * 10
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=big)  # synchronous, no recv
+        else:
+            yield from comm.compute(seconds=0.1)
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        Cluster(BGP, ranks=2, mode="SMP").run(program)
+
+
+def test_eager_send_without_receiver_is_fine():
+    """Small sends are buffered: no receiver needed for completion
+    (matching real MPI eager semantics)."""
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=8)
+        else:
+            yield from comm.compute(seconds=0.1)
+        return comm.now
+
+    res = Cluster(BGP, ranks=2, mode="SMP").run(program)
+    assert len(res.returns) == 2
+
+
+def test_program_exception_propagates():
+    def program(comm):
+        yield from comm.compute(seconds=0.1)
+        if comm.rank == 1:
+            raise ValueError("rank 1 exploded")
+
+    with pytest.raises(ValueError, match="rank 1 exploded"):
+        Cluster(BGP, ranks=2, mode="SMP").run(program)
+
+
+def test_oversubscribed_machine_rejected():
+    with pytest.raises(ValueError):
+        Cluster(BGP.with_nodes(2), ranks=64, mode="VN")
+
+
+def test_negative_message_rejected_at_injection():
+    def program(comm):
+        yield from comm.send((comm.rank + 1) % 2, nbytes=-1)
+
+    with pytest.raises(ValueError):
+        Cluster(BGP, ranks=2, mode="SMP").run(program)
+
+
+def test_wrong_tag_never_matches():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=8, tag=1)
+            yield from comm.send(1, nbytes=8, tag=2)
+        else:
+            yield from comm.recv(src=0, tag=1)
+            yield from comm.recv(src=0, tag=3)  # wrong: deadlock
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        Cluster(BGP, ranks=2, mode="SMP").run(program)

@@ -1,0 +1,103 @@
+"""Gather/scatter collectives: DES semantics + analytic agreement."""
+
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.simmpi import Cluster, CostModel
+
+
+def run(machine, ranks, program, mode="SMP"):
+    return Cluster(machine, ranks=ranks, mode=mode).run(program)
+
+
+def test_gather_completes_all_ranks():
+    def program(comm):
+        yield from comm.gather(1024, root=0)
+        return comm.now
+
+    res = run(BGP, 8, program)
+    assert all(t > 0 for t in res.returns)
+
+
+def test_gather_message_count_binomial():
+    def program(comm):
+        yield from comm.gather(64, root=0)
+
+    res = run(BGP, 8, program)
+    # A binomial gather over p ranks moves exactly p-1 messages.
+    assert res.messages == 7
+
+
+def test_gather_volume_includes_subtrees():
+    def program(comm):
+        yield from comm.gather(100, root=0)
+
+    res = run(BGP, 8, program)
+    # rank->root payloads carry whole subtrees: total moved bytes
+    # exceed the naive (p-1) x nbytes.
+    assert res.bytes_sent > 7 * 100
+    # Exact: each of 7 senders forwards its subtree (total 7 ranks' data
+    # travelling log distances): sum of subtree sizes at each send.
+    assert res.bytes_sent == 100 * (1 + 1 + 2 + 1 + 1 + 2 + 4)
+
+
+def test_scatter_completes():
+    def program(comm):
+        yield from comm.scatter(512, root=0)
+        return comm.now
+
+    for p in (4, 6, 8):
+        res = run(XT4_QC, p, program)
+        assert len(res.returns) == p
+
+
+def test_scatter_message_count():
+    def program(comm):
+        yield from comm.scatter(64, root=0)
+
+    res = run(BGP, 8, program)
+    assert res.messages == 7
+
+
+def test_nonzero_root():
+    def program(comm):
+        yield from comm.gather(64, root=3)
+        yield from comm.scatter(64, root=3)
+        return comm.now
+
+    res = run(BGP, 6, program)
+    assert all(t > 0 for t in res.returns)
+
+
+def test_single_rank_trivial():
+    def program(comm):
+        yield from comm.gather(1024)
+        yield from comm.scatter(1024)
+        return comm.now
+
+    res = run(BGP, 1, program)
+    assert res.messages == 0
+
+
+@pytest.mark.parametrize("machine", [BGP, XT4_QC], ids=lambda m: m.name)
+def test_gather_des_vs_analytic(machine):
+    nbytes = 4096
+
+    def program(comm):
+        yield from comm.gather(nbytes, root=0)
+
+    cluster = Cluster(machine, ranks=16, mode="SMP")
+    des = cluster.run(program).elapsed
+    ana = cluster.cost.gather_time(nbytes)
+    assert des == pytest.approx(ana, rel=1.0)
+
+
+def test_analytic_gather_scales_with_ranks():
+    small = CostModel(BGP, "VN", 64).gather_time(1024)
+    large = CostModel(BGP, "VN", 1024).gather_time(1024)
+    assert large > small
+
+
+def test_analytic_scatter_equals_gather():
+    c = CostModel(BGP, "VN", 256)
+    assert c.scatter_time(2048) == c.gather_time(2048)

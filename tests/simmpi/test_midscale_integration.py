@@ -1,0 +1,82 @@
+"""Mid-scale DES integration: hundreds of ranks through the full stack.
+
+The figure benches lean on the analytic models at paper scale; these
+tests push the message-level simulator itself to a few hundred ranks to
+confirm it stays correct and tractable there — the regime where the
+per-link contention model earns its keep.
+"""
+
+import time
+
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.simmpi import Cluster
+
+
+def test_256_rank_collective_medley():
+    def program(comm):
+        yield from comm.barrier()
+        yield from comm.allreduce(4096, dtype="float64")
+        yield from comm.bcast(32768, root=0)
+        return comm.now
+
+    t0 = time.perf_counter()
+    res = Cluster(BGP, ranks=256, mode="VN").run(program)
+    wall = time.perf_counter() - t0
+    assert len(res.returns) == 256
+    assert wall < 20.0  # tractability guard
+
+
+def test_512_rank_halo_wave():
+    """A 2-D halo wavefront across 512 ranks completes and balances."""
+    from repro.halo import neighbors2d
+
+    grid = (32, 16)
+
+    def program(comm):
+        nb = neighbors2d(comm.rank, grid)
+        reqs = [
+            comm.irecv(src=nb["north"], tag=1),
+            comm.irecv(src=nb["south"], tag=2),
+            comm.irecv(src=nb["west"], tag=3),
+            comm.irecv(src=nb["east"], tag=4),
+        ]
+        yield from comm.send(nb["south"], 2048, tag=1)
+        yield from comm.send(nb["north"], 2048, tag=2)
+        yield from comm.send(nb["east"], 2048, tag=3)
+        yield from comm.send(nb["west"], 2048, tag=4)
+        yield from comm.waitall(reqs)
+        return comm.now
+
+    res = Cluster(BGP, ranks=512, mode="VN", mapping="TXYZ").run(program)
+    assert res.messages == 512 * 4
+    # A symmetric exchange finishes nearly simultaneously everywhere.
+    assert max(res.returns) < 3 * min(r for r in res.returns if r > 0)
+
+
+def test_midscale_des_matches_analytic_allreduce():
+    nbytes = 16384
+
+    def program(comm):
+        yield from comm.allreduce(nbytes, dtype="float32")
+
+    cluster = Cluster(XT4_QC, ranks=128, mode="VN")
+    des = cluster.run(program).elapsed
+    ana = cluster.cost.allreduce_time(nbytes, dtype="float32")
+    assert des == pytest.approx(ana, rel=0.6)
+
+
+def test_event_counts_scale_linearly():
+    """Engine work grows with messages, not rank-count squared."""
+
+    def program(comm):
+        yield from comm.send((comm.rank + 1) % comm.size, 1024)
+        yield from comm.recv(src=(comm.rank - 1) % comm.size)
+
+    small = Cluster(BGP, ranks=64, mode="VN")
+    small.run(program)
+    big = Cluster(BGP, ranks=256, mode="VN")
+    big.run(program)
+    ratio = big.env.events_processed / small.env.events_processed
+    assert ratio == pytest.approx(4.0, rel=0.3)

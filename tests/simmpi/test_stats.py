@@ -1,0 +1,85 @@
+"""Communication statistics / tracing tests."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.simmpi import Cluster, attach_stats
+
+
+def _run_traffic(ranks=4):
+    cluster = Cluster(BGP, ranks=ranks, mode="VN")
+    stats = attach_stats(cluster)
+
+    def program(comm):
+        peer = (comm.rank + 1) % comm.size
+        prev = (comm.rank - 1) % comm.size
+        req = comm.irecv(src=prev, tag=1)
+        yield from comm.send(peer, nbytes=1024, tag=1)
+        yield from comm.wait(req)
+        yield from comm.send(peer, nbytes=0, tag=2)
+        yield from comm.recv(src=prev, tag=2)
+
+    cluster.run(program)
+    return stats
+
+
+def test_counts_and_volume():
+    stats = _run_traffic(4)
+    assert stats.messages == 8  # 4 ranks x 2 sends
+    assert stats.bytes_total == 4 * 1024
+
+
+def test_size_histogram_buckets():
+    stats = _run_traffic(4)
+    assert stats.size_histogram[10] == 4  # 1024 = 2^10
+    assert stats.size_histogram[-1] == 4  # zero-byte messages
+
+
+def test_traffic_matrix():
+    stats = _run_traffic(4)
+    assert stats.traffic_matrix[(0, 1)] == 1024
+    sent, recv = stats.rank_volume(0)
+    assert sent == 1024 and recv == 1024
+
+
+def test_heaviest_pairs():
+    stats = _run_traffic(4)
+    pairs = stats.heaviest_pairs(2)
+    assert len(pairs) == 2
+    assert all(v == 1024 for _, v in pairs)
+
+
+def test_trace_events_ordered_in_time():
+    stats = _run_traffic(4)
+    times = [e.time for e in stats.trace]
+    assert times == sorted(times)
+    assert stats.trace[0].nbytes in (0, 1024)
+
+
+def test_trace_limit_respected():
+    cluster = Cluster(BGP, ranks=2, mode="VN")
+    stats = attach_stats(cluster, trace_limit=3)
+
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(10):
+                yield from comm.send(1, nbytes=8, tag=i)
+        else:
+            for i in range(10):
+                yield from comm.recv(src=0, tag=i)
+
+    cluster.run(program)
+    assert stats.messages == 10  # stats keep counting
+    assert len(stats.trace) == 3  # trace capped
+
+
+def test_summary_renders():
+    stats = _run_traffic(4)
+    text = stats.summary()
+    assert "messages: 8" in text
+    assert "2^10" in text
+
+
+def test_mean_message_bytes():
+    stats = _run_traffic(4)
+    assert stats.mean_message_bytes() == pytest.approx(512.0)

@@ -1,0 +1,113 @@
+"""Sub-communicator (MPI_Comm_split) tests."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.simmpi import Cluster, SubComm, split_by
+
+
+def test_split_ranks_renumbered():
+    def program(comm):
+        row = split_by(comm, lambda r: r // 4)
+        yield from comm.compute(seconds=0.0)
+        return (row.rank, row.size, row.world_rank(row.rank))
+
+    res = Cluster(BGP, ranks=8, mode="VN").run(program)
+    for world, (sub_rank, size, back) in enumerate(res.returns):
+        assert size == 4
+        assert sub_rank == world % 4
+        assert back == world
+
+
+def test_row_allreduce_independent_groups():
+    """Two row communicators reduce concurrently without crosstalk."""
+
+    def program(comm):
+        row = split_by(comm, lambda r: r // 4)
+        yield from row.allreduce(2048, dtype="float64")
+        return comm.now
+
+    res = Cluster(BGP, ranks=8, mode="VN").run(program)
+    assert all(t > 0 for t in res.returns)
+
+
+def test_row_and_column_pattern():
+    """The GYRO/CAM idiom: reduce along rows, then along columns."""
+
+    def program(comm):
+        row = split_by(comm, lambda r: r // 4)
+        col = split_by(comm, lambda r: r % 4)
+        yield from row.allreduce(1024)
+        yield from col.allreduce(1024)
+        yield from row.barrier()
+        return comm.now
+
+    res = Cluster(BGP, ranks=16, mode="VN").run(program)
+    assert len(res.returns) == 16
+
+
+def test_subcomm_p2p_translation():
+    def program(comm):
+        row = split_by(comm, lambda r: r // 2)
+        if row.rank == 0:
+            yield from row.send(1, nbytes=64, payload=f"from-{comm.rank}")
+        else:
+            msg = yield from row.recv(src=0)
+            # The message really came from the row partner's world rank.
+            assert msg.src == comm.rank - 1
+            return msg.payload
+
+    res = Cluster(BGP, ranks=4, mode="VN").run(program)
+    assert res.returns[1] == "from-0"
+    assert res.returns[3] == "from-2"
+
+
+def test_subcomm_tags_do_not_collide_with_world():
+    """Same-tag traffic on a subcomm and the world comm stays separate."""
+
+    def program(comm):
+        sub = split_by(comm, lambda r: 0)  # everyone, but renumbered
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=8, tag=5, payload="world")
+            yield from sub.send(1, nbytes=8, tag=5, payload="sub")
+        else:
+            w = yield from comm.recv(src=0, tag=5)
+            s = yield from sub.recv(src=0, tag=5)
+            return (w.payload, s.payload)
+
+    res = Cluster(BGP, ranks=2, mode="SMP").run(program)
+    assert res.returns[1] == ("world", "sub")
+
+
+def test_subcomm_gather_scatter_alltoall():
+    def program(comm):
+        half = split_by(comm, lambda r: r % 2)
+        yield from half.gather(128, root=0)
+        yield from half.scatter(128, root=0)
+        yield from half.alltoall(64)
+        return comm.now
+
+    res = Cluster(BGP, ranks=8, mode="VN").run(program)
+    assert all(t > 0 for t in res.returns)
+
+
+def test_key_fn_reorders():
+    def program(comm):
+        # Reverse ordering within the group.
+        sub = split_by(comm, lambda r: 0, key_fn=lambda r: -r)
+        yield from comm.compute(seconds=0.0)
+        return sub.rank
+
+    res = Cluster(BGP, ranks=4, mode="VN").run(program)
+    assert res.returns == [3, 2, 1, 0]
+
+
+def test_membership_validation():
+    def program(comm):
+        yield from comm.compute(seconds=0.0)
+        with pytest.raises(ValueError):
+            SubComm(comm, [comm.rank + 1 if comm.rank == 0 else 0], 0)
+        with pytest.raises(ValueError):
+            SubComm(comm, [comm.rank, comm.rank], 0)
+
+    Cluster(BGP, ranks=2, mode="SMP").run(program)

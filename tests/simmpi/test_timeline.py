@@ -1,0 +1,80 @@
+"""Per-rank timeline recording tests."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.simmpi import Cluster, Timeline, attach_timeline
+
+
+def _staggered_run(ranks=4):
+    cluster = Cluster(BGP, ranks=ranks, mode="VN")
+    tl = attach_timeline(cluster)
+
+    def program(comm):
+        yield from comm.compute(seconds=0.001 * (comm.rank + 1))
+        yield from comm.barrier()
+
+    cluster.run(program)
+    return tl
+
+
+def test_compute_intervals_recorded():
+    tl = _staggered_run()
+    computes = [i for i in tl.intervals if i.kind == "compute"]
+    assert len(computes) == 4
+    assert {i.rank for i in computes} == {0, 1, 2, 3}
+
+
+def test_busy_seconds_match_work():
+    tl = _staggered_run()
+    assert tl.busy_seconds(0, "compute") == pytest.approx(0.001)
+    assert tl.busy_seconds(3, "compute") == pytest.approx(0.004)
+
+
+def test_critical_rank_is_slowest():
+    assert _staggered_run().critical_rank() == 3
+
+
+def test_busy_fraction_reflects_imbalance():
+    tl = _staggered_run()
+    assert tl.busy_fraction(3) > tl.busy_fraction(0)
+    assert tl.busy_fraction(3) == pytest.approx(1.0, abs=0.05)
+
+
+def test_send_intervals_recorded():
+    cluster = Cluster(BGP, ranks=2, mode="SMP")
+    tl = attach_timeline(cluster)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=1024)
+        else:
+            yield from comm.recv(src=0)
+
+    cluster.run(program)
+    sends = [i for i in tl.intervals if i.kind == "send"]
+    assert len(sends) == 1
+    assert sends[0].rank == 0
+    assert sends[0].duration > 0
+
+
+def test_gantt_renders_rows():
+    text = _staggered_run().gantt(width=30)
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all("|" in l for l in lines)
+    # Rank 3 computes the longest stretch of '#'.
+    assert lines[3].count("#") > lines[0].count("#")
+
+
+def test_empty_timeline():
+    tl = Timeline()
+    assert tl.span() == (0.0, 0.0)
+    assert tl.gantt() == "(empty timeline)"
+    with pytest.raises(ValueError):
+        tl.critical_rank()
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        Timeline().record(0, 5.0, 1.0, "compute")

@@ -1,0 +1,76 @@
+"""API hygiene: every public item documented, every package importable."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.simengine",
+    "repro.machines",
+    "repro.topology",
+    "repro.simmpi",
+    "repro.memmodel",
+    "repro.kernels",
+    "repro.halo",
+    "repro.imb",
+    "repro.apps",
+    "repro.apps.pop",
+    "repro.apps.cam",
+    "repro.apps.s3d",
+    "repro.apps.gyro",
+    "repro.apps.md",
+    "repro.power",
+    "repro.iosys",
+    "repro.core",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__, f"{name} lacks a module docstring"
+
+
+def _all_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                yield f"{pkg_name}.{info.name}"
+
+
+@pytest.mark.parametrize("name", sorted(set(_all_modules())))
+def test_module_docstrings(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("pkg_name", [p for p in PACKAGES if p != "repro.apps"])
+def test_public_surface_documented(pkg_name):
+    """Everything a package exports carries a docstring."""
+    pkg = importlib.import_module(pkg_name)
+    exported = getattr(pkg, "__all__", [])
+    undocumented = []
+    for name in exported:
+        obj = getattr(pkg, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+    assert not undocumented, f"{pkg_name}: undocumented exports {undocumented}"
+
+
+@pytest.mark.parametrize("pkg_name", [p for p in PACKAGES if p not in ("repro", "repro.apps")])
+def test_all_lists_are_accurate(pkg_name):
+    """__all__ names must actually exist."""
+    pkg = importlib.import_module(pkg_name)
+    for name in getattr(pkg, "__all__", []):
+        assert hasattr(pkg, name), f"{pkg_name}.__all__ lists missing {name}"
+
+
+def test_version_string():
+    assert repro.__version__ == "1.0.0"

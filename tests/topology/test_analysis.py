@@ -1,0 +1,89 @@
+"""Static traffic-analysis utility tests."""
+
+import pytest
+
+from repro.halo import neighbors2d
+from repro.machines import BGP
+from repro.topology import (
+    PAPER_FIG2_MAPPINGS,
+    TrafficAnalysis,
+    analyze_pattern,
+    compare_mappings,
+)
+
+
+def ring_pattern(n, nbytes=1000):
+    return [(r, (r + 1) % n, float(nbytes)) for r in range(n)]
+
+
+def test_basic_accounting():
+    ta = analyze_pattern(BGP, (2, 2, 2), "XYZT", 1, ring_pattern(8))
+    assert ta.total_bytes == 8000
+    assert ta.network_messages + ta.intranode_messages == 8
+    assert ta.max_link_bytes >= ta.mean_link_bytes > 0
+
+
+def test_intranode_messages_skip_links():
+    # TXYZ VN: ranks 0-3 share node (0,0,0): rank 0 -> 1 is intranode.
+    pattern = [(0, 1, 500.0)]
+    ta = analyze_pattern(BGP, (2, 2, 2), "TXYZ", 4, pattern)
+    assert ta.intranode_messages == 1
+    assert ta.network_messages == 0
+    assert ta.max_link_bytes == 0.0
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        analyze_pattern(BGP, (2, 2, 2), "XYZT", 1, [(0, 1, -5.0)])
+
+
+def test_phase_seconds():
+    ta = analyze_pattern(BGP, (4, 1, 1), "XYZT", 1, ring_pattern(4))
+    assert ta.phase_seconds(1e9) == pytest.approx(ta.max_link_bytes / 1e9)
+    with pytest.raises(ValueError):
+        ta.phase_seconds(0.0)
+
+
+def test_hottest_sorted():
+    pattern = ring_pattern(8) + [(0, 4, 1e6)]  # one heavy long route
+    ta = analyze_pattern(BGP, (8, 1, 1), "XYZT", 1, pattern)
+    hot = ta.hottest(3)
+    loads = [v for _k, v in hot]
+    assert loads == sorted(loads, reverse=True)
+    assert loads[0] >= 1e6
+
+
+def test_congestion_factor_uniform_ring():
+    """A nearest-neighbour ring on a line torus loads links evenly."""
+    ta = analyze_pattern(BGP, (8, 1, 1), "XYZT", 1, ring_pattern(8))
+    assert ta.congestion_factor == pytest.approx(1.0)
+
+
+def test_compare_mappings_finds_halo_spread():
+    """The Fig. 2c effect, via the reusable analyzer: mappings differ
+    in max-link load for a 2-D halo pattern at scale."""
+
+    def halo_pattern(n):
+        import math
+
+        side = int(math.sqrt(n))
+        grid = (side, side)
+        out = []
+        for r in range(side * side):
+            nb = neighbors2d(r, grid)
+            out.append((r, nb["north"], 4000.0))
+            out.append((r, nb["south"], 8000.0))
+        return out
+
+    results = compare_mappings(
+        BGP, (8, 8, 4), tasks_per_node=4, pattern_fn=halo_pattern,
+        mappings=list(PAPER_FIG2_MAPPINGS),
+    )
+    assert set(results) == set(PAPER_FIG2_MAPPINGS)
+    max_loads = [ta.max_link_bytes for ta in results.values()]
+    assert max(max_loads) > 1.5 * min(max_loads)
+
+
+def test_compare_mappings_validation():
+    with pytest.raises(ValueError):
+        compare_mappings(BGP, (2, 2, 2), 1, lambda n: [], [])

@@ -1,0 +1,60 @@
+"""Hardware vs software barrier models."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.simengine import Engine
+from repro.topology import BarrierNetwork, software_barrier_time
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        BarrierNetwork(0)
+    with pytest.raises(ValueError):
+        software_barrier_time(0, 1e-6)
+
+
+def test_hardware_barrier_scales_logarithmically():
+    t_small = BarrierNetwork(64).barrier_time()
+    t_big = BarrierNetwork(65536).barrier_time()
+    assert t_big < 3 * t_small  # log growth, not linear
+    assert t_big > t_small
+
+
+def test_hardware_barrier_is_microseconds():
+    # BG/P's full-machine barrier takes a handful of microseconds.
+    assert BarrierNetwork(40960).barrier_time() < 10e-6
+
+
+def test_software_barrier_log_rounds():
+    lat = 7e-6
+    assert software_barrier_time(1, lat) == 0.0
+    assert software_barrier_time(2, lat) == pytest.approx(lat)
+    assert software_barrier_time(1024, lat) == pytest.approx(10 * lat)
+    assert software_barrier_time(1025, lat) == pytest.approx(11 * lat)
+
+
+def test_hardware_beats_software_at_scale():
+    """The dedicated barrier network is the whole point (Section I.A)."""
+    hw = BarrierNetwork(8192).barrier_time()
+    sw = software_barrier_time(8192, BGP.mpi.latency)
+    assert hw < sw
+
+
+def test_wait_requires_engine():
+    with pytest.raises(RuntimeError):
+        BarrierNetwork(8).wait()
+
+
+def test_wait_event_fires():
+    env = Engine()
+    bn = BarrierNetwork(16, env)
+
+    def proc(env, bn):
+        yield bn.wait()
+        return env.now
+
+    p = env.process(proc(env, bn))
+    env.run()
+    assert p.value == pytest.approx(bn.barrier_time())
+    assert bn.operations == 1

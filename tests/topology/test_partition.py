@@ -1,0 +1,76 @@
+"""Allocation model: BG isolation vs XT fragmentation (Fig. 1c)."""
+
+import numpy as np
+import pytest
+
+from repro.machines import BGP, XT4_QC
+from repro.topology import Partition, allocate
+
+
+def test_bg_partitions_are_isolated():
+    p = allocate(BGP, 512)
+    assert p.is_isolated
+    assert p.route_dilation == 1.0
+    assert p.contention_multiplier == 1.0
+
+
+def test_bg_allocation_deterministic():
+    a = allocate(BGP, 512)
+    b = allocate(BGP, 512)
+    assert a == b
+
+
+def test_xt_allocation_fragmented():
+    rng = np.random.default_rng(1)
+    p = allocate(XT4_QC, 1024, rng=rng, utilization=0.7)
+    assert not p.is_isolated
+    assert p.route_dilation > 1.0
+    assert p.contention_multiplier > 1.0
+
+
+def test_xt_quiet_machine_is_clean():
+    p = allocate(XT4_QC, 1024, utilization=0.0)
+    assert p.is_isolated
+
+
+def test_xt_allocations_vary_run_to_run():
+    """The source of the paper's PTRANS variability on the XT."""
+    rng = np.random.default_rng(2)
+    factors = {
+        allocate(XT4_QC, 1024, rng=rng, utilization=0.7).contention_multiplier
+        for _ in range(10)
+    }
+    assert len(factors) > 1
+
+
+def test_shape_covers_nodes():
+    p = allocate(BGP, 100)
+    x, y, z = p.torus_shape
+    assert x * y * z >= 100
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        allocate(BGP, 0)
+    with pytest.raises(ValueError):
+        allocate(BGP, BGP.total_nodes + 1)
+    with pytest.raises(ValueError):
+        allocate(BGP, 16, utilization=1.5)
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        Partition(BGP, 10, (2, 2, 2), 1.0, 1.0)  # shape too small
+    with pytest.raises(ValueError):
+        Partition(BGP, 8, (2, 2, 2), 0.5, 1.0)  # dilation < 1
+
+
+def test_effective_hops_dilation():
+    p = Partition(XT4_QC, 8, (2, 2, 2), route_dilation=1.5, contention_multiplier=1.2)
+    assert p.effective_hops(10) == pytest.approx(15.0)
+
+
+def test_build_torus_degrades_bandwidth_under_contention():
+    p = Partition(XT4_QC, 8, (2, 2, 2), route_dilation=1.0, contention_multiplier=2.0)
+    t = p.build_torus()
+    assert t.spec.link_bandwidth == pytest.approx(XT4_QC.torus.link_bandwidth / 2)

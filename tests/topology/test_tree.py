@@ -1,0 +1,71 @@
+"""Collective-tree network model tests."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.simengine import Engine
+from repro.topology import TreeNetwork
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TreeNetwork(0, BGP.tree)
+
+
+def test_depth_log2():
+    assert TreeNetwork(1, BGP.tree).depth == 1
+    assert TreeNetwork(2, BGP.tree).depth == 1
+    assert TreeNetwork(1024, BGP.tree).depth == 10
+    assert TreeNetwork(1025, BGP.tree).depth == 11
+
+
+def test_broadcast_time_pipelined():
+    tree = TreeNetwork(1024, BGP.tree)
+    small = tree.broadcast_time(0)
+    big = tree.broadcast_time(1_000_000)
+    assert small == pytest.approx(10 * BGP.tree.hop_latency)
+    # Payload streams at link bandwidth after the latency.
+    assert big - small == pytest.approx(1_000_000 / 850e6)
+
+
+def test_broadcast_negative_payload():
+    with pytest.raises(ValueError):
+        TreeNetwork(8, BGP.tree).broadcast_time(-1)
+
+
+def test_reduce_supports_double_not_single():
+    """The tree ALU handles doubles in hardware, not single precision
+    (the paper's Fig. 3a/b Allreduce precision effect)."""
+    tree = TreeNetwork(64, BGP.tree)
+    assert tree.reduce_time(1024, "float64") > 0
+    with pytest.raises(ValueError):
+        tree.reduce_time(1024, "float32")
+
+
+def test_allreduce_is_reduce_plus_bcast():
+    tree = TreeNetwork(64, BGP.tree)
+    assert tree.allreduce_time(4096) == pytest.approx(
+        tree.reduce_time(4096) + tree.broadcast_time(4096)
+    )
+
+
+def test_occupy_serializes_concurrent_ops():
+    env = Engine()
+    tree = TreeNetwork(16, BGP.tree, env)
+    done = []
+
+    def user(env, tree, name):
+        yield tree.occupy(1e-3)
+        done.append((name, env.now))
+
+    env.process(user(env, tree, "a"))
+    env.process(user(env, tree, "b"))
+    env.run()
+    assert done[0][1] == pytest.approx(1e-3)
+    assert done[1][1] == pytest.approx(2e-3)
+    assert tree.operations == 2
+
+
+def test_occupy_requires_engine():
+    with pytest.raises(RuntimeError):
+        TreeNetwork(16, BGP.tree).occupy(1.0)
