@@ -1,3 +1,5 @@
 """Mini-app reimplementations of the paper's five applications
 (POP, CAM, S3D, GYRO, LAMMPS/PMEMD) — real numerics at laptop scale
 plus calibrated performance models."""
+
+__all__: list = []  # namespace package: import the app subpackages directly

@@ -1,20 +1,20 @@
 """CAM: the Community Atmosphere Model mini-app (paper Section III.B, Fig. 5)."""
 
-from .spectral import SpectralTransform, spectral_roundtrip_error
-from .fv import fv_advect_step, courant_number
-from .physics import column_physics_step, PhysicsLoadModel
+from .fv import courant_number, fv_advect_step
 from .model import (
+    CAM_BENCHMARKS,
+    CAM_SUSTAINED_GFLOPS,
     CamBenchmark,
     CamModel,
     CamResult,
+    FV_0_47x0_63,
+    FV_1_9x2_5,
+    OPENMP_EFFICIENCY,
     SPECTRAL_T42,
     SPECTRAL_T85,
-    FV_1_9x2_5,
-    FV_0_47x0_63,
-    CAM_BENCHMARKS,
-    CAM_SUSTAINED_GFLOPS,
-    OPENMP_EFFICIENCY,
 )
+from .physics import column_physics_step, PhysicsLoadModel
+from .spectral import spectral_roundtrip_error, SpectralTransform
 
 __all__ = [
     "SpectralTransform",

@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...halo.exchange import neighbors2d
 from ...machines.specs import MachineSpec
 from ...simmpi import Cluster
-from ...halo.exchange import neighbors2d
-from .model import CamBenchmark, CamModel, CAM_SUSTAINED_GFLOPS
+from .model import CAM_SUSTAINED_GFLOPS, CamBenchmark
 from .physics import PhysicsLoadModel
 
 __all__ = ["replay_steps", "CamReplayResult"]

@@ -28,12 +28,10 @@ is less than a factor of 2".
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ...machines.specs import MachineSpec
-from ...machines.modes import Mode, resolve_mode
 from ...simmpi.cost import CostModel
 from .physics import PhysicsLoadModel
 

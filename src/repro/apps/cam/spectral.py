@@ -15,9 +15,6 @@ OpenMP "an important enhancement for the BG/P" (paper Section III.B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
-
 import numpy as np
 
 __all__ = ["SpectralTransform", "spectral_roundtrip_error"]
@@ -48,11 +45,11 @@ class SpectralTransform:
         self._w = weights
         # Legendre basis matrix P[l, j] = P_l(mu_j), orthonormalized.
         self._P = np.zeros((self.truncation + 1, nlat))
-        for l in range(self.truncation + 1):
-            c = np.zeros(l + 1)
-            c[l] = 1.0
-            norm = np.sqrt((2 * l + 1) / 2.0)
-            self._P[l] = norm * np.polynomial.legendre.legval(nodes, c)
+        for ell in range(self.truncation + 1):
+            c = np.zeros(ell + 1)
+            c[ell] = 1.0
+            norm = np.sqrt((2 * ell + 1) / 2.0)
+            self._P[ell] = norm * np.polynomial.legendre.legval(nodes, c)
 
     def forward(self, field: np.ndarray) -> np.ndarray:
         """Grid (nlat, nlon) -> spectral (truncation+1, nlon//2+1)."""

@@ -1,13 +1,8 @@
 """GYRO: gyrokinetic tokamak microturbulence (paper Section III.D, Fig. 7)."""
 
-from .grid5d import GyroProblem, B1_STD, B3_GTC, B3_GTC_MODIFIED
-from .fieldsolve import poisson_solve_fft, fieldsolve_flops
-from .model import (
-    GyroModel,
-    GyroResult,
-    GYRO_SUSTAINED_GFLOPS,
-    UNOPTIMIZED_ALLTOALL_PENALTY,
-)
+from .fieldsolve import fieldsolve_flops, poisson_solve_fft
+from .grid5d import B1_STD, B3_GTC, B3_GTC_MODIFIED, GyroProblem
+from .model import GYRO_SUSTAINED_GFLOPS, GyroModel, GyroResult, UNOPTIMIZED_ALLTOALL_PENALTY
 
 __all__ = [
     "GyroProblem",

@@ -13,9 +13,9 @@ from dataclasses import dataclass
 
 from ...machines.specs import MachineSpec
 from ...simmpi import Cluster
-from .grid5d import GyroProblem, B1_STD
-from .model import GyroModel, GYRO_SUSTAINED_GFLOPS, UNOPTIMIZED_ALLTOALL_PENALTY
 from .fieldsolve import fieldsolve_flops
+from .grid5d import B1_STD, GyroProblem
+from .model import GYRO_SUSTAINED_GFLOPS, UNOPTIMIZED_ALLTOALL_PENALTY
 
 __all__ = ["replay_steps", "GyroReplayResult"]
 

@@ -23,11 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ...machines.specs import MachineSpec
 from ...machines.modes import Mode, ModeConfig, resolve_mode
+from ...machines.specs import MachineSpec
 from ...simmpi.cost import CostModel
-from .grid5d import GyroProblem, B1_STD, B3_GTC, B3_GTC_MODIFIED
 from .fieldsolve import fieldsolve_flops
+from .grid5d import B1_STD, GyroProblem
 
 __all__ = ["GyroModel", "GyroResult", "GYRO_SUSTAINED_GFLOPS", "UNOPTIMIZED_ALLTOALL_PENALTY"]
 

@@ -1,18 +1,18 @@
 """Molecular dynamics: LAMMPS/PMEMD mini-apps (paper Section III.E, Fig. 8)."""
 
-from .system import MdSystem, RUBISCO, make_lattice_system
-from .forces import lj_forces_bruteforce, velocity_verlet, kinetic_energy
 from .cells import CellList, lj_forces_celllist
-from .pme import spread_charges, reciprocal_potential, pme_fft_flops
+from .forces import kinetic_energy, lj_forces_bruteforce, velocity_verlet
 from .models import (
-    MdModel,
-    LammpsModel,
-    PmemdModel,
-    MdResult,
-    MD_SUSTAINED_GFLOPS,
-    FLOPS_PER_PAIR,
     FLOPS_PER_ATOM,
+    FLOPS_PER_PAIR,
+    LammpsModel,
+    MD_SUSTAINED_GFLOPS,
+    MdModel,
+    MdResult,
+    PmemdModel,
 )
+from .pme import pme_fft_flops, reciprocal_potential, spread_charges
+from .system import make_lattice_system, MdSystem, RUBISCO
 
 __all__ = [
     "MdSystem",

@@ -15,9 +15,9 @@ import numpy as np
 
 from ...machines.specs import MachineSpec
 from ...simmpi import Cluster
-from .models import MdModel, LammpsModel, PmemdModel, FLOPS_PER_PAIR, FLOPS_PER_ATOM, MD_SUSTAINED_GFLOPS
-from .system import MdSystem, RUBISCO
+from .models import FLOPS_PER_ATOM, FLOPS_PER_PAIR, MD_SUSTAINED_GFLOPS, MdModel
 from .pme import pme_fft_flops
+from .system import MdSystem, RUBISCO
 
 __all__ = ["replay_steps", "MdReplayResult"]
 

@@ -23,17 +23,16 @@ emerge from the machine models here.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np
 
-from ...machines.specs import MachineSpec
 from ...machines.modes import Mode, resolve_mode
+from ...machines.specs import MachineSpec
 from ...simmpi.cost import CostModel
-from .system import MdSystem, RUBISCO
 from .pme import pme_fft_flops
+from .system import MdSystem, RUBISCO
 
 __all__ = ["MdModel", "LammpsModel", "PmemdModel", "MdResult", "MD_SUSTAINED_GFLOPS"]
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .solvers import SolverSignature, CG_SIGNATURE, CHRONGEAR_SIGNATURE
 
 __all__ = ["BarotropicConfig", "TENTH_DEGREE_BAROTROPIC"]
 

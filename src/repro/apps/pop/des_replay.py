@@ -14,16 +14,15 @@ model at small scale, anchoring the Fig. 4 curves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
+from ...halo.exchange import neighbors2d
 from ...machines.specs import MachineSpec
 from ...simmpi import Cluster
-from ...halo.exchange import neighbors2d
-from .grid import PopGrid, decompose
 from .baroclinic import BAROCLINIC_WORK
 from .barotropic import TENTH_DEGREE_BAROTROPIC
-from .solvers import SolverSignature, CHRONGEAR_SIGNATURE
-from .model import PopModel, POP_SUSTAINED_GFLOPS
+from .grid import decompose, PopGrid
+from .model import POP_SUSTAINED_GFLOPS
+from .solvers import CHRONGEAR_SIGNATURE, SolverSignature
 
 __all__ = ["replay_steps", "PopReplayResult"]
 

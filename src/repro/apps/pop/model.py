@@ -20,13 +20,13 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ...machines.specs import MachineSpec
 from ...machines.modes import Mode, resolve_mode
+from ...machines.specs import MachineSpec
 from ...simmpi.cost import CostModel
-from .grid import PopGrid, TENTH_DEGREE, decompose, imbalance
 from .baroclinic import BAROCLINIC_WORK, BaroclinicWork
 from .barotropic import BarotropicConfig, TENTH_DEGREE_BAROTROPIC
-from .solvers import SolverSignature, CG_SIGNATURE, CHRONGEAR_SIGNATURE
+from .grid import decompose, imbalance, PopGrid, TENTH_DEGREE
+from .solvers import CHRONGEAR_SIGNATURE, SolverSignature
 
 __all__ = ["PopModel", "PopResult", "POP_SUSTAINED_GFLOPS", "seconds_per_simday_to_syd"]
 

@@ -17,7 +17,7 @@ reads their per-iteration communication/compute signatures from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable
 
 import numpy as np
 

@@ -1,22 +1,16 @@
 """S3D: direct numerical simulation of combustion (paper Section III.C, Fig. 6)."""
 
-from .stencil import DERIV_WIDTH, FILTER_WIDTH, deriv8, filter10, deriv8_3d
-from .rk import RK_STAGES, rk4_6stage_step, integrate
-from .chemistry import (
-    SPECIES,
-    N_SPECIES,
-    reaction_rates,
-    advance_chemistry,
-    CHEM_FLOPS_PER_POINT,
-)
+from .chemistry import advance_chemistry, CHEM_FLOPS_PER_POINT, N_SPECIES, reaction_rates, SPECIES
 from .model import (
+    FLOPS_PER_POINT_PER_STAGE,
+    N_VARS,
+    pressure_wave_demo,
+    S3D_SUSTAINED_GFLOPS,
     S3dModel,
     S3dResult,
-    S3D_SUSTAINED_GFLOPS,
-    N_VARS,
-    FLOPS_PER_POINT_PER_STAGE,
-    pressure_wave_demo,
 )
+from .rk import integrate, rk4_6stage_step, RK_STAGES
+from .stencil import deriv8, deriv8_3d, DERIV_WIDTH, filter10, FILTER_WIDTH
 
 __all__ = [
     "DERIV_WIDTH",

@@ -10,7 +10,6 @@ charges its per-point flop cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np

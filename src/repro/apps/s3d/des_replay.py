@@ -9,16 +9,15 @@ scaling model against the simulated network.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ...machines.specs import MachineSpec
 from ...simmpi import Cluster
-from .model import S3dModel, S3D_SUSTAINED_GFLOPS, FLOPS_PER_POINT_PER_STAGE, N_VARS
 from .chemistry import CHEM_FLOPS_PER_POINT
-from .stencil import DERIV_WIDTH
+from .model import FLOPS_PER_POINT_PER_STAGE, N_VARS, S3D_SUSTAINED_GFLOPS
 from .rk import RK_STAGES
+from .stencil import DERIV_WIDTH
 
 __all__ = ["replay_steps", "S3dReplayResult"]
 

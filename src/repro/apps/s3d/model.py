@@ -20,12 +20,12 @@ from typing import Dict, List
 
 import numpy as np
 
-from ...machines.specs import MachineSpec
 from ...machines.modes import Mode, resolve_mode
+from ...machines.specs import MachineSpec
 from ...simmpi.cost import CostModel
-from .stencil import DERIV_WIDTH, deriv8, filter10
-from .rk import RK_STAGES, rk4_6stage_step
-from .chemistry import N_SPECIES, CHEM_FLOPS_PER_POINT
+from .chemistry import CHEM_FLOPS_PER_POINT, N_SPECIES
+from .rk import rk4_6stage_step, RK_STAGES
+from .stencil import deriv8, DERIV_WIDTH, filter10
 
 __all__ = ["S3dModel", "S3dResult", "S3D_SUSTAINED_GFLOPS", "pressure_wave_demo"]
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro run all -o out/      # regenerate everything to files
     python -m repro validate             # check the ten paper claims
     python -m repro machines             # show the machine catalog
+    python -m repro lint src/            # simlint static analysis
 """
 
 from __future__ import annotations
@@ -100,6 +101,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"  {rule.id:20s} {rule.severity}  {rule.description}")
+        return 0
+    paths = args.paths
+    if not paths:
+        default = pathlib.Path("src")
+        paths = [str(default)] if default.is_dir() else ["."]
+    missing = [p for p in paths if not pathlib.Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such file or directory: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    result = lint_paths(paths)
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return result.exit_code
+
+
 def _cmd_machines(_args: argparse.Namespace) -> int:
     from .core.evaluation import table1_config
 
@@ -137,9 +158,30 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("machines", help="print the machine catalog (Table 1)").set_defaults(
         fn=_cmd_machines
     )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="simlint static analysis (yield-from, determinism, API hygiene)",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", help="files/directories to lint (default: src/)"
+    )
+    p_lint.add_argument(
+        "-f", "--format", choices=["text", "json"], default="text",
+        help="output format (default: text)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Piped into `head` and the reader closed early; that is fine.
+        sys.stderr.close()
+        return 0

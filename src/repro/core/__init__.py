@@ -1,19 +1,19 @@
 """Evaluation core: metrics, reports, the experiment registry, and the
 paper-shape validation harness."""
 
+from .compare import compare_machines, ComparisonRow, render_comparison
+from .evaluation import experiment_ids, EXPERIMENTS, run_experiment
+from .hpcc import build_table2, HpccColumn, TABLE2_ROWS
 from .metrics import (
-    speedup,
-    parallel_efficiency,
-    weak_scaling_efficiency,
     crossover_point,
+    parallel_efficiency,
     relative_factor,
+    speedup,
+    weak_scaling_efficiency,
 )
-from .report import format_table, format_series, figure_to_csv, Figure, Series
+from .report import Figure, figure_to_csv, format_series, format_table, Series
 from .sweep import Sweep, SweepPoint
-from .hpcc import HpccColumn, build_table2, TABLE2_ROWS
 from .validate import Claim, CLAIMS, validate_all, ValidationError
-from .evaluation import EXPERIMENTS, run_experiment, experiment_ids
-from .compare import ComparisonRow, compare_machines, render_comparison
 
 __all__ = [
     "speedup",

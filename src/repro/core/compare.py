@@ -10,10 +10,10 @@ including user-defined machines (see ``examples/custom_machine.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from ..machines.specs import MachineSpec
 from ..machines.power import hpl_mflops_per_watt
+from ..machines.specs import MachineSpec
 from ..simmpi.cost import CostModel
 from .report import format_table
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from ..machines import BGP, BGL, XT3, XT4_DC, XT4_QC
+from ..machines import BGL, BGP, XT3, XT4_DC, XT4_QC
 from .report import Figure, format_table
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
@@ -244,7 +244,8 @@ def fig3_imb() -> str:
     for m in (BGP, XT4_QC):
         b = ImbBenchmark(m)
         for dtype in ("float64", "float32"):
-            pts = [(p.processes, p.latency_us) for p in b.process_sweep("allreduce", 32768, procs, dtype)]
+            sweep = b.process_sweep("allreduce", 32768, procs, dtype)
+            pts = [(p.processes, p.latency_us) for p in sweep]
             fig.add(f"{m.name} {dtype}", pts)
     out.append(fig.render())
 
@@ -256,7 +257,8 @@ def fig3_imb() -> str:
 
     fig = Figure("Figure 3(d): Bcast latency vs procs, 32KB", "processes", "us")
     for m in (BGP, XT4_QC):
-        pts = [(p.processes, p.latency_us) for p in ImbBenchmark(m).process_sweep("bcast", 32768, procs)]
+        sweep = ImbBenchmark(m).process_sweep("bcast", 32768, procs)
+        pts = [(p.processes, p.latency_us) for p in sweep]
         fig.add(m.name, pts)
     out.append(fig.render())
     return "\n\n".join(out)
@@ -316,7 +318,8 @@ def fig4_pop() -> str:
     fig = Figure("Figure 4(d): POP phases, BG/P vs XT4", "processes", "seconds/simday")
     for m in (BGP, XT4_DC):
         runs = PopModel(m).sweep(procs)
-        fig.add(f"{m.name} baroclinic", [(r.processes, r.baroclinic_s_per_day + r.imbalance_s_per_day) for r in runs])
+        baroclinic = [(r.processes, r.baroclinic_s_per_day + r.imbalance_s_per_day) for r in runs]
+        fig.add(f"{m.name} baroclinic", baroclinic)
         fig.add(f"{m.name} barotropic", [(r.processes, r.barotropic_s_per_day) for r in runs])
     out.append(fig.render())
     return "\n\n".join(out)

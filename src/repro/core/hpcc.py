@@ -10,18 +10,18 @@ exactly the asymmetry the paper describes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Dict, List
 
-from ..machines.specs import MachineSpec
-from ..machines.modes import resolve_mode
 from ..kernels.dgemm import DgemmModel
 from ..kernels.fft import FftModel
 from ..kernels.hpl import HplModel
+from ..kernels.pingpong import pingpong_analytic
 from ..kernels.ptrans import PtransModel
 from ..kernels.randomaccess import RandomAccessModel
-from ..kernels.pingpong import pingpong_analytic
 from ..kernels.ring import random_ring_analytic
+from ..machines.modes import resolve_mode
+from ..machines.specs import MachineSpec
 from ..memmodel.stream import StreamModel
 
 __all__ = ["HpccColumn", "build_table2", "TABLE2_ROWS"]

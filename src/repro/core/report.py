@@ -7,7 +7,7 @@ rows/series the paper plots, minus the ink.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Iterable, List, Sequence, Tuple
 
 __all__ = ["format_table", "format_series", "Figure", "Series"]
 

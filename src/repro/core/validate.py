@@ -10,17 +10,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List
 
-from ..machines import BGP, BGL, XT3, XT4_DC, XT4_QC
-from ..simmpi.cost import CostModel
+from ..apps.cam.model import CamModel, FV_1_9x2_5, SPECTRAL_T85
+from ..apps.gyro.grid5d import B1_STD
+from ..apps.gyro.model import GyroModel
+from ..apps.pop.model import PopModel
+from ..apps.s3d.model import S3dModel
 from ..kernels.dgemm import DgemmModel
 from ..kernels.hpl import HplModel
+from ..machines import BGP, XT4_DC, XT4_QC
 from ..memmodel.stream import StreamModel
-from ..apps.pop.model import PopModel
-from ..apps.cam.model import CamModel, SPECTRAL_T85, FV_1_9x2_5
-from ..apps.s3d.model import S3dModel
-from ..apps.gyro.model import GyroModel
-from ..apps.gyro.grid5d import B1_STD
-from ..apps.md.models import LammpsModel
+from ..simmpi.cost import CostModel
 
 __all__ = ["Claim", "CLAIMS", "validate_all", "ValidationError"]
 
@@ -128,7 +127,9 @@ def _c8() -> bool:
 def _c9() -> bool:
     """GYRO B1-std: XT4 efficiency collapses first; BG/P keeps scaling."""
     gb, gx = GyroModel(BGP, B1_STD), GyroModel(XT4_QC, B1_STD)
-    eff = lambda g: g.run(2048).speedup_vs(g.run(16)) / (2048 / 16)
+    def eff(g):
+        return g.run(2048).speedup_vs(g.run(16)) / (2048 / 16)
+
     return eff(gb) > 0.7 and eff(gx) < 0.6
 
 

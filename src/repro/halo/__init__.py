@@ -1,14 +1,8 @@
 """The Wallcraft HALO benchmark (paper Section II.B.1, Figure 2)."""
 
-from .exchange import (
-    WORD_BYTES,
-    HaloSpec,
-    halo_exchange_numpy,
-    halo_program,
-    neighbors2d,
-)
-from .protocols import Protocol, PROTOCOLS, get_protocol
-from .bench import HaloBenchmark, HaloPoint, best_mapping
+from .bench import best_mapping, HaloBenchmark, HaloPoint
+from .exchange import halo_exchange_numpy, halo_program, HaloSpec, neighbors2d, WORD_BYTES
+from .protocols import get_protocol, Protocol, PROTOCOLS
 
 __all__ = [
     "WORD_BYTES",

@@ -24,15 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode, resolve_mode
+from ..machines.specs import MachineSpec
 from ..simmpi import Cluster
 from ..simmpi.cost import CostModel
 from ..topology.mapping import Mapping
 from ..topology.partition import allocate
 from ..topology.torus import Torus3D
-from .exchange import WORD_BYTES, HaloSpec, halo_program, neighbors2d
-from .protocols import Protocol, get_protocol
+from .exchange import halo_program, HaloSpec, neighbors2d, WORD_BYTES
+from .protocols import get_protocol
 
 __all__ = ["HaloBenchmark", "HaloPoint", "best_mapping"]
 

@@ -19,7 +19,7 @@ Words are 32-bit.  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

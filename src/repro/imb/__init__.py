@@ -1,5 +1,5 @@
 """IMB-style MPI collective latency benchmarks (paper Fig. 3)."""
 
-from .harness import ImbBenchmark, ImbPoint, DEFAULT_SIZES, DEFAULT_PROC_COUNTS
+from .harness import DEFAULT_PROC_COUNTS, DEFAULT_SIZES, ImbBenchmark, ImbPoint
 
 __all__ = ["ImbBenchmark", "ImbPoint", "DEFAULT_SIZES", "DEFAULT_PROC_COUNTS"]

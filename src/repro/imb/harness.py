@@ -14,10 +14,10 @@ message-level simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import List, Sequence
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode
+from ..machines.specs import MachineSpec
 from ..simmpi import Cluster, CostModel
 
 __all__ = ["ImbPoint", "ImbBenchmark", "DEFAULT_SIZES", "DEFAULT_PROC_COUNTS"]

@@ -1,8 +1,8 @@
 """I/O subsystem: collective-network forwarding to I/O nodes and GPFS
 (paper Sections I.A-I.C)."""
 
-from .gpfs import GpfsConfig, EUGENE_SCRATCH, EUGENE_HOME
-from .forwarding import IoForwarding, IoEstimate
+from .forwarding import IoEstimate, IoForwarding
+from .gpfs import EUGENE_HOME, EUGENE_SCRATCH, GpfsConfig
 
 __all__ = [
     "GpfsConfig",

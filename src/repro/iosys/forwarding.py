@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..machines.specs import MachineSpec
-from .gpfs import GpfsConfig, EUGENE_SCRATCH
+from .gpfs import EUGENE_SCRATCH, GpfsConfig
 
 __all__ = ["IoForwarding", "IoEstimate"]
 

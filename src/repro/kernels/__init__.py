@@ -1,12 +1,12 @@
 """HPCC kernels: real small-scale implementations + scalable models."""
 
-from .dgemm import DgemmModel, dgemm_flops, run_dgemm_numpy
-from .hpl import HplModel, HplResult, hpl_flops, run_lu_numpy, block_size_for
-from .fft import FftModel, fft_flops, run_fft_numpy
+from .dgemm import dgemm_flops, DgemmModel, run_dgemm_numpy
+from .fft import fft_flops, FftModel, run_fft_numpy
+from .hpl import block_size_for, hpl_flops, HplModel, HplResult, run_lu_numpy
+from .pingpong import pingpong_analytic, PingPongResult, run_pingpong_des
 from .ptrans import PtransModel, PtransResult, run_ptrans_numpy
-from .randomaccess import RandomAccessModel, GupsResult, run_randomaccess_numpy
-from .pingpong import PingPongResult, pingpong_analytic, run_pingpong_des
-from .ring import RingResult, random_ring_analytic, run_random_ring_des
+from .randomaccess import GupsResult, RandomAccessModel, run_randomaccess_numpy
+from .ring import random_ring_analytic, RingResult, run_random_ring_des
 
 __all__ = [
     "DgemmModel",

@@ -19,8 +19,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode, resolve_mode
+from ..machines.specs import MachineSpec
 from ..simmpi.cost import CostModel
 
 __all__ = ["fft_flops", "run_fft_numpy", "FftModel"]

@@ -14,14 +14,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode, resolve_mode
-from ..simmpi.cost import CostModel
+from ..machines.specs import MachineSpec
 from ..memmodel.workingset import hpcc_problem_size
+from ..simmpi.cost import CostModel
 
 __all__ = ["hpl_flops", "run_lu_numpy", "HplModel", "HplResult", "block_size_for"]
 

@@ -9,8 +9,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode
+from ..machines.specs import MachineSpec
 from ..simmpi import Cluster, CostModel
 
 __all__ = ["PingPongResult", "run_pingpong_des", "pingpong_analytic"]

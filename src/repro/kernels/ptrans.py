@@ -12,17 +12,16 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode, resolve_mode
-from ..simmpi.cost import CostModel
-from ..simengine import make_rng
+from ..machines.specs import MachineSpec
 from ..memmodel.workingset import hpcc_problem_size
+from ..simengine import make_rng
+from ..simmpi.cost import CostModel
 
 __all__ = ["run_ptrans_numpy", "PtransModel", "PtransResult"]
 

@@ -15,12 +15,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode, resolve_mode
+from ..machines.specs import MachineSpec
 from ..memmodel.cache import CacheModel
 from ..simmpi.cost import CostModel
 

@@ -12,8 +12,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode
+from ..machines.specs import MachineSpec
 from ..simengine import make_rng
 from ..simmpi import Cluster, CostModel
 

@@ -1,0 +1,54 @@
+"""simlint: static analysis + runtime sanitizer for the simulator.
+
+Two layers guard the invariants everything else rests on:
+
+* **Static rules** (stdlib ``ast``, no dependencies) catch the
+  mistakes Python never warns about in this codebase's generator-based
+  MPI style — a ``comm.send`` without ``yield from`` is a silent no-op,
+  a ``time.time()`` breaks the identical-traces determinism promise.
+  Run them with ``repro lint [paths]`` or :func:`lint_paths`.
+* **Runtime sanitizer** (``cluster.run(program, sanitize=True)``)
+  reconstructs the rank wait-graph at deadlock and reports leaked
+  Requests / unreceived messages at exit.
+
+See ``docs/linting.md`` for the rule catalogue and suppression syntax
+(``# simlint: ignore[rule-id]``).
+"""
+
+from .findings import Finding, Severity, Suppressions
+from .rules import all_rules, register, Rule, rule_ids, SourceFile
+from .runner import lint_paths, lint_text, LintResult, render_json, render_text
+from .sanitizer import (
+    BlockedRank,
+    DeadlockError,
+    force_sanitize,
+    RequestLeakError,
+    Sanitizer,
+    SanitizerError,
+    SanitizerReport,
+    UnmatchedSendError,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Suppressions",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "register",
+    "rule_ids",
+    "LintResult",
+    "lint_paths",
+    "lint_text",
+    "render_json",
+    "render_text",
+    "BlockedRank",
+    "DeadlockError",
+    "RequestLeakError",
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerReport",
+    "UnmatchedSendError",
+    "force_sanitize",
+]

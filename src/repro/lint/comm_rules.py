@@ -1,0 +1,175 @@
+"""Rules guarding the generator-coroutine MPI programming model.
+
+Simulated-MPI operations (``comm.send``, ``comm.recv``, the
+collectives, ``comm.compute``) are generator functions: calling one
+builds a coroutine but performs **nothing** until it is driven with
+``yield from``.  Forgetting the ``yield from`` therefore silently skips
+the operation — the single most dangerous mistake in this codebase, and
+one Python gives no warning for.  These rules catch the three shapes of
+that mistake statically:
+
+* a bare expression-statement call (``comm.send(1, 8)``);
+* ``yield comm.send(...)`` — hands the engine a generator object, not
+  an :class:`~repro.simengine.events.Event`;
+* ``yield from env.timeout(...)`` — the inverse confusion: event
+  factories return events to be ``yield``-ed, not iterated.
+
+Matching is name-based (any ``x.send(...)``), which is the right
+trade-off here: the repository reserves these method names for
+simulated-MPI surfaces, and false positives can be silenced with
+``# simlint: ignore[yield-from-comm]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .findings import Finding
+from .rules import register, Rule, SourceFile
+
+__all__ = ["YieldFromCommRule", "GENERATOR_METHODS", "EVENT_FACTORIES", "REQUEST_FACTORIES"]
+
+#: Methods that return a generator coroutine and must be ``yield from``-ed.
+GENERATOR_METHODS = frozenset(
+    {
+        "send",
+        "recv",
+        "sendrecv",
+        "wait",
+        "waitall",
+        "barrier",
+        "bcast",
+        "reduce",
+        "allreduce",
+        "allgather",
+        "reduce_scatter",
+        "gather",
+        "scatter",
+        "alltoall",
+        "compute",
+    }
+)
+
+#: Module-level generator functions (the software-collective menu).
+GENERATOR_FUNCTIONS = frozenset(
+    {
+        "dissemination_barrier",
+        "binomial_bcast",
+        "binomial_reduce",
+        "binomial_gather",
+        "binomial_scatter",
+        "recursive_doubling_allreduce",
+        "rabenseifner_allreduce",
+        "software_allreduce",
+        "recursive_halving_reduce_scatter",
+        "ring_allgather",
+        "bruck_alltoall",
+        "pairwise_alltoall",
+        "halo_program",
+    }
+)
+
+#: Methods that construct and return an Event (to be ``yield``-ed).
+EVENT_FACTORIES = frozenset({"timeout", "all_of", "any_of"})
+
+#: Methods returning a Request handle that must be bound and waited on.
+REQUEST_FACTORIES = frozenset({"isend", "irecv"})
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    """The method/function name of a call, or None for exotic callees."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_method(call: ast.Call) -> bool:
+    return isinstance(call.func, ast.Attribute)
+
+
+@register
+class YieldFromCommRule(Rule):
+    """Catch simulated-MPI coroutines that are built but never driven."""
+
+    id = "yield-from-comm"
+    description = (
+        "comm/engine coroutine called but not driven with 'yield from' "
+        "(silent no-op), or yielded/iterated with the wrong keyword"
+    )
+
+    def check(self, tree: ast.AST, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+                yield from self._check_bare_call(src, node.value)
+            elif isinstance(node, ast.Yield):
+                yield from self._check_yield(src, node)
+            elif isinstance(node, ast.YieldFrom):
+                yield from self._check_yield_from(src, node)
+
+    # -- the three mistake shapes -----------------------------------------
+    def _check_bare_call(self, src: SourceFile, call: ast.Call) -> Iterator[Finding]:
+        name = _call_name(call)
+        if name is None:
+            return
+        if name in GENERATOR_METHODS and _is_method(call):
+            yield self.finding(
+                src,
+                call,
+                f"result of '{name}(...)' is discarded — a simulated-MPI "
+                "coroutine does nothing until driven with 'yield from'",
+            )
+        elif name in GENERATOR_FUNCTIONS and not _is_method(call):
+            yield self.finding(
+                src,
+                call,
+                f"collective generator '{name}(...)' is discarded — drive "
+                "it with 'yield from'",
+            )
+        elif name in REQUEST_FACTORIES and _is_method(call):
+            yield self.finding(
+                src,
+                call,
+                f"'{name}(...)' returns a Request that is discarded — bind "
+                "it and complete it with 'yield from comm.wait(req)'",
+            )
+        elif name in EVENT_FACTORIES and _is_method(call):
+            yield self.finding(
+                src,
+                call,
+                f"'{name}(...)' builds an Event that is discarded — "
+                "'yield' it to wait, or drop the call",
+            )
+
+    def _check_yield(self, src: SourceFile, node: ast.Yield) -> Iterator[Finding]:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        name = _call_name(call)
+        if name is None:
+            return
+        if (name in GENERATOR_METHODS and _is_method(call)) or (
+            name in GENERATOR_FUNCTIONS and not _is_method(call)
+        ):
+            yield self.finding(
+                src,
+                call,
+                f"'yield {name}(...)' hands the engine a generator, not an "
+                "Event — use 'yield from'",
+            )
+
+    def _check_yield_from(self, src: SourceFile, node: ast.YieldFrom) -> Iterator[Finding]:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        name = _call_name(call)
+        if name in EVENT_FACTORIES and _is_method(call):
+            yield self.finding(
+                src,
+                call,
+                f"'{name}(...)' returns an Event, which is not iterable — "
+                "use 'yield', not 'yield from'",
+            )

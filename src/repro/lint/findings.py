@@ -1,0 +1,113 @@
+"""Finding and suppression primitives shared by every simlint rule.
+
+A :class:`Finding` is one diagnostic anchored to a file position.
+Suppressions are written in source comments::
+
+    # simlint: ignore[yield-from-comm]        (standalone line: whole file)
+    x = time.time()  # simlint: ignore[determinism-hazard]   (this line only)
+    # simlint: ignore                          (all rules, whole file)
+
+A standalone comment (nothing but the comment on its line) suppresses
+the named rules for the entire file; a trailing comment suppresses them
+for its own line.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["Severity", "Finding", "Suppressions"]
+
+#: Matches ``simlint: ignore`` / ``simlint: ignore[rule-a, rule-b]``.
+_IGNORE_RE = re.compile(r"simlint:\s*ignore(?:\[([A-Za-z0-9_,\- ]+)\])?")
+
+#: Wildcard entry meaning "every rule".
+_ALL = "*"
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; errors gate the exit code harder than warnings."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violation at a position in a file."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        """Render in the conventional ``path:line:col: severity [rule] msg`` shape."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity} [{self.rule}] {self.message}"
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-dict form for the JSON output mode."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# simlint: ignore`` comments of one source file."""
+
+    #: rule ids suppressed for the whole file (may contain ``"*"``)
+    file_rules: Set[str] = field(default_factory=set)
+    #: line number -> rule ids suppressed on that line
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, text: str) -> "Suppressions":
+        """Extract suppression comments from ``text`` (best effort)."""
+        sup = cls()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return sup
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _IGNORE_RE.search(tok.string)
+            if m is None:
+                continue
+            rules = (
+                {r.strip() for r in m.group(1).split(",") if r.strip()}
+                if m.group(1)
+                else {_ALL}
+            )
+            standalone = tok.line.lstrip().startswith("#")
+            if standalone:
+                sup.file_rules |= rules
+            else:
+                sup.line_rules.setdefault(tok.start[0], set()).update(rules)
+        return sup
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when ``finding`` is silenced by a comment in its file."""
+        if _ALL in self.file_rules or finding.rule in self.file_rules:
+            return True
+        on_line = self.line_rules.get(finding.line)
+        return on_line is not None and (_ALL in on_line or finding.rule in on_line)

@@ -1,0 +1,91 @@
+"""The simlint rule framework: base class, registry, source handle.
+
+A rule is a class with a stable kebab-case ``id``, a default
+``severity`` and a ``check(tree, src)`` generator yielding
+:class:`~repro.lint.findings.Finding` objects.  Rules register
+themselves with the :func:`register` decorator; :func:`all_rules`
+instantiates the whole registry in deterministic (id-sorted) order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+from .findings import Finding, Severity
+
+__all__ = ["SourceFile", "Rule", "register", "all_rules", "rule_ids", "RULES"]
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One file (or source string) under analysis."""
+
+    path: str
+    text: str
+
+    @property
+    def lines(self) -> Tuple[str, ...]:
+        return tuple(self.text.splitlines())
+
+    def segment(self, node: ast.AST) -> str:
+        """Source text of ``node`` (empty string when unavailable)."""
+        return ast.get_source_segment(self.text, node) or ""
+
+
+class Rule:
+    """Base class for one static-analysis rule."""
+
+    #: stable kebab-case identifier, used in output and suppressions
+    id: str = ""
+    #: default severity of this rule's findings
+    severity: Severity = Severity.ERROR
+    #: one-line human description (shown by ``repro lint --list-rules``)
+    description: str = ""
+
+    def check(self, tree: ast.AST, src: SourceFile) -> Iterator[Finding]:
+        """Yield findings for ``tree``; override in subclasses."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(
+        self,
+        src: SourceFile,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=src.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=self.severity if severity is None else severity,
+            message=message,
+        )
+
+
+#: id -> rule class, in registration order.
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to the rule registry."""
+    if not cls.id:
+        raise ValueError(f"{cls.__name__} lacks a rule id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    RULES[cls.id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, sorted by id."""
+    return [RULES[rid]() for rid in sorted(RULES)]
+
+
+def rule_ids() -> List[str]:
+    """The sorted ids of every registered rule."""
+    return sorted(RULES)

@@ -1,0 +1,143 @@
+"""Drive the simlint rules over files and render the results.
+
+Public entry points:
+
+* :func:`lint_text` — lint one in-memory source string (what the unit
+  tests use);
+* :func:`lint_paths` — walk files/directories, lint every ``.py`` file;
+* :func:`render_text` / :func:`render_json` — the two CLI output modes.
+
+Findings are reported in deterministic order (path, line, col, rule).
+A file that fails to parse produces a single ``parse-error`` finding
+instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+# Importing the rule modules populates the registry.
+from . import comm_rules as _comm_rules  # noqa: F401
+from . import hygiene_rules as _hygiene_rules  # noqa: F401
+from .findings import Finding, Severity, Suppressions
+from .rules import Rule, SourceFile, all_rules
+
+__all__ = ["LintResult", "lint_text", "lint_paths", "render_text", "render_json"]
+
+#: Directories never descended into when walking a tree.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero whenever anything was found (findings gate CI)."""
+        return 1 if self.findings else 0
+
+
+def lint_text(
+    text: str, path: str = "<string>", rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint one source string; returns suppression-filtered findings."""
+    src = SourceFile(path=path, text=text)
+    try:
+        tree = ast.parse(text, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule="parse-error",
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    suppressions = Suppressions.parse(text)
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(tree, src):
+            if not suppressions.is_suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(
+                f
+                for f in p.rglob("*.py")
+                if not _SKIP_DIRS.intersection(part for part in f.parts)
+            )
+        elif p.suffix == ".py":
+            out.append(p)
+    return sorted(set(out))
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+) -> LintResult:
+    """Lint every Python file reachable from ``paths``."""
+    result = LintResult()
+    for path in iter_python_files(paths):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.findings.append(
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    rule="io-error",
+                    severity=Severity.ERROR,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        result.files_checked += 1
+        result.findings.extend(lint_text(text, path=str(path), rules=rules))
+    result.findings.sort()
+    return result
+
+
+def render_text(result: LintResult) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = [f.format() for f in result.findings]
+    lines.append(
+        f"simlint: {len(result.errors)} error(s), {len(result.warnings)} "
+        f"warning(s) in {result.files_checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-oriented report (stable key order, one JSON document)."""
+    doc = {
+        "files_checked": result.files_checked,
+        "errors": len(result.errors),
+        "warnings": len(result.warnings),
+        "findings": [f.to_json() for f in result.findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

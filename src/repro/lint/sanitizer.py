@@ -1,0 +1,299 @@
+"""Runtime simulation sanitizer: deadlock, leak, and lost-send reports.
+
+Static analysis cannot see every mistake — a recv whose matching send
+is taken on another branch, a Request abandoned on an error path.  The
+sanitizer watches one :class:`~repro.simmpi.comm.Cluster` run and turns
+the two silent failure modes of simulated MPI into loud, attributed
+errors:
+
+* **Deadlock**: when the event queue runs dry while rank processes are
+  still alive, it reconstructs the rank wait-graph from the transport's
+  posted-receive queues, pending rendezvous sends, and collective
+  rendezvous state, reports who is blocked on whom (with sources and
+  tags), and names the cycle when there is one.
+* **Leaks at exit**: Requests created by ``isend``/``irecv`` but never
+  completed through ``wait``/``waitall``, and messages that were sent
+  but never received by anyone.
+
+Enable it per run (``cluster.run(program, sanitize=True)``) or for a
+whole pytest test via the ``sanitize_runs`` fixture (see
+``tests/conftest.py``), which calls :func:`force_sanitize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..simengine.events import AllOf, AnyOf, Event
+
+__all__ = [
+    "SanitizerError",
+    "DeadlockError",
+    "RequestLeakError",
+    "UnmatchedSendError",
+    "BlockedRank",
+    "SanitizerReport",
+    "Sanitizer",
+    "force_sanitize",
+]
+
+
+class SanitizerError(RuntimeError):
+    """Base class for everything the sanitizer raises.
+
+    The structured :class:`SanitizerReport` is available as ``report``.
+    """
+
+    def __init__(self, report: "SanitizerReport") -> None:
+        super().__init__(report.format())
+        self.report = report
+
+
+class DeadlockError(SanitizerError):
+    """The simulation starved with rank processes still blocked."""
+
+
+class RequestLeakError(SanitizerError):
+    """isend/irecv Requests were abandoned without a wait."""
+
+
+class UnmatchedSendError(SanitizerError):
+    """Messages were sent but nobody ever received them."""
+
+
+@dataclass(frozen=True)
+class BlockedRank:
+    """One rank's blocking operation at deadlock time."""
+
+    rank: int
+    op: str  # "recv" | "send" | "collective" | "unknown"
+    peer: Optional[int] = None
+    tag: Optional[int] = None
+    detail: str = ""
+
+    def format(self) -> str:
+        if self.op == "recv":
+            src = "any" if self.peer is None else str(self.peer)
+            tag = "any" if self.tag is None else str(self.tag)
+            return f"rank {self.rank}: blocked in recv(src={src}, tag={tag})"
+        if self.op == "send":
+            return (
+                f"rank {self.rank}: rendezvous send to rank {self.peer} "
+                f"(tag={self.tag}) waiting for a matching recv"
+            )
+        if self.op == "collective":
+            return f"rank {self.rank}: blocked in collective {self.detail}"
+        return f"rank {self.rank}: blocked ({self.detail or 'unidentified event'})"
+
+
+@dataclass
+class SanitizerReport:
+    """Structured result of a sanitizer check."""
+
+    blocked: List[BlockedRank] = field(default_factory=list)
+    cycle: Optional[List[int]] = None
+    leaked_requests: List[str] = field(default_factory=list)
+    unmatched_sends: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines: List[str] = []
+        if self.blocked:
+            lines.append(
+                f"deadlock: event queue ran dry with {len(self.blocked)} "
+                "rank(s) still blocked"
+            )
+            lines.extend(f"  {b.format()}" for b in self.blocked)
+            if self.cycle:
+                arrow = " -> ".join(str(r) for r in self.cycle)
+                lines.append(f"  wait cycle: {arrow}")
+        if self.leaked_requests:
+            lines.append(
+                f"{len(self.leaked_requests)} request(s) never waited on:"
+            )
+            lines.extend(f"  {d}" for d in self.leaked_requests)
+        if self.unmatched_sends:
+            lines.append(
+                f"{len(self.unmatched_sends)} send(s) with no matching receive:"
+            )
+            lines.extend(f"  {d}" for d in self.unmatched_sends)
+        return "\n".join(lines) if lines else "sanitizer: clean"
+
+
+class Sanitizer:
+    """Watches one Cluster.run; see the module docstring."""
+
+    def __init__(self, cluster: Any) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self._requests: List[Tuple[int, Any]] = []
+        self._procs: Sequence[Any] = ()
+        self._prev_hook = None
+        self._installed = False
+
+    # -- lifecycle (driven by Cluster.run) --------------------------------
+    def attach(self, procs: Sequence[Any]) -> None:
+        """Register the rank processes and install the starvation hook."""
+        self._procs = list(procs)
+        self._prev_hook = self.env.on_empty_schedule
+        self.env.on_empty_schedule = self._on_empty_schedule
+        self._installed = True
+
+    def detach(self) -> None:
+        """Restore the engine's previous starvation hook."""
+        if self._installed:
+            self.env.on_empty_schedule = self._prev_hook
+            self._installed = False
+
+    def track_request(self, rank: int, request: Any) -> None:
+        """Record an isend/irecv Request for leak checking."""
+        self._requests.append((rank, request))
+
+    def drain(self) -> None:
+        """Process leftover events so in-flight messages reach the queues."""
+        self.env.run()
+
+    def finish(self) -> None:
+        """Post-run leak checks; raises when anything was left behind."""
+        report = SanitizerReport()
+        for rank, req in self._requests:
+            if not req._waited:
+                state = "completed" if req.complete else "still pending"
+                report.leaked_requests.append(
+                    f"rank {rank}: {req.kind} request (peer="
+                    f"{'any' if req.peer is None else req.peer}, "
+                    f"tag={'any' if req.tag is None else req.tag}) "
+                    f"{state} but never waited on"
+                )
+        transport = self.cluster.transport
+        for dst in sorted(transport.queues):
+            for envl in transport.queues[dst].unexpected:
+                msg = envl.msg
+                report.unmatched_sends.append(
+                    f"rank {msg.src} -> rank {msg.dst}: {msg.nbytes} B "
+                    f"(tag={msg.tag}) delivered but never received"
+                )
+        if report.leaked_requests:
+            raise RequestLeakError(report)
+        if report.unmatched_sends:
+            raise UnmatchedSendError(report)
+
+    # -- deadlock analysis -------------------------------------------------
+    def _on_empty_schedule(self) -> Optional[BaseException]:
+        report = self._deadlock_report()
+        if report.blocked:
+            return DeadlockError(report)
+        return None  # fall back to the engine's generic error
+
+    def _deadlock_report(self) -> SanitizerReport:
+        index = self._event_index()
+        report = SanitizerReport()
+        edges: Dict[int, int] = {}
+        for rank, proc in enumerate(self._procs):
+            if not proc.is_alive:
+                continue
+            blocked = self._classify(rank, proc._target, index)
+            report.blocked.append(blocked)
+            if blocked.op in ("recv", "send") and blocked.peer is not None:
+                edges[rank] = blocked.peer
+        report.cycle = self._find_cycle(edges)
+        return report
+
+    def _event_index(self) -> Dict[int, BlockedRank]:
+        """Map id(event) -> what waiting on that event means."""
+        from .. import simmpi  # local import to avoid a hard cycle
+
+        index: Dict[int, BlockedRank] = {}
+        transport = self.cluster.transport
+        for dst, queue in transport.queues.items():
+            for pr in queue.posted:
+                index[id(pr.event)] = BlockedRank(
+                    rank=dst,
+                    op="recv",
+                    peer=None if pr.src == simmpi.ANY_SOURCE else pr.src,
+                    tag=None if pr.tag == simmpi.ANY_TAG else pr.tag,
+                )
+            for envl in queue.unexpected:
+                done = envl.sender_done
+                if done is not None and not done.triggered:
+                    index[id(done)] = BlockedRank(
+                        rank=envl.msg.src,
+                        op="send",
+                        peer=envl.msg.dst,
+                        tag=envl.msg.tag,
+                    )
+        for idx, sync in self.cluster._op_syncs.items():
+            if sync.remaining > 0 and not sync.event.triggered:
+                index[id(sync.event)] = BlockedRank(
+                    rank=-1,
+                    op="collective",
+                    detail=(
+                        f"{sync.kind!r} (op #{idx}, waiting for "
+                        f"{sync.remaining} more rank(s))"
+                    ),
+                )
+        return index
+
+    def _classify(
+        self, rank: int, target: Optional[Event], index: Dict[int, BlockedRank]
+    ) -> BlockedRank:
+        if target is None:
+            return BlockedRank(rank=rank, op="unknown", detail="no awaited event")
+        hit = index.get(id(target))
+        if hit is not None:
+            return BlockedRank(
+                rank=rank, op=hit.op, peer=hit.peer, tag=hit.tag, detail=hit.detail
+            )
+        if isinstance(target, (AllOf, AnyOf)):
+            for child in target.events:
+                if child.triggered:
+                    continue
+                hit = index.get(id(child))
+                if hit is not None:
+                    return BlockedRank(
+                        rank=rank,
+                        op=hit.op,
+                        peer=hit.peer,
+                        tag=hit.tag,
+                        detail=hit.detail or "inside waitall",
+                    )
+            return BlockedRank(rank=rank, op="unknown", detail="waitall/any_of")
+        return BlockedRank(
+            rank=rank, op="unknown", detail=type(target).__name__.lower()
+        )
+
+    @staticmethod
+    def _find_cycle(edges: Dict[int, int]) -> Optional[List[int]]:
+        """First cycle of the (functional) wait graph, or None."""
+        done: set = set()
+        for start in sorted(edges):
+            if start in done:
+                continue
+            path: List[int] = []
+            seen: Dict[int, int] = {}
+            node = start
+            while node in edges and node not in done:
+                if node in seen:
+                    return path[seen[node]:] + [node]
+                seen[node] = len(path)
+                path.append(node)
+                node = edges[node]
+            done.update(path)
+        return None
+
+
+def force_sanitize(monkeypatch: Any) -> None:
+    """Patch ``Cluster.run`` so every run defaults to ``sanitize=True``.
+
+    Designed for pytest's ``monkeypatch`` fixture; existing suites can
+    opt whole tests in without touching each ``run`` call.
+    """
+    from ..simmpi.comm import Cluster
+
+    original = Cluster.run
+
+    def run(self, program, *args, **kwargs):
+        kwargs.setdefault("sanitize", True)
+        return original(self, program, *args, **kwargs)
+
+    monkeypatch.setattr(Cluster, "run", run)

@@ -14,18 +14,18 @@ from typing import Dict, Tuple
 
 from .specs import (
     CacheLevel,
-    NodeSpec,
     CoherenceKind,
     CoreSpec,
+    GB,
+    KB,
     MachineSpec,
+    MB,
     MemorySpec,
     MpiSpec,
+    NodeSpec,
     PowerSpec,
     TorusSpec,
     TreeSpec,
-    GB,
-    MB,
-    KB,
 )
 
 __all__ = [

@@ -18,7 +18,7 @@ communication-heavy phases draws slightly different power).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from .specs import MachineSpec
 
@@ -62,7 +62,9 @@ class PowerMeter:
         """Instantaneous draw of the allocated cores for workload ``kind``."""
         return self.machine.power.aggregate(self.cores, kind)
 
-    def record(self, start: float, end: float, kind: str = "normal", label: str = "") -> PowerSample:
+    def record(
+        self, start: float, end: float, kind: str = "normal", label: str = ""
+    ) -> PowerSample:
         """Log one interval at the draw rate of workload ``kind``."""
         if end < start:
             raise ValueError(f"interval ends before it starts: [{start}, {end}]")

@@ -9,10 +9,9 @@ through benchmark code.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 __all__ = [
     "CacheLevel",

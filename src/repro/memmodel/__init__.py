@@ -1,14 +1,9 @@
 """Node memory-system models: caches, STREAM, roofline, working sets."""
 
 from .cache import CacheModel
-from .roofline import Roofline, KernelWork
-from .stream import StreamModel, StreamResult, STREAM_BYTES_PER_ITER, run_stream_numpy
-from .workingset import (
-    hpcc_problem_size,
-    hpl_local_matrix_bytes,
-    grid_working_set,
-    fits_in_memory,
-)
+from .roofline import KernelWork, Roofline
+from .stream import run_stream_numpy, STREAM_BYTES_PER_ITER, StreamModel, StreamResult
+from .workingset import fits_in_memory, grid_working_set, hpcc_problem_size, hpl_local_matrix_bytes
 
 __all__ = [
     "CacheModel",

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..machines.specs import MachineSpec, NodeSpec, CacheLevel
+from ..machines.specs import CacheLevel, MachineSpec
 
 __all__ = ["CacheModel", "AccessPattern"]
 

@@ -9,10 +9,9 @@ splits node resources among MPI tasks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode, ModeConfig, resolve_mode
+from ..machines.specs import MachineSpec
 
 __all__ = ["Roofline", "KernelWork"]
 

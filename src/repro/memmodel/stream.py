@@ -20,8 +20,8 @@ from typing import Dict
 
 import numpy as np
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode, resolve_mode
+from ..machines.specs import MachineSpec
 
 __all__ = ["STREAM_BYTES_PER_ITER", "StreamModel", "run_stream_numpy"]
 
@@ -108,9 +108,9 @@ def run_stream_numpy(n: int = 1_000_000, repeats: int = 3) -> StreamResult:
     def timed(fn, bytes_per_iter: int) -> float:
         best = float("inf")
         for _ in range(repeats):
-            t0 = time.perf_counter()
+            t0 = time.perf_counter()  # simlint: ignore[determinism-hazard]
             fn()
-            best = min(best, time.perf_counter() - t0)
+            best = min(best, time.perf_counter() - t0)  # simlint: ignore[determinism-hazard]
         return n * bytes_per_iter / best
 
     rates["copy"] = timed(lambda: np.copyto(c, a), STREAM_BYTES_PER_ITER["copy"])

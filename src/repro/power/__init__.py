@@ -1,15 +1,15 @@
 """Power analysis (paper Section IV, Table 3)."""
 
-from .table3 import PowerColumn, build_table3, build_column, TABLE3_CORES, TARGET_SYD
-from .measure import MeasuredRun, measure_hpl, measure_pop
 from .lists import (
+    GREEN500_JUNE_2008_ANCHORS,
+    green500_rank,
     ListPlacement,
     place_configuration,
-    top500_rank,
-    green500_rank,
     TOP500_JUNE_2008_ANCHORS,
-    GREEN500_JUNE_2008_ANCHORS,
+    top500_rank,
 )
+from .measure import measure_hpl, measure_pop, MeasuredRun
+from .table3 import build_column, build_table3, PowerColumn, TABLE3_CORES, TARGET_SYD
 
 __all__ = [
     "PowerColumn",

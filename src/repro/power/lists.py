@@ -19,9 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from ..machines.specs import MachineSpec
-from ..machines.power import hpl_mflops_per_watt
 from ..kernels.hpl import HplModel
+from ..machines.power import hpl_mflops_per_watt
+from ..machines.specs import MachineSpec
 
 __all__ = [
     "top500_rank",

@@ -11,12 +11,11 @@ energy/efficiency figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
-from ..machines.specs import MachineSpec
-from ..machines.power import PowerMeter
-from ..kernels.hpl import HplModel
 from ..apps.pop.model import PopModel
+from ..kernels.hpl import HplModel
+from ..machines.power import PowerMeter
+from ..machines.specs import MachineSpec
 
 __all__ = ["MeasuredRun", "measure_hpl", "measure_pop"]
 

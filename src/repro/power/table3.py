@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..machines.specs import MachineSpec
-from ..machines.power import hpl_mflops_per_watt
 from ..apps.pop.model import PopModel
+from ..machines.power import hpl_mflops_per_watt
+from ..machines.specs import MachineSpec
 
 __all__ = ["PowerColumn", "build_table3", "TABLE3_CORES"]
 

@@ -14,11 +14,11 @@ Public surface::
     env.run()
 """
 
-from .engine import Engine, EmptySchedule, US, MS, NS
-from .events import Event, Timeout, AllOf, AnyOf, Interrupt
+from .engine import EmptySchedule, Engine, MS, NS, US
+from .events import AllOf, AnyOf, Event, Interrupt, Timeout
 from .process import Process
-from .resources import Resource, Channel, SerialLink
-from .rng import make_rng, spawn, DEFAULT_SEED
+from .resources import Channel, Resource, SerialLink
+from .rng import DEFAULT_SEED, make_rng, spawn
 
 __all__ = [
     "Engine",

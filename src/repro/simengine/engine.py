@@ -12,9 +12,9 @@ ties), so repeated runs of the same workload produce identical traces.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from .events import Event, Timeout, AllOf, AnyOf
+from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
 
 __all__ = ["Engine", "EmptySchedule", "US", "MS", "NS"]
@@ -53,6 +53,12 @@ class Engine:
         self._seq = 0
         #: Count of events processed; useful for cost accounting in tests.
         self.events_processed = 0
+        #: Diagnostic hook consulted when :meth:`run` starves while an
+        #: awaited event is still pending (a deadlock).  May return an
+        #: exception to raise in place of the generic ``RuntimeError``
+        #: (the simulation sanitizer plugs in here), or ``None`` to keep
+        #: the default behaviour.
+        self.on_empty_schedule: Optional[Callable[[], Optional[BaseException]]] = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -138,6 +144,10 @@ class Engine:
             nxt = self.peek()
             if nxt == float("inf"):
                 if stop_event is not None:
+                    if self.on_empty_schedule is not None:
+                        exc = self.on_empty_schedule()
+                        if exc is not None:
+                            raise exc
                     raise RuntimeError(
                         "simulation ran out of events before the awaited "
                         "event triggered (deadlock?)"

@@ -13,7 +13,7 @@ per-event values in submission order, deterministic tie-breaking).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .engine import Engine

@@ -10,7 +10,7 @@ processes can wait for each other or be combined with ``AllOf``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+from typing import Any, Generator, TYPE_CHECKING
 
 from .events import Event, Interrupt, PENDING
 

@@ -15,7 +15,7 @@ Three primitives cover everything the network and node models need:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, Generator, List, Optional, Tuple
+from typing import Any, Deque, Optional, Tuple, TYPE_CHECKING
 
 from .events import Event
 

@@ -8,14 +8,14 @@ Two levels of fidelity share one set of machine parameters:
   paper-scale sweeps).
 """
 
-from .comm import Cluster, RankComm, ClusterResult, ANY_SOURCE, ANY_TAG
+from .comm import ANY_SOURCE, ANY_TAG, Cluster, ClusterResult, RankComm
 from .cost import CostModel
+from .datatypes import bytes_of, DTYPE_SIZES, FLOAT32, FLOAT64, INT32, INT64
 from .p2p import Message, Transport
 from .reqs import Request
-from .datatypes import DTYPE_SIZES, bytes_of, FLOAT32, FLOAT64, INT32, INT64
-from .stats import CommStats, attach_stats
-from .timeline import Timeline, Interval, attach_timeline
-from .subcomm import SubComm, split_by
+from .stats import attach_stats, CommStats
+from .subcomm import split_by, SubComm
+from .timeline import attach_timeline, Interval, Timeline
 
 __all__ = [
     "Cluster",

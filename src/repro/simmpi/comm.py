@@ -25,24 +25,23 @@ yielded from::
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..simengine import Engine, Event, Process
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode, ModeConfig, resolve_mode
+from ..machines.specs import MachineSpec
+from ..simengine import Engine, Event, Process
+from ..topology.barrier import BarrierNetwork
 from ..topology.mapping import Mapping
-from ..topology.partition import Partition, allocate
+from ..topology.partition import allocate, Partition
 from ..topology.torus import Torus3D
 from ..topology.tree import TreeNetwork
-from ..topology.barrier import BarrierNetwork
-from .cost import CostModel
-from .p2p import ANY_SOURCE, ANY_TAG, Message, Transport
-from .reqs import Request
 from . import collectives as _algos
+from .cost import CostModel
+from .p2p import ANY_SOURCE, ANY_TAG, Transport
+from .reqs import Request
 
 __all__ = ["Cluster", "RankComm", "ClusterResult", "ANY_SOURCE", "ANY_TAG"]
 
@@ -129,23 +128,53 @@ class Cluster:
         self._op_syncs: Dict[int, _OpSync] = {}
         #: optional per-rank activity recorder (see simmpi.timeline)
         self.timeline = None
+        #: active simulation sanitizer, if this run enabled one
+        self.sanitizer = None
 
     # -- running programs ---------------------------------------------------
-    def run(self, program: Callable, *args: Any) -> ClusterResult:
-        """Execute ``program(comm, *args)`` on every rank to completion."""
+    def run(self, program: Callable, *args: Any, sanitize: bool = False) -> ClusterResult:
+        """Execute ``program(comm, *args)`` on every rank to completion.
+
+        With ``sanitize=True`` the run is watched by the simulation
+        sanitizer (:mod:`repro.lint.sanitizer`): deadlocks raise a
+        :class:`~repro.lint.sanitizer.DeadlockError` naming the blocked
+        ranks and wait cycle, and leaked ``Request`` objects or sends
+        that nobody received raise at program exit.
+        """
+        san = None
+        if sanitize:
+            from ..lint.sanitizer import Sanitizer
+
+            san = Sanitizer(self)
+        self.sanitizer = san
         start = self.env.now
-        procs: List[Process] = []
-        for r in range(self.ranks):
-            comm = RankComm(self, r)
-            procs.append(self.env.process(program(comm, *args)))
-        done = self.env.all_of(procs)
-        self.env.run(done)
-        return ClusterResult(
-            elapsed=self.env.now - start,
-            returns=[p.value for p in procs],
-            messages=self.transport.messages_sent,
-            bytes_sent=self.transport.bytes_sent,
-        )
+        try:
+            procs: List[Process] = []
+            for r in range(self.ranks):
+                comm = RankComm(self, r)
+                procs.append(self.env.process(program(comm, *args)))
+            done = self.env.all_of(procs)
+            if san is not None:
+                san.attach(procs)
+                try:
+                    self.env.run(done)
+                finally:
+                    san.detach()
+            else:
+                self.env.run(done)
+            result = ClusterResult(
+                elapsed=self.env.now - start,
+                returns=[p.value for p in procs],
+                messages=self.transport.messages_sent,
+                bytes_sent=self.transport.bytes_sent,
+            )
+            if san is not None:
+                # Let in-flight deliveries land, then check for leaks.
+                san.drain()
+                san.finish()
+            return result
+        finally:
+            self.sanitizer = None
 
     # -- hardware-collective synchronisation ---------------------------------
     def _next_sync(self, rank: int, kind: str) -> _OpSync:
@@ -215,19 +244,32 @@ class RankComm:
         proc = self.env.process(
             self.cluster.transport.send(self.rank, dst, nbytes, tag, payload)
         )
-        return Request(kind="send", completion=proc)
+        return self._track(Request(kind="send", completion=proc, peer=dst, tag=tag))
 
     def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Nonblocking receive; posted immediately (matching order!)."""
         if src != ANY_SOURCE:
             self._check_peer(src)
         ev = self.cluster.transport.post_recv(self.rank, src, tag)
-        return Request(
-            kind="recv", completion=ev, overhead=self.machine.mpi.recv_overhead
+        return self._track(
+            Request(
+                kind="recv",
+                completion=ev,
+                overhead=self.machine.mpi.recv_overhead,
+                peer=None if src == ANY_SOURCE else src,
+                tag=None if tag == ANY_TAG else tag,
+            )
         )
+
+    def _track(self, req: Request) -> Request:
+        san = self.cluster.sanitizer
+        if san is not None:
+            san.track_request(self.rank, req)
+        return req
 
     def wait(self, req: Request):
         """Wait for one request; returns its result (Message for recvs)."""
+        req._waited = True
         value = yield req.completion
         if req.overhead > 0:
             yield self.env.timeout(req.overhead)
@@ -235,6 +277,8 @@ class RankComm:
 
     def waitall(self, reqs: List[Request]):
         """Wait for all requests; returns their results in order."""
+        for r in reqs:
+            r._waited = True
         values = yield self.env.all_of([r.completion for r in reqs])
         overhead = sum(r.overhead for r in reqs)
         if overhead > 0:

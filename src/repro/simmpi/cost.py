@@ -16,18 +16,16 @@ network for dtypes its ALU supports (paper Section I.A / Fig. 3).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from ..machines.specs import MachineSpec
 from ..machines.modes import Mode, ModeConfig, resolve_mode
-from ..topology.partition import Partition, allocate
+from ..machines.specs import MachineSpec
+from ..topology.barrier import BarrierNetwork, software_barrier_time
+from ..topology.partition import allocate, Partition
 from ..topology.torus import Torus3D
 from ..topology.tree import TreeNetwork
-from ..topology.barrier import BarrierNetwork, software_barrier_time
-from .datatypes import DTYPE_SIZES
 
 __all__ = ["CostModel"]
 

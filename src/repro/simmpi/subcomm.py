@@ -18,10 +18,10 @@ machine too, absent a configured class route).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
-from .comm import RankComm, ANY_SOURCE, ANY_TAG
 from . import collectives as _algos
+from .comm import ANY_SOURCE, ANY_TAG, RankComm
 
 __all__ = ["SubComm", "split_by"]
 

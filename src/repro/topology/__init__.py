@@ -1,18 +1,18 @@
 """Interconnect topologies: 3-D torus, collective tree, barrier network,
 process mappings, and the allocation/fragmentation model."""
 
-from .torus import Torus3D, Coord, LinkKey
-from .tree import TreeNetwork
+from .analysis import analyze_pattern, compare_mappings, TrafficAnalysis
 from .barrier import BarrierNetwork, software_barrier_time
 from .mapping import (
-    Mapping,
-    PREDEFINED_MAPPINGS,
-    PAPER_FIG2_MAPPINGS,
     coords_of_rank,
+    Mapping,
+    PAPER_FIG2_MAPPINGS,
+    PREDEFINED_MAPPINGS,
     rank_of_coords,
 )
-from .partition import Partition, allocate
-from .analysis import TrafficAnalysis, analyze_pattern, compare_mappings
+from .partition import allocate, Partition
+from .torus import Coord, LinkKey, Torus3D
+from .tree import TreeNetwork
 
 __all__ = [
     "Torus3D",

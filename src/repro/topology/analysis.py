@@ -11,11 +11,11 @@ same analysis to choose POP/CAM mappings).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from ..machines.specs import MachineSpec
 from .mapping import Mapping
-from .torus import Torus3D, LinkKey
+from .torus import LinkKey, Torus3D
 
 __all__ = ["TrafficAnalysis", "analyze_pattern", "compare_mappings"]
 

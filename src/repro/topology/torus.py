@@ -18,8 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..simengine import Engine, SerialLink
 from ..machines.specs import TorusSpec
+from ..simengine import Engine, SerialLink
 
 __all__ = ["Torus3D", "Coord", "LinkKey"]
 
@@ -233,7 +233,7 @@ class Torus3D:
     # -- utilisation ------------------------------------------------------------
     def link_utilisation(self) -> Dict[LinkKey, float]:
         """Per-link utilisation fraction since simulation start."""
-        return {k: l.utilization() for k, l in self.links.items()}
+        return {k: link.utilization() for k, link in self.links.items()}
 
     def hottest_links(self, n: int = 5) -> List[Tuple[LinkKey, float]]:
         """The ``n`` most-utilised links (contention diagnostics)."""

@@ -22,11 +22,10 @@ single pipelined resource.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Optional
 
-from ..simengine import Engine, Event
 from ..machines.specs import TreeSpec
+from ..simengine import Engine, Event
 
 __all__ = ["TreeNetwork"]
 

@@ -4,20 +4,20 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.machines import BGP, XT3, XT4_QC
 from repro.apps.cam import (
-    SpectralTransform,
-    spectral_roundtrip_error,
-    fv_advect_step,
-    courant_number,
-    column_physics_step,
-    PhysicsLoadModel,
     CamModel,
+    column_physics_step,
+    courant_number,
+    FV_0_47x0_63,
+    FV_1_9x2_5,
+    fv_advect_step,
+    PhysicsLoadModel,
+    spectral_roundtrip_error,
     SPECTRAL_T42,
     SPECTRAL_T85,
-    FV_1_9x2_5,
-    FV_0_47x0_63,
+    SpectralTransform,
 )
+from repro.machines import BGP, XT3, XT4_QC
 
 
 # ---------------------------------------------------------------------------

@@ -2,11 +2,11 @@
 
 import pytest
 
-from repro.apps.cam import CamModel, SPECTRAL_T42, FV_1_9x2_5
+from repro.apps.cam import CamModel, FV_1_9x2_5, SPECTRAL_T42
 from repro.apps.cam.des_replay import replay_steps as cam_replay
-from repro.apps.md import LammpsModel, PmemdModel, RUBISCO
+from repro.apps.md import LammpsModel, PmemdModel
 from repro.apps.md.des_replay import replay_steps as md_replay
-from repro.machines import BGP, XT4_QC, XT4_DC
+from repro.machines import BGP, XT4_DC, XT4_QC
 
 
 # ---------------------------------------------------------------------------

@@ -3,16 +3,16 @@
 import numpy as np
 import pytest
 
-from repro.machines import BGP, BGL, XT4_QC
 from repro.apps.gyro import (
-    GyroProblem,
     B1_STD,
     B3_GTC,
     B3_GTC_MODIFIED,
-    poisson_solve_fft,
     fieldsolve_flops,
     GyroModel,
+    GyroProblem,
+    poisson_solve_fft,
 )
+from repro.machines import BGL, BGP, XT4_QC
 
 
 # ---------------------------------------------------------------------------
@@ -124,8 +124,8 @@ def test_weak_scaling_bgp_close_to_bgl():
     """Fig. 7c: 'the BG/P and BG/L numbers are almost the same'."""
     for p in (64, 256, 2048):
         b = GyroModel(BGP, B3_GTC_MODIFIED).weak_scaling([p])[0].seconds_per_step
-        l = GyroModel(BGL, B3_GTC_MODIFIED).weak_scaling([p])[0].seconds_per_step
-        assert b == pytest.approx(l, rel=0.25)
+        bgl = GyroModel(BGL, B3_GTC_MODIFIED).weak_scaling([p])[0].seconds_per_step
+        assert b == pytest.approx(bgl, rel=0.25)
 
 
 def test_optimized_collectives_would_help_bgp():

@@ -4,21 +4,21 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.machines import BGP, XT3, XT4_DC
 from repro.apps.md import (
-    MdSystem,
-    RUBISCO,
-    make_lattice_system,
+    CellList,
+    LammpsModel,
     lj_forces_bruteforce,
     lj_forces_celllist,
-    velocity_verlet,
-    CellList,
-    spread_charges,
-    reciprocal_potential,
+    make_lattice_system,
+    MdSystem,
     pme_fft_flops,
-    LammpsModel,
     PmemdModel,
+    reciprocal_potential,
+    RUBISCO,
+    spread_charges,
+    velocity_verlet,
 )
+from repro.machines import BGP, XT3, XT4_DC
 
 
 # ---------------------------------------------------------------------------
@@ -134,8 +134,8 @@ def test_lammps_outscales_pmemd():
     communication volume per MPI task ... and higher output
     frequencies.'"""
     for m in (BGP, XT4_DC):
-        l, p = LammpsModel(m), PmemdModel(m)
-        l_eff = l.run(4096).speedup_vs(l.run(64)) / 64
+        lam, p = LammpsModel(m), PmemdModel(m)
+        l_eff = lam.run(4096).speedup_vs(lam.run(64)) / 64
         p_eff = p.run(4096).speedup_vs(p.run(64)) / 64
         assert l_eff > p_eff
 

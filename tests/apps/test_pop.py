@@ -4,22 +4,22 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.machines import BGP, XT4_DC
 from repro.apps.pop import (
-    PopGrid,
-    TENTH_DEGREE,
+    baroclinic_step_numpy,
+    CG_SIGNATURE,
+    cg_solve,
+    CHRONGEAR_SIGNATURE,
+    chrongear_solve,
     decompose,
     imbalance,
     laplacian_2d,
-    cg_solve,
-    chrongear_solve,
-    CG_SIGNATURE,
-    CHRONGEAR_SIGNATURE,
-    baroclinic_step_numpy,
-    PopModel,
     MAX_BGP_PROCESSES,
+    PopGrid,
+    PopModel,
     seconds_per_simday_to_syd,
+    TENTH_DEGREE,
 )
+from repro.machines import BGP, XT4_DC
 
 
 # ---------------------------------------------------------------------------

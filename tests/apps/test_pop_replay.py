@@ -13,8 +13,8 @@ from repro.apps.pop import (
     CHRONGEAR_SIGNATURE,
     PopGrid,
     PopModel,
-    STEPS_PER_SIMDAY,
     replay_steps,
+    STEPS_PER_SIMDAY,
 )
 from repro.machines import BGP, XT4_DC
 

@@ -2,23 +2,22 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
-from repro.machines import BGP, BGL, XT3, XT4_DC, XT4_QC
 from repro.apps.s3d import (
-    deriv8,
-    filter10,
-    deriv8_3d,
-    rk4_6stage_step,
-    integrate,
-    RK_STAGES,
-    SPECIES,
-    N_SPECIES,
-    reaction_rates,
     advance_chemistry,
-    S3dModel,
+    deriv8,
+    deriv8_3d,
+    filter10,
+    integrate,
+    N_SPECIES,
     pressure_wave_demo,
+    reaction_rates,
+    rk4_6stage_step,
+    RK_STAGES,
+    S3dModel,
+    SPECIES,
 )
+from repro.machines import BGL, BGP, XT3, XT4_QC
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,30 @@
+"""Test-suite configuration.
+
+Makes a bare ``python -m pytest`` work from a checkout by putting
+``src/`` on ``sys.path`` ahead of any installed copy, and provides the
+``sanitize_runs`` fixture that turns the simulation sanitizer on for
+every ``Cluster.run`` inside a test (see ``docs/linting.md``).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+)
+
+
+@pytest.fixture
+def sanitize_runs(monkeypatch):
+    """Force every ``Cluster.run`` in this test to use ``sanitize=True``.
+
+    Deadlocks then raise :class:`repro.lint.DeadlockError` with the rank
+    wait-graph, and leaked requests / unreceived sends raise at program
+    exit.  Opt whole suites in by setting ``REPRO_SANITIZE=1`` (see
+    ``tests/simmpi/conftest.py``).
+    """
+    from repro.lint import force_sanitize
+
+    force_sanitize(monkeypatch)

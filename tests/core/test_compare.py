@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core import ComparisonRow, compare_machines, render_comparison
-from repro.machines import BGP, BGL, XT4_QC
+from repro.core import compare_machines, ComparisonRow, render_comparison
+from repro.machines import BGL, BGP, XT4_QC
 
 
 def test_rows_cover_the_paper_story():

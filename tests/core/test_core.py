@@ -3,20 +3,20 @@
 import pytest
 
 from repro.core import (
-    speedup,
-    parallel_efficiency,
-    weak_scaling_efficiency,
-    crossover_point,
-    relative_factor,
-    format_table,
-    Figure,
-    Sweep,
     build_table2,
+    CLAIMS,
+    crossover_point,
+    experiment_ids,
+    Figure,
+    format_table,
+    parallel_efficiency,
+    relative_factor,
+    run_experiment,
+    speedup,
+    Sweep,
     TABLE2_ROWS,
     validate_all,
-    CLAIMS,
-    run_experiment,
-    experiment_ids,
+    weak_scaling_efficiency,
 )
 from repro.machines import BGP, XT4_QC
 
@@ -64,7 +64,7 @@ def test_format_table_aligns():
     lines = txt.splitlines()
     assert lines[0] == "T"
     assert "a" in lines[2] and "bb" in lines[2]
-    assert len({len(l) for l in lines[2:]}) <= 2  # consistent width
+    assert len({len(ln) for ln in lines[2:]}) <= 2  # consistent width
 
 
 def test_format_table_rejects_ragged():

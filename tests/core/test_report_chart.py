@@ -23,8 +23,8 @@ def test_chart_renders_bars():
 
 def test_chart_bars_proportional():
     text = _fig().render_chart(width=40)
-    lines = [l for l in text.splitlines() if "|" in l]
-    bars = [l.split("|")[1].count("#") for l in lines]
+    lines = [ln for ln in text.splitlines() if "|" in ln]
+    bars = [ln.split("|")[1].count("#") for ln in lines]
     # 6 points; last of second series is the maximum.
     assert max(bars) == 40
     assert bars[0] < bars[1] < bars[2]
@@ -40,7 +40,7 @@ def test_chart_log_scale():
     # the log scale separates them.
     def bars(text):
         return [
-            l.split("|")[1].count("#") for l in text.splitlines() if "|" in l
+            ln.split("|")[1].count("#") for ln in text.splitlines() if "|" in ln
         ]
 
     assert bars(linear)[0] == 1

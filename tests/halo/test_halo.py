@@ -3,17 +3,17 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.machines import BGP
 from repro.halo import (
-    HaloBenchmark,
-    HaloSpec,
-    PROTOCOLS,
-    WORD_BYTES,
+    best_mapping,
     get_protocol,
     halo_exchange_numpy,
+    HaloBenchmark,
+    HaloSpec,
     neighbors2d,
-    best_mapping,
+    PROTOCOLS,
+    WORD_BYTES,
 )
+from repro.machines import BGP
 from repro.topology import PAPER_FIG2_MAPPINGS
 
 

@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.imb import DEFAULT_PROC_COUNTS, DEFAULT_SIZES, ImbBenchmark
 from repro.machines import BGP, XT4_QC
-from repro.imb import ImbBenchmark, DEFAULT_SIZES, DEFAULT_PROC_COUNTS
 
 
 def test_size_sweep_structure():

@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.iosys import EUGENE_HOME, EUGENE_SCRATCH, GpfsConfig, IoForwarding
 from repro.machines import BGP, XT4_QC
-from repro.iosys import EUGENE_SCRATCH, EUGENE_HOME, GpfsConfig, IoForwarding
 
 
 # ---------------------------------------------------------------------------

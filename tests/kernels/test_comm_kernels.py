@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.machines import BGP, XT4_QC
 from repro.kernels import (
     pingpong_analytic,
-    run_pingpong_des,
     random_ring_analytic,
+    run_pingpong_des,
     run_random_ring_des,
 )
+from repro.machines import BGP, XT4_QC
 
 
 def test_pingpong_latency_ordering():

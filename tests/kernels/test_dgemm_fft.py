@@ -1,18 +1,17 @@
 """DGEMM and FFT kernels: real execution + model shape."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.machines import BGP, XT4_QC
 from repro.kernels import (
-    DgemmModel,
     dgemm_flops,
-    run_dgemm_numpy,
-    FftModel,
+    DgemmModel,
     fft_flops,
+    FftModel,
+    run_dgemm_numpy,
     run_fft_numpy,
 )
+from repro.machines import BGP, XT4_QC
 
 
 # ---------------------------------------------------------------------------

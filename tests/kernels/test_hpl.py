@@ -1,11 +1,10 @@
 """HPL: real LU correctness + model calibration against the paper."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.kernels import block_size_for, hpl_flops, HplModel, run_lu_numpy
 from repro.machines import BGP, XT4_QC
-from repro.kernels import HplModel, hpl_flops, run_lu_numpy, block_size_for
 
 
 # ---------------------------------------------------------------------------

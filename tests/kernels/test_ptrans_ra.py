@@ -3,13 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.kernels import PtransModel, RandomAccessModel, run_ptrans_numpy, run_randomaccess_numpy
 from repro.machines import BGP, XT4_QC
-from repro.kernels import (
-    PtransModel,
-    run_ptrans_numpy,
-    RandomAccessModel,
-    run_randomaccess_numpy,
-)
 from repro.simengine import make_rng
 
 

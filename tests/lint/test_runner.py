@@ -1,0 +1,94 @@
+"""Tests for the lint runner and the ``repro lint`` CLI subcommand."""
+
+import json
+import textwrap
+
+from repro.cli import main
+from repro.lint import lint_paths, render_json, render_text
+
+DIRTY = textwrap.dedent(
+    """\
+    import time
+    def f():
+        return time.time()
+    """
+)
+
+CLEAN = textwrap.dedent(
+    """\
+    __all__ = ["f"]
+    def f():
+        return 1
+    """
+)
+
+
+def write(tmp_path, name, text):
+    p = tmp_path / name
+    p.write_text(text)
+    return p
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    write(tmp_path, "dirty.py", DIRTY)
+    write(tmp_path, "clean.py", CLEAN)
+    (tmp_path / "sub").mkdir()
+    write(tmp_path / "sub", "also_dirty.py", DIRTY)
+    write(tmp_path, "not_python.txt", "time.time()")
+    result = lint_paths([str(tmp_path)])
+    assert result.files_checked == 3
+    assert {f.rule for f in result.findings} == {
+        "determinism-hazard",
+        "api-missing-all",
+    }
+    assert result.exit_code == 1
+
+
+def test_findings_are_deterministically_ordered(tmp_path):
+    write(tmp_path, "b.py", DIRTY)
+    write(tmp_path, "a.py", DIRTY)
+    result = lint_paths([str(tmp_path)])
+    assert [f.path for f in result.findings] == sorted(f.path for f in result.findings)
+
+
+def test_render_text_has_one_line_per_finding_plus_summary(tmp_path):
+    write(tmp_path, "dirty.py", DIRTY)
+    result = lint_paths([str(tmp_path)])
+    lines = render_text(result).splitlines()
+    assert len(lines) == len(result.findings) + 1
+    assert "error(s)" in lines[-1]
+    assert any("[determinism-hazard]" in line for line in lines)
+
+
+def test_render_json_roundtrips(tmp_path):
+    write(tmp_path, "dirty.py", DIRTY)
+    result = lint_paths([str(tmp_path)])
+    doc = json.loads(render_json(result))
+    assert doc["files_checked"] == 1
+    assert doc["errors"] == 1
+    by_rule = {f["rule"]: f for f in doc["findings"]}
+    assert by_rule["determinism-hazard"]["severity"] == "error"
+    assert by_rule["api-missing-all"]["severity"] == "warning"
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    clean = write(tmp_path, "clean.py", CLEAN)
+    dirty = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["lint", str(clean)]) == 0
+    assert main(["lint", str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "determinism-hazard" in out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    dirty = write(tmp_path, "dirty.py", DIRTY)
+    assert main(["lint", "--format", "json", str(dirty)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["errors"] == 1
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "yield-from-comm" in out
+    assert "determinism-hazard" in out

@@ -1,0 +1,17 @@
+"""The repository's own source tree must lint clean.
+
+This is the acceptance gate CI enforces with ``repro lint src/``; the
+test keeps it enforced for anyone running plain pytest too.
+"""
+
+import pathlib
+
+import repro
+from repro.lint import lint_paths, render_text
+
+
+def test_src_tree_lints_clean():
+    src_root = pathlib.Path(repro.__file__).resolve().parent
+    result = lint_paths([str(src_root)])
+    assert result.files_checked > 90
+    assert result.findings == [], "\n" + render_text(result)

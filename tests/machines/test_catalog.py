@@ -3,16 +3,16 @@
 import pytest
 
 from repro.machines import (
+    all_machines,
+    ANL_BGP_NODES,
     BGL,
     BGP,
+    get_machine,
+    MACHINE_NAMES,
+    ORNL_BGP_NODES,
     XT3,
     XT4_DC,
     XT4_QC,
-    all_machines,
-    get_machine,
-    MACHINE_NAMES,
-    ANL_BGP_NODES,
-    ORNL_BGP_NODES,
 )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machines import BGP, BGL, XT4_QC, Mode, available_modes, resolve_mode
+from repro.machines import available_modes, BGL, BGP, Mode, resolve_mode, XT4_QC
 
 
 def test_bgp_supports_three_modes():

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.machines import BGP, XT4_QC, PowerMeter, PowerSample, aggregate_power_kw, hpl_mflops_per_watt
+from repro.machines import (
+    aggregate_power_kw,
+    BGP,
+    hpl_mflops_per_watt,
+    PowerMeter,
+    PowerSample,
+    XT4_QC,
+)
 
 
 def test_sample_properties():

@@ -4,7 +4,6 @@ import pytest
 
 from repro.machines import (
     BGP,
-    XT4_QC,
     CacheLevel,
     CoreSpec,
     MemorySpec,
@@ -12,6 +11,7 @@ from repro.machines import (
     PowerSpec,
     TorusSpec,
     TreeSpec,
+    XT4_QC,
 )
 
 

@@ -3,12 +3,12 @@
 import pytest
 
 from repro.machines import BGP, XT4_QC
-from repro.memmodel import StreamModel, STREAM_BYTES_PER_ITER, run_stream_numpy
+from repro.memmodel import run_stream_numpy, STREAM_BYTES_PER_ITER, StreamModel
 from repro.memmodel.workingset import (
+    fits_in_memory,
+    grid_working_set,
     hpcc_problem_size,
     hpl_local_matrix_bytes,
-    grid_working_set,
-    fits_in_memory,
 )
 
 

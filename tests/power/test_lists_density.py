@@ -2,19 +2,12 @@
 
 import pytest
 
-from repro.machines import (
-    BGP,
-    XT3,
-    XT4_QC,
-    density_ratio,
-    footprint_for_cores,
-    footprint_for_peak,
-)
+from repro.machines import BGP, density_ratio, footprint_for_cores, footprint_for_peak, XT3, XT4_QC
 from repro.power import (
     GREEN500_JUNE_2008_ANCHORS,
-    TOP500_JUNE_2008_ANCHORS,
     green500_rank,
     place_configuration,
+    TOP500_JUNE_2008_ANCHORS,
     top500_rank,
 )
 

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.machines import BGP, XT4_QC, PowerMeter, hpl_mflops_per_watt
-from repro.power import build_table3, build_column, measure_hpl, measure_pop
+from repro.machines import BGP, hpl_mflops_per_watt, PowerMeter, XT4_QC
+from repro.power import build_column, build_table3, measure_hpl, measure_pop
 
 
 # ---------------------------------------------------------------------------

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simengine import Engine, EmptySchedule, Event, US
+from repro.simengine import EmptySchedule, Engine, US
 
 
 def test_clock_starts_at_zero():
@@ -27,7 +27,7 @@ def test_timeout_advances_clock():
 def test_negative_timeout_rejected():
     env = Engine()
     with pytest.raises(ValueError):
-        env.timeout(-1.0)
+        env.timeout(-1.0)  # simlint: ignore[yield-from-comm]
 
 
 def test_run_until_time_stops_early():

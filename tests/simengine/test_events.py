@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simengine import Engine, Event, Interrupt
+from repro.simengine import Engine, Interrupt
 
 
 def test_event_initially_untriggered():
@@ -91,7 +91,7 @@ def test_condition_rejects_foreign_engine():
     env1, env2 = Engine(), Engine()
     ev = env2.event()
     with pytest.raises(ValueError):
-        env1.all_of([ev])
+        env1.all_of([ev])  # simlint: ignore[yield-from-comm]
 
 
 def test_interrupt_cause_accessible():

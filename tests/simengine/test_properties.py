@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.machines import BGP, XT4_QC
 from repro.simengine import Engine, SerialLink
-from repro.simmpi import Cluster, attach_stats
+from repro.simmpi import attach_stats, Cluster
 
 
 # ---------------------------------------------------------------------------

@@ -3,13 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.simengine import (
-    DEFAULT_SEED,
-    Engine,
-    Event,
-    make_rng,
-    spawn,
-)
+from repro.simengine import DEFAULT_SEED, Engine, make_rng, spawn
 
 
 def test_make_rng_deterministic():

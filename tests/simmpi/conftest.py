@@ -1,0 +1,24 @@
+"""simmpi suite configuration: opt-in sanitized runs.
+
+Setting ``REPRO_SANITIZE=1`` runs every ``Cluster.run`` in this suite
+under the simulation sanitizer — CI does this so deadlocks and request
+leaks introduced by new code fail loudly here.  Tests that deliberately
+violate sanitizer invariants can opt out with
+``@pytest.mark.no_sanitize``.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_when_requested(request):
+    if os.environ.get("REPRO_SANITIZE") and "no_sanitize" not in request.keywords:
+        request.getfixturevalue("sanitize_runs")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "no_sanitize: skip the REPRO_SANITIZE autouse sanitizer"
+    )

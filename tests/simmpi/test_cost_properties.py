@@ -1,9 +1,8 @@
 """Property-based tests on the analytic cost model's invariants."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.machines import BGP, XT4_QC, all_machines
+from repro.machines import all_machines, BGP, XT4_QC
 from repro.simmpi import CostModel
 
 MACHINES = list(all_machines().values())

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machines import BGP
-from repro.simmpi import Cluster, DTYPE_SIZES, Request, bytes_of
+from repro.simmpi import bytes_of, Cluster, DTYPE_SIZES
 
 
 def test_dtype_sizes():

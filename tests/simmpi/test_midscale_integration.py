@@ -21,9 +21,9 @@ def test_256_rank_collective_medley():
         yield from comm.bcast(32768, root=0)
         return comm.now
 
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # simlint: ignore[determinism-hazard]
     res = Cluster(BGP, ranks=256, mode="VN").run(program)
-    wall = time.perf_counter() - t0
+    wall = time.perf_counter() - t0  # simlint: ignore[determinism-hazard]
     assert len(res.returns) == 256
     assert wall < 20.0  # tractability guard
 

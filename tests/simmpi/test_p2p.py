@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machines import BGP, XT4_QC
-from repro.simmpi import ANY_SOURCE, ANY_TAG, Cluster
+from repro.simmpi import ANY_SOURCE, Cluster
 
 
 def run(machine, ranks, program, mode="SMP", **kw):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machines import BGP
-from repro.simmpi import Cluster, attach_stats
+from repro.simmpi import attach_stats, Cluster
 
 
 def _run_traffic(ranks=4):

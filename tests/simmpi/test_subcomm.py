@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machines import BGP
-from repro.simmpi import Cluster, SubComm, split_by
+from repro.simmpi import Cluster, split_by, SubComm
 
 
 def test_split_ranks_renumbered():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machines import BGP
-from repro.simmpi import Cluster, Timeline, attach_timeline
+from repro.simmpi import attach_timeline, Cluster, Timeline
 
 
 def _staggered_run(ranks=4):
@@ -62,7 +62,7 @@ def test_gantt_renders_rows():
     text = _staggered_run().gantt(width=30)
     lines = text.splitlines()
     assert len(lines) == 4
-    assert all("|" in l for l in lines)
+    assert all("|" in ln for ln in lines)
     # Rank 3 computes the longest stretch of '#'.
     assert lines[3].count("#") > lines[0].count("#")
 

@@ -1,5 +1,6 @@
 """Every example script must run clean end-to-end."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -8,6 +9,12 @@ import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
 EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+# The examples import repro from the source tree; make sure the child
+# process sees it even when the package is not installed.
+_SRC = str(EXAMPLES_DIR.parent / "src")
+_PATH = os.pathsep.join(filter(None, [_SRC, os.environ.get("PYTHONPATH")]))
+_ENV = dict(os.environ, PYTHONPATH=_PATH)
 
 
 def test_examples_exist():
@@ -23,6 +30,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_ENV,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert len(proc.stdout) > 100  # produced a real report

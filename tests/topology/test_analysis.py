@@ -4,12 +4,7 @@ import pytest
 
 from repro.halo import neighbors2d
 from repro.machines import BGP
-from repro.topology import (
-    PAPER_FIG2_MAPPINGS,
-    TrafficAnalysis,
-    analyze_pattern,
-    compare_mappings,
-)
+from repro.topology import analyze_pattern, compare_mappings, PAPER_FIG2_MAPPINGS
 
 
 def ring_pattern(n, nbytes=1000):

@@ -43,7 +43,7 @@ def test_hardware_beats_software_at_scale():
 
 def test_wait_requires_engine():
     with pytest.raises(RuntimeError):
-        BarrierNetwork(8).wait()
+        BarrierNetwork(8).wait()  # simlint: ignore[yield-from-comm]
 
 
 def test_wait_event_fires():
@@ -51,7 +51,7 @@ def test_wait_event_fires():
     bn = BarrierNetwork(16, env)
 
     def proc(env, bn):
-        yield bn.wait()
+        yield bn.wait()  # simlint: ignore[yield-from-comm] (Event, not comm.wait)
         return env.now
 
     p = env.process(proc(env, bn))

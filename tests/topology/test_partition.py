@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.machines import BGP, XT4_QC
-from repro.topology import Partition, allocate
+from repro.topology import allocate, Partition
 
 
 def test_bg_partitions_are_isolated():

@@ -128,8 +128,8 @@ def test_hottest_links_after_traffic():
     assert len(hot) == 2
     # Utilisation is measured against sim time, still 0 here; the raw
     # busy-time stats must show the booked traffic.
-    assert max(l.busy_time for l in t.links.values()) > 0
-    assert sum(l.transfers for l in t.links.values()) == 2
+    assert max(link.busy_time for link in t.links.values()) > 0
+    assert sum(link.transfers for link in t.links.values()) == 2
 
 
 @settings(max_examples=30)
