@@ -94,15 +94,19 @@ def replay_steps(
         for step in range(steps):
             base = 1000 * step
             # Baroclinic: compute + halo exchanges.
-            yield from comm.compute(seconds=t_bc_compute)
-            for e in range(BAROCLINIC_WORK.halo_exchanges):
-                yield from exchange(comm, halo3d_bytes, tag=base + 10 * e)
+            with comm.phase("baroclinic"):
+                yield from comm.compute(seconds=t_bc_compute)
+                for e in range(BAROCLINIC_WORK.halo_exchanges):
+                    yield from exchange(comm, halo3d_bytes, tag=base + 10 * e)
             # Barotropic: solver iterations.
-            for it in range(iters):
-                yield from comm.compute(seconds=t_iter_compute)
-                yield from exchange(comm, halo2d_bytes, tag=base + 500 + 4 * it)
-                for _ in range(solver.allreduces_per_iter):
-                    yield from comm.allreduce(solver.allreduce_bytes, dtype="float64")
+            with comm.phase("barotropic"):
+                for it in range(iters):
+                    yield from comm.compute(seconds=t_iter_compute)
+                    yield from exchange(comm, halo2d_bytes, tag=base + 500 + 4 * it)
+                    for _ in range(solver.allreduces_per_iter):
+                        yield from comm.allreduce(
+                            solver.allreduce_bytes, dtype="float64"
+                        )
         return comm.now - t0
 
     cluster = Cluster(machine, ranks=processes, mode=mode)

@@ -5,6 +5,8 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro run table3           # regenerate one artifact
     python -m repro run all -o out/      # regenerate everything to files
+    python -m repro run fig3 --trace t.json --metrics m.json
+    python -m repro trace pop            # traced DES scenario -> Chrome trace
     python -m repro validate             # check the ten paper claims
     python -m repro machines             # show the machine catalog
     python -m repro lint src/            # simlint static analysis
@@ -52,9 +54,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     if outdir:
         outdir.mkdir(parents=True, exist_ok=True)
+    tracer = None
+    if args.trace or args.metrics:
+        from .obs import Tracer, tracing
+
+        tracer = Tracer()
     for eid in ids:
         try:
-            text = run_experiment(eid)
+            if tracer is not None:
+                with tracing(tracer):
+                    text = run_experiment(eid)
+            else:
+                text = run_experiment(eid)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
@@ -65,6 +76,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(text)
             print()
+    if tracer is not None:
+        from .obs import write_chrome_trace, write_metrics
+
+        if args.trace:
+            print(f"wrote {write_chrome_trace(tracer, args.trace)}")
+        if args.metrics:
+            print(f"wrote {write_metrics(tracer, args.metrics)}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        run_scenario,
+        scenario_ids,
+        summary,
+        write_chrome_trace,
+        write_metrics,
+    )
+
+    if args.list_scenarios:
+        for sid in scenario_ids():
+            print(f"  {sid}")
+        return 0
+    if not args.scenario:
+        print("repro trace: give a scenario id (or --list)", file=sys.stderr)
+        return 2
+    try:
+        tracer, result_line = run_scenario(args.scenario)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(result_line)
+    out = args.output or f"{args.scenario}.trace.json"
+    print(f"wrote {write_chrome_trace(tracer, out)}")
+    if args.metrics:
+        print(f"wrote {write_metrics(tracer, args.metrics)}")
+    if not args.no_summary:
+        print(summary(tracer, n=args.top))
     return 0
 
 
@@ -143,7 +192,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="regenerate an artifact (or 'all')")
     p_run.add_argument("experiment", help="experiment id, or 'all'")
     p_run.add_argument("-o", "--output", help="directory to write .txt artifacts")
+    p_run.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record any message-level simulation into a Chrome trace JSON",
+    )
+    p_run.add_argument(
+        "--metrics", metavar="FILE", help="write the metrics-registry JSON"
+    )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a traceable DES scenario and export its Chrome trace",
+    )
+    p_trace.add_argument(
+        "scenario", nargs="?", help="scenario id (see --list)"
+    )
+    p_trace.add_argument(
+        "-o", "--output", help="trace file (default: <scenario>.trace.json)"
+    )
+    p_trace.add_argument(
+        "--metrics", metavar="FILE", help="also write the metrics-registry JSON"
+    )
+    p_trace.add_argument(
+        "-n", "--top", type=int, default=10, help="summary rows (default: 10)"
+    )
+    p_trace.add_argument(
+        "--no-summary", action="store_true", help="skip the ASCII summary"
+    )
+    p_trace.add_argument(
+        "--list", dest="list_scenarios", action="store_true",
+        help="list scenario ids and exit",
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
 
     sub.add_parser(
         "validate", help="check the ten qualitative paper claims"

@@ -1,0 +1,58 @@
+"""repro.obs: unified tracing & metrics for the simulator.
+
+The observability layer the paper's methodology presumes (its authors
+attributed every result with the IBM HPC Toolkit): a zero-cost-when-
+disabled :class:`Tracer` with span/instant/counter APIs, a metrics
+registry, Chrome-trace/Perfetto and metrics-JSON exporters, and
+per-link network telemetry — threaded through the engine, the MPI
+layer, the torus, and the app models via supported hook points.
+
+Quick start::
+
+    from repro.machines import BGP
+    from repro.obs import summary, write_chrome_trace
+    from repro.simmpi import Cluster
+
+    result = Cluster(BGP, ranks=8, mode="SMP").run(program, trace=True)
+    write_chrome_trace(result.trace, "run.trace.json")   # open in Perfetto
+    print(summary(result.trace))
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    metrics_dict,
+    metrics_json,
+    summary,
+    validate_trace_events,
+    write_chrome_trace,
+    write_metrics,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .scenarios import run_scenario, scenario_ids, SCENARIOS
+from .tracer import active_tracer, ENGINE_PID, NETWORK_PID, Tracer, tracing
+
+__all__ = [
+    "Tracer",
+    "tracing",
+    "active_tracer",
+    "ENGINE_PID",
+    "NETWORK_PID",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "metrics_dict",
+    "metrics_json",
+    "write_metrics",
+    "summary",
+    "validate_trace_events",
+    "SCENARIOS",
+    "run_scenario",
+    "scenario_ids",
+]

@@ -1,0 +1,124 @@
+"""Traceable discrete-event scenarios for ``repro trace``.
+
+Each scenario runs a small message-level simulation with a
+:class:`~repro.obs.tracer.Tracer` attached and returns the tracer plus
+a one-line result description.  They cover one microbenchmark kernel
+per network path (torus p2p, software collectives) and one application
+model (POP with named baroclinic/barotropic phases), mirroring the
+paper's instrumented-measurement methodology at laptop scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from .tracer import Tracer, tracing
+
+__all__ = ["SCENARIOS", "run_scenario", "scenario_ids"]
+
+
+def _pingpong() -> Tuple[Tracer, str]:
+    """Two-node eager/rendezvous ping-pong (kernel: pingpong)."""
+    from ..kernels.pingpong import run_pingpong_des
+    from ..machines import BGP
+
+    tracer = Tracer()
+    with tracing(tracer):
+        r = run_pingpong_des(BGP, nbytes=4096, repeats=5, mode="SMP")
+    return tracer, f"pingpong 4096B on {r.machine}: {r.latency_us:.2f} us one-way"
+
+
+def _ring() -> Tuple[Tracer, str]:
+    """Random-ring exchange over an 8-node torus (kernel: ring)."""
+    from ..kernels.ring import run_random_ring_des
+    from ..machines import BGP
+
+    tracer = Tracer()
+    with tracing(tracer):
+        r = run_random_ring_des(BGP, processes=32, nbytes=1 << 15, mode="VN")
+    return tracer, (
+        f"random ring x{r.processes} on {r.machine}: "
+        f"{r.bandwidth_gbs_per_process:.3f} GB/s per process"
+    )
+
+
+def _torus_ring() -> Tuple[Tracer, str]:
+    """Nearest-rank ring shift on a 2x2x2 torus, one rank per node."""
+    from ..machines import BGP
+    from ..simmpi import Cluster
+
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        for rep in range(4):
+            req = comm.irecv(src=left, tag=rep)
+            yield from comm.send(right, nbytes=1 << 16, tag=rep)
+            yield from comm.wait(req)
+        return comm.now
+
+    cluster = Cluster(BGP, ranks=8, mode="SMP")
+    result = cluster.run(program, trace=True)
+    return result.trace, (
+        f"ring shift x8 on {cluster.partition.torus_shape} torus: "
+        f"{result.elapsed * 1e6:.2f} us, {result.messages} messages"
+    )
+
+
+def _allreduce() -> Tuple[Tracer, str]:
+    """Software allreduce sweep (recursive doubling + Rabenseifner)."""
+    from ..machines import XT4_QC
+    from ..simmpi import Cluster
+
+    sizes = [8, 512, 8192, 65536]
+
+    def program(comm):
+        for nbytes in sizes:
+            yield from comm.allreduce(nbytes, dtype="float64")
+        return comm.now
+
+    cluster = Cluster(XT4_QC, ranks=8, mode="SMP")
+    result = cluster.run(program, trace=True)
+    return result.trace, (
+        f"allreduce sweep {sizes} x8 on {cluster.machine.name}: "
+        f"{result.elapsed * 1e6:.2f} us"
+    )
+
+
+def _pop() -> Tuple[Tracer, str]:
+    """One POP timestep at message level with named phases (app: POP)."""
+    from ..apps.pop.des_replay import replay_steps
+    from ..apps.pop.grid import PopGrid
+    from ..machines import BGP
+
+    grid = PopGrid(nx=360, ny=240, levels=20)
+    tracer = Tracer(engine_stride=16)
+    with tracing(tracer):
+        r = replay_steps(BGP, processes=8, grid=grid, steps=1, solver_iterations=5)
+    return tracer, (
+        f"POP replay x{r.processes} on {r.machine}: "
+        f"{r.seconds_per_step:.4f} s/step, {r.messages} messages"
+    )
+
+
+SCENARIOS: Dict[str, Callable[[], Tuple[Tracer, str]]] = {
+    "pingpong": _pingpong,
+    "ring": _ring,
+    "torus-ring": _torus_ring,
+    "allreduce": _allreduce,
+    "pop": _pop,
+}
+
+
+def scenario_ids() -> List[str]:
+    return list(SCENARIOS)
+
+
+def run_scenario(scenario_id: str) -> Tuple[Tracer, str]:
+    """Run one traceable scenario; returns (tracer, result line)."""
+    try:
+        fn = SCENARIOS[scenario_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace scenario {scenario_id!r}; known: {scenario_ids()}"
+        ) from None
+    return fn()

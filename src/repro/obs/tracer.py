@@ -1,0 +1,305 @@
+"""The unified tracer: spans, instants, counters, and metric hooks.
+
+One :class:`Tracer` observes a whole simulated run.  It is *attached*
+to a :class:`~repro.simmpi.comm.Cluster` (``Tracer().attach(cluster)``
+or simply ``cluster.run(program, trace=True)``), which wires the
+supported hook points:
+
+* the engine's per-step hook (event-loop stats, queue-depth track),
+* process spawn/finish accounting,
+* the transport's send hook (per-rank injection spans, message-size
+  histogram),
+* every torus link's observer (per-link bytes, contention stalls,
+  busy time, keyed by link coordinates),
+* the communicator itself (collective/compute/recv spans and named
+  application phases) via ``cluster.tracer``.
+
+Zero cost when disabled: every hook site guards on ``tracer is None``
+(or an empty hook list) before touching any tracer state, so an
+untraced run records nothing and constructs no span attributes.
+
+All timestamps are **simulation time** (seconds internally,
+microseconds in the exported Chrome trace) — never the wall clock — so
+repeated runs of the same workload emit byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = ["Tracer", "active_tracer", "tracing", "ENGINE_PID", "NETWORK_PID"]
+
+#: Synthetic Chrome-trace pid hosting engine-level counter tracks.
+ENGINE_PID = 1000000
+#: Synthetic Chrome-trace pid hosting per-link network counter tracks.
+NETWORK_PID = 1000001
+
+#: Thread ids within a rank's pid: the rank program vs. the transport's
+#: injection-side activity (isend generators run concurrently).
+TID_PROGRAM = 0
+TID_TRANSPORT = 1
+
+
+class Tracer:
+    """Records spans, instants, and counter samples for one run.
+
+    Parameters
+    ----------
+    engine_stride:
+        Emit an engine queue-depth counter sample every N engine steps
+        (1 = every step).  Larger strides bound trace size on long
+        runs; sampling is by deterministic step count, never time.
+    """
+
+    def __init__(self, engine_stride: int = 1) -> None:
+        if engine_stride < 1:
+            raise ValueError("engine_stride must be >= 1")
+        self.engine_stride = engine_stride
+        #: Chrome-trace event dicts, in deterministic recording order.
+        self.events: List[dict] = []
+        self.metrics = MetricsRegistry()
+        #: per-link telemetry keyed by ``((x,y,z), (x,y,z))`` link key
+        self.links: Dict[Any, Dict[str, float]] = {}
+        #: aggregated span stats: name -> [count, total_seconds]
+        self.span_totals: Dict[str, List[float]] = {}
+        self._process_names: Dict[int, str] = {}
+        self._thread_names: Dict[Tuple[int, int], str] = {}
+        self._engine_steps = 0
+
+    # -- core recording APIs ----------------------------------------------
+    def complete(
+        self,
+        pid: int,
+        name: str,
+        start: float,
+        end: float,
+        cat: str = "",
+        args: Optional[dict] = None,
+        tid: int = TID_PROGRAM,
+    ) -> None:
+        """Record a complete span (Chrome ``ph="X"``); times in sim seconds."""
+        event = {
+            "name": name,
+            "cat": cat or "span",
+            "ph": "X",
+            "ts": start * 1e6,
+            "dur": (end - start) * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+        tot = self.span_totals.get(name)
+        if tot is None:
+            tot = self.span_totals[name] = [0, 0.0]
+        tot[0] += 1
+        tot[1] += end - start
+
+    def instant(
+        self,
+        pid: int,
+        name: str,
+        when: float,
+        cat: str = "",
+        args: Optional[dict] = None,
+        tid: int = TID_PROGRAM,
+    ) -> None:
+        """Record an instant event (Chrome ``ph="i"``, thread scope)."""
+        event = {
+            "name": name,
+            "cat": cat or "instant",
+            "ph": "i",
+            "s": "t",
+            "ts": when * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, pid: int, name: str, when: float, values: dict) -> None:
+        """Record a counter sample (Chrome ``ph="C"``, one track per name)."""
+        self.events.append(
+            {
+                "name": name,
+                "cat": "counter",
+                "ph": "C",
+                "ts": when * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": values,
+            }
+        )
+
+    def set_process_name(self, pid: int, name: str) -> None:
+        self._process_names[pid] = name
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        self._thread_names[(pid, tid)] = name
+
+    def metadata_events(self) -> List[dict]:
+        """Chrome ``ph="M"`` name events for every known pid/tid."""
+        out: List[dict] = []
+        for pid in sorted(self._process_names):
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": self._process_names[pid]},
+                }
+            )
+        for (pid, tid) in sorted(self._thread_names):
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": self._thread_names[(pid, tid)]},
+                }
+            )
+        return out
+
+    # -- attachment ----------------------------------------------------------
+    def attach(self, cluster) -> "Tracer":
+        """Wire this tracer into a cluster's supported hook points.
+
+        Idempotent per cluster: re-attaching the same tracer is a
+        no-op.  Several clusters may share one tracer (their rank pids
+        then share tracks — fine for sequential experiment sweeps).
+        """
+        if getattr(cluster, "tracer", None) is self:
+            return self
+        cluster.tracer = self
+        cluster.env.obs = self
+        cluster.transport.add_send_hook(self._on_send)
+        for key, link in cluster.torus.links.items():
+            link.observer = self._make_link_observer(key)
+        for rank in range(cluster.ranks):
+            self.set_process_name(rank, f"rank {rank}")
+            self.set_thread_name(rank, TID_PROGRAM, "program")
+            self.set_thread_name(rank, TID_TRANSPORT, "transport")
+        self.set_process_name(ENGINE_PID, "sim-engine")
+        self.set_process_name(NETWORK_PID, "torus-network")
+        return self
+
+    # -- hook targets ---------------------------------------------------------
+    def _on_send(
+        self, src: int, dst: int, nbytes: int, tag: int, start: float, end: float
+    ) -> None:
+        """Transport send hook: one injection span per message."""
+        m = self.metrics
+        m.counter("mpi.messages").inc()
+        m.counter("mpi.bytes").inc(nbytes)
+        m.histogram("mpi.message_bytes").observe(nbytes)
+        self.complete(
+            src,
+            "send",
+            start,
+            end,
+            cat="p2p",
+            args={"dst": dst, "nbytes": nbytes, "tag": tag},
+            tid=TID_TRANSPORT,
+        )
+
+    def _make_link_observer(self, key) -> Callable[[float, float, float, float], None]:
+        (ax, ay, az), (bx, by, bz) = key
+        label = f"link ({ax},{ay},{az})->({bx},{by},{bz})"
+        stats = self.links[key] = {
+            "bytes": 0.0,
+            "transfers": 0.0,
+            "stalls": 0.0,
+            "stall_seconds": 0.0,
+            "busy_seconds": 0.0,
+        }
+        totals = self.metrics
+
+        def observe(nbytes: float, start: float, wait: float, duration: float) -> None:
+            stats["bytes"] += nbytes
+            stats["transfers"] += 1
+            stats["busy_seconds"] += duration
+            totals.counter("net.link_bytes").inc(nbytes)
+            totals.counter("net.link_transfers").inc()
+            if wait > 0:
+                stats["stalls"] += 1
+                stats["stall_seconds"] += wait
+                totals.counter("net.link_stalls").inc()
+                totals.counter("net.link_stall_seconds").inc(wait)
+            self.counter(
+                NETWORK_PID,
+                label,
+                start,
+                {"bytes": stats["bytes"], "stalls": stats["stalls"]},
+            )
+
+        return observe
+
+    # -- engine hooks (called from Engine with a `is not None` guard) ----------
+    def engine_step(self, now: float, queue_depth: int) -> None:
+        self._engine_steps += 1
+        self.metrics.counter("engine.events").inc()
+        self.metrics.gauge("engine.queue_depth").set(queue_depth)
+        if self._engine_steps % self.engine_stride == 0:
+            self.counter(ENGINE_PID, "queue_depth", now, {"events": queue_depth})
+
+    def process_spawned(self, env, proc) -> None:
+        self.metrics.counter("engine.processes_spawned").inc()
+        live = self.metrics.gauge("engine.processes_live")
+        live.set(live.value + 1)
+
+        def _finished(_event) -> None:
+            self.metrics.counter("engine.processes_finished").inc()
+            live.set(live.value - 1)
+
+        if proc.callbacks is not None:
+            proc.callbacks.append(_finished)
+
+    # -- link telemetry accessors -----------------------------------------------
+    def link_table(self) -> Dict[str, Dict[str, float]]:
+        """Per-link telemetry keyed by the printable link label."""
+        out = {}
+        for key in sorted(self.links):
+            (ax, ay, az), (bx, by, bz) = key
+            out[f"({ax},{ay},{az})->({bx},{by},{bz})"] = dict(self.links[key])
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Ambient tracer (used by `repro run --trace` so experiment code that
+# constructs its own Clusters is traced without plumbing changes).
+# ---------------------------------------------------------------------------
+_ACTIVE: List[Tracer] = []
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The innermost ambient tracer, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+class tracing:
+    """Context manager installing an ambient tracer.
+
+    Every :meth:`Cluster.run` entered inside the context attaches the
+    tracer automatically::
+
+        tracer = Tracer()
+        with tracing(tracer):
+            run_experiment("fig3")
+        write_chrome_trace(tracer, "fig3.trace.json")
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    def __enter__(self) -> Tracer:
+        _ACTIVE.append(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *_exc) -> None:
+        _ACTIVE.pop()

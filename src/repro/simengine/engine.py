@@ -59,6 +59,10 @@ class Engine:
         #: (the simulation sanitizer plugs in here), or ``None`` to keep
         #: the default behaviour.
         self.on_empty_schedule: Optional[Callable[[], Optional[BaseException]]] = None
+        #: Observability hook (a :class:`repro.obs.Tracer` or anything
+        #: with ``engine_step``/``process_spawned``).  ``None`` (the
+        #: default) keeps the event loop allocation-free.
+        self.obs: Optional[Any] = None
 
     # -- clock -----------------------------------------------------------
     @property
@@ -85,7 +89,10 @@ class Engine:
 
     def process(self, generator: Generator) -> Process:
         """Start a new simulation process from a generator coroutine."""
-        return Process(self, generator)
+        proc = Process(self, generator)
+        if self.obs is not None:
+            self.obs.process_spawned(self, proc)
+        return proc
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -105,6 +112,8 @@ class Engine:
             raise EmptySchedule() from None
         self._now = when
         self.events_processed += 1
+        if self.obs is not None:
+            self.obs.engine_step(when, len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks or ():
             cb(event)

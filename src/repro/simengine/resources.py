@@ -124,6 +124,7 @@ class SerialLink:
         "busy_time",
         "transfers",
         "bytes_carried",
+        "observer",
     )
 
     def __init__(
@@ -150,6 +151,11 @@ class SerialLink:
         self.transfers = 0
         #: total payload bytes carried
         self.bytes_carried = 0
+        #: optional per-transfer telemetry hook
+        #: ``observer(nbytes, start, wait, duration)`` — ``wait`` is the
+        #: contention stall before the head could enter the link.  The
+        #: observability layer plugs in here; ``None`` costs nothing.
+        self.observer: Optional[Any] = None
 
     def transfer(self, nbytes: float) -> Event:
         """Schedule ``nbytes`` through the link; event fires at completion."""
@@ -163,6 +169,8 @@ class SerialLink:
         self.busy_time += duration
         self.transfers += 1
         self.bytes_carried += int(nbytes)
+        if self.observer is not None:
+            self.observer(float(nbytes), start, start - now, duration)
         ev = Event(self.env)
         # Trigger via a timeout-like direct schedule.
         ev._ok = True
@@ -187,6 +195,8 @@ class SerialLink:
         self.busy_time += duration
         self.transfers += 1
         self.bytes_carried += int(nbytes)
+        if self.observer is not None:
+            self.observer(float(nbytes), start, start - earliest, duration)
         return start + self.latency, start + self.latency + duration
 
     def earliest_finish(self, nbytes: float) -> float:

@@ -54,6 +54,10 @@ class ClusterResult:
     returns: List[Any]
     messages: int
     bytes_sent: int
+    #: the run's :class:`~repro.obs.Tracer` when tracing was enabled
+    #: (``Cluster.run(..., trace=True)`` or an ambient ``obs.tracing``
+    #: context), else ``None``
+    trace: Optional[Any] = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -130,9 +134,18 @@ class Cluster:
         self.timeline = None
         #: active simulation sanitizer, if this run enabled one
         self.sanitizer = None
+        #: attached :class:`~repro.obs.Tracer`, or ``None`` (untraced);
+        #: every span hook guards on this before doing any work
+        self.tracer = None
 
     # -- running programs ---------------------------------------------------
-    def run(self, program: Callable, *args: Any, sanitize: bool = False) -> ClusterResult:
+    def run(
+        self,
+        program: Callable,
+        *args: Any,
+        sanitize: bool = False,
+        trace: bool = False,
+    ) -> ClusterResult:
         """Execute ``program(comm, *args)`` on every rank to completion.
 
         With ``sanitize=True`` the run is watched by the simulation
@@ -140,7 +153,20 @@ class Cluster:
         :class:`~repro.lint.sanitizer.DeadlockError` naming the blocked
         ranks and wait cycle, and leaked ``Request`` objects or sends
         that nobody received raise at program exit.
+
+        With ``trace=True`` a fresh :class:`~repro.obs.Tracer` is
+        attached (unless one already is) and returned on
+        ``ClusterResult.trace``; an ambient :func:`repro.obs.tracing`
+        context enables the same without the flag.
         """
+        if self.tracer is None:
+            from ..obs import active_tracer, Tracer
+
+            ambient = active_tracer()
+            if ambient is not None:
+                ambient.attach(self)
+            elif trace:
+                Tracer().attach(self)
         san = None
         if sanitize:
             from ..lint.sanitizer import Sanitizer
@@ -167,6 +193,7 @@ class Cluster:
                 returns=[p.value for p in procs],
                 messages=self.transport.messages_sent,
                 bytes_sent=self.transport.bytes_sent,
+                trace=self.tracer,
             )
             if san is not None:
                 # Let in-flight deliveries land, then check for leaks.
@@ -189,6 +216,30 @@ class Cluster:
                 f"{kind!r} but others called {sync.kind!r}"
             )
         return sync
+
+
+class _RankPhase:
+    """Context manager behind :meth:`RankComm.phase`."""
+
+    __slots__ = ("comm", "name", "_t0")
+
+    def __init__(self, comm: "RankComm", name: str) -> None:
+        self.comm = comm
+        self.name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_RankPhase":
+        if self.comm.cluster.tracer is not None:
+            self._t0 = self.comm.env.now
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        tracer = self.comm.cluster.tracer
+        if tracer is not None and exc_type is None:
+            tracer.complete(
+                self.comm.rank, self.name, self._t0, self.comm.env.now, cat="phase"
+            )
+        return False
 
 
 class RankComm:
@@ -233,9 +284,20 @@ class RankComm:
         """Blocking receive; returns the :class:`Message`."""
         if src != ANY_SOURCE:
             self._check_peer(src)
+        tracer = self.cluster.tracer
+        t0 = self.env.now if tracer is not None else 0.0
         ev = self.cluster.transport.post_recv(self.rank, src, tag)
         msg = yield ev
         yield self.env.timeout(self.machine.mpi.recv_overhead)
+        if tracer is not None:
+            tracer.complete(
+                self.rank,
+                "recv",
+                t0,
+                self.env.now,
+                cat="p2p",
+                args={"src": msg.src, "nbytes": msg.nbytes, "tag": msg.tag},
+            )
         return msg
 
     def isend(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None) -> Request:
@@ -308,6 +370,18 @@ class RankComm:
         if not 0 <= peer < self.size:
             raise ValueError(f"peer rank {peer} outside [0, {self.size})")
 
+    # -- phase annotation -----------------------------------------------------
+    def phase(self, name: str):
+        """Named application-phase span (``with comm.phase("baroclinic"):``).
+
+        The ``with`` body may contain ``yield``/``yield from`` as usual;
+        on exit the phase is recorded as one span on this rank's trace
+        track.  Without an attached tracer this is a no-op — the paper's
+        per-phase attribution (POP baroclinic/barotropic, CAM dynamics/
+        physics) hangs off these markers.
+        """
+        return _RankPhase(self, name)
+
     # -- computation --------------------------------------------------------------
     def compute(self, flops: float = 0.0, bytes_moved: float = 0.0, seconds: float = 0.0):
         """Occupy this rank with computation.
@@ -324,12 +398,29 @@ class RankComm:
                 self.cluster.timeline.record(
                     self.rank, start, self.env.now, "compute"
                 )
+            tracer = self.cluster.tracer
+            if tracer is not None:
+                tracer.complete(self.rank, "compute", start, self.env.now, cat="compute")
+
+    def _collective_span(
+        self, tracer, name: str, t0: float, algorithm: str, nbytes: Optional[int] = None
+    ) -> None:
+        """Record one finished collective (caller guards ``tracer``)."""
+        args: Dict[str, Any] = {"algorithm": algorithm}
+        if nbytes is not None:
+            args["nbytes"] = nbytes
+        tracer.complete(
+            self.rank, name, t0, self.env.now, cat="collective", args=args
+        )
 
     # -- collectives -------------------------------------------------------------
     def barrier(self):
         """MPI_Barrier: hardware barrier network on BG, dissemination on XT."""
         cl = self.cluster
+        tracer = cl.tracer
+        t0 = self.env.now if tracer is not None else 0.0
         if cl.barrier_net is not None:
+            alg = "hw-barrier"
             sync = cl._next_sync(self.rank, "barrier")
             sync.remaining -= 1
             if sync.remaining == 0:
@@ -337,12 +428,18 @@ class RankComm:
                 wait_ev.callbacks.append(lambda _e, s=sync: s.event.succeed())
             yield sync.event
         else:
+            alg = "dissemination"
             yield from _algos.dissemination_barrier(self)
+        if tracer is not None:
+            self._collective_span(tracer, "barrier", t0, alg)
 
     def bcast(self, nbytes: int, root: int = 0, dtype: str = "byte"):
         """MPI_Bcast: tree-network broadcast on BG, binomial on XT."""
         cl = self.cluster
+        tracer = cl.tracer
+        t0 = self.env.now if tracer is not None else 0.0
         if cl.tree is not None:
+            alg = "tree"
             mpi = self.machine.mpi
             yield self.env.timeout(mpi.send_overhead if self.rank == root else 0.0)
             sync = cl._next_sync(self.rank, "bcast")
@@ -356,15 +453,24 @@ class RankComm:
             yield sync.event
             yield self.env.timeout(mpi.recv_overhead)
         else:
+            alg = "binomial"
             yield from _algos.binomial_bcast(self, nbytes, root)
+        if tracer is not None:
+            self._collective_span(tracer, "bcast", t0, alg, nbytes)
 
     def reduce(self, nbytes: int, root: int = 0, dtype: str = "float64"):
         """MPI_Reduce: tree network when the ALU supports the dtype."""
         cl = self.cluster
+        tracer = cl.tracer
+        t0 = self.env.now if tracer is not None else 0.0
         if cl.tree is not None and cl.tree.spec.supports_reduce(dtype):
+            alg = "tree"
             yield from self._tree_reduction(nbytes, dtype, allreduce=False)
         else:
+            alg = "binomial"
             yield from _algos.binomial_reduce(self, nbytes, root)
+        if tracer is not None:
+            self._collective_span(tracer, "reduce", t0, alg, nbytes)
 
     def allreduce(self, nbytes: int, dtype: str = "float64"):
         """MPI_Allreduce.
@@ -374,10 +480,20 @@ class RankComm:
         recursive doubling over the torus.
         """
         cl = self.cluster
+        tracer = cl.tracer
+        t0 = self.env.now if tracer is not None else 0.0
         if cl.tree is not None and cl.tree.spec.supports_reduce(dtype):
+            alg = "tree"
             yield from self._tree_reduction(nbytes, dtype, allreduce=True)
         else:
+            alg = (
+                "recursive-doubling"
+                if nbytes <= _algos.ALLREDUCE_RD_THRESHOLD
+                else "rabenseifner"
+            )
             yield from _algos.software_allreduce(self, nbytes)
+        if tracer is not None:
+            self._collective_span(tracer, "allreduce", t0, alg, nbytes)
 
     def _tree_reduction(self, nbytes: int, dtype: str, allreduce: bool):
         cl = self.cluster
@@ -404,19 +520,37 @@ class RankComm:
 
     def allgather(self, nbytes_per_rank: int):
         """MPI_Allgather (ring algorithm on all machines)."""
+        tracer = self.cluster.tracer
+        t0 = self.env.now if tracer is not None else 0.0
         yield from _algos.ring_allgather(self, nbytes_per_rank)
+        if tracer is not None:
+            self._collective_span(tracer, "allgather", t0, "ring", nbytes_per_rank)
 
     def reduce_scatter(self, nbytes_total: int):
         """MPI_Reduce_scatter (recursive halving)."""
+        tracer = self.cluster.tracer
+        t0 = self.env.now if tracer is not None else 0.0
         yield from _algos.recursive_halving_reduce_scatter(self, nbytes_total)
+        if tracer is not None:
+            self._collective_span(
+                tracer, "reduce_scatter", t0, "recursive-halving", nbytes_total
+            )
 
     def gather(self, nbytes_per_rank: int, root: int = 0):
         """MPI_Gather (binomial tree; payloads grow toward the root)."""
+        tracer = self.cluster.tracer
+        t0 = self.env.now if tracer is not None else 0.0
         yield from _algos.binomial_gather(self, nbytes_per_rank, root)
+        if tracer is not None:
+            self._collective_span(tracer, "gather", t0, "binomial", nbytes_per_rank)
 
     def scatter(self, nbytes_per_rank: int, root: int = 0):
         """MPI_Scatter (binomial tree; payloads shrink from the root)."""
+        tracer = self.cluster.tracer
+        t0 = self.env.now if tracer is not None else 0.0
         yield from _algos.binomial_scatter(self, nbytes_per_rank, root)
+        if tracer is not None:
+            self._collective_span(tracer, "scatter", t0, "binomial", nbytes_per_rank)
 
     def alltoall(self, nbytes_per_pair: int):
         """MPI_Alltoall (no tree offload exists).
@@ -425,6 +559,9 @@ class RankComm:
         round structure is estimated cheaper (small payloads), pairwise
         exchange otherwise.
         """
+        tracer = self.cluster.tracer
+        t0 = self.env.now if tracer is not None else 0.0
+        alg = "pairwise"
         p = self.size
         if p > 1:
             import math as _math
@@ -435,6 +572,10 @@ class RankComm:
                 nbytes_per_pair * p / 2.0
             )
             if bruck_est < pairwise_est:
-                yield from _algos.bruck_alltoall(self, nbytes_per_pair)
-                return
-        yield from _algos.pairwise_alltoall(self, nbytes_per_pair)
+                alg = "bruck"
+        if alg == "bruck":
+            yield from _algos.bruck_alltoall(self, nbytes_per_pair)
+        else:
+            yield from _algos.pairwise_alltoall(self, nbytes_per_pair)
+        if tracer is not None:
+            self._collective_span(tracer, "alltoall", t0, alg, nbytes_per_pair)

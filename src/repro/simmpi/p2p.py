@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from ..simengine import Engine, Event
 from ..topology.mapping import Mapping
@@ -146,6 +146,13 @@ class Transport:
         self.messages_sent = 0
         #: total payload bytes injected (stats)
         self.bytes_sent = 0
+        #: supported observation hooks, called as
+        #: ``hook(src, dst, nbytes, tag, t_start, t_end)`` once per
+        #: completed send (``t_start`` = injection begins, ``t_end`` =
+        #: the protocol's completion point).  This replaces the old
+        #: practice of monkey-patching :meth:`send`; an empty list (the
+        #: default) adds no per-message work.
+        self._send_hooks: List[Callable[[int, int, int, int, float, float], None]] = []
 
     # -- plumbing ---------------------------------------------------------
     def queue_of(self, rank: int) -> _MatchQueue:
@@ -189,8 +196,34 @@ class Transport:
         )
 
     # -- sends -------------------------------------------------------------
+    def add_send_hook(
+        self, hook: Callable[[int, int, int, int, float, float], None]
+    ) -> None:
+        """Register a send observation hook (see ``_send_hooks``)."""
+        if hook not in self._send_hooks:
+            self._send_hooks.append(hook)
+
+    def remove_send_hook(
+        self, hook: Callable[[int, int, int, int, float, float], None]
+    ) -> None:
+        """Unregister a previously added send hook (missing is a no-op)."""
+        try:
+            self._send_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def send(self, src: int, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
         """Blocking send (generator).  Completes per protocol semantics."""
+        if not self._send_hooks:
+            yield from self._send_impl(src, dst, nbytes, tag, payload)
+            return
+        start = self.env.now
+        yield from self._send_impl(src, dst, nbytes, tag, payload)
+        end = self.env.now
+        for hook in self._send_hooks:
+            hook(src, dst, nbytes, tag, start, end)
+
+    def _send_impl(self, src: int, dst: int, nbytes: int, tag: int, payload: Any):
         if nbytes < 0:
             raise ValueError("negative message size")
         mpi = self.machine.mpi

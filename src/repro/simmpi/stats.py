@@ -1,16 +1,24 @@
 """Communication statistics and tracing for simulated runs.
 
-Wraps a :class:`~repro.simmpi.comm.Cluster`'s transport with counters a
-performance analyst would want from a real run: message-size
-histograms, per-pair traffic matrices, link utilisation summaries, and
-a compact event trace.  This is the kind of instrumentation the paper's
-authors used (the IBM HPC Toolkit of reference [15]) to attribute
-application time to the networks.
+Observes a :class:`~repro.simmpi.comm.Cluster`'s transport with
+counters a performance analyst would want from a real run:
+message-size histograms, per-pair traffic matrices, link utilisation
+summaries, and a compact event trace.  This is the kind of
+instrumentation the paper's authors used (the IBM HPC Toolkit of
+reference [15]) to attribute application time to the networks.
+
+.. deprecated::
+    :func:`attach_stats` predates the unified observability layer and
+    is kept as a thin shim over the transport's supported send hook.
+    New code should use :mod:`repro.obs` (``cluster.run(program,
+    trace=True)``), which subsumes these counters and adds spans,
+    per-link telemetry, and exporters.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
@@ -46,6 +54,10 @@ class CommStats:
     trace: List[TraceEvent] = field(default_factory=list)
     #: cap on stored trace events (statistics keep accumulating)
     trace_limit: int = 10000
+    #: events NOT stored in :attr:`trace` because the cap was hit; a
+    #: nonzero value means the trace is truncated (the aggregate
+    #: counters above still cover every message)
+    dropped: int = 0
 
     def record(self, time: float, src: int, dst: int, nbytes: int, tag: int) -> None:
         self.messages += 1
@@ -55,6 +67,8 @@ class CommStats:
         self.traffic_matrix[(src, dst)] += nbytes
         if len(self.trace) < self.trace_limit:
             self.trace.append(TraceEvent(time, src, dst, nbytes, tag))
+        else:
+            self.dropped += 1
 
     # -- analysis -----------------------------------------------------------
     def mean_message_bytes(self) -> float:
@@ -81,22 +95,43 @@ class CommStats:
         for bucket in sorted(self.size_histogram):
             label = "0B" if bucket == -1 else f"2^{bucket}"
             lines.append(f"  {label:>6}: {self.size_histogram[bucket]}")
+        if self.dropped:
+            lines.append(
+                f"trace:    TRUNCATED — {self.dropped} event(s) dropped past "
+                f"the {self.trace_limit}-event limit"
+            )
         return "\n".join(lines)
 
 
 def attach_stats(cluster: Cluster, trace_limit: int = 10000) -> CommStats:
     """Instrument a cluster's transport; returns the live stats object.
 
-    Every subsequent send on the cluster is recorded.  Idempotent-safe:
-    attaching twice layers two recorders (avoid).
+    Every subsequent send on the cluster is recorded.  Idempotent:
+    attaching a second time returns the already-attached recorder
+    (``trace_limit`` is then ignored) instead of layering two.
+
+    .. deprecated::
+        Thin shim over ``Transport.add_send_hook``; prefer the unified
+        tracer — ``cluster.run(program, trace=True)`` — whose metrics
+        registry subsumes these counters (see ``docs/observability.md``).
     """
-    stats = CommStats(trace_limit=trace_limit)
     transport = cluster.transport
-    original_send = transport.send
+    existing = getattr(transport, "_comm_stats", None)
+    if existing is not None:
+        return existing
+    warnings.warn(
+        "attach_stats() is deprecated; use the repro.obs tracer "
+        "(cluster.run(program, trace=True)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    stats = CommStats(trace_limit=trace_limit)
 
-    def recording_send(src, dst, nbytes, tag=0, payload=None):
-        stats.record(transport.env.now, src, dst, nbytes, tag)
-        return original_send(src, dst, nbytes, tag, payload)
+    def record_send(
+        src: int, dst: int, nbytes: int, tag: int, start: float, _end: float
+    ) -> None:
+        stats.record(start, src, dst, nbytes, tag)
 
-    transport.send = recording_send  # type: ignore[method-assign]
+    transport.add_send_hook(record_send)
+    transport._comm_stats = stats
     return stats

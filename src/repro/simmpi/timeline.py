@@ -52,12 +52,30 @@ class Timeline:
             max(i.end for i in self.intervals),
         )
 
-    def busy_seconds(self, rank: int, kind: Optional[str] = None) -> float:
-        return sum(
-            i.duration
+    def merged(self, rank: int, kind: Optional[str] = None) -> List[Tuple[float, float]]:
+        """This rank's busy intervals with overlaps coalesced.
+
+        A rank can be busy in two records at once (an ``isend``'s
+        injection runs as its own process alongside compute), so raw
+        durations double-count; utilisation math must merge first.
+        """
+        spans = sorted(
+            (i.start, i.end)
             for i in self.intervals
             if i.rank == rank and (kind is None or i.kind == kind)
         )
+        out: List[Tuple[float, float]] = []
+        for start, end in spans:
+            if out and start <= out[-1][1]:
+                if end > out[-1][1]:
+                    out[-1] = (out[-1][0], end)
+            else:
+                out.append((start, end))
+        return out
+
+    def busy_seconds(self, rank: int, kind: Optional[str] = None) -> float:
+        """Seconds this rank was busy (overlapping intervals merged)."""
+        return sum(end - start for start, end in self.merged(rank, kind))
 
     def busy_fraction(self, rank: int) -> float:
         lo, hi = self.span()
@@ -98,21 +116,24 @@ def attach_timeline(cluster: Cluster) -> Timeline:
     """Instrument a cluster; returns the live timeline.
 
     Hooks the roofline compute path (via the cluster's ``timeline``
-    slot) and wraps the transport's injection so every rank's busy
-    periods are captured.  Attach before ``run``.
+    slot) and the transport's supported send hook so every rank's busy
+    periods are captured.  Attach before ``run``.  Idempotent: a
+    second attach returns the already-attached timeline.
+
+    .. deprecated::
+        Thin shim kept for existing callers; the :mod:`repro.obs`
+        tracer records the same intervals as Chrome-trace spans with
+        exporters and per-link telemetry on top.
     """
+    if cluster.timeline is not None:
+        return cluster.timeline
     timeline = Timeline()
     cluster.timeline = timeline
 
-    transport = cluster.transport
-    original_send = transport.send
-
-    def recording_send(src, dst, nbytes, tag=0, payload=None):
-        start = transport.env.now
-        result = yield from original_send(src, dst, nbytes, tag, payload)
-        end = transport.env.now
+    def record_send(
+        src: int, _dst: int, _nbytes: int, _tag: int, start: float, end: float
+    ) -> None:
         timeline.record(src, start, end, "send")
-        return result
 
-    transport.send = recording_send  # type: ignore[method-assign]
+    cluster.transport.add_send_hook(record_send)
     return timeline

@@ -6,8 +6,14 @@ the property the engine's docstring promises); a regression here means
 something nondeterministic crept into the simulator core.
 """
 
+import pytest
+
 from repro.machines import BGP, XT4_QC
 from repro.simmpi import attach_stats, Cluster
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:attach_stats\\(\\) is deprecated:DeprecationWarning"
+)
 
 
 def workload(comm):

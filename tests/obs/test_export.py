@@ -1,0 +1,122 @@
+"""Exporter tests: Chrome trace schema, metrics JSON, ASCII summary."""
+
+import json
+
+import pytest
+
+from repro.machines import BGP
+from repro.obs import (
+    chrome_trace,
+    chrome_trace_json,
+    metrics_dict,
+    metrics_json,
+    summary,
+    Tracer,
+    validate_trace_events,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.simmpi import Cluster
+
+
+@pytest.fixture(scope="module")
+def traced():
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        req = comm.irecv(src=left, tag=0)
+        yield from comm.send(right, nbytes=1 << 16, tag=0)
+        yield from comm.wait(req)
+        with comm.phase("work"):
+            yield from comm.compute(seconds=1e-4)
+        return comm.now
+
+    cluster = Cluster(BGP, ranks=8, mode="SMP")
+    return cluster.run(program, trace=True).trace
+
+
+# -- schema ---------------------------------------------------------------
+def test_exported_trace_passes_schema(traced):
+    doc = json.loads(chrome_trace_json(traced))
+    validate_trace_events(doc)  # must not raise
+
+
+def test_trace_has_per_rank_process_metadata(traced):
+    doc = chrome_trace(traced)
+    names = {
+        ev["pid"]: ev["args"]["name"]
+        for ev in doc["traceEvents"]
+        if ev["ph"] == "M" and ev["name"] == "process_name"
+    }
+    for rank in range(8):
+        assert names[rank] == f"rank {rank}"
+    assert "sim-engine" in names.values()
+    assert "torus-network" in names.values()
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [
+        [],  # not an object
+        {"events": []},  # wrong key
+        {"traceEvents": {}},  # not a list
+        {"traceEvents": [[]]},  # event not an object
+        {"traceEvents": [{"ph": "Q", "name": "x", "pid": 0}]},  # unknown phase
+        {"traceEvents": [{"ph": "X", "pid": 0, "ts": 0, "dur": 1}]},  # no name
+        {"traceEvents": [{"ph": "X", "name": "x", "ts": 0, "dur": 1}]},  # no pid
+        {"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "ts": -1, "dur": 1}]},
+        {"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "ts": 0}]},  # no dur
+        {"traceEvents": [{"ph": "C", "name": "x", "pid": 0, "ts": 0}]},  # no args
+        {"traceEvents": [{"ph": "M", "name": "process_name", "pid": 0}]},
+    ],
+)
+def test_schema_rejects_malformed_documents(doc):
+    with pytest.raises(ValueError):
+        validate_trace_events(doc)
+
+
+def test_empty_tracer_exports_valid_trace():
+    tracer = Tracer()
+    doc = json.loads(chrome_trace_json(tracer))
+    validate_trace_events(doc)
+    assert doc["traceEvents"] == []
+
+
+# -- files ----------------------------------------------------------------
+def test_write_chrome_trace_roundtrip(tmp_path, traced):
+    path = write_chrome_trace(traced, tmp_path / "t.json")
+    text = path.read_text()
+    assert text.endswith("\n")
+    validate_trace_events(json.loads(text))
+
+
+def test_write_metrics_roundtrip(tmp_path, traced):
+    path = write_metrics(traced, tmp_path / "m.json")
+    doc = json.loads(path.read_text())
+    assert set(doc) == {"counters", "gauges", "histograms", "links", "spans"}
+    assert doc["counters"]["mpi.messages"] == 8
+    assert doc["spans"]["send"]["count"] == 8
+    assert doc["spans"]["work"]["count"] == 8
+
+
+def test_metrics_json_deterministic(traced):
+    assert metrics_json(traced) == metrics_json(traced)
+    d = metrics_dict(traced)
+    assert d["histograms"]["mpi.message_bytes"]["count"] == 8
+
+
+# -- summary --------------------------------------------------------------
+def test_summary_sections_and_top_n(traced):
+    text = summary(traced, n=2)
+    assert "== span attribution (by total time) ==" in text
+    assert "== hottest links (by bytes) ==" in text
+    assert "== counters ==" in text
+    span_section = text.split("== hottest links")[0]
+    rows = [ln for ln in span_section.splitlines() if ln.startswith("  ")]
+    assert len(rows) == 2
+
+
+def test_summary_of_empty_tracer():
+    text = summary(Tracer())
+    assert "(no spans recorded)" in text
+    assert "(no link traffic recorded)" in text

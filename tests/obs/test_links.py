@@ -1,0 +1,103 @@
+"""Per-link network telemetry on a 2x2x2 torus ring exchange."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.obs import NETWORK_PID, Tracer
+from repro.simmpi import Cluster
+
+
+NBYTES = 1 << 16
+REPS = 4
+
+
+def _ring_shift_run():
+    """Every rank ships NBYTES to its ring successor, REPS times."""
+
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        for rep in range(REPS):
+            req = comm.irecv(src=left, tag=rep)
+            yield from comm.send(right, nbytes=NBYTES, tag=rep)
+            yield from comm.wait(req)
+        return comm.now
+
+    cluster = Cluster(BGP, ranks=8, mode="SMP")
+    result = cluster.run(program, trace=True)
+    assert cluster.partition.torus_shape == (2, 2, 2)
+    return cluster, result.trace
+
+
+def test_tracer_links_match_link_objects():
+    """Tracer telemetry must agree with the links' own counters."""
+    cluster, tracer = _ring_shift_run()
+    assert set(tracer.links) == set(cluster.torus.links)
+    for key, row in tracer.links.items():
+        link = cluster.torus.links[key]
+        assert row["bytes"] == pytest.approx(link.bytes_carried)
+        assert row["transfers"] == link.transfers
+        assert row["busy_seconds"] == pytest.approx(link.busy_time)
+        assert row["stalls"] >= 0
+        assert row["stall_seconds"] >= 0
+
+
+def test_total_link_bytes_equal_payload_times_hops():
+    """Sum over links == sum over messages of nbytes * route hops.
+
+    Rendezvous RTS control messages traverse links too but carry zero
+    bytes, so payload bytes x hop count is exact.
+    """
+    cluster, tracer = _ring_shift_run()
+    node = cluster.transport.mapping.node_of
+    expected = 0
+    for rank in range(8):
+        hops = cluster.torus.hop_distance(node(rank), node((rank + 1) % 8))
+        expected += REPS * NBYTES * hops
+    assert sum(row["bytes"] for row in tracer.links.values()) == expected
+    assert tracer.metrics.counter("net.link_bytes").value == expected
+
+
+def test_link_counter_tracks_emitted():
+    """Each active link gets a cumulative counter track on NETWORK_PID."""
+    cluster, tracer = _ring_shift_run()
+    tracks = {}
+    for ev in tracer.events:
+        if ev["ph"] == "C" and ev["pid"] == NETWORK_PID:
+            tracks.setdefault(ev["name"], []).append(ev)
+    active = {k for k, v in cluster.torus.links.items() if v.transfers}
+    assert len(tracks) == len(active)
+    for key in active:
+        (ax, ay, az), (bx, by, bz) = key
+        label = f"link ({ax},{ay},{az})->({bx},{by},{bz})"
+        samples = tracks[label]
+        # cumulative: bytes never decrease sample-to-sample
+        values = [s["args"]["bytes"] for s in samples]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(tracer.links[key]["bytes"])
+
+
+def test_link_table_uses_sorted_printable_labels():
+    _, tracer = _ring_shift_run()
+    table = tracer.link_table()
+    labels = list(table)
+    assert labels == sorted(labels)
+    assert all(lbl.startswith("(") and "->" in lbl for lbl in labels)
+    first = next(iter(table.values()))
+    assert set(first) == {
+        "bytes", "transfers", "stalls", "stall_seconds", "busy_seconds"
+    }
+
+
+def test_contention_stalls_are_observed():
+    """Funnel traffic through one node so links serialize and stall."""
+    from repro.simengine import Engine, SerialLink
+
+    env = Engine()
+    link = SerialLink(env, bandwidth=1e6, latency=0.0)
+    calls = []
+    link.observer = lambda nbytes, start, wait, dur: calls.append(wait)
+    link.book(1e6, earliest=0.0)  # occupies [0, 1)
+    link.book(1e6, earliest=0.0)  # must wait a full second
+    assert calls[0] == 0.0
+    assert calls[1] == pytest.approx(1.0)

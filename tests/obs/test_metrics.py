@@ -1,0 +1,59 @@
+"""Metric instrument and registry tests."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_accumulates():
+    c = Counter("x")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("x").inc(-1)
+
+
+def test_gauge_tracks_current_and_max():
+    g = Gauge("depth")
+    g.set(3)
+    g.set(7)
+    g.set(2)
+    assert g.value == 2
+    assert g.max == 7
+
+
+def test_histogram_power_of_two_buckets():
+    h = Histogram("sizes")
+    for v in (0, 1, 2, 3, 1024):
+        h.observe(v)
+    # 0 -> bucket -1, 1 -> 0, 2..3 -> 1, 1024 -> 10
+    assert h.buckets[-1] == 1
+    assert h.buckets[0] == 1
+    assert h.buckets[1] == 2
+    assert h.buckets[10] == 1
+    assert h.count == 5
+    assert h.total == 1030
+
+
+def test_registry_create_on_first_use_and_reuse():
+    reg = MetricsRegistry()
+    a = reg.counter("mpi.messages")
+    b = reg.counter("mpi.messages")
+    assert a is b
+    reg.gauge("q").set(5)
+    reg.histogram("sz").observe(8)
+    d = reg.to_dict()
+    assert d["counters"] == {"mpi.messages": 0}
+    assert d["gauges"]["q"]["value"] == 5
+    assert "3" in d["histograms"]["sz"]["buckets"]
+
+
+def test_registry_dict_is_sorted():
+    reg = MetricsRegistry()
+    for name in ("zeta", "alpha", "mid"):
+        reg.counter(name).inc()
+    assert list(reg.to_dict()["counters"]) == ["alpha", "mid", "zeta"]

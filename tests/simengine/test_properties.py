@@ -8,6 +8,10 @@ from repro.machines import BGP, XT4_QC
 from repro.simengine import Engine, SerialLink
 from repro.simmpi import attach_stats, Cluster
 
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:attach_stats\\(\\) is deprecated:DeprecationWarning"
+)
+
 
 # ---------------------------------------------------------------------------
 # engine invariants

@@ -1,9 +1,17 @@
-"""Communication statistics / tracing tests."""
+"""Communication statistics / tracing tests.
+
+``attach_stats`` is deprecated in favour of the ``repro.obs`` tracer;
+this suite keeps it covered as a shim, so the warning is expected.
+"""
 
 import pytest
 
 from repro.machines import BGP
 from repro.simmpi import attach_stats, Cluster
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:attach_stats\\(\\) is deprecated:DeprecationWarning"
+)
 
 
 def _run_traffic(ranks=4):
@@ -56,9 +64,9 @@ def test_trace_events_ordered_in_time():
     assert stats.trace[0].nbytes in (0, 1024)
 
 
-def test_trace_limit_respected():
+def _capped_run(trace_limit=3):
     cluster = Cluster(BGP, ranks=2, mode="VN")
-    stats = attach_stats(cluster, trace_limit=3)
+    stats = attach_stats(cluster, trace_limit=trace_limit)
 
     def program(comm):
         if comm.rank == 0:
@@ -69,8 +77,52 @@ def test_trace_limit_respected():
                 yield from comm.recv(src=0, tag=i)
 
     cluster.run(program)
+    return stats
+
+
+def test_trace_limit_respected():
+    stats = _capped_run(trace_limit=3)
     assert stats.messages == 10  # stats keep counting
     assert len(stats.trace) == 3  # trace capped
+
+
+def test_dropped_events_counted_and_surfaced():
+    stats = _capped_run(trace_limit=3)
+    assert stats.dropped == 7  # truncation is no longer silent
+    text = stats.summary()
+    assert "TRUNCATED" in text
+    assert "7 event(s) dropped" in text
+
+
+def test_uncapped_run_reports_no_truncation():
+    stats = _run_traffic(4)
+    assert stats.dropped == 0
+    assert "TRUNCATED" not in stats.summary()
+
+
+def test_attach_is_idempotent():
+    cluster = Cluster(BGP, ranks=2, mode="VN")
+    first = attach_stats(cluster, trace_limit=5)
+    second = attach_stats(cluster, trace_limit=99)
+    assert second is first
+    assert second.trace_limit == 5  # later limit ignored
+    assert len(cluster.transport._send_hooks) == 1
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=64)
+        else:
+            yield from comm.recv(src=0)
+
+    cluster.run(program)
+    assert first.messages == 1  # recorded once, not twice
+
+
+@pytest.mark.filterwarnings("error::DeprecationWarning")
+def test_attach_warns_deprecation():
+    cluster = Cluster(BGP, ranks=2, mode="VN")
+    with pytest.warns(DeprecationWarning, match="repro.obs"):
+        attach_stats(cluster)
 
 
 def test_summary_renders():

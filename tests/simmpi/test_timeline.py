@@ -78,3 +78,50 @@ def test_empty_timeline():
 def test_interval_validation():
     with pytest.raises(ValueError):
         Timeline().record(0, 5.0, 1.0, "compute")
+
+
+def test_overlapping_intervals_merged_not_double_counted():
+    """Regression: a rank busy in two overlapping records at once
+    (isend injection running alongside compute) must not count the
+    overlap twice in busy_seconds."""
+    tl = Timeline()
+    tl.record(0, 0.0, 1.0, "compute")
+    tl.record(0, 0.5, 1.5, "send")  # overlaps [0.5, 1.0)
+    tl.record(0, 2.0, 3.0, "compute")
+    assert tl.busy_seconds(0) == pytest.approx(2.5)  # not 3.0
+    assert tl.merged(0) == [(0.0, 1.5), (2.0, 3.0)]
+
+
+def test_merged_handles_contained_and_touching_intervals():
+    tl = Timeline()
+    tl.record(1, 0.0, 4.0, "compute")
+    tl.record(1, 1.0, 2.0, "send")  # fully contained
+    tl.record(1, 4.0, 5.0, "send")  # touching end-to-start
+    assert tl.merged(1) == [(0.0, 5.0)]
+    assert tl.busy_seconds(1) == pytest.approx(5.0)
+
+
+def test_merged_filters_by_kind():
+    tl = Timeline()
+    tl.record(0, 0.0, 1.0, "compute")
+    tl.record(0, 0.5, 1.5, "send")
+    assert tl.busy_seconds(0, "compute") == pytest.approx(1.0)
+    assert tl.busy_seconds(0, "send") == pytest.approx(1.0)
+
+
+def test_attach_timeline_is_idempotent():
+    cluster = Cluster(BGP, ranks=2, mode="SMP")
+    first = attach_timeline(cluster)
+    second = attach_timeline(cluster)
+    assert second is first
+    assert len(cluster.transport._send_hooks) == 1
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(1, nbytes=1024)
+        else:
+            yield from comm.recv(src=0)
+
+    cluster.run(program)
+    sends = [i for i in first.intervals if i.kind == "send"]
+    assert len(sends) == 1  # recorded once, not twice
