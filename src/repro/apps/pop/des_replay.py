@@ -14,6 +14,7 @@ model at small scale, anchoring the Fig. 4 curves.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Optional
 
 from ...halo.exchange import neighbors2d
 from ...machines.specs import MachineSpec
@@ -24,7 +25,12 @@ from .grid import decompose, PopGrid
 from .model import POP_SUSTAINED_GFLOPS
 from .solvers import CHRONGEAR_SIGNATURE, SolverSignature
 
-__all__ = ["replay_steps", "PopReplayResult"]
+__all__ = [
+    "replay_steps",
+    "checkpointed_walltime",
+    "PopReplayResult",
+    "PopCheckpointReport",
+]
 
 
 @dataclass(frozen=True)
@@ -36,12 +42,46 @@ class PopReplayResult:
     steps: int
     seconds_per_step: float
     messages: int
+    #: fault statistics when the replay ran under a fault plan
+    faults: Any = None
 
     @property
     def seconds_per_simday(self) -> float:
         from .model import STEPS_PER_SIMDAY
 
         return self.seconds_per_step * STEPS_PER_SIMDAY
+
+
+@dataclass(frozen=True)
+class PopCheckpointReport:
+    """Checkpoint-interval-adjusted wall-clock for one POP campaign.
+
+    The useful-work time comes from a message-level replay; the
+    resilience overhead from the Young/Daly model over the machine's
+    MTBF and its real I/O path (see :mod:`repro.faults.checkpoint`).
+    """
+
+    machine: str
+    processes: int
+    system_nodes: int
+    simdays: float
+    work_seconds: float
+    checkpoint_seconds: float
+    interval_seconds: float
+    expected_seconds: float
+
+    @property
+    def inflation(self) -> float:
+        return self.expected_seconds / self.work_seconds
+
+    def format(self) -> str:
+        return (
+            f"POP {self.simdays:g} simdays on {self.machine} "
+            f"({self.system_nodes} nodes): work {self.work_seconds / 3600:.2f} h, "
+            f"checkpoint {self.checkpoint_seconds:.0f} s every "
+            f"{self.interval_seconds / 60:.1f} min -> expected "
+            f"{self.expected_seconds / 3600:.2f} h ({self.inflation:.3f}x)"
+        )
 
 
 def replay_steps(
@@ -52,6 +92,8 @@ def replay_steps(
     mode: str = "VN",
     solver: SolverSignature = CHRONGEAR_SIGNATURE,
     solver_iterations: int | None = None,
+    faults: Any = None,
+    reliability: Any = None,
 ) -> PopReplayResult:
     """Run ``steps`` POP timesteps at message level.
 
@@ -109,12 +151,53 @@ def replay_steps(
                         )
         return comm.now - t0
 
-    cluster = Cluster(machine, ranks=processes, mode=mode)
-    res = cluster.run(program)
+    cluster = Cluster(machine, ranks=processes, mode=mode, reliability=reliability)
+    res = cluster.run(program, faults=faults)
     return PopReplayResult(
         machine=machine.name,
         processes=processes,
         steps=steps,
         seconds_per_step=max(res.returns) / steps,
         messages=res.messages,
+        faults=res.faults,
+    )
+
+
+def checkpointed_walltime(
+    machine: MachineSpec,
+    processes: int,
+    grid: PopGrid,
+    simdays: float = 30.0,
+    system_nodes: Optional[int] = None,
+    memory_fraction: float = 0.5,
+    **replay_kwargs: Any,
+) -> PopCheckpointReport:
+    """Checkpoint-interval-adjusted wall-clock for a POP campaign.
+
+    One timestep is replayed at message level to get the useful-work
+    rate; the Young/Daly model then adds the cost of surviving
+    ``system_nodes`` nodes' worth of failures (default: the replay's
+    own process count), with the checkpoint written through the
+    machine's modeled I/O path.
+    """
+    from ...faults.checkpoint import CheckpointModel
+
+    if simdays <= 0:
+        raise ValueError("simdays must be positive")
+    r = replay_steps(machine, processes, grid, steps=1, **replay_kwargs)
+    work = r.seconds_per_simday * simdays
+    nodes = processes if system_nodes is None else system_nodes
+    model = CheckpointModel.from_machine(
+        machine, nodes, memory_fraction=memory_fraction
+    )
+    tau = model.optimal_interval()
+    return PopCheckpointReport(
+        machine=machine.name,
+        processes=processes,
+        system_nodes=nodes,
+        simdays=simdays,
+        work_seconds=work,
+        checkpoint_seconds=model.checkpoint_seconds,
+        interval_seconds=tau,
+        expected_seconds=model.expected_runtime(work, tau),
     )

@@ -10,7 +10,7 @@ scaling model against the simulated network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ...machines.specs import MachineSpec
 from ...simmpi import Cluster
@@ -19,7 +19,7 @@ from .model import FLOPS_PER_POINT_PER_STAGE, N_VARS, S3D_SUSTAINED_GFLOPS
 from .rk import RK_STAGES
 from .stencil import DERIV_WIDTH
 
-__all__ = ["replay_steps", "S3dReplayResult"]
+__all__ = ["replay_steps", "checkpointed_walltime", "S3dReplayResult"]
 
 
 @dataclass(frozen=True)
@@ -28,6 +28,8 @@ class S3dReplayResult:
     processes: int
     seconds_per_step: float
     messages: int
+    #: fault statistics when the replay ran under a fault plan
+    faults: Any = None
 
 
 def _proc_grid(processes: int) -> Tuple[int, int, int]:
@@ -76,6 +78,8 @@ def replay_steps(
     edge: int = 50,
     steps: int = 1,
     mode: str = "VN",
+    faults: Any = None,
+    reliability: Any = None,
 ) -> S3dReplayResult:
     """Run ``steps`` S3D timesteps at message level."""
     if processes < 1 or steps < 1:
@@ -107,11 +111,42 @@ def replay_steps(
             yield from comm.allreduce(64, dtype="float64")  # monitoring
         return comm.now - t0
 
-    cluster = Cluster(machine, ranks=processes, mode=mode)
-    res = cluster.run(program)
+    cluster = Cluster(machine, ranks=processes, mode=mode, reliability=reliability)
+    res = cluster.run(program, faults=faults)
     return S3dReplayResult(
         machine=machine.name,
         processes=processes,
         seconds_per_step=max(res.returns) / steps,
         messages=res.messages,
+        faults=res.faults,
     )
+
+
+def checkpointed_walltime(
+    machine: MachineSpec,
+    processes: int,
+    edge: int = 50,
+    campaign_steps: int = 100000,
+    system_nodes: Optional[int] = None,
+    memory_fraction: float = 0.5,
+    **replay_kwargs: Any,
+) -> Tuple[float, float]:
+    """Expected wall-clock for a ``campaign_steps``-step S3D campaign.
+
+    Returns ``(expected_seconds, inflation)`` — the per-step rate comes
+    from a one-step message-level replay, the resilience overhead from
+    the Young/Daly model over the machine's MTBF and I/O path (default
+    partition size: the replay's process count).
+    """
+    from ...faults.checkpoint import CheckpointModel
+
+    if campaign_steps < 1:
+        raise ValueError("campaign_steps must be >= 1")
+    r = replay_steps(machine, processes, edge=edge, steps=1, **replay_kwargs)
+    work = campaign_steps * r.seconds_per_step
+    nodes = processes if system_nodes is None else system_nodes
+    model = CheckpointModel.from_machine(
+        machine, nodes, memory_fraction=memory_fraction
+    )
+    expected = model.expected_runtime(work)
+    return expected, expected / work

@@ -7,6 +7,8 @@ Usage::
     python -m repro run all -o out/      # regenerate everything to files
     python -m repro run fig3 --trace t.json --metrics m.json
     python -m repro trace pop            # traced DES scenario -> Chrome trace
+    python -m repro trace pingpong --param nbytes=65536
+    python -m repro faults link-kill     # fault-injection scenario
     python -m repro validate             # check the ten paper claims
     python -m repro machines             # show the machine catalog
     python -m repro lint src/            # simlint static analysis
@@ -17,9 +19,41 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 __all__ = ["main"]
+
+
+def _parse_params(pairs: Optional[List[str]]) -> Dict[str, float]:
+    """Parse repeated ``--param key=value`` flags into numeric kwargs.
+
+    Values must be numeric (scenario/experiment parameters are sizes,
+    counts, and fractions); integers stay ``int``.  A malformed pair
+    raises :class:`ValueError` with a one-line message — the CLI prints
+    it and exits 2, same as an unknown scenario id.
+    """
+    params: Dict[str, float] = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key or not key.isidentifier():
+            raise ValueError(
+                f"malformed --param {pair!r}: expected key=value with an "
+                "identifier key (e.g. --param nbytes=65536)"
+            )
+        raw = raw.strip()
+        try:
+            value: float = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"non-numeric value in --param {pair!r}: {raw!r} is "
+                    "neither an integer nor a float"
+                ) from None
+        params[key] = value
+    return params
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -48,6 +82,11 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     from .core.evaluation import EXPERIMENTS, run_experiment
 
+    try:
+        params = _parse_params(args.params)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     outdir: Optional[pathlib.Path] = (
         pathlib.Path(args.output) if args.output else None
@@ -63,9 +102,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         try:
             if tracer is not None:
                 with tracing(tracer):
-                    text = run_experiment(eid)
+                    text = run_experiment(eid, **params)
             else:
-                text = run_experiment(eid)
+                text = run_experiment(eid, **params)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
@@ -103,8 +142,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print("repro trace: give a scenario id (or --list)", file=sys.stderr)
         return 2
     try:
-        tracer, result_line = run_scenario(args.scenario)
-    except KeyError as exc:
+        params = _parse_params(args.params)
+        tracer, result_line = run_scenario(args.scenario, **params)
+    except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
     print(result_line)
@@ -114,6 +154,31 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {write_metrics(tracer, args.metrics)}")
     if not args.no_summary:
         print(summary(tracer, n=args.top))
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults.scenarios import fault_scenario_ids, run_fault_scenario
+    from .obs import write_chrome_trace, write_metrics
+
+    if args.list_scenarios:
+        for sid in fault_scenario_ids():
+            print(f"  {sid}")
+        return 0
+    if not args.scenario:
+        print("repro faults: give a scenario id (or --list)", file=sys.stderr)
+        return 2
+    try:
+        params = _parse_params(args.params)
+        tracer, result_line = run_fault_scenario(args.scenario, **params)
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(result_line)
+    if args.output:
+        print(f"wrote {write_chrome_trace(tracer, args.output)}")
+    if args.metrics:
+        print(f"wrote {write_metrics(tracer, args.metrics)}")
     return 0
 
 
@@ -200,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--metrics", metavar="FILE", help="write the metrics-registry JSON"
     )
+    p_run.add_argument(
+        "--param", dest="params", action="append", metavar="KEY=VALUE",
+        help="experiment parameter override (repeatable; numeric values)",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser(
@@ -225,7 +294,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", dest="list_scenarios", action="store_true",
         help="list scenario ids and exit",
     )
+    p_trace.add_argument(
+        "--param", dest="params", action="append", metavar="KEY=VALUE",
+        help="scenario parameter (repeatable; e.g. --param nbytes=65536)",
+    )
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="run a fault-injection/resilience scenario (deterministic)",
+    )
+    p_faults.add_argument(
+        "scenario", nargs="?", help="scenario id (see --list)"
+    )
+    p_faults.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the run's Chrome trace JSON (includes fault instants)",
+    )
+    p_faults.add_argument(
+        "--metrics", metavar="FILE", help="write the metrics-registry JSON"
+    )
+    p_faults.add_argument(
+        "--param", dest="params", action="append", metavar="KEY=VALUE",
+        help="scenario parameter (repeatable; e.g. --param nbytes=65536)",
+    )
+    p_faults.add_argument(
+        "--list", dest="list_scenarios", action="store_true",
+        help="list scenario ids and exit",
+    )
+    p_faults.set_defaults(fn=_cmd_faults)
 
     sub.add_parser(
         "validate", help="check the ten qualitative paper claims"

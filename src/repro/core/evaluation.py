@@ -8,7 +8,7 @@ call them directly.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from ..machines import BGL, BGP, XT3, XT4_DC, XT4_QC
 from .report import Figure, format_table
@@ -551,12 +551,28 @@ def experiment_ids() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str) -> str:
-    """Regenerate one paper artifact as text."""
+def run_experiment(experiment_id: str, **params: Any) -> str:
+    """Regenerate one paper artifact as text.
+
+    ``params`` must match keyword arguments of the experiment function;
+    unsupported names raise :class:`KeyError` listing what is accepted
+    (most artifacts are parameter-free reproductions of the paper).
+    """
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {experiment_ids()}"
         ) from None
-    return fn()
+    if params:
+        import inspect
+
+        accepted = set(inspect.signature(fn).parameters)
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            supported = sorted(accepted) if accepted else "none"
+            raise KeyError(
+                f"experiment {experiment_id!r} does not take parameter(s) "
+                f"{unknown}; supported: {supported}"
+            )
+    return fn(**params)

@@ -1,0 +1,148 @@
+"""Checkpoint/restart cost modeling (Young/Daly).
+
+At BG/P scale resilience is an I/O problem: a partition of ``N`` nodes
+with per-node MTBF ``M_node`` fails every ``M = M_node / N`` seconds,
+and the application must periodically flush its state through the I/O
+forwarding path (:mod:`repro.iosys`) to survive.  The classic results:
+
+* **Young's approximation** for the optimal checkpoint interval,
+  refined by **Daly**::
+
+      tau_opt = sqrt(2 * delta * M) - delta
+
+  where ``delta`` is the time to write one checkpoint and ``M`` the
+  system MTBF.
+
+* The **expected wall-clock inflation** of a run with ``T_s`` seconds
+  of useful work, checkpoint interval ``tau``, write cost ``delta``
+  and restart cost ``R`` (exponential failures, first-order model)::
+
+      T = M * exp(R / M) * (exp((tau + delta) / M) - 1) * T_s / tau
+
+  With no failures (``M -> inf``) this degenerates to the pure
+  checkpoint overhead ``T_s * (1 + delta / tau)``.
+
+:class:`CheckpointModel` packages these with the machine catalog: the
+checkpoint write cost comes from the real I/O path (collective tree ->
+I/O nodes -> GPFS on the BGs; Lustre-class aggregate bandwidth on the
+XTs), the MTBF from each machine's :class:`~repro.machines.specs.FaultSpec`.
+This is what the POP/S3D replays use to report checkpoint-adjusted
+wall-clock numbers per Table 1 machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..iosys.forwarding import IoForwarding
+from ..iosys.gpfs import EUGENE_SCRATCH, GpfsConfig
+from ..machines.specs import MachineSpec
+
+__all__ = ["CheckpointModel"]
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Young/Daly checkpoint economics for one partition."""
+
+    #: system (partition-level) mean time between failures, seconds
+    mtbf_seconds: float
+    #: time to write one checkpoint, seconds
+    checkpoint_seconds: float
+    #: time to restart after a failure (reboot + read checkpoint), seconds
+    restart_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.mtbf_seconds <= 0:
+            raise ValueError("system MTBF must be positive")
+        if self.checkpoint_seconds <= 0:
+            raise ValueError("checkpoint write time must be positive")
+        if self.restart_seconds < 0:
+            raise ValueError("restart time must be non-negative")
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_machine(
+        cls,
+        machine: MachineSpec,
+        nodes: int,
+        memory_fraction: float = 0.5,
+        filesystem: Optional[GpfsConfig] = None,
+    ) -> "CheckpointModel":
+        """Model a partition of ``nodes`` nodes of ``machine``.
+
+        The checkpoint is ``memory_fraction`` of each node's memory,
+        written through the machine's I/O path: the forwarding model
+        (tree -> IONs -> GPFS) on machines with a collective network,
+        or the filesystem's aggregate bandwidth directly on the XTs
+        (whose I/O goes over the torus to Lustre).
+        """
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if not 0.0 < memory_fraction <= 1.0:
+            raise ValueError("memory_fraction must be in (0, 1]")
+        nbytes = nodes * machine.node.memory.capacity_bytes * memory_fraction
+        if machine.tree is not None:
+            io = IoForwarding(
+                machine, nodes, filesystem=filesystem or EUGENE_SCRATCH
+            )
+            delta = io.write(nbytes).seconds
+        else:
+            fs = filesystem or EUGENE_SCRATCH
+            delta = nbytes / fs.aggregate_bandwidth
+        mtbf = machine.faults.system_mtbf_seconds(nodes)
+        restart = machine.faults.restart_overhead_seconds + delta
+        return cls(
+            mtbf_seconds=mtbf,
+            checkpoint_seconds=delta,
+            restart_seconds=restart,
+        )
+
+    # -- the math ----------------------------------------------------------
+    def optimal_interval(self) -> float:
+        """Daly's refinement of Young's optimal checkpoint interval."""
+        tau = math.sqrt(2.0 * self.checkpoint_seconds * self.mtbf_seconds)
+        tau -= self.checkpoint_seconds
+        # Degenerate regime: writing a checkpoint costs more than the
+        # MTBF buys back; checkpoint continuously.
+        return max(tau, self.checkpoint_seconds)
+
+    def expected_runtime(
+        self, work_seconds: float, interval: Optional[float] = None
+    ) -> float:
+        """Expected wall-clock for ``work_seconds`` of useful compute."""
+        if work_seconds < 0:
+            raise ValueError("work must be non-negative")
+        if work_seconds == 0:
+            return 0.0
+        tau = self.optimal_interval() if interval is None else interval
+        if tau <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        M = self.mtbf_seconds
+        d = self.checkpoint_seconds
+        R = self.restart_seconds
+        return (
+            M
+            * math.exp(R / M)
+            * (math.exp((tau + d) / M) - 1.0)
+            * work_seconds
+            / tau
+        )
+
+    def inflation(self, work_seconds: float, interval: Optional[float] = None) -> float:
+        """Wall-clock / useful-work ratio (1.0 = free resilience)."""
+        if work_seconds <= 0:
+            raise ValueError("work must be positive")
+        return self.expected_runtime(work_seconds, interval) / work_seconds
+
+    def describe(self, work_seconds: float) -> str:
+        tau = self.optimal_interval()
+        infl = self.inflation(work_seconds)
+        return (
+            f"MTBF {self.mtbf_seconds / 3600.0:.2f} h, "
+            f"checkpoint {self.checkpoint_seconds:.1f} s, "
+            f"tau_opt {tau / 60.0:.1f} min, "
+            f"inflation {infl:.3f}x"
+        )

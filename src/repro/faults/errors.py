@@ -1,0 +1,47 @@
+"""Errors surfaced by the fault-injection and resilience layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+__all__ = ["FaultError"]
+
+Coord = Tuple[int, int, int]
+
+
+class FaultError(RuntimeError):
+    """A message was killed by an injected fault.
+
+    Raised in the *sender's* rank program when the reliability protocol
+    exhausts its retries (or retries are disabled), or when no
+    fault-free route to the destination exists at all.  Carries enough
+    attribution for diagnostics to name the failed component, which is
+    how a fault-kill is told apart from an application deadlock.
+    """
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        link: Optional[Tuple[Coord, Coord]] = None,
+        attempts: int = 0,
+        time: float = 0.0,
+        reason: str = "",
+    ) -> None:
+        where = f" at failed link {link[0]}->{link[1]}" if link else ""
+        why = f" ({reason})" if reason else ""
+        super().__init__(
+            f"send {src}->{dst} (tag={tag}, {nbytes} B) lost{where} "
+            f"after {attempts} retransmission(s) at t={time:.6g}s{why}"
+        )
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        #: the directed link key whose failure killed the message, if known
+        self.link = link
+        self.attempts = attempts
+        self.time = time
+        self.reason = reason

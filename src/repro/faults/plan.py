@@ -1,0 +1,220 @@
+"""Fault plans: what breaks, when, and how.
+
+A :class:`FaultPlan` is an ordered, immutable schedule of fault events
+against one simulated partition.  Plans are either written explicitly
+(regression scenarios: "kill link X at t=2 ms") or drawn from
+per-machine MTBF parameters through the seeded RNG utilities of
+:mod:`repro.simengine.rng`, so a given seed always produces the same
+failure history — the determinism contract the whole simulator keeps.
+
+Event vocabulary (all times are absolute simulation seconds):
+
+* :class:`LinkFail` — a torus link dies permanently (both directions by
+  default).  Traffic already committed to cross it after the failure
+  instant is lost; later traffic routes around it.
+* :class:`NodeFail` — a node drops off the network: every incident link
+  fails with it.  Ranks hosted there become unreachable.
+* :class:`LinkDegrade` — transient bandwidth derating (for ``duration``
+  seconds, or permanently), modeling a link that retrains at a lower
+  rate or shares capacity after a partial fault.
+* :class:`LinkDrop` — the next ``count`` messages crossing a link after
+  the event time are dropped (CRC-failed corruption: the torus discards
+  a corrupted packet, which at message level is a drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple, Union
+
+from ..simengine.rng import make_rng, spawn
+
+__all__ = [
+    "LinkFail",
+    "NodeFail",
+    "LinkDegrade",
+    "LinkDrop",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+Coord = Tuple[int, int, int]
+LinkRef = Tuple[Coord, Coord]
+
+
+def _check_time(time: float) -> None:
+    if time < 0:
+        raise ValueError(f"fault time must be non-negative, got {time}")
+
+
+@dataclass(frozen=True)
+class LinkFail:
+    """Permanent failure of a torus link at ``time``."""
+
+    time: float
+    link: LinkRef
+    both_directions: bool = True
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+
+
+@dataclass(frozen=True)
+class NodeFail:
+    """Permanent failure of a node (and all its links) at ``time``."""
+
+    time: float
+    node: Coord
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Derate a link to ``factor`` of spec bandwidth at ``time``.
+
+    ``duration`` restores full bandwidth after that many seconds;
+    ``None`` keeps the derating for the rest of the run.
+    """
+
+    time: float
+    link: LinkRef
+    factor: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"derating factor must be in (0, 1], got {self.factor}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("degradation duration must be positive")
+
+
+@dataclass(frozen=True)
+class LinkDrop:
+    """Drop (corrupt) the next ``count`` messages crossing ``link``."""
+
+    time: float
+    link: LinkRef
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+        if self.count < 1:
+            raise ValueError("drop count must be >= 1")
+
+
+FaultEvent = Union[LinkFail, NodeFail, LinkDegrade, LinkDrop]
+
+#: Deterministic ordering rank per event type (ties at equal times).
+_KIND_ORDER = {LinkDegrade: 0, LinkDrop: 1, LinkFail: 2, NodeFail: 3}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted schedule of fault events."""
+
+    events: Tuple[FaultEvent, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(
+                self.events,
+                key=lambda e: (e.time, _KIND_ORDER[type(e)], repr(e)),
+            )
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    def extended(self, more: Iterable[FaultEvent]) -> "FaultPlan":
+        """A new plan with ``more`` events merged in (re-sorted)."""
+        return FaultPlan(self.events + tuple(more))
+
+    # -- stochastic construction ------------------------------------------
+    @classmethod
+    def from_mtbf(
+        cls,
+        shape: Coord,
+        duration: float,
+        node_mtbf_seconds: float = 0.0,
+        link_mtbf_seconds: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> "FaultPlan":
+        """Draw node/link failures over ``duration`` seconds of sim time.
+
+        Failures are exponential arrivals with the given per-component
+        MTBFs (0 disables that class).  Each node and each link draws
+        from its own :func:`repro.simengine.rng.spawn` child stream,
+        derived from the root seed in a fixed component order — one
+        seed, one failure history, byte-identical runs.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        X, Y, Z = shape
+        if min(X, Y, Z) < 1:
+            raise ValueError(f"bad torus shape {shape}")
+        root = make_rng(seed)
+        events: List[FaultEvent] = []
+        nodes = [
+            (x, y, z) for z in range(Z) for y in range(Y) for x in range(X)
+        ]
+        if node_mtbf_seconds > 0:
+            for node in nodes:
+                rng = spawn(root, f"node-fail{node}")
+                t = float(rng.exponential(node_mtbf_seconds))
+                if t < duration:
+                    events.append(NodeFail(time=t, node=node))
+        if link_mtbf_seconds > 0:
+            seen = set()
+            for node in nodes:
+                for dim in range(3):
+                    ext = shape[dim]
+                    if ext == 1:
+                        continue
+                    nbr = list(node)
+                    nbr[dim] = (nbr[dim] + 1) % ext
+                    pair: LinkRef = (node, tuple(nbr))  # type: ignore[assignment]
+                    if pair[1] == node or pair in seen:
+                        continue
+                    seen.add(pair)
+                    rng = spawn(root, f"link-fail{pair}")
+                    t = float(rng.exponential(link_mtbf_seconds))
+                    if t < duration:
+                        events.append(LinkFail(time=t, link=pair))
+        return cls(tuple(events))
+
+    @classmethod
+    def for_machine(
+        cls,
+        machine,
+        shape: Coord,
+        duration: float,
+        seed: Optional[int] = None,
+        acceleration: float = 1.0,
+    ) -> "FaultPlan":
+        """MTBF-derived plan from a machine's reliability parameters.
+
+        ``acceleration`` compresses the MTBFs (divide by this factor) so
+        short simulated windows can still exercise failures — real node
+        MTBFs are measured in years.
+        """
+        if acceleration <= 0:
+            raise ValueError("acceleration must be positive")
+        spec = machine.faults
+        return cls.from_mtbf(
+            shape,
+            duration,
+            node_mtbf_seconds=spec.node_mtbf_hours * 3600.0 / acceleration,
+            link_mtbf_seconds=spec.link_mtbf_hours * 3600.0 / acceleration,
+            seed=seed,
+        )

@@ -95,6 +95,9 @@ class SanitizerReport:
     cycle: Optional[List[int]] = None
     leaked_requests: List[str] = field(default_factory=list)
     unmatched_sends: List[str] = field(default_factory=list)
+    #: non-empty when an attached fault injector dropped messages: the
+    #: "deadlock" may really be a fault-kill (lost message, no retry)
+    fault_note: str = ""
 
     def format(self) -> str:
         lines: List[str] = []
@@ -107,6 +110,8 @@ class SanitizerReport:
             if self.cycle:
                 arrow = " -> ".join(str(r) for r in self.cycle)
                 lines.append(f"  wait cycle: {arrow}")
+            if self.fault_note:
+                lines.append(f"  note: {self.fault_note}")
         if self.leaked_requests:
             lines.append(
                 f"{len(self.leaked_requests)} request(s) never waited on:"
@@ -197,6 +202,15 @@ class Sanitizer:
             if blocked.op in ("recv", "send") and blocked.peer is not None:
                 edges[rank] = blocked.peer
         report.cycle = self._find_cycle(edges)
+        injector = getattr(self.cluster, "fault_injector", None)
+        if injector is not None and injector.stats.drops > 0:
+            report.fault_note = (
+                f"a fault injector dropped {injector.stats.drops} "
+                "message(s) during this run with no retransmission — "
+                "this hang is likely a fault-kill, not an application "
+                "deadlock (enable a ReliabilityPolicy to surface it as "
+                "a FaultError instead)"
+            )
         return report
 
     def _event_index(self) -> Dict[int, BlockedRank]:

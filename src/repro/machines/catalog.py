@@ -16,6 +16,7 @@ from .specs import (
     CacheLevel,
     CoherenceKind,
     CoreSpec,
+    FaultSpec,
     GB,
     KB,
     MachineSpec,
@@ -98,6 +99,9 @@ BGP = MachineSpec(
     total_nodes=ANL_BGP_NODES,  # default to the larger (Intrepid) system
     hpl_efficiency=0.785,  # Table 3: 21.9 / 27.9
     contiguous_allocation=True,  # BG partitions are electrically isolated
+    # SoC integration + low clock: Intrepid-class availability reports put
+    # the full 40960-node system's MTBF at roughly a day, i.e. ~1M node-hours.
+    faults=FaultSpec(node_mtbf_hours=1.0e6, link_mtbf_hours=8.0e6),
 )
 
 # ---------------------------------------------------------------------------
@@ -145,6 +149,8 @@ BGL = MachineSpec(
     total_nodes=4096,
     hpl_efficiency=0.76,
     contiguous_allocation=True,
+    # Same design philosophy as BG/P; earlier silicon, slightly lower MTBF.
+    faults=FaultSpec(node_mtbf_hours=8.0e5, link_mtbf_hours=6.0e6),
 )
 
 # ---------------------------------------------------------------------------
@@ -190,6 +196,9 @@ XT3 = MachineSpec(
     total_nodes=5212,
     hpl_efficiency=0.80,
     contiguous_allocation=False,  # XT allocator fragments (Fig. 1c discussion)
+    # Commodity Opteron boards: contemporary Jaguar logs showed system
+    # interrupts every few tens of hours at ~10k nodes (~2e5 node-hours).
+    faults=FaultSpec(node_mtbf_hours=2.0e5, link_mtbf_hours=4.0e6),
 )
 
 # ---------------------------------------------------------------------------
@@ -235,6 +244,7 @@ XT4_DC = MachineSpec(
     total_nodes=11508,
     hpl_efficiency=0.80,
     contiguous_allocation=False,
+    faults=FaultSpec(node_mtbf_hours=2.0e5, link_mtbf_hours=4.0e6),
 )
 
 # ---------------------------------------------------------------------------
@@ -286,6 +296,7 @@ XT4_QC = MachineSpec(
     total_nodes=7744,  # 30976 cores / 4
     hpl_efficiency=0.788,  # Table 3: 205.0 / 260.2
     contiguous_allocation=False,
+    faults=FaultSpec(node_mtbf_hours=2.5e5, link_mtbf_hours=4.0e6),
 )
 
 # ---------------------------------------------------------------------------

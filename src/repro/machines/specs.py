@@ -22,6 +22,7 @@ __all__ = [
     "TreeSpec",
     "MpiSpec",
     "PowerSpec",
+    "FaultSpec",
     "MachineSpec",
     "CoherenceKind",
     "GB",
@@ -256,6 +257,39 @@ class PowerSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """Reliability characteristics feeding the fault-injection layer.
+
+    The paper's central trade (Section I): BlueGene exchanges clock
+    speed for *density and reliability* — fewer, cooler, simpler parts
+    per flop.  These MTBFs are per-component, so the system-level rate
+    scales with partition size (``mtbf_system = mtbf_node / nodes``),
+    which is exactly why checkpoint/restart economics differ across the
+    Table 1 machines at 8k-40k cores.
+    """
+
+    #: mean time between failures of one compute node, hours
+    node_mtbf_hours: float = 1.0e6
+    #: mean time between failures of one torus link (cable+SerDes), hours
+    link_mtbf_hours: float = 5.0e6
+    #: time to restart a failed job from its last checkpoint, beyond
+    #: re-reading the checkpoint itself (scheduler + boot), seconds
+    restart_overhead_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_hours <= 0 or self.link_mtbf_hours <= 0:
+            raise ValueError("MTBFs must be positive")
+        if self.restart_overhead_seconds < 0:
+            raise ValueError("restart overhead must be non-negative")
+
+    def system_mtbf_seconds(self, nodes: int) -> float:
+        """MTBF of an ``nodes``-node partition (node failures only)."""
+        if nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        return self.node_mtbf_hours * 3600.0 / nodes
+
+
+@dataclass(frozen=True)
 class MachineSpec:
     """A complete machine: node + networks + power + scale."""
 
@@ -274,6 +308,8 @@ class MachineSpec:
     #: does the allocator hand out contiguous partitions? (BG yes, XT no —
     #: source of the PTRANS variability in Fig. 1c)
     contiguous_allocation: bool = True
+    #: reliability parameters for fault injection and checkpoint modeling
+    faults: FaultSpec = FaultSpec()
 
     def __post_init__(self) -> None:
         if not (0 < self.hpl_efficiency <= 1):

@@ -10,39 +10,40 @@ paper's instrumented-measurement methodology at laptop scale.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+import inspect
+from typing import Any, Callable, Dict, List, Tuple
 
 from .tracer import Tracer, tracing
 
 __all__ = ["SCENARIOS", "run_scenario", "scenario_ids"]
 
 
-def _pingpong() -> Tuple[Tracer, str]:
+def _pingpong(nbytes: int = 4096, repeats: int = 5) -> Tuple[Tracer, str]:
     """Two-node eager/rendezvous ping-pong (kernel: pingpong)."""
     from ..kernels.pingpong import run_pingpong_des
     from ..machines import BGP
 
     tracer = Tracer()
     with tracing(tracer):
-        r = run_pingpong_des(BGP, nbytes=4096, repeats=5, mode="SMP")
-    return tracer, f"pingpong 4096B on {r.machine}: {r.latency_us:.2f} us one-way"
+        r = run_pingpong_des(BGP, nbytes=nbytes, repeats=repeats, mode="SMP")
+    return tracer, f"pingpong {nbytes}B on {r.machine}: {r.latency_us:.2f} us one-way"
 
 
-def _ring() -> Tuple[Tracer, str]:
+def _ring(processes: int = 32, nbytes: int = 1 << 15) -> Tuple[Tracer, str]:
     """Random-ring exchange over an 8-node torus (kernel: ring)."""
     from ..kernels.ring import run_random_ring_des
     from ..machines import BGP
 
     tracer = Tracer()
     with tracing(tracer):
-        r = run_random_ring_des(BGP, processes=32, nbytes=1 << 15, mode="VN")
+        r = run_random_ring_des(BGP, processes=processes, nbytes=nbytes, mode="VN")
     return tracer, (
         f"random ring x{r.processes} on {r.machine}: "
         f"{r.bandwidth_gbs_per_process:.3f} GB/s per process"
     )
 
 
-def _torus_ring() -> Tuple[Tracer, str]:
+def _torus_ring(nbytes: int = 1 << 16, repeats: int = 4) -> Tuple[Tracer, str]:
     """Nearest-rank ring shift on a 2x2x2 torus, one rank per node."""
     from ..machines import BGP
     from ..simmpi import Cluster
@@ -50,9 +51,9 @@ def _torus_ring() -> Tuple[Tracer, str]:
     def program(comm):
         right = (comm.rank + 1) % comm.size
         left = (comm.rank - 1) % comm.size
-        for rep in range(4):
+        for rep in range(repeats):
             req = comm.irecv(src=left, tag=rep)
-            yield from comm.send(right, nbytes=1 << 16, tag=rep)
+            yield from comm.send(right, nbytes=nbytes, tag=rep)
             yield from comm.wait(req)
         return comm.now
 
@@ -84,7 +85,7 @@ def _allreduce() -> Tuple[Tracer, str]:
     )
 
 
-def _pop() -> Tuple[Tracer, str]:
+def _pop(processes: int = 8, steps: int = 1, solver_iterations: int = 5) -> Tuple[Tracer, str]:
     """One POP timestep at message level with named phases (app: POP)."""
     from ..apps.pop.des_replay import replay_steps
     from ..apps.pop.grid import PopGrid
@@ -93,14 +94,17 @@ def _pop() -> Tuple[Tracer, str]:
     grid = PopGrid(nx=360, ny=240, levels=20)
     tracer = Tracer(engine_stride=16)
     with tracing(tracer):
-        r = replay_steps(BGP, processes=8, grid=grid, steps=1, solver_iterations=5)
+        r = replay_steps(
+            BGP, processes=processes, grid=grid, steps=steps,
+            solver_iterations=solver_iterations,
+        )
     return tracer, (
         f"POP replay x{r.processes} on {r.machine}: "
         f"{r.seconds_per_step:.4f} s/step, {r.messages} messages"
     )
 
 
-SCENARIOS: Dict[str, Callable[[], Tuple[Tracer, str]]] = {
+SCENARIOS: Dict[str, Callable[..., Tuple[Tracer, str]]] = {
     "pingpong": _pingpong,
     "ring": _ring,
     "torus-ring": _torus_ring,
@@ -113,12 +117,25 @@ def scenario_ids() -> List[str]:
     return list(SCENARIOS)
 
 
-def run_scenario(scenario_id: str) -> Tuple[Tracer, str]:
-    """Run one traceable scenario; returns (tracer, result line)."""
+def run_scenario(scenario_id: str, **params: Any) -> Tuple[Tracer, str]:
+    """Run one traceable scenario; returns (tracer, result line).
+
+    ``params`` must match keyword arguments of the scenario function
+    (e.g. ``nbytes`` for pingpong); unsupported names raise
+    :class:`KeyError` naming what is accepted.
+    """
     try:
         fn = SCENARIOS[scenario_id]
     except KeyError:
         raise KeyError(
             f"unknown trace scenario {scenario_id!r}; known: {scenario_ids()}"
         ) from None
-    return fn()
+    if params:
+        accepted = set(inspect.signature(fn).parameters)
+        unknown = sorted(set(params) - accepted)
+        if unknown:
+            raise KeyError(
+                f"scenario {scenario_id!r} does not take parameter(s) "
+                f"{unknown}; supported: {sorted(accepted)}"
+            )
+    return fn(**params)

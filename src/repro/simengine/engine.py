@@ -28,7 +28,12 @@ NS = 1e-9
 
 
 class EmptySchedule(Exception):
-    """Raised internally when the event queue runs dry."""
+    """Raised when the event queue runs dry while more work was expected.
+
+    Carries a diagnostic message with the simulation time at starvation
+    and the number of events processed so far, so "the schedule drained
+    early" is debuggable without re-running under a tracer.
+    """
 
 
 class Engine:
@@ -109,7 +114,10 @@ class Engine:
         try:
             when, _, event = heapq.heappop(self._queue)
         except IndexError:
-            raise EmptySchedule() from None
+            raise EmptySchedule(
+                f"no events to process at t={self._now:.6g}s "
+                f"({self.events_processed} event(s) processed so far)"
+            ) from None
         self._now = when
         self.events_processed += 1
         if self.obs is not None:
@@ -160,6 +168,13 @@ class Engine:
                     raise RuntimeError(
                         "simulation ran out of events before the awaited "
                         "event triggered (deadlock?)"
+                    )
+                if stop_time != float("inf"):
+                    raise EmptySchedule(
+                        f"schedule drained at t={self._now:.6g}s before "
+                        f"reaching until={stop_time:.6g}s "
+                        f"({self.events_processed} event(s) processed, "
+                        f"0 pending)"
                     )
                 return None
             if nxt > stop_time:

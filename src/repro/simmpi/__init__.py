@@ -11,7 +11,7 @@ Two levels of fidelity share one set of machine parameters:
 from .comm import ANY_SOURCE, ANY_TAG, Cluster, ClusterResult, RankComm
 from .cost import CostModel
 from .datatypes import bytes_of, DTYPE_SIZES, FLOAT32, FLOAT64, INT32, INT64
-from .p2p import Message, Transport
+from .p2p import Message, ReliabilityPolicy, Transport
 from .reqs import Request
 from .stats import attach_stats, CommStats
 from .subcomm import split_by, SubComm
@@ -25,6 +25,7 @@ __all__ = [
     "ANY_TAG",
     "CostModel",
     "Message",
+    "ReliabilityPolicy",
     "Transport",
     "Request",
     "DTYPE_SIZES",

@@ -40,10 +40,17 @@ from ..topology.torus import Torus3D
 from ..topology.tree import TreeNetwork
 from . import collectives as _algos
 from .cost import CostModel
-from .p2p import ANY_SOURCE, ANY_TAG, Transport
+from .p2p import ANY_SOURCE, ANY_TAG, ReliabilityPolicy, Transport
 from .reqs import Request
 
-__all__ = ["Cluster", "RankComm", "ClusterResult", "ANY_SOURCE", "ANY_TAG"]
+__all__ = [
+    "Cluster",
+    "RankComm",
+    "ClusterResult",
+    "ReliabilityPolicy",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]
 
 
 @dataclass
@@ -58,6 +65,9 @@ class ClusterResult:
     #: (``Cluster.run(..., trace=True)`` or an ambient ``obs.tracing``
     #: context), else ``None``
     trace: Optional[Any] = None
+    #: the run's :class:`~repro.faults.FaultStats` when a fault plan or
+    #: injector was supplied to :meth:`Cluster.run`, else ``None``
+    faults: Optional[Any] = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -91,6 +101,7 @@ class Cluster:
         rng: Optional[np.random.Generator] = None,
         utilization: float = 0.0,
         adaptive_routing: bool = False,
+        reliability: Optional[ReliabilityPolicy] = None,
     ) -> None:
         if ranks < 1:
             raise ValueError("ranks must be >= 1")
@@ -124,6 +135,8 @@ class Cluster:
         self.transport = Transport(
             self.env, self.torus, self.mapping, machine,
             adaptive_routing=adaptive_routing,
+            ranks=ranks,
+            reliability=reliability,
         )
         #: analytic twin sharing the same partition (for cross-validation)
         self.cost = CostModel(machine, self.mode.mode, ranks, partition=partition)
@@ -137,6 +150,8 @@ class Cluster:
         #: attached :class:`~repro.obs.Tracer`, or ``None`` (untraced);
         #: every span hook guards on this before doing any work
         self.tracer = None
+        #: attached :class:`~repro.faults.FaultInjector`, or ``None``
+        self.fault_injector = None
 
     # -- running programs ---------------------------------------------------
     def run(
@@ -145,6 +160,7 @@ class Cluster:
         *args: Any,
         sanitize: bool = False,
         trace: bool = False,
+        faults: Optional[Any] = None,
     ) -> ClusterResult:
         """Execute ``program(comm, *args)`` on every rank to completion.
 
@@ -158,7 +174,20 @@ class Cluster:
         attached (unless one already is) and returned on
         ``ClusterResult.trace``; an ambient :func:`repro.obs.tracing`
         context enables the same without the flag.
+
+        ``faults`` injects failures: pass a
+        :class:`~repro.faults.FaultPlan` (an injector is built for it)
+        or a ready :class:`~repro.faults.FaultInjector`.  The run's
+        fault statistics come back on ``ClusterResult.faults``.
         """
+        if faults is not None and self.fault_injector is None:
+            from ..faults import FaultInjector, FaultPlan
+
+            injector = (
+                FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
+            )
+            injector.attach(self)
+            self.fault_injector = injector
         if self.tracer is None:
             from ..obs import active_tracer, Tracer
 
@@ -194,6 +223,11 @@ class Cluster:
                 messages=self.transport.messages_sent,
                 bytes_sent=self.transport.bytes_sent,
                 trace=self.tracer,
+                faults=(
+                    self.fault_injector.finalize()
+                    if self.fault_injector is not None
+                    else None
+                ),
             )
             if san is not None:
                 # Let in-flight deliveries land, then check for leaks.

@@ -19,23 +19,67 @@ clears the last link.  Intra-node transfers bypass the network and move
 at shared-memory bandwidth (paper Section I.A: "Optimizations in the
 system software allow peer tasks on a Compute Node to communicate via
 shared memory").
+
+**Faults and reliability.**  When a :class:`repro.faults.FaultInjector`
+is attached, messages can be lost to link failures and corruption
+windows.  Without a :class:`ReliabilityPolicy` a lost message simply
+never arrives (the receiver waits forever — the sanitizer reports the
+resulting deadlock, annotated as a possible fault-kill).  With a
+policy, the transport runs an ack/timeout/retransmit protocol: every
+network send is acknowledged, a lost message times out and is resent
+over a freshly computed route (failed links get routed around), and
+exponential backoff spaces the attempts.  A sender that exhausts its
+retries — or has no fault-free route at all — raises
+:class:`repro.faults.FaultError` in the sending rank's program, so a
+fault-kill is attributable to the component that caused it.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from ..faults.errors import FaultError
 from ..simengine import Engine, Event
 from ..topology.mapping import Mapping
-from ..topology.torus import Torus3D
+from ..topology.torus import NoRouteError, Torus3D
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Transport"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "ReliabilityPolicy",
+    "Transport",
+]
 
 #: Wildcards, MPI-style.
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class ReliabilityPolicy:
+    """Parameters of the ack/timeout/retransmit protocol.
+
+    ``max_retries`` counts *retransmissions* (0 = detect the loss and
+    give up immediately; the default allows three resends).  The first
+    timeout is ``ack_timeout`` seconds (0 = derive one from the message
+    size and link speed) and each subsequent attempt multiplies it by
+    ``backoff``.
+    """
+
+    max_retries: int = 3
+    backoff: float = 2.0
+    ack_timeout: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        if self.ack_timeout < 0:
+            raise ValueError("ack_timeout must be >= 0")
 
 
 @dataclass
@@ -133,6 +177,8 @@ class Transport:
         mapping: Mapping,
         machine,
         adaptive_routing: bool = False,
+        ranks: Optional[int] = None,
+        reliability: Optional[ReliabilityPolicy] = None,
     ) -> None:
         self.env = env
         self.torus = torus
@@ -141,6 +187,12 @@ class Transport:
         #: use the torus's adaptive (congestion-aware) routing per
         #: message instead of deterministic dimension order
         self.adaptive_routing = adaptive_routing
+        #: communicator size for argument validation (None = unchecked)
+        self.ranks = ranks
+        #: retransmission policy; None = no acks, lost messages stay lost
+        self.reliability = reliability
+        #: the attached repro.faults.FaultInjector, if any
+        self.fault_injector: Optional[Any] = None
         self.queues: Dict[int, _MatchQueue] = {}
         #: total messages injected (stats)
         self.messages_sent = 0
@@ -168,19 +220,53 @@ class Transport:
         """Intra-node copy bandwidth: ~half the node STREAM rate."""
         return self.machine.node.memory.node_stream / 2.0
 
-    def _network_delivery_delay(self, src: int, dst: int, nbytes: int) -> float:
-        """Book the route now; return delay until the tail arrives."""
+    def _network_transit(
+        self, src: int, dst: int, nbytes: int
+    ) -> Tuple[float, Optional[Tuple]]:
+        """Book a route now; return ``(delay, lost_at_link)``.
+
+        ``delay`` is the time until the message tail arrives at the
+        destination (or dies).  ``lost_at_link`` is ``None`` for a
+        clean delivery, else the directed link key where an injected
+        fault killed the message — links past the loss point are not
+        booked (the flits never reach them).  Raises
+        :class:`~repro.topology.torus.NoRouteError` when failures have
+        disconnected the pair.
+        """
         mpi = self.machine.mpi
         a, b = self.mapping.node_of(src), self.mapping.node_of(dst)
         if self.adaptive_routing:
             route = self.torus.route_adaptive(a, b, float(nbytes))
         else:
             route = self.torus.route(a, b)
+        injector = self.fault_injector
         head = self.env.now + mpi.latency
         tail = head
         for key in route:
             head, tail = self.torus.links[key].book(float(nbytes), head)
-        return tail - self.env.now
+            if injector is not None:
+                reason = injector.lost_on(key, tail)
+                if reason is not None:
+                    injector.record_drop(key, reason)
+                    return tail - self.env.now, key
+        return tail - self.env.now, None
+
+    def _network_delivery_delay(self, src: int, dst: int, nbytes: int) -> float:
+        """Book the route now; return delay until the tail arrives."""
+        delay, _lost = self._network_transit(src, dst, nbytes)
+        return delay
+
+    def _retry_timeout(self, nbytes: int, attempt: int) -> float:
+        """Deterministic ack-timeout before retransmission ``attempt``."""
+        rel = self.reliability
+        assert rel is not None
+        base = rel.ack_timeout
+        if base == 0.0:
+            mpi = self.machine.mpi
+            base = 4.0 * (
+                mpi.latency + float(nbytes) / self.torus.spec.link_bandwidth
+            )
+        return base * rel.backoff**attempt
 
     def _shm_delivery_delay(self, nbytes: int) -> float:
         return 0.5 * self.machine.mpi.latency + nbytes / self.shm_bandwidth()
@@ -212,8 +298,29 @@ class Transport:
         except ValueError:
             pass
 
+    def _check_rank(self, value: int, what: str) -> None:
+        if self.ranks is not None and not 0 <= value < self.ranks:
+            raise ValueError(
+                f"{what} rank {value} out of range for a communicator "
+                f"of {self.ranks} rank(s) (valid: 0..{self.ranks - 1})"
+            )
+
     def send(self, src: int, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
-        """Blocking send (generator).  Completes per protocol semantics."""
+        """Blocking send.  Returns a generator; completes per protocol.
+
+        Arguments are validated *here*, at the call site, so a bad rank
+        or tag raises :class:`ValueError` immediately instead of
+        surfacing later inside the event loop.
+        """
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        if tag < 0:
+            raise ValueError(f"tag must be >= 0, got {tag}")
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        return self._send_observed(src, dst, nbytes, tag, payload)
+
+    def _send_observed(self, src: int, dst: int, nbytes: int, tag: int, payload: Any):
         if not self._send_hooks:
             yield from self._send_impl(src, dst, nbytes, tag, payload)
             return
@@ -224,8 +331,6 @@ class Transport:
             hook(src, dst, nbytes, tag, start, end)
 
     def _send_impl(self, src: int, dst: int, nbytes: int, tag: int, payload: Any):
-        if nbytes < 0:
-            raise ValueError("negative message size")
         mpi = self.machine.mpi
         self.messages_sent += 1
         self.bytes_sent += nbytes
@@ -240,24 +345,89 @@ class Transport:
             return
         if nbytes <= mpi.eager_threshold or intranode:
             envl = _Envelope(msg)
-            delay = (
-                self._shm_delivery_delay(nbytes)
-                if intranode
-                else self._network_delivery_delay(src, dst, nbytes)
-            )
-            self._schedule_eager_arrival(envl, delay)
+            if intranode:
+                self._schedule_eager_arrival(envl, self._shm_delivery_delay(nbytes))
+                return
+            yield from self._eager_network_send(envl)
             return
 
         # Rendezvous: RTS control message first, then the bulk transfer.
         done = Event(self.env)
         envl = _Envelope(msg, sender_done=done)
-        rts_delay = self._network_delivery_delay(src, dst, 0)
-        rts_ev = Event(self.env)
-        rts_ev._ok = True
-        rts_ev._value = None
-        self.env.schedule(rts_ev, delay=rts_delay)
-        rts_ev.callbacks.append(lambda _e: self._rts_arrived(envl))
+        rel = self.reliability
+        attempt = 0
+        while True:
+            try:
+                rts_delay, lost = self._network_transit(src, dst, 0)
+            except NoRouteError as exc:
+                self._record_kill()
+                raise FaultError(
+                    src, dst, tag, nbytes,
+                    attempts=attempt, time=self.env.now, reason=str(exc),
+                ) from exc
+            if lost is None:
+                rts_ev = Event(self.env)
+                rts_ev._ok = True
+                rts_ev._value = None
+                self.env.schedule(rts_ev, delay=rts_delay)
+                rts_ev.callbacks.append(lambda _e: self._rts_arrived(envl))
+                break
+            if rel is None:
+                # The RTS died and nobody will resend it; the sender
+                # blocks forever — the sanitizer reports the hang.
+                break
+            if attempt >= rel.max_retries:
+                self._record_kill()
+                raise FaultError(
+                    src, dst, tag, nbytes,
+                    link=lost, attempts=attempt, time=self.env.now,
+                    reason="retries exhausted",
+                )
+            yield self.env.timeout(self._retry_timeout(0, attempt))
+            attempt += 1
+            self._record_retry()
         yield done
+
+    def _eager_network_send(self, envelope: _Envelope):
+        """Eager-protocol network send, with retransmission if enabled."""
+        msg = envelope.msg
+        rel = self.reliability
+        attempt = 0
+        while True:
+            try:
+                delay, lost = self._network_transit(msg.src, msg.dst, msg.nbytes)
+            except NoRouteError as exc:
+                self._record_kill()
+                raise FaultError(
+                    msg.src, msg.dst, msg.tag, msg.nbytes,
+                    attempts=attempt, time=self.env.now, reason=str(exc),
+                ) from exc
+            if lost is None:
+                self._schedule_eager_arrival(envelope, delay)
+                if rel is not None:
+                    # Acked eager: the sender holds until the ack is back.
+                    yield self.env.timeout(delay + self.machine.mpi.latency)
+                return
+            if rel is None:
+                return  # fire-and-forget: the loss is silent
+            if attempt >= rel.max_retries:
+                self._record_kill()
+                raise FaultError(
+                    msg.src, msg.dst, msg.tag, msg.nbytes,
+                    link=lost, attempts=attempt, time=self.env.now,
+                    reason="retries exhausted",
+                )
+            yield self.env.timeout(self._retry_timeout(msg.nbytes, attempt))
+            attempt += 1
+            self._record_retry()
+
+    def _record_retry(self) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.record_retry()
+
+    def _record_kill(self) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.record_kill()
 
     def _rts_arrived(self, envelope: _Envelope) -> None:
         envelope.rts_arrived = True
@@ -269,11 +439,28 @@ class Transport:
             return
         msg = envelope.msg
         intranode = self._same_node(msg.src, msg.dst)
+        if not intranode and self.fault_injector is not None:
+            if self.reliability is not None:
+                self.env.process(self._reliable_rendezvous_transfer(envelope))
+                return
+            delay, lost = self._network_transit(msg.src, msg.dst, msg.nbytes)
+            if lost is not None:
+                # Transfer died in flight with nobody retransmitting:
+                # both sides hang (fault-kill, flagged by the sanitizer).
+                return
+            self._deliver_rendezvous(
+                envelope, self.machine.mpi.rendezvous_overhead + delay
+            )
+            return
         delay = self.machine.mpi.rendezvous_overhead + (
             self._shm_delivery_delay(msg.nbytes)
             if intranode
             else self._network_delivery_delay(msg.src, msg.dst, msg.nbytes)
         )
+        self._deliver_rendezvous(envelope, delay)
+
+    def _deliver_rendezvous(self, envelope: _Envelope, delay: float) -> None:
+        msg = envelope.msg
         ev = Event(self.env)
         ev._ok = True
         ev._value = msg
@@ -288,7 +475,66 @@ class Transport:
 
         ev.callbacks.append(_deliver)
 
+    def _reliable_rendezvous_transfer(self, envelope: _Envelope):
+        """Retransmitting bulk transfer (runs as its own process)."""
+        msg = envelope.msg
+        rel = self.reliability
+        assert rel is not None
+        yield self.env.timeout(self.machine.mpi.rendezvous_overhead)
+        attempt = 0
+        while True:
+            try:
+                delay, lost = self._network_transit(msg.src, msg.dst, msg.nbytes)
+            except NoRouteError as exc:
+                self._fail_rendezvous(
+                    envelope,
+                    FaultError(
+                        msg.src, msg.dst, msg.tag, msg.nbytes,
+                        attempts=attempt, time=self.env.now, reason=str(exc),
+                    ),
+                )
+                return
+            if lost is None:
+                yield self.env.timeout(delay)
+                recv = envelope.matched_recv
+                assert recv is not None and envelope.sender_done is not None
+                recv.succeed(msg)
+                if not envelope.sender_done.triggered:
+                    envelope.sender_done.succeed()
+                return
+            if attempt >= rel.max_retries:
+                self._fail_rendezvous(
+                    envelope,
+                    FaultError(
+                        msg.src, msg.dst, msg.tag, msg.nbytes,
+                        link=lost, attempts=attempt, time=self.env.now,
+                        reason="retries exhausted",
+                    ),
+                )
+                return
+            yield self.env.timeout(self._retry_timeout(msg.nbytes, attempt))
+            attempt += 1
+            self._record_retry()
+
+    def _fail_rendezvous(self, envelope: _Envelope, err: FaultError) -> None:
+        """Kill both sides of a rendezvous with sender-side attribution."""
+        self._record_kill()
+        if envelope.sender_done is not None and not envelope.sender_done.triggered:
+            envelope.sender_done.fail(err)
+        recv = envelope.matched_recv
+        if recv is not None and not recv.triggered:
+            recv.fail(err)
+
     # -- receives ------------------------------------------------------------
     def post_recv(self, dst: int, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
-        """Post a receive; returned event fires when the data has arrived."""
+        """Post a receive; returned event fires when the data has arrived.
+
+        ``src`` may be :data:`ANY_SOURCE` and ``tag`` may be
+        :data:`ANY_TAG`; anything else is validated immediately.
+        """
+        self._check_rank(dst, "receiver")
+        if src != ANY_SOURCE:
+            self._check_rank(src, "source")
+        if tag != ANY_TAG and tag < 0:
+            raise ValueError(f"tag must be >= 0 or ANY_TAG, got {tag}")
         return self.queue_of(dst).post_recv(src, tag)

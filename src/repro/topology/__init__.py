@@ -11,13 +11,14 @@ from .mapping import (
     rank_of_coords,
 )
 from .partition import allocate, Partition
-from .torus import Coord, LinkKey, Torus3D
+from .torus import Coord, LinkKey, NoRouteError, Torus3D
 from .tree import TreeNetwork
 
 __all__ = [
     "Torus3D",
     "Coord",
     "LinkKey",
+    "NoRouteError",
     "TreeNetwork",
     "BarrierNetwork",
     "software_barrier_time",

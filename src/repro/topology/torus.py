@@ -15,17 +15,30 @@ the PTRANS and HALO discussions in the paper.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..machines.specs import TorusSpec
 from ..simengine import Engine, SerialLink
 
-__all__ = ["Torus3D", "Coord", "LinkKey"]
+__all__ = ["Torus3D", "Coord", "LinkKey", "NoRouteError"]
 
 Coord = Tuple[int, int, int]
 #: A directed link: (from_node, to_node) coordinates.
 LinkKey = Tuple[Coord, Coord]
+
+
+class NoRouteError(RuntimeError):
+    """No fault-free path exists between two nodes (partitioned torus)."""
+
+    def __init__(self, src: Coord, dst: Coord, shape: Coord) -> None:
+        super().__init__(
+            f"no fault-free route {src} -> {dst} on torus {shape} "
+            "(failed links/nodes partition the network)"
+        )
+        self.src = src
+        self.dst = dst
 
 
 @dataclass(frozen=True)
@@ -67,6 +80,14 @@ class Torus3D:
         self.spec = spec
         self.env = env
         self.links: Dict[LinkKey, SerialLink] = {}
+        #: directed links taken out of service (fault injection)
+        self.failed_links: Set[LinkKey] = set()
+        #: nodes taken out of service (all their links are failed too)
+        self.failed_nodes: Set[Coord] = set()
+        #: per-link bandwidth derating factor in (0, 1]; absent = 1.0
+        self.derated: Dict[LinkKey, float] = {}
+        #: count of messages that needed a fault detour (reroute stat)
+        self.detours = 0
         if env is not None:
             self._build_links(env)
 
@@ -116,6 +137,64 @@ class Torus3D:
                     out.append(cand)  # type: ignore[arg-type]
         return out
 
+    # -- fault state ---------------------------------------------------------
+    def link_key(self, a: Coord, b: Coord) -> LinkKey:
+        """Validated directed-link key between two neighbouring nodes."""
+        if b not in self.neighbors(a):
+            raise ValueError(f"{a} -> {b} is not a torus link on {self.shape}")
+        return (a, b)
+
+    def fail_link(self, key: LinkKey, both_directions: bool = True) -> None:
+        """Take a directed link (default: both directions) out of service."""
+        a, b = self.link_key(*key)
+        self.failed_links.add((a, b))
+        if both_directions:
+            self.failed_links.add((b, a))
+
+    def fail_node(self, node: Coord) -> None:
+        """Take a node out of service: every incident link fails with it."""
+        if not self.contains(node):
+            raise ValueError(f"{node} outside torus {self.shape}")
+        self.failed_nodes.add(node)
+        for nbr in self.neighbors(node):
+            self.failed_links.add((node, nbr))
+            self.failed_links.add((nbr, node))
+
+    def degrade_link(self, key: LinkKey, factor: float, both_directions: bool = True) -> None:
+        """Derate a link's bandwidth to ``factor`` (in (0, 1]) of spec."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"derating factor must be in (0, 1], got {factor}")
+        a, b = self.link_key(*key)
+        for k in ((a, b), (b, a)) if both_directions else ((a, b),):
+            self.derated[k] = factor
+            link = self.links.get(k)
+            if link is not None:
+                link.bandwidth = self.spec.link_bandwidth * factor
+
+    def restore_link(self, key: LinkKey, both_directions: bool = True) -> None:
+        """Return a failed or degraded link to full service."""
+        a, b = self.link_key(*key)
+        for k in ((a, b), (b, a)) if both_directions else ((a, b),):
+            self.failed_links.discard(k)
+            self.derated.pop(k, None)
+            link = self.links.get(k)
+            if link is not None:
+                link.bandwidth = self.spec.link_bandwidth
+
+    def link_ok(self, key: LinkKey) -> bool:
+        """Whether a directed link is in service."""
+        return key not in self.failed_links
+
+    @property
+    def has_faults(self) -> bool:
+        return bool(self.failed_links)
+
+    def effective_bandwidth(self, key: LinkKey) -> float:
+        """Current bytes/s of a directed link (0.0 when failed)."""
+        if key in self.failed_links:
+            return 0.0
+        return self.spec.link_bandwidth * self.derated.get(key, 1.0)
+
     # -- distances ----------------------------------------------------------
     def hop_distance(self, a: Coord, b: Coord) -> int:
         """Minimal hops between two nodes (per-dimension shortest wrap)."""
@@ -160,9 +239,43 @@ class Torus3D:
         # largest extent is Z after sorting; plane area = X*Y
         return 4 * X * Y  # 2 cuts x 2 directions x plane area
 
+    def bisection_link_keys(self) -> List[LinkKey]:
+        """The directed links crossing the worst-case bisection plane.
+
+        Enumerates the links behind :meth:`bisection_links`: the torus is
+        cut across its largest dimension, once through the middle and
+        once through the wrap-around seam.
+        """
+        dim = max(range(3), key=lambda d: self.shape[d])
+        ext = self.shape[dim]
+        if ext == 1:
+            return []
+        keys: Set[LinkKey] = set()
+        cuts = {(ext // 2 - 1, ext // 2), (ext - 1, 0)}
+        for node in self.nodes():
+            for lo, hi in cuts:
+                if node[dim] != lo:
+                    continue
+                other = list(node)
+                other[dim] = hi
+                nbr: Coord = tuple(other)  # type: ignore[assignment]
+                if nbr != node:
+                    keys.add((node, nbr))
+                    keys.add((nbr, node))
+        return sorted(keys)
+
     def bisection_bandwidth(self) -> float:
-        """Bytes/s crossing the bisection in one direction."""
-        return self.bisection_links() / 2 * self.spec.link_bandwidth
+        """Bytes/s crossing the bisection in one direction.
+
+        With injected faults this reflects the *degraded* topology:
+        failed links contribute nothing and derated links their reduced
+        bandwidth.  (An extent-2 dimension folds the two cuts onto the
+        same physical links, so the healthy closed form — which assumes
+        distinct wrap links — is kept for the no-fault fast path.)
+        """
+        if not self.failed_links and not self.derated:
+            return self.bisection_links() / 2 * self.spec.link_bandwidth
+        return sum(self.effective_bandwidth(k) for k in self.bisection_link_keys()) / 2
 
     # -- routing --------------------------------------------------------------
     def route(
@@ -177,6 +290,18 @@ class Torus3D:
             raise ValueError(f"route endpoints outside torus {self.shape}")
         if sorted(dim_order) != [0, 1, 2]:
             raise ValueError(f"dim_order must permute (0, 1, 2), got {dim_order}")
+        path = self._dimension_order_path(src, dst, dim_order)
+        if self.failed_links and self._blocked(path):
+            detour = self._route_around(src, dst)
+            if detour is None:
+                raise NoRouteError(src, dst, self.shape)
+            self.detours += 1
+            return detour
+        return path
+
+    def _dimension_order_path(
+        self, src: Coord, dst: Coord, dim_order: Tuple[int, int, int]
+    ) -> List[LinkKey]:
         path: List[LinkKey] = []
         cur = list(src)
         for dim in dim_order:
@@ -197,6 +322,40 @@ class Torus3D:
         assert tuple(cur) == tuple(dst)
         return path
 
+    def _blocked(self, path: List[LinkKey]) -> bool:
+        """Whether a path crosses any currently-failed link."""
+        failed = self.failed_links
+        return any(key in failed for key in path)
+
+    def _route_around(self, src: Coord, dst: Coord) -> Optional[List[LinkKey]]:
+        """Shortest fault-free path by BFS (deterministic tie-break).
+
+        Neighbour expansion follows :meth:`neighbors` order (X+, X-,
+        Y+, Y-, Z+, Z-), so the chosen detour is identical across runs.
+        Returns ``None`` when the faults disconnect ``src`` from ``dst``.
+        """
+        if src == dst:
+            return []
+        failed = self.failed_links
+        prev: Dict[Coord, Coord] = {src: src}
+        frontier = deque([src])
+        while frontier:
+            node = frontier.popleft()
+            for nbr in self.neighbors(node):
+                if nbr in prev or (node, nbr) in failed:
+                    continue
+                prev[nbr] = node
+                if nbr == dst:
+                    hops: List[LinkKey] = []
+                    cur = dst
+                    while cur != src:
+                        hops.append((prev[cur], cur))
+                        cur = prev[cur]
+                    hops.reverse()
+                    return hops
+                frontier.append(nbr)
+        return None
+
     def route_adaptive(self, src: Coord, dst: Coord, nbytes: float) -> List[LinkKey]:
         """Pick the less-congested of the XYZ and ZYX dimension orders.
 
@@ -204,13 +363,19 @@ class Torus3D:
         chooses, per message, whichever of the two canonical dimension
         orders would deliver the head earliest given current link
         bookings.  Requires DES mode (link objects).
+
+        With injected faults, dimension orders that cross a failed link
+        are discarded; when both are blocked the message detours along
+        the shortest fault-free path (counted in :attr:`detours`).
         """
         if self.env is None:
             raise RuntimeError("adaptive routing needs an engine (DES mode)")
         best_path: Optional[List[LinkKey]] = None
         best_finish = float("inf")
         for order in ((0, 1, 2), (2, 1, 0)):
-            path = self.route(src, dst, dim_order=order)
+            path = self._dimension_order_path(src, dst, order)
+            if self.failed_links and self._blocked(path):
+                continue
             head = self.env.now
             finish = head
             for key in path:
@@ -221,7 +386,11 @@ class Torus3D:
             if finish < best_finish:
                 best_finish = finish
                 best_path = path
-        assert best_path is not None
+        if best_path is None:
+            best_path = self._route_around(src, dst)
+            if best_path is None:
+                raise NoRouteError(src, dst, self.shape)
+            self.detours += 1
         return best_path
 
     def route_links(self, src: Coord, dst: Coord) -> List[SerialLink]:
@@ -232,8 +401,17 @@ class Torus3D:
 
     # -- utilisation ------------------------------------------------------------
     def link_utilisation(self) -> Dict[LinkKey, float]:
-        """Per-link utilisation fraction since simulation start."""
-        return {k: link.utilization() for k, link in self.links.items()}
+        """Per-link utilisation fraction since simulation start.
+
+        Failed links are excluded — they are no longer part of the
+        topology; their historical traffic remains on the link objects.
+        """
+        failed = self.failed_links
+        return {
+            k: link.utilization()
+            for k, link in self.links.items()
+            if k not in failed
+        }
 
     def hottest_links(self, n: int = 5) -> List[Tuple[LinkKey, float]]:
         """The ``n`` most-utilised links (contention diagnostics)."""

@@ -1,0 +1,116 @@
+"""FaultInjector mechanics: torus state, drops, stats, determinism."""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkDegrade,
+    LinkDrop,
+    LinkFail,
+    NodeFail,
+)
+from repro.machines import BGP
+from repro.simmpi import Cluster, ReliabilityPolicy
+
+LINK = ((0, 0, 0), (1, 0, 0))
+
+
+def ring_program(repeats=4, nbytes=512):
+    def program(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        for rep in range(repeats):
+            req = comm.irecv(src=left, tag=rep)
+            yield from comm.send(right, nbytes, tag=rep)
+            yield from comm.wait(req)
+        return comm.now
+
+    return program
+
+
+def test_injector_applies_link_fail_to_torus():
+    cluster = Cluster(BGP, ranks=8, mode="SMP")
+    plan = FaultPlan((LinkFail(time=0.0, link=LINK),))
+    result = cluster.run(ring_program(), faults=plan)
+    torus = cluster.torus
+    assert LINK in torus.failed_links
+    assert (LINK[1], LINK[0]) in torus.failed_links
+    assert result.faults.failed_links == 2
+
+
+def test_injector_node_fail_kills_incident_links():
+    def quiet(comm):
+        # No traffic: a dead node would sever any route that touches it.
+        yield comm.env.timeout(1.0)
+        return comm.now
+
+    cluster = Cluster(BGP, ranks=8, mode="SMP")
+    plan = FaultPlan((NodeFail(time=0.0, node=(0, 0, 0)),))
+    cluster.run(quiet, faults=plan)
+    torus = cluster.torus
+    assert (0, 0, 0) in torus.failed_nodes
+    for nbr in torus.neighbors((0, 0, 0)):
+        assert ((0, 0, 0), nbr) in torus.failed_links
+        assert (nbr, (0, 0, 0)) in torus.failed_links
+
+
+def test_degrade_and_restore_bandwidth():
+    cluster = Cluster(BGP, ranks=8, mode="SMP")
+    healthy = Cluster(BGP, ranks=8, mode="SMP").run(ring_program()).elapsed
+    plan = FaultPlan(
+        (LinkDegrade(time=0.0, link=LINK, factor=0.1, duration=healthy / 2),)
+    )
+    result = cluster.run(ring_program(), faults=plan)
+    # Derated bandwidth slows the run; the restore event fires mid-run.
+    assert result.elapsed > healthy
+    spec_bw = cluster.torus.spec.link_bandwidth
+    assert cluster.torus.links[cluster.torus.link_key(*LINK)].bandwidth == spec_bw
+    assert result.faults.degraded_links == 1
+
+
+def test_link_drop_consumes_messages():
+    cluster = Cluster(
+        BGP, ranks=8, mode="SMP", reliability=ReliabilityPolicy()
+    )
+    # Rank 0 -> rank 1 crosses the +X link out of (0,0,0) first.
+    plan = FaultPlan((LinkDrop(time=0.0, link=LINK, count=2),))
+    result = cluster.run(ring_program(), faults=plan)
+    assert result.faults.drops == 2
+    assert result.faults.retries == 2
+
+
+def test_injector_is_single_use():
+    injector = FaultInjector(FaultPlan())
+    injector.attach(Cluster(BGP, ranks=8, mode="SMP"))
+    with pytest.raises(RuntimeError, match="single-use"):
+        injector.attach(Cluster(BGP, ranks=8, mode="SMP"))
+
+
+def test_faulted_run_is_deterministic():
+    def one():
+        cluster = Cluster(
+            BGP, ranks=64, mode="SMP", reliability=ReliabilityPolicy()
+        )
+        probe = Cluster(BGP, ranks=64, mode="SMP").run(ring_program()).elapsed
+
+        plan = FaultPlan((LinkFail(time=probe * 0.4, link=LINK),))
+        result = cluster.run(ring_program(), faults=plan)
+        s = result.faults
+        return (result.elapsed, s.drops, s.retries, s.reroutes)
+
+    assert one() == one()
+
+
+def test_reroutes_counted_on_detour():
+    cluster = Cluster(BGP, ranks=64, mode="SMP")
+    plan = FaultPlan((LinkFail(time=0.0, link=LINK),))
+    result = cluster.run(ring_program(repeats=2), faults=plan)
+    # Traffic from (0,0,0) to (1,0,0) must detour around the dead link.
+    assert result.faults.reroutes > 0
+    assert result.faults.drops == 0  # failed before any booking
+
+
+def test_cluster_result_faults_none_without_plan():
+    result = Cluster(BGP, ranks=8, mode="SMP").run(ring_program(repeats=1))
+    assert result.faults is None

@@ -1,0 +1,103 @@
+"""FaultPlan construction, ordering, validation, MTBF draws."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    LinkDegrade,
+    LinkDrop,
+    LinkFail,
+    NodeFail,
+)
+from repro.machines import BGP, FaultSpec
+
+
+A = ((0, 0, 0), (1, 0, 0))
+B = ((1, 0, 0), (2, 0, 0))
+
+
+def test_events_sorted_by_time():
+    plan = FaultPlan(
+        (
+            LinkFail(time=2.0, link=A),
+            NodeFail(time=0.5, node=(1, 1, 1)),
+            LinkDegrade(time=1.0, link=B, factor=0.5),
+        )
+    )
+    assert [e.time for e in plan] == [0.5, 1.0, 2.0]
+    assert len(plan) == 3 and not plan.empty
+
+
+def test_equal_time_ordering_is_deterministic():
+    events = (
+        NodeFail(time=1.0, node=(0, 0, 0)),
+        LinkFail(time=1.0, link=A),
+        LinkDrop(time=1.0, link=B),
+        LinkDegrade(time=1.0, link=A, factor=0.5),
+    )
+    a = tuple(FaultPlan(events))
+    b = tuple(FaultPlan(tuple(reversed(events))))
+    assert a == b
+    # degrade < drop < link-fail < node-fail at equal times
+    assert [type(e).__name__ for e in a] == [
+        "LinkDegrade", "LinkDrop", "LinkFail", "NodeFail",
+    ]
+
+
+def test_extended_merges_and_resorts():
+    plan = FaultPlan((LinkFail(time=5.0, link=A),))
+    plan2 = plan.extended([NodeFail(time=1.0, node=(0, 0, 0))])
+    assert len(plan) == 1  # original untouched
+    assert [e.time for e in plan2] == [1.0, 5.0]
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        LinkFail(time=-1.0, link=A)
+    with pytest.raises(ValueError):
+        LinkDegrade(time=0.0, link=A, factor=0.0)
+    with pytest.raises(ValueError):
+        LinkDegrade(time=0.0, link=A, factor=1.5)
+    with pytest.raises(ValueError):
+        LinkDegrade(time=0.0, link=A, factor=0.5, duration=0.0)
+    with pytest.raises(ValueError):
+        LinkDrop(time=0.0, link=A, count=0)
+
+
+def test_from_mtbf_is_seed_reproducible():
+    kwargs = dict(
+        shape=(4, 4, 4),
+        duration=100.0,
+        node_mtbf_seconds=500.0,
+        link_mtbf_seconds=300.0,
+    )
+    a = FaultPlan.from_mtbf(seed=11, **kwargs)
+    b = FaultPlan.from_mtbf(seed=11, **kwargs)
+    c = FaultPlan.from_mtbf(seed=12, **kwargs)
+    assert tuple(a) == tuple(b)
+    assert tuple(a) != tuple(c)
+    assert len(a) > 0
+    assert all(e.time < 100.0 for e in a)
+
+
+def test_from_mtbf_zero_rates_empty():
+    plan = FaultPlan.from_mtbf((2, 2, 2), duration=10.0, seed=1)
+    assert plan.empty
+
+
+def test_for_machine_uses_fault_spec():
+    plan = FaultPlan.for_machine(
+        BGP, (4, 4, 4), duration=3600.0, seed=3, acceleration=5.0e5
+    )
+    assert len(plan) > 0
+    with pytest.raises(ValueError):
+        FaultPlan.for_machine(BGP, (4, 4, 4), 10.0, acceleration=0.0)
+
+
+def test_fault_spec_validation_and_system_mtbf():
+    spec = FaultSpec(node_mtbf_hours=1000.0)
+    assert spec.system_mtbf_seconds(1000) == pytest.approx(3600.0)
+    with pytest.raises(ValueError):
+        FaultSpec(node_mtbf_hours=0.0)
+    with pytest.raises(ValueError):
+        spec.system_mtbf_seconds(0)

@@ -85,6 +85,33 @@ def test_step_raises_on_empty_queue():
         Engine().step()
 
 
+def test_step_empty_schedule_message_is_descriptive():
+    env = Engine()
+
+    def proc(env):
+        yield env.timeout(2.5)
+
+    env.process(proc(env))
+    env.run()
+    with pytest.raises(EmptySchedule, match=r"t=2\.5s .*event\(s\) processed"):
+        env.step()
+
+
+def test_run_until_after_drain_explains_the_gap():
+    env = Engine()
+
+    def proc(env):
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    with pytest.raises(
+        EmptySchedule, match=r"schedule drained at t=1s before reaching until=8s"
+    ):
+        env.run(until=8.0)
+    # The clock stays at the drain point, not the requested horizon.
+    assert env.now == 1.0
+
+
 def test_events_processed_counter():
     env = Engine()
 

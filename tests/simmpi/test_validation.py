@@ -1,0 +1,83 @@
+"""Transport argument validation: bad ranks/tags fail at the call site."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.simmpi import ANY_SOURCE, ANY_TAG, Cluster
+
+
+@pytest.fixture
+def transport():
+    return Cluster(BGP, ranks=8, mode="SMP").transport
+
+
+def test_send_rejects_out_of_range_dst(transport):
+    with pytest.raises(ValueError, match="destination rank 8 out of range"):
+        transport.send(0, 8, nbytes=64)
+
+
+def test_send_rejects_negative_src(transport):
+    with pytest.raises(ValueError, match="source rank -1 out of range"):
+        transport.send(-1, 1, nbytes=64)
+
+
+def test_send_rejects_negative_tag(transport):
+    with pytest.raises(ValueError, match="tag must be >= 0"):
+        transport.send(0, 1, nbytes=64, tag=-3)
+
+
+def test_send_rejects_negative_size(transport):
+    with pytest.raises(ValueError, match="negative message size"):
+        transport.send(0, 1, nbytes=-1)
+
+
+def test_send_raises_before_iteration(transport):
+    """Validation happens at the call, not on first next() of the
+    generator — a bad call cannot silently produce a dormant generator."""
+    try:
+        transport.send(0, 99, nbytes=8)
+    except ValueError:
+        return
+    pytest.fail("send(dst=99) returned instead of raising")
+
+
+def test_post_recv_rejects_out_of_range_receiver(transport):
+    with pytest.raises(ValueError, match="receiver rank 12 out of range"):
+        transport.post_recv(12, src=0, tag=0)
+
+
+def test_post_recv_rejects_out_of_range_src(transport):
+    with pytest.raises(ValueError, match="source rank 9 out of range"):
+        transport.post_recv(0, src=9, tag=0)
+
+
+def test_post_recv_rejects_negative_tag(transport):
+    with pytest.raises(ValueError, match="tag must be >= 0 or ANY_TAG"):
+        transport.post_recv(0, src=1, tag=-2)
+
+
+def test_post_recv_wildcards_accepted(transport):
+    ev = transport.post_recv(0, src=ANY_SOURCE, tag=ANY_TAG)
+    assert not ev.triggered
+
+
+def test_bad_send_inside_program_surfaces_value_error():
+    def program(comm):
+        yield from comm.send(comm.size + 5, nbytes=8)
+
+    with pytest.raises(ValueError, match="rank 9"):
+        Cluster(BGP, ranks=4, mode="SMP").run(program)
+
+
+def test_valid_boundary_ranks_accepted():
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(comm.size - 1, nbytes=8)
+        elif comm.rank == comm.size - 1:
+            yield from comm.recv(src=0)
+        else:
+            return comm.now
+        return comm.now
+
+    result = Cluster(BGP, ranks=8, mode="SMP").run(program)
+    assert result.elapsed > 0

@@ -1,0 +1,84 @@
+"""Property tests: adaptive routes are cycle-free paths that reach dst.
+
+Randomised torus shapes, endpoints, and injected link faults — the
+adaptive router must always produce a chain of adjacent nodes from src
+to dst that never revisits a node, or raise :class:`NoRouteError` when
+the faults genuinely partition the network.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import BGP
+from repro.simengine import Engine
+from repro.topology import NoRouteError, Torus3D
+
+
+def make_torus(shape):
+    return Torus3D(shape, BGP.torus, Engine())
+
+
+def assert_simple_path(torus, path, src, dst):
+    """The path is a connected, cycle-free chain from src to dst."""
+    visited = [src]
+    cur = src
+    for frm, to in path:
+        assert frm == cur
+        assert to in torus.neighbors(frm)
+        assert (frm, to) not in torus.failed_links
+        assert to not in visited, f"route revisits {to}: cycle"
+        visited.append(to)
+        cur = to
+    assert cur == dst
+
+
+shapes = st.tuples(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+
+
+@settings(max_examples=50, deadline=None)
+@given(shapes, st.data())
+def test_route_adaptive_simple_path_healthy(shape, data):
+    t = make_torus(shape)
+    nodes = list(t.nodes())
+    src = data.draw(st.sampled_from(nodes))
+    dst = data.draw(st.sampled_from(nodes))
+    nbytes = data.draw(st.integers(1, 1 << 20))
+    path = t.route_adaptive(src, dst, nbytes)
+    assert_simple_path(t, path, src, dst)
+
+
+@settings(max_examples=50, deadline=None)
+@given(shapes, st.data())
+def test_route_adaptive_simple_path_with_faults(shape, data):
+    t = make_torus(shape)
+    nodes = list(t.nodes())
+    links = sorted(t.links)
+    if links:
+        n_faults = data.draw(st.integers(0, min(6, len(links))))
+        for key in data.draw(
+            st.lists(
+                st.sampled_from(links),
+                min_size=n_faults,
+                max_size=n_faults,
+                unique=True,
+            )
+        ):
+            t.fail_link(key)
+    src = data.draw(st.sampled_from(nodes))
+    dst = data.draw(st.sampled_from(nodes))
+    try:
+        path = t.route_adaptive(src, dst, nbytes=4096)
+    except NoRouteError:
+        # Acceptable only if the faults truly disconnect src from dst.
+        assert t._route_around(src, dst) is None
+        return
+    assert_simple_path(t, path, src, dst)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shapes, st.data())
+def test_route_adaptive_deterministic(shape, data):
+    t = make_torus(shape)
+    nodes = list(t.nodes())
+    src = data.draw(st.sampled_from(nodes))
+    dst = data.draw(st.sampled_from(nodes))
+    assert t.route_adaptive(src, dst, 1024) == t.route_adaptive(src, dst, 1024)

@@ -1,0 +1,122 @@
+"""Torus fault state: failed links/nodes, derating, detour routing."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.simengine import Engine
+from repro.topology import NoRouteError, Torus3D
+
+
+def make_torus(shape, env=None):
+    return Torus3D(shape, BGP.torus, env)
+
+
+LINK = ((0, 0, 0), (1, 0, 0))
+
+
+def test_fail_link_both_directions_default():
+    t = make_torus((4, 4, 4))
+    t.fail_link(LINK)
+    assert not t.link_ok(LINK)
+    assert not t.link_ok((LINK[1], LINK[0]))
+    assert t.has_faults
+
+
+def test_fail_link_single_direction():
+    t = make_torus((4, 4, 4))
+    t.fail_link(LINK, both_directions=False)
+    assert not t.link_ok(LINK)
+    assert t.link_ok((LINK[1], LINK[0]))
+
+
+def test_fail_link_validates_adjacency():
+    t = make_torus((4, 4, 4))
+    with pytest.raises(ValueError):
+        t.fail_link(((0, 0, 0), (2, 0, 0)))
+
+
+def test_fail_node_fails_incident_links():
+    t = make_torus((4, 4, 4))
+    t.fail_node((1, 1, 1))
+    assert (1, 1, 1) in t.failed_nodes
+    for nbr in t.neighbors((1, 1, 1)):
+        assert not t.link_ok(((1, 1, 1), nbr))
+        assert not t.link_ok((nbr, (1, 1, 1)))
+
+
+def test_degrade_and_restore_roundtrip():
+    env = Engine()
+    t = make_torus((4, 4, 4), env)
+    spec_bw = t.spec.link_bandwidth
+    t.degrade_link(LINK, factor=0.25)
+    assert t.effective_bandwidth(LINK) == pytest.approx(spec_bw * 0.25)
+    assert t.links[LINK].bandwidth == pytest.approx(spec_bw * 0.25)
+    t.restore_link(LINK)
+    assert t.effective_bandwidth(LINK) == pytest.approx(spec_bw)
+    assert t.links[LINK].bandwidth == pytest.approx(spec_bw)
+
+
+def test_degrade_factor_validated():
+    t = make_torus((4, 4, 4))
+    with pytest.raises(ValueError):
+        t.degrade_link(LINK, factor=0.0)
+    with pytest.raises(ValueError):
+        t.degrade_link(LINK, factor=1.5)
+
+
+def test_effective_bandwidth_zero_when_failed():
+    t = make_torus((4, 4, 4))
+    t.fail_link(LINK)
+    assert t.effective_bandwidth(LINK) == 0.0
+
+
+def test_restore_clears_failure():
+    t = make_torus((4, 4, 4))
+    t.fail_link(LINK)
+    t.restore_link(LINK)
+    assert t.link_ok(LINK)
+    assert not t.has_faults
+
+
+def test_bisection_bandwidth_degrades_with_faults():
+    t = make_torus((4, 4, 4))
+    healthy = t.bisection_bandwidth()
+    # Fail one link crossing the bisection plane of the largest dim.
+    key = t.bisection_link_keys()[0]
+    t.fail_link(key)
+    assert t.bisection_bandwidth() < healthy
+
+
+def test_route_detours_around_failed_link():
+    t = make_torus((4, 4, 4))
+    t.fail_link(LINK)
+    path = t.route((0, 0, 0), (1, 0, 0))
+    assert LINK not in path
+    assert path[0][0] == (0, 0, 0)
+    assert path[-1][1] == (1, 0, 0)
+    assert t.detours == 1
+
+
+def test_route_raises_when_partitioned():
+    t = make_torus((2, 1, 1))
+    t.fail_link(((0, 0, 0), (1, 0, 0)))
+    with pytest.raises(NoRouteError):
+        t.route((0, 0, 0), (1, 0, 0))
+
+
+def test_route_adaptive_avoids_failed_dimension_order():
+    env = Engine()
+    t = make_torus((4, 4, 4), env)
+    # XYZ order (0,0,0)->(1,1,0) starts on the +X link; kill it.
+    t.fail_link(LINK, both_directions=False)
+    path = t.route_adaptive((0, 0, 0), (1, 1, 0), nbytes=1024)
+    assert LINK not in path
+    assert path[-1][1] == (1, 1, 0)
+
+
+def test_link_utilisation_excludes_failed_links():
+    env = Engine()
+    t = make_torus((4, 1, 1), env)
+    t.fail_link(LINK)
+    assert LINK not in t.link_utilisation()
+    assert (LINK[1], LINK[0]) not in t.link_utilisation()
