@@ -14,7 +14,7 @@ model at small scale, anchoring the Fig. 4 curves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from ...halo.exchange import neighbors2d
 from ...machines.specs import MachineSpec
@@ -44,6 +44,10 @@ class PopReplayResult:
     messages: int
     #: fault statistics when the replay ran under a fault plan
     faults: Any = None
+    #: the :class:`~repro.recovery.RecoveryOutcome` when the replay ran
+    #: under a recovery policy (``seconds_per_step`` then averages the
+    #: *whole* timeline, overheads included), else ``None``
+    recovery: Any = None
 
     @property
     def seconds_per_simday(self) -> float:
@@ -94,34 +98,49 @@ def replay_steps(
     solver_iterations: int | None = None,
     faults: Any = None,
     reliability: Any = None,
+    recovery: Any = None,
+    budget: Any = None,
 ) -> PopReplayResult:
     """Run ``steps`` POP timesteps at message level.
 
     The per-rank compute times come from the same sustained rate the
     analytic model uses; communication happens for real on the
     simulated torus/tree.
+
+    ``recovery`` (a :class:`~repro.recovery.RecoveryPolicy`) arms
+    ULFM-style failure handling for ``faults`` plans that kill nodes:
+    under ``mode="shrink"`` the survivors rebuild the domain
+    decomposition over the live ranks and continue in place; under
+    ``mode="restart"`` the whole job is rewound to the last completed
+    checkpoint of the policy's schedule and re-run.  ``budget`` (a
+    :class:`~repro.simengine.Budget`) bounds the run either way.
     """
     if processes < 1 or steps < 1:
         raise ValueError("processes and steps must be >= 1")
-    px, py = decompose(processes, grid.nx, grid.ny)
     sustained = POP_SUSTAINED_GFLOPS[machine.name] * 1e9
-    pts2d = grid.horizontal_points / processes
-    pts3d = pts2d * grid.levels
-    edge = max(grid.nx / px, grid.ny / py)
-    halo3d_bytes = int(
-        BAROCLINIC_WORK.halo_width * edge * grid.levels * 8 * BAROCLINIC_WORK.halo_fields
-    )
-    halo2d_bytes = int(TENTH_DEGREE_BAROTROPIC.halo_width * edge * 8)
     iters = (
         TENTH_DEGREE_BAROTROPIC.iterations_per_step
         if solver_iterations is None
         else solver_iterations
     )
-    t_bc_compute = pts3d * BAROCLINIC_WORK.flops_per_point / sustained
-    t_iter_compute = pts2d * solver.flops_per_point / sustained
 
-    def exchange(comm, nbytes: int, tag: int):
-        nb = neighbors2d(comm.rank, (px, py))
+    def geometry(nranks: int) -> Tuple[Tuple[int, int], int, int, float, float]:
+        """Domain decomposition over ``nranks`` (recomputed on shrink)."""
+        px, py = decompose(nranks, grid.nx, grid.ny)
+        pts2d = grid.horizontal_points / nranks
+        pts3d = pts2d * grid.levels
+        edge = max(grid.nx / px, grid.ny / py)
+        halo3d = int(
+            BAROCLINIC_WORK.halo_width * edge * grid.levels * 8
+            * BAROCLINIC_WORK.halo_fields
+        )
+        halo2d = int(TENTH_DEGREE_BAROTROPIC.halo_width * edge * 8)
+        t_bc = pts3d * BAROCLINIC_WORK.flops_per_point / sustained
+        t_iter = pts2d * solver.flops_per_point / sustained
+        return (px, py), halo3d, halo2d, t_bc, t_iter
+
+    def exchange(comm, dims: Tuple[int, int], nbytes: int, tag: int):
+        nb = neighbors2d(comm.rank, dims)
         reqs = [
             comm.irecv(src=nb[d], tag=tag + i)
             for i, d in enumerate(("north", "south", "west", "east"))
@@ -131,35 +150,93 @@ def replay_steps(
             sends.append(comm.isend(nb[d], nbytes, tag=tag + i))
         yield from comm.waitall(reqs + sends)
 
-    def program(comm):
-        t0 = comm.now
-        for step in range(steps):
-            base = 1000 * step
-            # Baroclinic: compute + halo exchanges.
-            with comm.phase("baroclinic"):
-                yield from comm.compute(seconds=t_bc_compute)
-                for e in range(BAROCLINIC_WORK.halo_exchanges):
-                    yield from exchange(comm, halo3d_bytes, tag=base + 10 * e)
-            # Barotropic: solver iterations.
-            with comm.phase("barotropic"):
-                for it in range(iters):
-                    yield from comm.compute(seconds=t_iter_compute)
-                    yield from exchange(comm, halo2d_bytes, tag=base + 500 + 4 * it)
-                    for _ in range(solver.allreduces_per_iter):
-                        yield from comm.allreduce(
-                            solver.allreduce_bytes, dtype="float64"
-                        )
-        return comm.now - t0
+    def one_step(comm, geom, step: int):
+        dims, halo3d, halo2d, t_bc, t_iter = geom
+        base = 1000 * step
+        # Baroclinic: compute + halo exchanges.
+        with comm.phase("baroclinic"):
+            yield from comm.compute(seconds=t_bc)
+            for e in range(BAROCLINIC_WORK.halo_exchanges):
+                yield from exchange(comm, dims, halo3d, tag=base + 10 * e)
+        # Barotropic: solver iterations.
+        with comm.phase("barotropic"):
+            for it in range(iters):
+                yield from comm.compute(seconds=t_iter)
+                yield from exchange(comm, dims, halo2d, tag=base + 500 + 4 * it)
+                for _ in range(solver.allreduces_per_iter):
+                    yield from comm.allreduce(
+                        solver.allreduce_bytes, dtype="float64"
+                    )
 
-    cluster = Cluster(machine, ranks=processes, mode=mode, reliability=reliability)
-    res = cluster.run(program, faults=faults)
+    if recovery is None:
+        def program(comm):
+            geom = geometry(comm.size)
+            t0 = comm.now
+            for step in range(steps):
+                yield from one_step(comm, geom, step)
+            return comm.now - t0
+
+        cluster = Cluster(
+            machine, ranks=processes, mode=mode, reliability=reliability
+        )
+        res = cluster.run(program, faults=faults, budget=budget)
+        return PopReplayResult(
+            machine=machine.name,
+            processes=processes,
+            steps=steps,
+            seconds_per_step=max(res.returns) / steps,
+            messages=res.messages,
+            faults=res.faults,
+        )
+
+    from ...recovery import RankFailedError, run_with_recovery
+
+    def program_factory(runtime, start_step: int):
+        def program(world):
+            comm = world
+            geom = geometry(world.size)
+            t0 = world.now
+            step = start_step
+            while step < steps:
+                try:
+                    yield from one_step(comm, geom, step)
+                    runtime.end_step(comm, step)
+                    yield from runtime.maybe_checkpoint(comm, step)
+                    step += 1
+                except RankFailedError:
+                    if runtime.policy.mode != "shrink":
+                        raise  # restart mode: the driver rewinds the job
+                    while True:
+                        if len(runtime.live_ranks()) < runtime.policy.min_ranks:
+                            raise
+                        try:
+                            comm, step = yield from runtime.recover(world, step)
+                            break
+                        except RankFailedError:
+                            continue  # another node died mid-recovery
+                    geom = geometry(comm.size)
+            return world.now - t0
+
+        return program
+
+    outcome = run_with_recovery(
+        recovery,
+        lambda env=None: Cluster(
+            machine, ranks=processes, mode=mode,
+            env=env, reliability=reliability,
+        ),
+        program_factory,
+        faults=faults,
+        budget=budget,
+    )
     return PopReplayResult(
         machine=machine.name,
         processes=processes,
         steps=steps,
-        seconds_per_step=max(res.returns) / steps,
-        messages=res.messages,
-        faults=res.faults,
+        seconds_per_step=outcome.times.walltime / steps,
+        messages=outcome.result.messages,
+        faults=outcome.result.faults,
+        recovery=outcome,
     )
 
 

@@ -30,6 +30,10 @@ class S3dReplayResult:
     messages: int
     #: fault statistics when the replay ran under a fault plan
     faults: Any = None
+    #: the :class:`~repro.recovery.RecoveryOutcome` when the replay ran
+    #: under a recovery policy (``seconds_per_step`` then averages the
+    #: *whole* timeline, overheads included), else ``None``
+    recovery: Any = None
 
 
 def _proc_grid(processes: int) -> Tuple[int, int, int]:
@@ -80,11 +84,20 @@ def replay_steps(
     mode: str = "VN",
     faults: Any = None,
     reliability: Any = None,
+    recovery: Any = None,
+    budget: Any = None,
 ) -> S3dReplayResult:
-    """Run ``steps`` S3D timesteps at message level."""
+    """Run ``steps`` S3D timesteps at message level.
+
+    ``recovery`` (a :class:`~repro.recovery.RecoveryPolicy`) arms
+    ULFM-style failure handling: shrink-mode survivors re-decompose the
+    3-D processor grid over the live ranks and continue (the grid keeps
+    ``edge**3`` points per rank — S3D weak-scales, so losing ranks
+    shrinks the domain rather than growing the per-rank block);
+    restart-mode jobs rewind to the last completed checkpoint.
+    """
     if processes < 1 or steps < 1:
         raise ValueError("processes and steps must be >= 1")
-    dims = _proc_grid(processes)
     sustained = S3D_SUSTAINED_GFLOPS[machine.name] * 1e9
     points = edge**3
     t_stage = points * FLOPS_PER_POINT_PER_STAGE / sustained
@@ -92,33 +105,90 @@ def replay_steps(
     face_bytes = int(DERIV_WIDTH * edge * edge * 8 * N_VARS)
     pairs = (("xm", "xp"), ("ym", "yp"), ("zm", "zp"))
 
-    def program(comm):
+    def one_step(comm, dims: Tuple[int, int, int], step: int):
         nb = _neighbors3d(comm.rank, dims)
-        t0 = comm.now
-        for step in range(steps):
-            for stage in range(RK_STAGES):
-                yield from comm.compute(seconds=t_stage)
-                tag = 100 * step + 10 * stage
-                reqs = []
-                for d, (lo, hi) in enumerate(pairs):
-                    reqs.append(comm.irecv(src=nb[lo], tag=tag + 2 * d))
-                    reqs.append(comm.irecv(src=nb[hi], tag=tag + 2 * d + 1))
-                for d, (lo, hi) in enumerate(pairs):
-                    reqs.append(comm.isend(nb[hi], face_bytes, tag=tag + 2 * d))
-                    reqs.append(comm.isend(nb[lo], face_bytes, tag=tag + 2 * d + 1))
-                yield from comm.waitall(reqs)
-            yield from comm.compute(seconds=t_chem)
-            yield from comm.allreduce(64, dtype="float64")  # monitoring
-        return comm.now - t0
+        for stage in range(RK_STAGES):
+            yield from comm.compute(seconds=t_stage)
+            tag = 100 * step + 10 * stage
+            reqs = []
+            for d, (lo, hi) in enumerate(pairs):
+                reqs.append(comm.irecv(src=nb[lo], tag=tag + 2 * d))
+                reqs.append(comm.irecv(src=nb[hi], tag=tag + 2 * d + 1))
+            for d, (lo, hi) in enumerate(pairs):
+                reqs.append(comm.isend(nb[hi], face_bytes, tag=tag + 2 * d))
+                reqs.append(comm.isend(nb[lo], face_bytes, tag=tag + 2 * d + 1))
+            yield from comm.waitall(reqs)
+        yield from comm.compute(seconds=t_chem)
+        yield from comm.allreduce(64, dtype="float64")  # monitoring
 
-    cluster = Cluster(machine, ranks=processes, mode=mode, reliability=reliability)
-    res = cluster.run(program, faults=faults)
+    if recovery is None:
+        dims = _proc_grid(processes)
+
+        def program(comm):
+            t0 = comm.now
+            for step in range(steps):
+                yield from one_step(comm, dims, step)
+            return comm.now - t0
+
+        cluster = Cluster(
+            machine, ranks=processes, mode=mode, reliability=reliability
+        )
+        res = cluster.run(program, faults=faults, budget=budget)
+        return S3dReplayResult(
+            machine=machine.name,
+            processes=processes,
+            seconds_per_step=max(res.returns) / steps,
+            messages=res.messages,
+            faults=res.faults,
+        )
+
+    from ...recovery import RankFailedError, run_with_recovery
+
+    def program_factory(runtime, start_step: int):
+        def program(world):
+            comm = world
+            dims = _proc_grid(world.size)
+            t0 = world.now
+            step = start_step
+            while step < steps:
+                try:
+                    yield from one_step(comm, dims, step)
+                    runtime.end_step(comm, step)
+                    yield from runtime.maybe_checkpoint(comm, step)
+                    step += 1
+                except RankFailedError:
+                    if runtime.policy.mode != "shrink":
+                        raise  # restart mode: the driver rewinds the job
+                    while True:
+                        if len(runtime.live_ranks()) < runtime.policy.min_ranks:
+                            raise
+                        try:
+                            comm, step = yield from runtime.recover(world, step)
+                            break
+                        except RankFailedError:
+                            continue  # another node died mid-recovery
+                    dims = _proc_grid(comm.size)
+            return world.now - t0
+
+        return program
+
+    outcome = run_with_recovery(
+        recovery,
+        lambda env=None: Cluster(
+            machine, ranks=processes, mode=mode,
+            env=env, reliability=reliability,
+        ),
+        program_factory,
+        faults=faults,
+        budget=budget,
+    )
     return S3dReplayResult(
         machine=machine.name,
         processes=processes,
-        seconds_per_step=max(res.returns) / steps,
-        messages=res.messages,
-        faults=res.faults,
+        seconds_per_step=outcome.times.walltime / steps,
+        messages=outcome.result.messages,
+        faults=outcome.result.faults,
+        recovery=outcome,
     )
 
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro trace pop            # traced DES scenario -> Chrome trace
     python -m repro trace pingpong --param nbytes=65536
     python -m repro faults link-kill     # fault-injection scenario
+    python -m repro faults checkpoint --simulate   # executed vs analytic
+    python -m repro recover pop-shrink   # checkpoint/restart + ULFM recovery
     python -m repro validate             # check the ten paper claims
     python -m repro machines             # show the machine catalog
     python -m repro lint src/            # simlint static analysis
@@ -170,7 +172,34 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         return 2
     try:
         params = _parse_params(args.params)
+        if args.simulate:
+            params["simulate"] = True
         tracer, result_line = run_fault_scenario(args.scenario, **params)
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(result_line)
+    if args.output:
+        print(f"wrote {write_chrome_trace(tracer, args.output)}")
+    if args.metrics:
+        print(f"wrote {write_metrics(tracer, args.metrics)}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .obs import write_chrome_trace, write_metrics
+    from .recovery.scenarios import recover_scenario_ids, run_recover_scenario
+
+    if args.list_scenarios:
+        for sid in recover_scenario_ids():
+            print(f"  {sid}")
+        return 0
+    if not args.scenario:
+        print("repro recover: give a scenario id (or --list)", file=sys.stderr)
+        return 2
+    try:
+        params = _parse_params(args.params)
+        tracer, result_line = run_recover_scenario(args.scenario, **params)
     except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -322,7 +351,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", dest="list_scenarios", action="store_true",
         help="list scenario ids and exit",
     )
+    p_faults.add_argument(
+        "--simulate", action="store_true",
+        help=(
+            "for the 'checkpoint' scenario: also run the executed "
+            "checkpoint/restart path in the DES and print the "
+            "simulated-vs-analytic runtime delta"
+        ),
+    )
     p_faults.set_defaults(fn=_cmd_faults)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help=(
+            "run a checkpoint/restart + ULFM recovery scenario "
+            "(deterministic)"
+        ),
+    )
+    p_recover.add_argument(
+        "scenario", nargs="?", help="scenario id (see --list)"
+    )
+    p_recover.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the run's Chrome trace JSON (includes recovery spans)",
+    )
+    p_recover.add_argument(
+        "--metrics", metavar="FILE", help="write the metrics-registry JSON"
+    )
+    p_recover.add_argument(
+        "--param", dest="params", action="append", metavar="KEY=VALUE",
+        help="scenario parameter (repeatable; e.g. --param steps=8)",
+    )
+    p_recover.add_argument(
+        "--list", dest="list_scenarios", action="store_true",
+        help="list scenario ids and exit",
+    )
+    p_recover.set_defaults(fn=_cmd_recover)
 
     sub.add_parser(
         "validate", help="check the ten qualitative paper claims"

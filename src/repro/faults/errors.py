@@ -17,6 +17,11 @@ class FaultError(RuntimeError):
     fault-free route to the destination exists at all.  Carries enough
     attribution for diagnostics to name the failed component, which is
     how a fault-kill is told apart from an application deadlock.
+
+    Like every error of the resilience layer it exposes the structured
+    triple (``entity``, ``sim_time``, ``attempt``) and survives a
+    ``pickle`` round trip with all fields intact (multiprocess sweep
+    workers propagate these errors verbatim).
     """
 
     def __init__(
@@ -45,3 +50,36 @@ class FaultError(RuntimeError):
         self.attempts = attempts
         self.time = time
         self.reason = reason
+
+    # -- structured-field protocol (shared with the recovery errors) -------
+    @property
+    def entity(self) -> str:
+        """The failed component this error attributes itself to."""
+        if self.link is not None:
+            return f"link {self.link[0]}->{self.link[1]}"
+        return f"route {self.src}->{self.dst}"
+
+    @property
+    def sim_time(self) -> float:
+        """Simulation time the fault surfaced, seconds."""
+        return self.time
+
+    @property
+    def attempt(self) -> int:
+        """Retransmissions attempted before giving up."""
+        return self.attempts
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.src,
+                self.dst,
+                self.tag,
+                self.nbytes,
+                self.link,
+                self.attempts,
+                self.time,
+                self.reason,
+            ),
+        )

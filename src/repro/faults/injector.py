@@ -147,6 +147,11 @@ class FaultInjector:
             self.stats.failed_nodes += 1
             self.stats.failed_links += 2 * len(torus.neighbors(fault.node))
             self._note("node-fail", {"node": str(fault.node)})
+            recovery = getattr(self.cluster, "recovery", None)
+            if recovery is not None:
+                # ULFM semantics: kill the node's ranks and revoke the
+                # communicator (see repro.recovery.runtime).
+                recovery.on_node_failed(fault.node)
         elif isinstance(fault, LinkDegrade):
             torus.degrade_link(fault.link, fault.factor)
             self.stats.degraded_links += 1

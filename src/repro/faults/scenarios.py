@@ -141,8 +141,17 @@ def _degrade(rounds: int = 8, nbytes: int = 16384, factor: float = 0.25) -> Tupl
     )
 
 
-def _checkpoint(simdays: float = 30.0, system_nodes: int = 4096) -> Tuple[Tracer, str]:
-    """Young/Daly checkpoint-adjusted POP wall-clock, two Table 1 machines."""
+def _checkpoint(
+    simdays: float = 30.0, system_nodes: int = 4096, simulate: bool = False
+) -> Tuple[Tracer, str]:
+    """Young/Daly checkpoint-adjusted POP wall-clock, two Table 1 machines.
+
+    With ``simulate`` (``repro faults checkpoint --simulate``) the
+    *executed* checkpoint/restart protocol of :mod:`repro.recovery` is
+    also run in the DES on each machine, and the simulated-vs-analytic
+    runtime delta is appended — the cross-validation that the live
+    protocol reproduces the model it was derived from.
+    """
     from ..apps.pop.des_replay import checkpointed_walltime
     from ..apps.pop.grid import PopGrid
     from ..machines import BGP, XT4_QC
@@ -157,6 +166,14 @@ def _checkpoint(simdays: float = 30.0, system_nodes: int = 4096) -> Tuple[Tracer
                 simdays=simdays, system_nodes=system_nodes,
             )
             lines.append(rep.format())
+    if simulate:
+        # Deliberately outside the tracing context: the comparison runs
+        # hundreds of restart-driver steps that would swamp the trace.
+        from ..recovery.scenarios import simulate_checkpointing
+
+        for machine in (BGP, XT4_QC):
+            cmp_ = simulate_checkpointing(machine, steps=300)
+            lines.append(f"executed vs analytic: {cmp_.format()}")
     return tracer, "\n".join(lines)
 
 

@@ -160,6 +160,13 @@ class Sanitizer:
 
     def finish(self) -> None:
         """Post-run leak checks; raises when anything was left behind."""
+        recovery = getattr(self.cluster, "recovery", None)
+        if recovery is not None and recovery.dead_ranks:
+            # Ranks died and the run recovered: orphaned requests and
+            # revoked in-flight traffic are *expected* debris of the
+            # failure, not application bugs.  Leak checks would only
+            # re-report the failure the program already survived.
+            return
         report = SanitizerReport()
         for rank, req in self._requests:
             if not req._waited:
@@ -202,16 +209,44 @@ class Sanitizer:
             if blocked.op in ("recv", "send") and blocked.peer is not None:
                 edges[rank] = blocked.peer
         report.cycle = self._find_cycle(edges)
+        report.fault_note = self._fault_note()
+        return report
+
+    def _fault_note(self) -> str:
+        """Attribute a hang to injected faults, naming the (missing)
+        mitigation policies so the fix is one import away."""
         injector = getattr(self.cluster, "fault_injector", None)
-        if injector is not None and injector.stats.drops > 0:
-            report.fault_note = (
+        if injector is None:
+            return ""
+        recovery = getattr(self.cluster, "recovery", None)
+        notes: List[str] = []
+        if injector.stats.drops > 0:
+            note = (
                 f"a fault injector dropped {injector.stats.drops} "
                 "message(s) during this run with no retransmission — "
                 "this hang is likely a fault-kill, not an application "
                 "deadlock (enable a ReliabilityPolicy to surface it as "
                 "a FaultError instead)"
             )
-        return report
+            notes.append(note)
+        if injector.stats.failed_nodes > 0:
+            if recovery is None:
+                notes.append(
+                    f"{injector.stats.failed_nodes} node(s) failed with "
+                    "no RecoveryPolicy active — peers of the dead ranks "
+                    "block forever; run under Cluster.run(recovery="
+                    "RecoveryPolicy(...)) to raise RankFailedError and "
+                    "shrink, or restart from checkpoints"
+                )
+            else:
+                notes.append(
+                    f"{injector.stats.failed_nodes} node(s) failed under "
+                    f"{recovery.policy.describe()} — the recovery runtime "
+                    "was active, so a rank likely finished (or never "
+                    "joined) before the failure and cannot take part in "
+                    "the survivors' agreement"
+                )
+        return "; ".join(notes)
 
     def _event_index(self) -> Dict[int, BlockedRank]:
         """Map id(event) -> what waiting on that event means."""

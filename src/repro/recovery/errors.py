@@ -1,0 +1,121 @@
+"""Errors raised by the simulated fault-tolerance (ULFM-style) layer.
+
+These are deliberately free of any :mod:`repro.simmpi` imports so the
+transport and communicator can raise them without an import cycle
+(mirroring :mod:`repro.faults.errors`).  All of them carry structured
+fields and are picklable via ``__reduce__``, so multiprocess sweep
+workers can propagate them across process boundaries intact.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+__all__ = ["RankFailedError", "RestartsExhaustedError"]
+
+Coord = Tuple[int, int, int]
+
+
+class RankFailedError(RuntimeError):
+    """A communication partner's rank (or its node) has failed.
+
+    The simulated analogue of ULFM's ``MPI_ERR_PROC_FAILED``: raised in
+    a *surviving* rank's program when it tries to communicate with (or
+    collectively synchronise across) a failed rank, or when it was
+    already blocked on one at failure time.  A recovery-aware program
+    catches it and calls ``comm.agree()`` / ``comm.shrink()``; under a
+    restart policy the error propagates out of ``Cluster.run`` and the
+    recovery driver rewinds to the last checkpoint.
+    """
+
+    def __init__(
+        self,
+        failed_ranks: Iterable[int],
+        node: Optional[Coord] = None,
+        sim_time: float = 0.0,
+        op: str = "",
+        rank: Optional[int] = None,
+        peer: Optional[int] = None,
+    ) -> None:
+        ranks: FrozenSet[int] = frozenset(failed_ranks)
+        where = f" (node {node})" if node is not None else ""
+        who = f"rank {rank}: " if rank is not None else ""
+        what = f" during {op}" if op else ""
+        at = f" at t={sim_time:.6g}s" if sim_time else ""
+        super().__init__(
+            f"{who}rank(s) {sorted(ranks)}{where} failed{at}{what} — "
+            "communicator is revoked; call comm.agree()/comm.shrink() to "
+            "continue on the survivors, or run under "
+            "RecoveryPolicy(mode='restart') to rewind to a checkpoint"
+        )
+        #: world ranks known dead when the error was raised
+        self.failed_ranks = ranks
+        #: torus coordinates of the failed node, when attributable
+        self.node = node
+        self.sim_time = sim_time
+        #: the operation that observed the failure (``recv``, ``send``, …)
+        self.op = op
+        #: the rank that observed the failure, if known
+        self.rank = rank
+        #: the specific dead peer of a point-to-point op, if any
+        self.peer = peer
+
+    @property
+    def entity(self) -> str:
+        """The failed component, as a diagnostic label."""
+        if self.node is not None:
+            return f"node {self.node}"
+        return f"rank(s) {sorted(self.failed_ranks)}"
+
+    @property
+    def attempt(self) -> int:
+        """Recovery attempt ordinal (a raw failure is always attempt 0)."""
+        return 0
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                tuple(sorted(self.failed_ranks)),
+                self.node,
+                self.sim_time,
+                self.op,
+                self.rank,
+                self.peer,
+            ),
+        )
+
+
+class RestartsExhaustedError(RuntimeError):
+    """The recovery driver gave up restarting a repeatedly-failing run."""
+
+    def __init__(
+        self,
+        attempts: int,
+        max_restarts: int,
+        sim_time: float = 0.0,
+        last_error: str = "",
+    ) -> None:
+        tail = f": {last_error}" if last_error else ""
+        super().__init__(
+            f"run failed {attempts} time(s), exceeding "
+            f"max_restarts={max_restarts} at t={sim_time:.6g}s{tail}"
+        )
+        self.attempts = attempts
+        self.max_restarts = max_restarts
+        self.sim_time = sim_time
+        self.last_error = last_error
+
+    @property
+    def entity(self) -> str:
+        return "recovery-driver"
+
+    @property
+    def attempt(self) -> int:
+        return self.attempts
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.attempts, self.max_restarts, self.sim_time, self.last_error),
+        )

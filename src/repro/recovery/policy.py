@@ -1,0 +1,135 @@
+"""Recovery policies and executed checkpoint schedules.
+
+:class:`RecoveryPolicy` is the frozen configuration object (the
+resilience analogue of :class:`~repro.simmpi.p2p.ReliabilityPolicy`)
+selecting how a run survives node failures:
+
+* ``mode="shrink"`` — ULFM-style shrink-and-continue: surviving ranks
+  agree on the failure, rebuild a live-rank communicator, and keep
+  going (no checkpoint needed, work is redistributed);
+* ``mode="restart"`` — checkpoint/restart: the run periodically writes
+  checkpoints per its :class:`CheckpointSchedule`, and a fatal failure
+  rewinds the replay to the last completed checkpoint and re-executes
+  the lost work.
+
+:class:`CheckpointSchedule` turns PR 3's *analytic*
+:class:`~repro.faults.checkpoint.CheckpointModel` into something the
+DES can execute: a checkpoint interval plus the I/O time one checkpoint
+write costs (through the machine's real forwarding path, tree → ION →
+GPFS on the BG machines) and the restart cost (reboot + checkpoint
+read).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..faults.checkpoint import CheckpointModel
+
+__all__ = ["CheckpointSchedule", "RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class CheckpointSchedule:
+    """When to checkpoint, and what each checkpoint/restart costs.
+
+    All fields are simulation seconds.  ``interval_seconds`` is the
+    target spacing between checkpoint *completions*; the runtime
+    quantises it to application step boundaries (a checkpoint is taken
+    at the first step boundary at least that long after the previous
+    one).
+    """
+
+    interval_seconds: float
+    write_seconds: float
+    restart_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        if self.write_seconds <= 0:
+            raise ValueError("checkpoint write time must be positive")
+        if self.restart_seconds < 0:
+            raise ValueError("restart time must be non-negative")
+
+    @classmethod
+    def from_model(
+        cls, model: CheckpointModel, interval: Optional[float] = None
+    ) -> "CheckpointSchedule":
+        """Executable schedule from the analytic Young/Daly model.
+
+        The default interval is the model's Daly-optimal one, so a DES
+        run under this schedule is directly comparable to
+        ``model.expected_runtime``.
+        """
+        return cls(
+            interval_seconds=(
+                model.optimal_interval() if interval is None else interval
+            ),
+            write_seconds=model.checkpoint_seconds,
+            restart_seconds=model.restart_seconds,
+        )
+
+    @classmethod
+    def for_machine(
+        cls,
+        machine,
+        nodes: int,
+        memory_fraction: float = 0.5,
+        interval: Optional[float] = None,
+    ) -> "CheckpointSchedule":
+        """Schedule for a partition, via the machine's I/O path + MTBF."""
+        model = CheckpointModel.from_machine(
+            machine, nodes, memory_fraction=memory_fraction
+        )
+        return cls.from_model(model, interval=interval)
+
+    def due(self, last_checkpoint_end: float, now: float) -> bool:
+        """Is a checkpoint due at a step boundary at sim time ``now``?"""
+        return now - last_checkpoint_end >= self.interval_seconds
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How a simulated run survives injected node failures.
+
+    ``max_restarts`` bounds restart-mode attempts (a plan that kills
+    the partition faster than it can recover raises
+    :class:`~repro.recovery.errors.RestartsExhaustedError` instead of
+    looping forever).  ``min_ranks`` bounds shrink mode: shrinking
+    below this many survivors raises instead of continuing on a
+    partition too small to be meaningful.
+    """
+
+    mode: str = "shrink"
+    schedule: Optional[CheckpointSchedule] = None
+    max_restarts: int = 16
+    min_ranks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("shrink", "restart"):
+            raise ValueError(
+                f"unknown recovery mode {self.mode!r} "
+                "(expected 'shrink' or 'restart')"
+            )
+        if self.mode == "restart" and self.schedule is None:
+            raise ValueError(
+                "RecoveryPolicy(mode='restart') needs a CheckpointSchedule "
+                "(there is nothing to restart from without checkpoints)"
+            )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.min_ranks < 1:
+            raise ValueError("min_ranks must be >= 1")
+
+    def describe(self) -> str:
+        if self.mode == "restart":
+            s = self.schedule
+            assert s is not None
+            return (
+                f"RecoveryPolicy(mode='restart', checkpoint every "
+                f"{s.interval_seconds:.6g}s at {s.write_seconds:.6g}s/write, "
+                f"restart {s.restart_seconds:.6g}s)"
+            )
+        return f"RecoveryPolicy(mode='shrink', min_ranks={self.min_ranks})"

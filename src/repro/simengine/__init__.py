@@ -14,6 +14,7 @@ Public surface::
     env.run()
 """
 
+from .budget import Budget, BudgetExceeded, BudgetSummary
 from .engine import EmptySchedule, Engine, MS, NS, US
 from .events import AllOf, AnyOf, Event, Interrupt, Timeout
 from .process import Process
@@ -21,6 +22,9 @@ from .resources import Channel, Resource, SerialLink
 from .rng import DEFAULT_SEED, make_rng, spawn
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "BudgetSummary",
     "Engine",
     "EmptySchedule",
     "US",

@@ -1,0 +1,165 @@
+"""Runtime guardrails for long simulations: budgets and watchdogs.
+
+A :class:`Budget` bounds one :meth:`Engine.run <repro.simengine.engine.
+Engine.run>` call along four axes — events processed, simulation time,
+wall-clock time, and forward progress (a livelock detector that trips
+when many consecutive events process without the simulation clock
+advancing).  Exceeding any bound raises :class:`BudgetExceeded`, which
+carries a :class:`BudgetSummary` of how far the run got, so a buggy or
+adversarial scenario degrades into a diagnosable partial result instead
+of hanging CI.
+
+The simulation-side bounds (events, sim time, stalled events) are fully
+deterministic: two runs of the same workload trip at the same event.
+The wall-clock bound necessarily reads the host clock and is therefore
+the one intentionally nondeterministic guardrail — use it as a backstop,
+not as the primary limit, when byte-identical traces matter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["Budget", "BudgetExceeded", "BudgetSummary"]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Bounds for one ``Engine.run`` call (``None`` = unbounded).
+
+    ``max_stalled_events`` is the livelock watchdog: the number of
+    consecutive events the engine may process *without the simulation
+    clock advancing* before the run is declared livelocked.  Legitimate
+    same-timestamp cascades (collective fan-outs, zero-delay callbacks)
+    are O(ranks), so the default of 100 000 never fires on a healthy
+    run; a ``while True: yield env.timeout(0)`` loop trips it quickly.
+    Note the watchdog only catches zero-advance loops — a "Zeno" loop
+    that creeps forward by tiny increments must be caught by
+    ``max_events``, ``max_sim_time``, or ``max_wall_seconds`` instead.
+    """
+
+    max_events: Optional[int] = None
+    max_sim_time: Optional[float] = None
+    max_wall_seconds: Optional[float] = None
+    max_stalled_events: Optional[int] = 100_000
+    #: host-clock check cadence, in events (keeps the hot loop cheap)
+    wall_check_stride: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        if self.max_sim_time is not None and self.max_sim_time < 0:
+            raise ValueError("max_sim_time must be non-negative")
+        if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
+            raise ValueError("max_wall_seconds must be positive")
+        if self.max_stalled_events is not None and self.max_stalled_events < 1:
+            raise ValueError("max_stalled_events must be >= 1")
+        if self.wall_check_stride < 1:
+            raise ValueError("wall_check_stride must be >= 1")
+
+
+@dataclass(frozen=True)
+class BudgetSummary:
+    """How far a budgeted run got before (or when) it was cut off."""
+
+    #: which bound tripped: ``max-events`` | ``max-sim-time`` |
+    #: ``max-wall-seconds`` | ``livelock``
+    reason: str
+    #: simulation time at cutoff, seconds
+    sim_time: float
+    #: events processed by this ``run`` call
+    events: int
+    #: host seconds elapsed in this ``run`` call
+    wall_seconds: float
+    #: consecutive events without sim-time advance at cutoff
+    stalled_events: int = 0
+    #: caller-supplied partial-result context (e.g. cluster statistics)
+    detail: str = ""
+
+    def format(self) -> str:
+        text = (
+            f"simulation budget exceeded ({self.reason}): stopped at "
+            f"t={self.sim_time:.6g}s after {self.events} event(s), "
+            f"{self.wall_seconds:.2f}s wall"
+        )
+        if self.reason == "livelock":
+            text += (
+                f"; {self.stalled_events} consecutive event(s) without "
+                "sim-time advance (livelock watchdog)"
+            )
+        if self.detail:
+            text += f" | {self.detail}"
+        return text
+
+
+class BudgetExceeded(RuntimeError):
+    """A budgeted run hit one of its bounds.
+
+    Carries the structured :class:`BudgetSummary` as ``summary`` and is
+    picklable, so multiprocess sweep workers can propagate it verbatim.
+    """
+
+    def __init__(self, summary: BudgetSummary) -> None:
+        super().__init__(summary.format())
+        self.summary = summary
+
+    def __reduce__(self):
+        return (type(self), (self.summary,))
+
+    def with_detail(self, detail: str) -> "BudgetExceeded":
+        """A copy with partial-result context appended to the summary."""
+        return BudgetExceeded(replace(self.summary, detail=detail))
+
+
+@dataclass
+class _BudgetWatch:
+    """Mutable per-run state enforcing one :class:`Budget`.
+
+    Created by ``Engine.run`` when a budget is given; ``check`` runs
+    before each event is processed.
+    """
+
+    budget: Budget
+    start_events: int
+    last_now: float
+    wall_start: float = field(
+        default_factory=time.monotonic  # simlint: ignore[determinism-hazard]
+    )
+    stalled: int = 0
+    events: int = 0
+
+    def check(self, engine, next_time: float) -> None:
+        b = self.budget
+        self.events = engine.events_processed - self.start_events
+        if b.max_events is not None and self.events >= b.max_events:
+            raise BudgetExceeded(self._summary("max-events", engine))
+        if b.max_sim_time is not None and next_time > b.max_sim_time:
+            raise BudgetExceeded(self._summary("max-sim-time", engine))
+        if b.max_stalled_events is not None:
+            if next_time > self.last_now:
+                self.last_now = next_time
+                self.stalled = 0
+            else:
+                self.stalled += 1
+                if self.stalled >= b.max_stalled_events:
+                    raise BudgetExceeded(self._summary("livelock", engine))
+        if (
+            b.max_wall_seconds is not None
+            and self.events % b.wall_check_stride == 0
+            and self._wall() > b.max_wall_seconds
+        ):
+            raise BudgetExceeded(self._summary("max-wall-seconds", engine))
+
+    def _wall(self) -> float:
+        return time.monotonic() - self.wall_start  # simlint: ignore[determinism-hazard]
+
+    def _summary(self, reason: str, engine) -> BudgetSummary:
+        return BudgetSummary(
+            reason=reason,
+            sim_time=engine.now,
+            events=self.events,
+            wall_seconds=self._wall(),
+            stalled_events=self.stalled,
+        )

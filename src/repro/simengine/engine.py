@@ -14,6 +14,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from .budget import Budget, _BudgetWatch
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process
 
@@ -131,13 +132,25 @@ class Engine:
             raise exc
 
     # -- driving -----------------------------------------------------------
-    def run(self, until: Optional[Any] = None) -> Any:
+    def run(
+        self, until: Optional[Any] = None, budget: Optional[Budget] = None
+    ) -> Any:
         """Run the simulation.
 
         ``until`` may be ``None`` (run to exhaustion), a number (run up to
         that simulation time), or an :class:`Event` (run until it
         triggers, returning its value).
+
+        ``budget`` bounds the run (events, sim time, wall clock, and a
+        no-sim-time-advance livelock watchdog); exceeding any bound
+        raises :class:`~repro.simengine.budget.BudgetExceeded` with a
+        partial-result summary instead of hanging.
         """
+        watch: Optional[_BudgetWatch] = None
+        if budget is not None:
+            watch = _BudgetWatch(
+                budget, start_events=self.events_processed, last_now=self._now
+            )
         stop_event: Optional[Event] = None
         stop_time = float("inf")
         if until is None:
@@ -180,6 +193,8 @@ class Engine:
             if nxt > stop_time:
                 self._now = stop_time
                 return None
+            if watch is not None:
+                watch.check(self, nxt)
             self.step()
 
     def run_all(self) -> float:

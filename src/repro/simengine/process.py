@@ -63,6 +63,11 @@ class Process(Event):
 
     # -- engine callback ---------------------------------------------------
     def _resume(self, event: Event) -> None:
+        if self._value is not PENDING:
+            # Already finished — e.g. killed by the recovery runtime
+            # while its bootstrap event was still queued.  Resuming a
+            # closed generator would double-trigger this event.
+            return
         self.env._active_process = self  # type: ignore[attr-defined]
         while True:
             try:

@@ -68,6 +68,11 @@ class ClusterResult:
     #: the run's :class:`~repro.faults.FaultStats` when a fault plan or
     #: injector was supplied to :meth:`Cluster.run`, else ``None``
     faults: Optional[Any] = None
+    #: the run's :class:`~repro.recovery.RecoveryRuntime` when a
+    #: recovery policy was supplied to :meth:`Cluster.run`, else
+    #: ``None``; its ``times()`` give the clean/lost/rework/overhead
+    #: decomposition of ``elapsed``
+    recovery: Optional[Any] = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return (
@@ -152,6 +157,10 @@ class Cluster:
         self.tracer = None
         #: attached :class:`~repro.faults.FaultInjector`, or ``None``
         self.fault_injector = None
+        #: attached :class:`~repro.recovery.RecoveryRuntime`, or
+        #: ``None`` (node failures then hang their victims instead of
+        #: raising :class:`~repro.recovery.RankFailedError`)
+        self.recovery = None
 
     # -- running programs ---------------------------------------------------
     def run(
@@ -161,6 +170,8 @@ class Cluster:
         sanitize: bool = False,
         trace: bool = False,
         faults: Optional[Any] = None,
+        recovery: Optional[Any] = None,
+        budget: Optional[Any] = None,
     ) -> ClusterResult:
         """Execute ``program(comm, *args)`` on every rank to completion.
 
@@ -179,6 +190,18 @@ class Cluster:
         :class:`~repro.faults.FaultPlan` (an injector is built for it)
         or a ready :class:`~repro.faults.FaultInjector`.  The run's
         fault statistics come back on ``ClusterResult.faults``.
+
+        ``recovery`` arms ULFM-style failure semantics: pass a
+        :class:`~repro.recovery.RecoveryPolicy` (a runtime is built for
+        it) or a ready :class:`~repro.recovery.RecoveryRuntime`.  Node
+        failures then kill their ranks and *revoke* the communicator —
+        surviving ranks see :class:`~repro.recovery.RankFailedError`
+        and may ``comm.shrink()`` onto the survivors; without recovery
+        a node failure silently hangs its communication partners.
+
+        ``budget`` (a :class:`~repro.simengine.Budget`) bounds the run;
+        exceeding it raises :class:`~repro.simengine.BudgetExceeded`
+        enriched with a partial-result summary.
         """
         if faults is not None and self.fault_injector is None:
             from ..faults import FaultInjector, FaultPlan
@@ -188,6 +211,15 @@ class Cluster:
             )
             injector.attach(self)
             self.fault_injector = injector
+        if recovery is not None and self.recovery is None:
+            from ..recovery import RecoveryPolicy, RecoveryRuntime
+
+            runtime = (
+                RecoveryRuntime(recovery)
+                if isinstance(recovery, RecoveryPolicy)
+                else recovery
+            )
+            runtime.attach(self)
         if self.tracer is None:
             from ..obs import active_tracer, Tracer
 
@@ -208,15 +240,19 @@ class Cluster:
             for r in range(self.ranks):
                 comm = RankComm(self, r)
                 procs.append(self.env.process(program(comm, *args)))
+            if self.recovery is not None:
+                self.recovery.begin_run(procs)
             done = self.env.all_of(procs)
             if san is not None:
                 san.attach(procs)
                 try:
-                    self.env.run(done)
+                    self._drive(done, procs, budget)
                 finally:
                     san.detach()
             else:
-                self.env.run(done)
+                self._drive(done, procs, budget)
+            if self.recovery is not None:
+                self.recovery.finalize_success(self.env.now)
             result = ClusterResult(
                 elapsed=self.env.now - start,
                 returns=[p.value for p in procs],
@@ -228,6 +264,7 @@ class Cluster:
                     if self.fault_injector is not None
                     else None
                 ),
+                recovery=self.recovery,
             )
             if san is not None:
                 # Let in-flight deliveries land, then check for leaks.
@@ -237,8 +274,37 @@ class Cluster:
         finally:
             self.sanitizer = None
 
+    def _drive(self, done: Event, procs: List[Process], budget: Optional[Any]) -> None:
+        """Run the engine to ``done``, decorating budget overruns."""
+        if budget is None:
+            self.env.run(done)
+            return
+        from ..simengine import BudgetExceeded
+
+        try:
+            self.env.run(done, budget=budget)
+        except BudgetExceeded as exc:
+            alive = sum(1 for p in procs if p.is_alive)
+            raise exc.with_detail(
+                f"cluster partial result: {alive}/{self.ranks} rank(s) "
+                f"still running, {self.transport.messages_sent} message(s) "
+                f"and {self.transport.bytes_sent} B sent"
+            ) from None
+
     # -- hardware-collective synchronisation ---------------------------------
     def _next_sync(self, rank: int, kind: str) -> _OpSync:
+        recovery = self.recovery
+        if recovery is not None and recovery.dead_ranks:
+            # A world hardware collective can never complete once ranks
+            # have died: the tree/barrier networks span the partition.
+            from ..recovery.errors import RankFailedError
+
+            raise RankFailedError(
+                recovery.dead_ranks,
+                sim_time=self.env.now,
+                op=f"collective {kind}",
+                rank=rank,
+            )
         idx = self._op_counters.get(rank, 0)
         self._op_counters[rank] = idx + 1
         sync = self._op_syncs.get(idx)
@@ -308,14 +374,80 @@ class RankComm:
         """Torus coordinates of the node hosting this rank."""
         return self.cluster.mapping.node_of(self.rank)
 
+    # -- recovery gate ---------------------------------------------------------
+    def _guard(self, op: str, peer: Optional[int] = None) -> None:
+        """ULFM revocation check at operation entry.
+
+        Once any rank has died, the world communicator is revoked:
+        every new operation on it raises
+        :class:`~repro.recovery.RankFailedError` (survivors must
+        ``agree()``/``shrink()`` onto a live-rank communicator or be
+        restarted from a checkpoint).  A no-op without recovery armed.
+        """
+        recovery = self.cluster.recovery
+        if recovery is not None and recovery.dead_ranks:
+            from ..recovery.errors import RankFailedError
+
+            raise RankFailedError(
+                recovery.dead_ranks,
+                sim_time=self.env.now,
+                op=op,
+                rank=self.rank,
+                peer=peer,
+            )
+
+    def _require_recovery(self, op: str):
+        recovery = self.cluster.recovery
+        if recovery is None:
+            raise RuntimeError(
+                f"comm.{op}() needs an armed recovery runtime — run under "
+                "Cluster.run(recovery=RecoveryPolicy(...))"
+            )
+        return recovery
+
+    # -- ULFM recovery collectives ---------------------------------------------
+    def agree(self):
+        """Agree on the failed-rank set with every other survivor.
+
+        Generator; returns the agreed ``frozenset`` of dead world
+        ranks.  The simulated analogue of ``MPIX_Comm_agree``: it
+        completes only once every live rank has entered (survivors get
+        there by catching :class:`~repro.recovery.RankFailedError`).
+        """
+        runtime = self._require_recovery("agree")
+        dead, _resume = yield from runtime.agreement(self)
+        return dead
+
+    def shrink(self):
+        """Build the deterministic live-rank sub-communicator.
+
+        Generator; agrees on the failure set (see :meth:`agree`), pays
+        one small software allreduce over the survivors as the
+        agreement cost, and returns a
+        :class:`~repro.simmpi.subcomm.SubComm` over the live ranks —
+        the simulated analogue of ``MPIX_Comm_shrink``.
+        """
+        runtime = self._require_recovery("shrink")
+        sub, _resume = yield from runtime.shrink(self)
+        return sub
+
     # -- point-to-point --------------------------------------------------------
     def send(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
         """Blocking send (generator; drive with ``yield from``)."""
+        self._guard("send", peer=dst)
+        yield from self._do_send(dst, nbytes, tag, payload)
+
+    def _do_send(self, dst: int, nbytes: int, tag: int, payload: Any):
         self._check_peer(dst)
         yield from self.cluster.transport.send(self.rank, dst, nbytes, tag, payload)
 
     def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; returns the :class:`Message`."""
+        self._guard("recv", peer=None if src == ANY_SOURCE else src)
+        msg = yield from self._do_recv(src, tag)
+        return msg
+
+    def _do_recv(self, src: int, tag: int):
         if src != ANY_SOURCE:
             self._check_peer(src)
         tracer = self.cluster.tracer
@@ -336,6 +468,10 @@ class RankComm:
 
     def isend(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None) -> Request:
         """Nonblocking send; completes at eager-injection/rendezvous end."""
+        self._guard("isend", peer=dst)
+        return self._do_isend(dst, nbytes, tag, payload)
+
+    def _do_isend(self, dst: int, nbytes: int, tag: int, payload: Any) -> Request:
         self._check_peer(dst)
         proc = self.env.process(
             self.cluster.transport.send(self.rank, dst, nbytes, tag, payload)
@@ -344,6 +480,10 @@ class RankComm:
 
     def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Nonblocking receive; posted immediately (matching order!)."""
+        self._guard("irecv", peer=None if src == ANY_SOURCE else src)
+        return self._do_irecv(src, tag)
+
+    def _do_irecv(self, src: int, tag: int) -> Request:
         if src != ANY_SOURCE:
             self._check_peer(src)
         ev = self.cluster.transport.post_recv(self.rank, src, tag)

@@ -193,6 +193,8 @@ class Transport:
         self.reliability = reliability
         #: the attached repro.faults.FaultInjector, if any
         self.fault_injector: Optional[Any] = None
+        #: the attached repro.recovery.RecoveryRuntime, if any
+        self.recovery: Optional[Any] = None
         self.queues: Dict[int, _MatchQueue] = {}
         #: total messages injected (stats)
         self.messages_sent = 0
@@ -318,7 +320,23 @@ class Transport:
             raise ValueError(f"tag must be >= 0, got {tag}")
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
+        self._check_dead(src, dst, "send")
         return self._send_observed(src, dst, nbytes, tag, payload)
+
+    def _check_dead(self, src: int, dst: int, op: str) -> None:
+        """ULFM: touching a dead rank raises at the initiating peer."""
+        recovery = self.recovery
+        if recovery is None or not recovery.dead_ranks:
+            return
+        dead = recovery.dead_ranks
+        if src in dead or dst in dead:
+            from ..recovery.errors import RankFailedError
+
+            peer = dst if dst in dead else src
+            raise RankFailedError(
+                dead, sim_time=self.env.now, op=op,
+                rank=src if op == "send" else dst, peer=peer,
+            )
 
     def _send_observed(self, src: int, dst: int, nbytes: int, tag: int, payload: Any):
         if not self._send_hooks:
@@ -431,6 +449,23 @@ class Transport:
 
     def _rts_arrived(self, envelope: _Envelope) -> None:
         envelope.rts_arrived = True
+        recovery = self.recovery
+        if recovery is not None and envelope.msg.dst in recovery.dead_ranks:
+            # The receiver died while the RTS was in flight: fail the
+            # sender instead of parking the envelope forever.
+            done = envelope.sender_done
+            if done is not None and not done.triggered:
+                from ..recovery.errors import RankFailedError
+
+                msg = envelope.msg
+                done.fail(
+                    RankFailedError(
+                        recovery.dead_ranks, sim_time=self.env.now,
+                        op="send", rank=msg.src, peer=msg.dst,
+                    )
+                )
+                done.defuse()
+            return
         self.queue_of(envelope.msg.dst).incoming(envelope)
 
     def _rendezvous_matched(self, envelope: _Envelope) -> None:
@@ -519,11 +554,17 @@ class Transport:
     def _fail_rendezvous(self, envelope: _Envelope, err: FaultError) -> None:
         """Kill both sides of a rendezvous with sender-side attribution."""
         self._record_kill()
+        recovery = self.recovery
+        dead = recovery.dead_ranks if recovery is not None else ()
         if envelope.sender_done is not None and not envelope.sender_done.triggered:
             envelope.sender_done.fail(err)
+            if envelope.msg.src in dead:
+                envelope.sender_done.defuse()
         recv = envelope.matched_recv
         if recv is not None and not recv.triggered:
             recv.fail(err)
+            if envelope.msg.dst in dead:
+                recv.defuse()
 
     # -- receives ------------------------------------------------------------
     def post_recv(self, dst: int, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
@@ -537,4 +578,6 @@ class Transport:
             self._check_rank(src, "source")
         if tag != ANY_TAG and tag < 0:
             raise ValueError(f"tag must be >= 0 or ANY_TAG, got {tag}")
+        if src != ANY_SOURCE:
+            self._check_dead(src, dst, "recv")
         return self.queue_of(dst).post_recv(src, tag)

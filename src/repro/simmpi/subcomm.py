@@ -30,9 +30,16 @@ _SUB_TAG = 1 << 24
 
 
 class SubComm:
-    """A communicator over a subgroup of a cluster's ranks."""
+    """A communicator over a subgroup of a cluster's ranks.
 
-    __slots__ = ("parent", "group", "rank", "_group_id")
+    Under an armed recovery runtime a SubComm is bound to the *shrink
+    generation* it was created in: when a later node failure advances
+    the generation, every subsequent operation on this communicator
+    raises :class:`~repro.recovery.RankFailedError` (the ULFM revoke),
+    and the survivors must shrink again.
+    """
+
+    __slots__ = ("parent", "group", "rank", "_group_id", "_gen")
 
     def __init__(self, parent: RankComm, group: List[int], group_id: int) -> None:
         if parent.rank not in group:
@@ -43,6 +50,8 @@ class SubComm:
         self.group = list(group)
         self.rank = self.group.index(parent.rank)
         self._group_id = group_id
+        recovery = parent.cluster.recovery
+        self._gen = 0 if recovery is None else recovery.generation
 
     # -- introspection -------------------------------------------------------
     @property
@@ -75,27 +84,43 @@ class SubComm:
         # concurrent collectives on different subgroups cannot collide.
         return _SUB_TAG + self._group_id * (1 << 22) + tag
 
+    def _guard(self, op: str, peer: Optional[int] = None) -> None:
+        """Raise when a later failure has revoked this generation."""
+        recovery = self.parent.cluster.recovery
+        if recovery is not None and recovery.generation != self._gen:
+            from ..recovery.errors import RankFailedError
+
+            raise RankFailedError(
+                recovery.dead_ranks,
+                sim_time=self.parent.env.now,
+                op=op,
+                rank=self.parent.rank,
+                peer=peer,
+            )
+
     # -- point-to-point ---------------------------------------------------------
     def send(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
-        yield from self.parent.send(
-            self.world_rank(dst), nbytes, tag=self._tag(tag), payload=payload
-        )
+        wdst = self.world_rank(dst)
+        self._guard("send", peer=wdst)
+        yield from self.parent._do_send(wdst, nbytes, self._tag(tag), payload)
 
     def recv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
         wsrc = ANY_SOURCE if src == ANY_SOURCE else self.world_rank(src)
+        self._guard("recv", peer=None if src == ANY_SOURCE else wsrc)
         wtag = ANY_TAG if tag == ANY_TAG else self._tag(tag)
-        msg = yield from self.parent.recv(src=wsrc, tag=wtag)
+        msg = yield from self.parent._do_recv(wsrc, wtag)
         return msg
 
     def isend(self, dst: int, nbytes: int, tag: int = 0, payload: Any = None):
-        return self.parent.isend(
-            self.world_rank(dst), nbytes, tag=self._tag(tag), payload=payload
-        )
+        wdst = self.world_rank(dst)
+        self._guard("isend", peer=wdst)
+        return self.parent._do_isend(wdst, nbytes, self._tag(tag), payload)
 
     def irecv(self, src: int = ANY_SOURCE, tag: int = ANY_TAG):
         wsrc = ANY_SOURCE if src == ANY_SOURCE else self.world_rank(src)
+        self._guard("irecv", peer=None if src == ANY_SOURCE else wsrc)
         wtag = ANY_TAG if tag == ANY_TAG else self._tag(tag)
-        return self.parent.irecv(src=wsrc, tag=wtag)
+        return self.parent._do_irecv(wsrc, wtag)
 
     def wait(self, req):
         value = yield from self.parent.wait(req)
@@ -118,6 +143,11 @@ class SubComm:
         yield from self.parent.compute(
             flops=flops, bytes_moved=bytes_moved, seconds=seconds
         )
+
+    # -- phase annotation -------------------------------------------------------
+    def phase(self, name: str):
+        """Named application-phase span (see :meth:`RankComm.phase`)."""
+        return self.parent.phase(name)
 
     # -- collectives (software algorithms over the subgroup) --------------------
     def barrier(self):

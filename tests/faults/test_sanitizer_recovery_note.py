@@ -1,0 +1,75 @@
+"""The deadlock sanitizer names the (missing or active) recovery policy.
+
+A node failure with no recovery armed leaves peers blocked forever; the
+sanitizer must say so and point at ``RecoveryPolicy``.  With a runtime
+active, the remaining way to hang is a rank that finished (or never
+joined) before the failure and so cannot take part in the survivors'
+agreement — the note must name the active policy instead.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, NodeFail
+from repro.lint import DeadlockError
+from repro.machines import BGP
+from repro.recovery import RankFailedError, RecoveryPolicy
+from repro.simmpi import Cluster
+
+RANKS = 4
+
+
+def _kill(cluster, rank, time):
+    return FaultPlan(
+        (NodeFail(time=time, node=cluster.mapping.node_of(rank)),)
+    )
+
+
+def test_node_failure_without_policy_names_missing_policy():
+    cluster = Cluster(BGP, ranks=RANKS, mode="SMP")
+
+    def program(comm):
+        if comm.rank == 3:
+            # Finishes before the kill: never errors, never answers.
+            yield from comm.compute(seconds=0.2)
+            return "early"
+        yield from comm.compute(seconds=1.0)
+        yield from comm.recv(src=3, tag=7)
+        return "unreachable"
+
+    with pytest.raises(DeadlockError) as info:
+        cluster.run(
+            program, faults=_kill(cluster, 3, 0.5), sanitize=True
+        )
+    text = str(info.value)
+    assert "no RecoveryPolicy active" in text
+    assert "RankFailedError" in text
+
+
+def test_finished_rank_blocks_agreement_names_active_policy():
+    cluster = Cluster(BGP, ranks=RANKS, mode="SMP")
+    policy = RecoveryPolicy(mode="shrink")
+
+    def program(comm):
+        if comm.rank == 0:
+            # Finished before the failure: cannot join the agreement.
+            yield from comm.compute(seconds=0.1)
+            return "early"
+        if comm.rank == 3:
+            yield from comm.compute(seconds=5.0)
+            return "victim"
+        try:
+            yield from comm.compute(seconds=0.3)
+            yield from comm.recv(src=3, tag=7)
+        except RankFailedError:
+            yield from comm.agree()
+        return "unreachable"
+
+    with pytest.raises(DeadlockError) as info:
+        cluster.run(
+            program, recovery=policy, faults=_kill(cluster, 3, 0.5),
+            sanitize=True,
+        )
+    text = str(info.value)
+    assert "recovery runtime was active" in text
+    assert policy.describe() in text
+    assert "finished (or never joined) before the failure" in text

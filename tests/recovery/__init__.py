@@ -1,0 +1,1 @@
+"""Tests for repro.recovery (ULFM shrink, checkpoint/restart, budgets)."""

@@ -1,0 +1,69 @@
+"""The ``repro recover`` subcommand and ``faults checkpoint --simulate``."""
+
+import json
+
+from repro.cli import main
+from repro.recovery.scenarios import recover_scenario_ids
+
+
+def test_recover_list(capsys):
+    assert main(["recover", "--list"]) == 0
+    out = capsys.readouterr().out
+    for sid in recover_scenario_ids():
+        assert sid in out
+    assert {"pop-shrink", "pop-restart", "s3d-shrink", "livelock",
+            "checkpoint-sim"} <= set(recover_scenario_ids())
+
+
+def test_recover_requires_scenario(capsys):
+    assert main(["recover"]) == 2
+    assert "scenario id" in capsys.readouterr().err
+
+
+def test_recover_unknown_scenario_exits_2(capsys):
+    assert main(["recover", "nope"]) == 2
+    assert "unknown recovery scenario" in capsys.readouterr().err
+
+
+def test_recover_unsupported_param_exits_2(capsys):
+    assert main(["recover", "livelock", "--param", "bogus=1"]) == 2
+    assert "does not take parameter" in capsys.readouterr().err
+
+
+def test_recover_livelock_budget_fires(capsys):
+    assert main(["recover", "livelock"]) == 0
+    out = capsys.readouterr().out
+    assert "livelock stopped as intended" in out
+    assert "budget exceeded" in out
+
+
+def test_recover_pop_shrink_writes_artifacts(tmp_path, capsys):
+    trace = tmp_path / "shrink.trace.json"
+    metrics = tmp_path / "shrink.metrics.json"
+    assert main(
+        [
+            "recover", "pop-shrink",
+            "--param", "processes=8", "--param", "steps=4",
+            "-o", str(trace), "--metrics", str(metrics),
+        ]
+    ) == 0
+    stdout = capsys.readouterr().out
+    assert "shrink" in stdout
+    doc = json.loads(trace.read_text())
+    assert any(ev.get("cat") == "recovery" for ev in doc["traceEvents"])
+    mdoc = json.loads(metrics.read_text())
+    assert any(k.startswith("recovery.") for k in mdoc.get("counters", mdoc))
+
+
+def test_faults_checkpoint_simulate(capsys):
+    assert main(["faults", "checkpoint", "--simulate"]) == 0
+    out = capsys.readouterr().out
+    assert "executed vs analytic" in out
+    # Both Table 1 machines are compared and each shows a signed delta.
+    assert out.count("executed vs analytic") >= 2
+    assert "%" in out
+
+
+def test_faults_checkpoint_without_simulate_is_analytic_only(capsys):
+    assert main(["faults", "checkpoint"]) == 0
+    assert "executed vs analytic" not in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Every resilience-layer error must survive a pickle round trip.
+
+Multiprocess sweep workers propagate these errors across process
+boundaries; a naive ``Exception`` subclass with a multi-arg ``__init__``
+breaks un-pickling unless ``__reduce__`` rebuilds it from its original
+arguments.  Each error also exposes the structured diagnostic triple
+(``entity``, ``sim_time``, ``attempt``).
+"""
+
+import pickle
+
+import pytest
+
+from repro.faults.errors import FaultError
+from repro.recovery.errors import RankFailedError, RestartsExhaustedError
+from repro.simengine import Budget, BudgetExceeded
+from repro.simengine.budget import BudgetSummary
+
+
+def _roundtrip(err):
+    clone = pickle.loads(pickle.dumps(err))
+    assert type(clone) is type(err)
+    assert str(clone) == str(err)
+    return clone
+
+
+def test_fault_error_roundtrip():
+    err = FaultError(
+        src=3, dst=7, tag=42, nbytes=4096,
+        link=((0, 0, 0), (1, 0, 0)), attempts=2, time=1.25, reason="corruption",
+    )
+    clone = _roundtrip(err)
+    assert clone.src == 3 and clone.dst == 7
+    assert clone.tag == 42 and clone.nbytes == 4096
+    assert clone.link == ((0, 0, 0), (1, 0, 0))
+    assert clone.reason == "corruption"
+    assert clone.entity == "link (0, 0, 0)->(1, 0, 0)"
+    assert clone.sim_time == pytest.approx(1.25)
+    assert clone.attempt == 2
+
+
+def test_fault_error_entity_without_link():
+    err = FaultError(src=0, dst=5, tag=0, nbytes=8, time=0.5)
+    assert _roundtrip(err).entity == "route 0->5"
+
+
+def test_rank_failed_error_roundtrip():
+    err = RankFailedError(
+        [5, 7], node=(1, 2, 3), sim_time=2.5, op="recv", rank=4, peer=5
+    )
+    clone = _roundtrip(err)
+    assert clone.failed_ranks == frozenset({5, 7})
+    assert clone.node == (1, 2, 3)
+    assert clone.op == "recv" and clone.rank == 4 and clone.peer == 5
+    assert clone.entity == "node (1, 2, 3)"
+    assert clone.sim_time == pytest.approx(2.5)
+    assert clone.attempt == 0
+
+
+def test_rank_failed_error_entity_without_node():
+    err = RankFailedError([2], sim_time=1.0)
+    assert _roundtrip(err).entity == "rank(s) [2]"
+
+
+def test_restarts_exhausted_roundtrip():
+    err = RestartsExhaustedError(
+        5, 4, sim_time=99.0, last_error="node (0, 0, 0) failed"
+    )
+    clone = _roundtrip(err)
+    assert clone.attempts == 5 and clone.max_restarts == 4
+    assert clone.last_error == "node (0, 0, 0) failed"
+    assert clone.entity == "recovery-driver"
+    assert clone.sim_time == pytest.approx(99.0)
+    assert clone.attempt == 5
+
+
+def test_budget_exceeded_roundtrip():
+    err = BudgetExceeded(
+        BudgetSummary(
+            reason="livelock", sim_time=0.0, events=1000,
+            wall_seconds=0.1, stalled_events=1000, detail="4/4 running",
+        )
+    )
+    clone = _roundtrip(err)
+    assert clone.summary == err.summary
+    assert clone.summary.reason == "livelock"
+    assert "4/4 running" in str(clone)
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        Budget(max_events=0)
+    with pytest.raises(ValueError):
+        Budget(max_sim_time=-1.0)
+    with pytest.raises(ValueError):
+        Budget(max_wall_seconds=0.0)
+    with pytest.raises(ValueError):
+        Budget(max_stalled_events=0)

@@ -1,0 +1,133 @@
+"""Property-based invariants of the recovery time accounting.
+
+Whatever fault plan the adversary picks, the walltime decomposition
+``clean + lost + rework + checkpoint_overhead == walltime`` must hold
+exactly — it is built from an exhaustive segment tiling, not from
+subtraction — and the segments themselves must tile ``[0, walltime]``.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.faults import FaultPlan, NodeFail  # noqa: E402
+from repro.machines import BGP  # noqa: E402
+from repro.recovery import (  # noqa: E402
+    CheckpointSchedule,
+    RankFailedError,
+    RecoveryPolicy,
+    RecoveryRuntime,
+    RestartsExhaustedError,
+    run_recovered,
+)
+from repro.simmpi import Cluster  # noqa: E402
+
+RANKS = 4
+STEPS = 5
+STEP_SECONDS = 0.4
+
+
+def _check_tiling(segments, walltime):
+    edge = 0.0
+    for seg in segments:
+        assert seg.start == pytest.approx(edge, abs=1e-9)
+        assert seg.end >= seg.start
+        edge = seg.end
+    assert edge == pytest.approx(walltime, abs=1e-9)
+
+
+def _check_decomposition(times):
+    total = times.clean + times.lost + times.rework + times.checkpoint_overhead
+    assert times.walltime == pytest.approx(total, abs=1e-9)
+    for part in (times.clean, times.lost, times.rework,
+                 times.checkpoint_overhead):
+        assert part >= 0.0
+
+
+def _program_factory(runtime, start_step):
+    def program(comm):
+        for step in range(start_step, STEPS):
+            yield from comm.compute(seconds=STEP_SECONDS)
+            req = comm.irecv(src=(comm.rank - 1) % comm.size, tag=step)
+            yield from comm.send((comm.rank + 1) % comm.size, 2048, tag=step)
+            yield from comm.waitall([req])
+            runtime.end_step(comm, step)
+            yield from runtime.maybe_checkpoint(comm, step)
+        return comm.now
+
+    return program
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    kill_times=st.lists(
+        st.floats(min_value=0.05, max_value=6.0, allow_nan=False),
+        min_size=0, max_size=3, unique=True,
+    ),
+    kill_rank=st.integers(min_value=0, max_value=RANKS - 1),
+    interval=st.floats(min_value=0.5, max_value=3.0, allow_nan=False),
+    write=st.floats(min_value=0.05, max_value=0.4, allow_nan=False),
+)
+def test_restart_decomposition_invariant(kill_times, kill_rank, interval, write):
+    node = Cluster(BGP, ranks=RANKS, mode="VN").mapping.node_of(kill_rank)
+    plan = FaultPlan(
+        tuple(NodeFail(time=t, node=node) for t in sorted(kill_times))
+    )
+    policy = RecoveryPolicy(
+        mode="restart",
+        schedule=CheckpointSchedule(
+            interval_seconds=interval, write_seconds=write,
+            restart_seconds=0.3,
+        ),
+        max_restarts=8,
+    )
+    try:
+        out = run_recovered(
+            policy,
+            lambda env: Cluster(BGP, ranks=RANKS, mode="VN", env=env),
+            _program_factory,
+            plan=plan,
+        )
+    except RestartsExhaustedError:
+        # An adversarial plan may kill faster than checkpoints complete;
+        # giving up is legitimate, accounting is checked on success.
+        return
+    _check_decomposition(out.times)
+    _check_tiling(out.segments, out.times.walltime)
+    assert out.attempts >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    kill_time=st.floats(min_value=0.05, max_value=1.8, allow_nan=False),
+    kill_rank=st.integers(min_value=0, max_value=RANKS - 1),
+)
+def test_shrink_decomposition_invariant(kill_time, kill_rank):
+    cluster = Cluster(BGP, ranks=RANKS, mode="VN")
+    node = cluster.mapping.node_of(kill_rank)
+    plan = FaultPlan((NodeFail(time=kill_time, node=node),))
+    runtime = RecoveryRuntime(RecoveryPolicy(mode="shrink"))
+
+    def program(world):
+        comm, step = world, 0
+        while step < STEPS:
+            try:
+                yield from comm.compute(seconds=STEP_SECONDS)
+                req = comm.irecv(src=(comm.rank - 1) % comm.size, tag=step)
+                yield from comm.send(
+                    (comm.rank + 1) % comm.size, 2048, tag=step
+                )
+                yield from comm.waitall([req])
+                runtime.end_step(comm, step)
+                step += 1
+            except RankFailedError:
+                comm, step = yield from runtime.recover(world, step)
+        return comm.size
+
+    res = cluster.run(program, recovery=runtime, faults=plan)
+    times = runtime.times()
+    assert times.walltime == pytest.approx(res.elapsed, abs=1e-9)
+    _check_decomposition(times)
+    _check_tiling(runtime.segments, times.walltime)

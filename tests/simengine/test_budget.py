@@ -1,0 +1,126 @@
+"""Budgets and the livelock watchdog on Engine.run and Cluster.run."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.simengine import Budget, BudgetExceeded, Engine
+from repro.simmpi import Cluster
+
+
+def _ticker(env, dt=1.0):
+    def proc():
+        while True:
+            yield env.timeout(dt)
+
+    return env.process(proc())
+
+
+def test_max_events_trips_deterministically():
+    def run():
+        env = Engine()
+        _ticker(env)
+        with pytest.raises(BudgetExceeded) as info:
+            env.run(budget=Budget(max_events=10))
+        return info.value.summary
+
+    s0, s1 = run(), run()
+    assert s0.reason == "max-events"
+    assert s0.events == 10
+    # Deterministic: identical cutoff point run-to-run (modulo wall clock).
+    assert (s0.reason, s0.sim_time, s0.events, s0.stalled_events) == (
+        s1.reason, s1.sim_time, s1.events, s1.stalled_events
+    )
+
+
+def test_max_sim_time_trips():
+    env = Engine()
+    _ticker(env, dt=2.0)
+    with pytest.raises(BudgetExceeded) as info:
+        env.run(budget=Budget(max_sim_time=7.0))
+    s = info.value.summary
+    assert s.reason == "max-sim-time"
+    assert s.sim_time <= 7.0
+    assert env.now <= 7.0
+
+
+def test_livelock_watchdog_trips_at_zero_advance():
+    env = Engine()
+
+    def spin():
+        while True:
+            yield env.timeout(0.0)
+
+    env.process(spin())
+    with pytest.raises(BudgetExceeded) as info:
+        env.run(budget=Budget(max_stalled_events=500))
+    s = info.value.summary
+    assert s.reason == "livelock"
+    assert s.sim_time == 0.0
+    assert s.stalled_events == 500
+    assert "livelock watchdog" in s.format()
+
+
+def test_healthy_run_never_trips_watchdog():
+    env = Engine()
+
+    def finite():
+        for _ in range(50):
+            yield env.timeout(0.5)
+        return env.now
+
+    proc = env.process(finite())
+    env.run(proc, budget=Budget(max_stalled_events=100))
+    assert env.now == pytest.approx(25.0)
+
+
+def test_no_budget_path_unchanged():
+    env = Engine()
+
+    def finite():
+        yield env.timeout(1.0)
+        return "done"
+
+    proc = env.process(finite())
+    env.run(proc)
+    assert proc.value == "done"
+
+
+def test_summary_format_and_with_detail():
+    env = Engine()
+    _ticker(env)
+    with pytest.raises(BudgetExceeded) as info:
+        env.run(budget=Budget(max_events=3))
+    err = info.value
+    assert str(err).startswith("simulation budget exceeded (max-events)")
+    enriched = err.with_detail("7/8 rank(s) still running")
+    assert isinstance(enriched, BudgetExceeded)
+    assert "7/8 rank(s) still running" in str(enriched)
+    # The original is untouched (with_detail copies).
+    assert "still running" not in str(err)
+
+
+def test_cluster_run_enriches_budget_error():
+    cluster = Cluster(BGP, ranks=4, mode="SMP")
+
+    def program(comm):
+        while True:
+            yield comm.env.timeout(0.0)
+
+    with pytest.raises(BudgetExceeded) as info:
+        cluster.run(program, budget=Budget(max_stalled_events=2000))
+    s = info.value.summary
+    assert s.reason == "livelock"
+    assert "cluster partial result: 4/4 rank(s) still running" in s.detail
+    assert s.detail in str(info.value)
+
+
+def test_cluster_budget_allows_completion():
+    cluster = Cluster(BGP, ranks=4, mode="SMP")
+
+    def program(comm):
+        yield from comm.compute(seconds=0.1)
+        yield from comm.barrier()
+        return comm.rank
+
+    res = cluster.run(program, budget=Budget(max_events=1_000_000))
+    assert res.returns == [0, 1, 2, 3]
