@@ -1,0 +1,58 @@
+"""Benchmark the campaign orchestrator's overhead regimes.
+
+Three costs matter for batch regeneration: a cold campaign (compute +
+cache fill), a warm rerun (pure cache-hit path — this is what CI and
+iterative workflows pay), and spec expansion (the pure planning step).
+The fast table/list experiments keep the compute share small so the
+orchestrator's own overhead dominates what is measured.
+"""
+
+from repro.campaign import CampaignRunner, CampaignSpec
+
+FAST = ["table1", "top500", "lists"]
+
+
+def test_campaign_cold_run(benchmark, tmp_path_factory):
+    """Cold pass: expand, compute every job, fill cache, write manifest."""
+
+    def run():
+        directory = tmp_path_factory.mktemp("cold")
+        spec = CampaignSpec.from_ids(FAST, name="bench-cold")
+        return CampaignRunner(spec, directory).run()
+
+    result = benchmark(run)
+    assert result.done == len(FAST)
+    assert result.cache_hits == 0
+
+
+def test_campaign_warm_rerun(benchmark, tmp_path):
+    """Warm pass: 100% cache hits, artifacts untouched.  This is the
+    orchestrator's fixed overhead per job — it must stay cheap enough
+    to rerun reflexively."""
+    spec = CampaignSpec.from_ids(FAST, name="bench-warm")
+    runner = CampaignRunner(spec, tmp_path / "warm")
+    runner.run()  # prime the cache outside the timed region
+
+    result = benchmark(runner.run)
+    assert result.cache_hits == len(FAST)
+    assert result.executed == []
+    assert result.artifacts_written == 0
+
+
+def test_campaign_spec_expansion(benchmark):
+    """Planning only: a swept spec expands to a deterministic job list."""
+    spec_doc = {
+        "name": "bench-expand",
+        "jobs": [
+            "table1",
+            {"experiment": "fig6", "axes": {"edge": [30, 40, 50, 60, 70]}},
+            {"experiment": "fig3", "axes": {"nbytes": [16384, 32768, 65536]}},
+        ],
+    }
+
+    def expand():
+        return CampaignSpec.from_dict(spec_doc).expand()
+
+    jobs = benchmark(expand)
+    assert len(jobs) == 1 + 5 + 3
+    assert jobs == CampaignSpec.from_dict(spec_doc).expand()

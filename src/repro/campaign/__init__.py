@@ -1,0 +1,66 @@
+"""repro.campaign: parallel, cached, resumable experiment campaigns.
+
+Every paper artifact and sweep point becomes an *addressable job*: a
+declarative :class:`CampaignSpec` expands into a deterministic job
+list; a :class:`CampaignRunner` farms the jobs over a process pool
+(``jobs=N``), reuses results through a content-addressed
+:class:`ResultCache` (key = experiment + canonical params + code
+fingerprint, hit ⇒ byte-identical artifact without recompute), and
+journals every outcome so an interrupted campaign resumes where it
+stopped.  The ``repro campaign run|status|clean`` CLI verbs and
+``repro run all --jobs N`` sit on top.
+
+Quick start::
+
+    from repro.campaign import CampaignSpec, CampaignRunner
+
+    spec = CampaignSpec.from_ids(["fig2", "fig3", "table3"])
+    result = CampaignRunner(spec, "out/campaign", jobs=4).run()
+    print(result.summary_line())
+
+See ``docs/campaigns.md`` for the spec format, cache-key semantics,
+and the resume/retry model.
+"""
+
+from .cache import ResultCache, cache_key, code_fingerprint, text_digest
+from .manifest import (
+    CAMPAIGN_FILE,
+    JOURNAL_FILE,
+    MANIFEST_FILE,
+    JobRecord,
+    load_campaign_file,
+    load_manifest,
+    read_journal,
+    write_manifest,
+)
+from .runner import CAMPAIGN_PID, CampaignResult, CampaignRunner, pool_map
+from .spec import CampaignSpec, Job, SpecError, canonical_params, params_digest
+from .worker import JobOutcome, classify_failure, execute_job, job_seed
+
+__all__ = [
+    "CAMPAIGN_FILE",
+    "CAMPAIGN_PID",
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSpec",
+    "Job",
+    "JobOutcome",
+    "JobRecord",
+    "JOURNAL_FILE",
+    "MANIFEST_FILE",
+    "ResultCache",
+    "SpecError",
+    "cache_key",
+    "canonical_params",
+    "classify_failure",
+    "code_fingerprint",
+    "execute_job",
+    "job_seed",
+    "load_campaign_file",
+    "load_manifest",
+    "params_digest",
+    "pool_map",
+    "read_journal",
+    "text_digest",
+    "write_manifest",
+]

@@ -1,0 +1,171 @@
+"""Campaign bookkeeping on disk: campaign file, journal, manifest.
+
+Three files, three roles:
+
+* ``campaign.json`` — the expanded plan: spec + deterministic job
+  list.  Written once at campaign start; a resume checks the stored
+  plan still matches the requested spec.
+* ``journal.jsonl`` — append-only, one JSON record per finished job
+  attempt, flushed as it happens.  This is what survives an interrupt:
+  a resumed campaign reads the journal to know which jobs already
+  completed.  The last record per job wins.
+* ``manifest.json`` — the run index rewritten after every campaign
+  pass: ids, params, artifact paths, content digests, status.  This is
+  the file CI diffs between runs (and what ``repro run all -o out/``
+  emits), so it contains no wall-clock times — it is a pure function
+  of the results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from .spec import CampaignSpec, Job
+
+__all__ = [
+    "JobRecord",
+    "append_journal",
+    "read_journal",
+    "write_campaign_file",
+    "load_campaign_file",
+    "write_manifest",
+    "load_manifest",
+    "CAMPAIGN_FILE",
+    "JOURNAL_FILE",
+    "MANIFEST_FILE",
+]
+
+CAMPAIGN_FILE = "campaign.json"
+JOURNAL_FILE = "journal.jsonl"
+MANIFEST_FILE = "manifest.json"
+
+
+@dataclass
+class JobRecord:
+    """The durable outcome of one job attempt."""
+
+    job_id: str
+    experiment: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: ``"done"`` or ``"failed"``
+    status: str = "done"
+    #: where the result came from: ``"cache"`` or ``"computed"``
+    source: str = "computed"
+    #: sha256 of the artifact text ("" for failures)
+    digest: str = ""
+    #: artifact path relative to the campaign directory ("" for failures)
+    artifact: str = ""
+    attempts: int = 1
+    error: str = ""
+    error_type: str = ""
+    #: failure classification: ``"budget"``/``"fault"``/``"config"``/``"transient"``
+    classification: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "JobRecord":
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in names})
+
+
+# ---------------------------------------------------------------------------
+# journal.jsonl
+# ---------------------------------------------------------------------------
+def append_journal(path: Union[str, pathlib.Path], record: JobRecord) -> None:
+    """Append one record and flush it to disk immediately."""
+    line = json.dumps(record.to_dict(), sort_keys=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def read_journal(path: Union[str, pathlib.Path]) -> Dict[str, JobRecord]:
+    """Latest record per job id; tolerates a torn trailing line."""
+    out: Dict[str, JobRecord] = {}
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return out
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+            record = JobRecord.from_dict(doc)
+        except (json.JSONDecodeError, TypeError):
+            continue  # torn write from an interrupt: ignore the tail
+        if record.job_id:
+            out[record.job_id] = record
+    return out
+
+
+# ---------------------------------------------------------------------------
+# campaign.json
+# ---------------------------------------------------------------------------
+def write_campaign_file(
+    path: Union[str, pathlib.Path], spec: CampaignSpec, jobs: List[Job]
+) -> None:
+    doc = {
+        "spec": spec.to_dict(),
+        "jobs": [
+            {"id": j.job_id, "experiment": j.experiment, "params": j.params}
+            for j in jobs
+        ],
+    }
+    pathlib.Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_campaign_file(path: Union[str, pathlib.Path]) -> Optional[Dict[str, Any]]:
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# manifest.json
+# ---------------------------------------------------------------------------
+def write_manifest(
+    path: Union[str, pathlib.Path],
+    records: List[JobRecord],
+    name: str = "campaign",
+    code_fingerprint: str = "",
+) -> pathlib.Path:
+    """Write the deterministic run index (shared with ``repro run all``)."""
+    doc = {
+        "name": name,
+        "code_fingerprint": code_fingerprint,
+        "jobs": [r.to_dict() for r in records],
+    }
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_manifest(path: Union[str, pathlib.Path]) -> Optional[Dict[str, Any]]:
+    path = pathlib.Path(path)
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return None

@@ -1,0 +1,473 @@
+"""The campaign orchestrator: cache pass, worker pool, journal, manifest.
+
+A campaign pass has two phases:
+
+1. **Cache pass** (parent process, cheap): every job's content address
+   is looked up; hits restore the artifact from the cached bytes —
+   *without touching the file if it already matches* — so an immediate
+   rerun is 100% cache hits and leaves every artifact untouched.
+2. **Compute pass**: the misses are farmed out — inline for
+   ``jobs == 1`` (keeps monkeypatched registries and ambient tracers
+   visible, which the tests rely on), or to a
+   :class:`~concurrent.futures.ProcessPoolExecutor` for ``jobs > 1``.
+   Each finished job is journaled and its artifact + cache entry
+   written *as it completes*, so an interrupt loses at most the jobs
+   in flight; the next pass cache-hits everything already done and
+   computes only the remainder.
+
+Failures are classified (:func:`~repro.campaign.worker.classify_failure`)
+and only ``"transient"`` ones are retried — a deterministic simulator
+replays :class:`BudgetExceeded` or a :class:`FaultError` identically,
+so burning retries on those would just triple the wall-clock of a
+known outcome.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from .cache import ResultCache, cache_key, code_fingerprint, text_digest
+from .manifest import (
+    CAMPAIGN_FILE,
+    JOURNAL_FILE,
+    MANIFEST_FILE,
+    JobRecord,
+    append_journal,
+    write_campaign_file,
+    write_manifest,
+)
+from .spec import CampaignSpec, Job
+from .worker import JobOutcome, classify_failure, execute_job
+
+__all__ = ["CampaignResult", "CampaignRunner", "CAMPAIGN_PID", "pool_map"]
+
+#: Synthetic Chrome-trace pid hosting the campaign track (one tid per
+#: worker slot), alongside repro.obs's engine/network pids.
+CAMPAIGN_PID = 1000002
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign pass."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    #: job ids actually *computed* this pass (cache misses that ran)
+    executed: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    #: artifacts (re)written this pass — a pure-cache-hit rerun writes none
+    artifacts_written: int = 0
+    interrupted: bool = False
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def done(self) -> int:
+        return sum(1 for r in self.records if r.status == "done")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r.status == "failed")
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for r in self.records if r.status == "pending")
+
+    def summary_line(self) -> str:
+        looked_up = self.cache_hits + self.cache_misses
+        pct = 100.0 * self.cache_hits / looked_up if looked_up else 0.0
+        parts = [
+            f"{self.total} job(s): {self.done} done, {self.failed} failed",
+            f"cache hits: {self.cache_hits}/{looked_up} ({pct:.0f}%)",
+            f"computed: {len(self.executed)}",
+            f"artifacts written: {self.artifacts_written}",
+        ]
+        if self.retries:
+            parts.append(f"retries: {self.retries}")
+        if self.interrupted:
+            parts.append(f"interrupted ({self.pending} pending)")
+        return "; ".join(parts)
+
+
+def _artifact_bytes(text: str) -> str:
+    """Artifacts keep the classic ``repro run -o`` shape: text + newline."""
+    return text if text.endswith("\n") else text + "\n"
+
+
+class CampaignRunner:
+    """Run a :class:`CampaignSpec` against a campaign directory.
+
+    Parameters
+    ----------
+    spec:
+        What to run; expanded deterministically at :meth:`run` time.
+    directory:
+        Campaign home: artifacts (``<job>.txt``), ``campaign.json``,
+        ``journal.jsonl``, ``manifest.json``, and (by default) the
+        result cache under ``.cache/``.
+    jobs:
+        Worker processes; ``1`` runs inline in this process.
+    retries:
+        Extra attempts for *transient* job failures (deterministic
+        budget/fault/config failures are never retried).
+    cache_dir:
+        Override the cache location (share one cache across campaigns).
+    tracer:
+        Optional :class:`repro.obs.Tracer`: job spans on the campaign
+        track, cache hit/miss instants, a running-jobs counter, and
+        ``campaign.*`` metrics.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        directory: Union[str, pathlib.Path],
+        jobs: int = 1,
+        retries: int = 1,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.spec = spec
+        self.directory = pathlib.Path(directory)
+        self.jobs = jobs
+        self.retries = retries
+        self.cache = ResultCache(cache_dir or self.directory / ".cache")
+        self.tracer = tracer
+        self._t0 = 0.0
+        self._running = 0
+
+    # -- obs hooks (all no-ops when untraced) -------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0  # simlint: ignore[determinism-hazard]
+
+    def _trace_setup(self) -> None:
+        if self.tracer is None:
+            return
+        self._t0 = time.perf_counter()  # simlint: ignore[determinism-hazard]
+        self.tracer.set_process_name(CAMPAIGN_PID, f"campaign {self.spec.name}")
+        for slot in range(self.jobs):
+            self.tracer.set_thread_name(CAMPAIGN_PID, slot, f"worker {slot}")
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.tracer is not None:
+            self.tracer.metrics.counter(f"campaign.{name}").inc(n)
+
+    def _mark_running(self, delta: int) -> None:
+        if self.tracer is None:
+            return
+        self._running += delta
+        self.tracer.counter(
+            CAMPAIGN_PID, "running_jobs", self._now(), {"jobs": self._running}
+        )
+
+    def _trace_cache(self, job: Job, hit: bool) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.instant(
+            CAMPAIGN_PID,
+            "cache-hit" if hit else "cache-miss",
+            self._now(),
+            cat="campaign.cache",
+            args={"job": job.job_id},
+        )
+
+    def _trace_job(
+        self, job: Job, slot: int, start: float, outcome: JobOutcome, attempts: int
+    ) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.complete(
+            CAMPAIGN_PID,
+            job.job_id,
+            start,
+            self._now(),
+            cat="campaign.job",
+            args={
+                "experiment": job.experiment,
+                "params": job.params,
+                "ok": outcome.ok,
+                "attempts": attempts,
+                **(
+                    {"classification": outcome.classification}
+                    if not outcome.ok
+                    else {}
+                ),
+            },
+            tid=slot,
+        )
+
+    # -- artifacts ----------------------------------------------------------
+    def _artifact_path(self, job: Job) -> pathlib.Path:
+        return self.directory / job.artifact_name
+
+    def _ensure_artifact(self, job: Job, text: str) -> Tuple[str, bool]:
+        """Write the artifact unless it already holds these exact bytes.
+
+        Returns ``(digest, wrote)``; the no-touch path is what makes an
+        all-hits rerun leave every file (content *and* mtime) alone.
+        """
+        payload = _artifact_bytes(text)
+        digest = text_digest(payload)
+        path = self._artifact_path(job)
+        try:
+            if path.read_text(encoding="utf-8") == payload:
+                return digest, False
+        except (OSError, UnicodeDecodeError):
+            pass
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
+        return digest, True
+
+    # -- bookkeeping --------------------------------------------------------
+    def _record(
+        self,
+        result: CampaignResult,
+        records: Dict[str, JobRecord],
+        job: Job,
+        outcome: JobOutcome,
+        source: str,
+        attempts: int,
+    ) -> JobRecord:
+        """Journal one finished job and (on success) persist its artifact."""
+        if outcome.ok:
+            digest, wrote = self._ensure_artifact(job, outcome.text)
+            if wrote:
+                result.artifacts_written += 1
+            record = JobRecord(
+                job_id=job.job_id,
+                experiment=job.experiment,
+                params=job.params,
+                status="done",
+                source=source,
+                digest=digest,
+                artifact=job.artifact_name,
+                attempts=attempts,
+            )
+        else:
+            record = JobRecord(
+                job_id=job.job_id,
+                experiment=job.experiment,
+                params=job.params,
+                status="failed",
+                source=source,
+                attempts=attempts,
+                error=outcome.error,
+                error_type=outcome.error_type,
+                classification=outcome.classification,
+            )
+            self._count("failures")
+        records[job.job_id] = record
+        append_journal(self.directory / JOURNAL_FILE, record)
+        return record
+
+    # -- the pass -----------------------------------------------------------
+    def run(
+        self, max_jobs: Optional[int] = None, fresh: bool = False
+    ) -> CampaignResult:
+        """One campaign pass: cache pass, then compute the misses.
+
+        ``max_jobs`` caps how many jobs are *computed* this pass (the
+        CLI's ``--max-jobs``, also how the tests interrupt a campaign
+        deterministically); the remainder stays ``pending`` in the
+        manifest and ``interrupted`` is set.  ``fresh`` truncates the
+        journal first (artifacts and cache are left to ``clean``).
+        """
+        jobs = self.spec.expand()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if fresh:
+            (self.directory / JOURNAL_FILE).unlink(missing_ok=True)
+        write_campaign_file(self.directory / CAMPAIGN_FILE, self.spec, jobs)
+        self._trace_setup()
+
+        fingerprint = code_fingerprint()
+        result = CampaignResult()
+        records: Dict[str, JobRecord] = {}
+        keys: Dict[str, str] = {}
+        pending: List[Job] = []
+
+        # Phase 1: cache pass, in deterministic job order.
+        for job in jobs:
+            key = keys[job.job_id] = cache_key(job.experiment, job.params, fingerprint)
+            text = self.cache.get(key)
+            self._trace_cache(job, hit=text is not None)
+            if text is not None:
+                result.cache_hits += 1
+                self._count("cache_hits")
+                self._record(result, records, job, JobOutcome(job.job_id, True, text),
+                             source="cache", attempts=0)
+            else:
+                result.cache_misses += 1
+                self._count("cache_misses")
+                pending.append(job)
+        self._count("jobs_total", len(jobs))
+
+        # Phase 2: compute the misses.
+        to_run = pending if max_jobs is None else pending[: max(0, max_jobs)]
+        skipped = pending[len(to_run):]
+        try:
+            if self.jobs == 1:
+                self._compute_inline(result, records, keys, to_run)
+            else:
+                self._compute_pool(result, records, keys, to_run)
+        except KeyboardInterrupt:
+            result.interrupted = True
+        if skipped:
+            result.interrupted = True
+
+        # Manifest: every planned job, finished or not, in plan order.
+        ordered: List[JobRecord] = []
+        for job in jobs:
+            record = records.get(job.job_id)
+            if record is None:
+                record = JobRecord(
+                    job_id=job.job_id,
+                    experiment=job.experiment,
+                    params=job.params,
+                    status="pending",
+                    source="",
+                    attempts=0,
+                )
+            ordered.append(record)
+        result.records = ordered
+        write_manifest(
+            self.directory / MANIFEST_FILE,
+            ordered,
+            name=self.spec.name,
+            code_fingerprint=fingerprint,
+        )
+        return result
+
+    # -- compute backends ---------------------------------------------------
+    def _attempts_for(self, outcome: JobOutcome) -> bool:
+        """Whether this failed outcome may be retried at all."""
+        return outcome.classification == "transient"
+
+    def _finish_computed(
+        self,
+        result: CampaignResult,
+        records: Dict[str, JobRecord],
+        keys: Dict[str, str],
+        job: Job,
+        outcome: JobOutcome,
+        attempts: int,
+    ) -> None:
+        if outcome.ok:
+            self.cache.put(
+                keys[job.job_id],
+                outcome.text,
+                meta={"experiment": job.experiment, "params": job.params},
+            )
+        result.executed.append(job.job_id)
+        self._count("executed")
+        self._record(result, records, job, outcome, source="computed", attempts=attempts)
+
+    def _compute_inline(
+        self,
+        result: CampaignResult,
+        records: Dict[str, JobRecord],
+        keys: Dict[str, str],
+        to_run: List[Job],
+    ) -> None:
+        for job in to_run:
+            start = self._now()
+            self._mark_running(+1)
+            attempts = 0
+            while True:
+                attempts += 1
+                outcome = execute_job(job.job_id, job.experiment, job.params)
+                if outcome.ok or not self._attempts_for(outcome) or attempts > self.retries:
+                    break
+                result.retries += 1
+                self._count("retries")
+            self._finish_computed(result, records, keys, job, outcome, attempts)
+            self._trace_job(job, 0, start, outcome, attempts)
+            self._mark_running(-1)
+
+    def _compute_pool(
+        self,
+        result: CampaignResult,
+        records: Dict[str, JobRecord],
+        keys: Dict[str, str],
+        to_run: List[Job],
+    ) -> None:
+        if not to_run:
+            return
+        slots = list(range(self.jobs))
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            in_flight: Dict[Any, Tuple[Job, int, int, float]] = {}
+
+            def submit(job: Job, attempts: int) -> None:
+                slot = slots.pop(0) if slots else 0
+                start = self._now()
+                self._mark_running(+1)
+                fut = pool.submit(execute_job, job.job_id, job.experiment, job.params)
+                in_flight[fut] = (job, attempts, slot, start)
+
+            for job in to_run:
+                submit(job, attempts=1)
+            while in_flight:
+                finished, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    job, attempts, slot, start = in_flight.pop(fut)
+                    try:
+                        outcome = fut.result()
+                    except Exception as exc:  # worker/pool died mid-job
+                        outcome = JobOutcome(
+                            job_id=job.job_id,
+                            ok=False,
+                            error=str(exc),
+                            error_type=type(exc).__name__,
+                            classification=classify_failure(exc),
+                        )
+                    self._trace_job(job, slot, start, outcome, attempts)
+                    self._mark_running(-1)
+                    slots.insert(0, slot)
+                    if (
+                        not outcome.ok
+                        and self._attempts_for(outcome)
+                        and attempts <= self.retries
+                    ):
+                        result.retries += 1
+                        self._count("retries")
+                        try:
+                            submit(job, attempts + 1)
+                            continue
+                        except Exception as exc:  # pool unusable: record as-is
+                            outcome.error = f"{outcome.error}; resubmit failed: {exc}"
+                    self._finish_computed(result, records, keys, job, outcome, attempts)
+
+
+@contextmanager
+def pool_map(
+    jobs: int,
+) -> Iterator[Callable[[Callable[[Any], Any], Iterable[Any]], Iterable[Any]]]:
+    """A ``map``-shaped executor over the campaign worker pool.
+
+    The hook :meth:`repro.core.Sweep.run` takes::
+
+        from repro.campaign import pool_map
+        with pool_map(jobs=4) as ex:
+            points = Sweep(axes).run(model_fn, executor=ex)
+
+    ``jobs <= 1`` degrades to plain ``map`` (no processes, monkeypatch-
+    friendly); results always come back in input order.
+    """
+    if jobs <= 1:
+        yield map
+        return
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        yield pool.map

@@ -1,0 +1,95 @@
+"""What runs inside a pool worker, and how its failures are classified.
+
+Everything here is module-level and picklable: a
+:class:`~concurrent.futures.ProcessPoolExecutor` ships ``execute_job``
+plus plain data to the worker, and gets a plain :class:`JobOutcome`
+dict-of-builtins back — no live simulator objects ever cross the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Any, Dict
+
+__all__ = [
+    "JobOutcome",
+    "classify_failure",
+    "execute_job",
+    "job_seed",
+    "RETRYABLE",
+    "DETERMINISTIC",
+]
+
+#: Classifications whose failures are *deterministic*: the simulation
+#: itself decided to stop (budget), to kill a message (fault), or the
+#: request was malformed (config).  Retrying replays the exact same
+#: decision, so the retry policy never retries these.
+DETERMINISTIC = ("budget", "fault", "config")
+#: Everything else is presumed transient (worker OOM, broken pool,
+#: filesystem hiccough) and is retried up to the policy's limit.
+RETRYABLE = ("transient",)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception to a retry class by *type*, not message.
+
+    Uses class names rather than imports so the classification also
+    works on errors that crossed a process boundary via ``__reduce__``
+    (the resilience-layer errors all pickle round-trip) and never
+    drags the whole simulator into the parent just to label a failure.
+    """
+    names = {t.__name__ for t in type(exc).__mro__}
+    if "BudgetExceeded" in names:
+        return "budget"
+    if names & {"FaultError", "RankFailedError", "RestartsExhaustedError"}:
+        return "fault"
+    if names & {"KeyError", "ValueError", "TypeError", "SpecError"}:
+        return "config"
+    return "transient"
+
+
+def job_seed(job_id: str) -> int:
+    """Deterministic per-job seed derived from the job id alone."""
+    return int.from_bytes(hashlib.sha256(job_id.encode()).digest()[:8], "big")
+
+
+@dataclass
+class JobOutcome:
+    """Result of one in-worker job execution (always returned, never
+    raised — exceptions are folded in so the parent can journal them)."""
+
+    job_id: str
+    ok: bool
+    text: str = ""
+    error: str = ""
+    error_type: str = ""
+    classification: str = ""
+
+
+def execute_job(job_id: str, experiment: str, params: Dict[str, Any]) -> JobOutcome:
+    """Run one experiment to rendered text, isolated and seeded.
+
+    The global :mod:`random` state is seeded from the job id before the
+    experiment runs, so any backend that *does* reach for ambient
+    randomness gets the same stream regardless of which worker slot or
+    how many sibling jobs ran first — job results can never depend on
+    schedule.  (The models themselves already use explicit
+    ``make_rng(seed)`` streams; this is the belt to that braces.)
+    """
+    from ..core.evaluation import run_experiment
+
+    random.seed(job_seed(job_id))  # simlint: ignore[determinism-hazard]
+    try:
+        text = run_experiment(experiment, **params)
+    except Exception as exc:  # noqa: BLE001 - job isolation
+        return JobOutcome(
+            job_id=job_id,
+            ok=False,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            classification=classify_failure(exc),
+        )
+    return JobOutcome(job_id=job_id, ok=True, text=text)

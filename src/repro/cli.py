@@ -5,7 +5,11 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro run table3           # regenerate one artifact
     python -m repro run all -o out/      # regenerate everything to files
+    python -m repro run all -o out/ --jobs 4   # ... through the worker pool
     python -m repro run fig3 --trace t.json --metrics m.json
+    python -m repro campaign run all -o camp/ --jobs 4   # cached campaign
+    python -m repro campaign status -o camp/
+    python -m repro campaign clean -o camp/ --cache
     python -m repro trace pop            # traced DES scenario -> Chrome trace
     python -m repro trace pingpong --param nbytes=65536
     python -m repro faults link-kill     # fault-injection scenario
@@ -29,33 +33,14 @@ __all__ = ["main"]
 def _parse_params(pairs: Optional[List[str]]) -> Dict[str, float]:
     """Parse repeated ``--param key=value`` flags into numeric kwargs.
 
-    Values must be numeric (scenario/experiment parameters are sizes,
-    counts, and fractions); integers stay ``int``.  A malformed pair
-    raises :class:`ValueError` with a one-line message — the CLI prints
-    it and exits 2, same as an unknown scenario id.
+    Thin alias of :func:`repro.core.params.parse_params` — the one
+    canonical key=value grammar, shared with the campaign spec loader
+    so both paths produce the same one-line error (the CLI prints it
+    and exits 2, same as an unknown scenario id).
     """
-    params: Dict[str, float] = {}
-    for pair in pairs or []:
-        key, sep, raw = pair.partition("=")
-        key = key.strip()
-        if not sep or not key or not key.isidentifier():
-            raise ValueError(
-                f"malformed --param {pair!r}: expected key=value with an "
-                "identifier key (e.g. --param nbytes=65536)"
-            )
-        raw = raw.strip()
-        try:
-            value: float = int(raw)
-        except ValueError:
-            try:
-                value = float(raw)
-            except ValueError:
-                raise ValueError(
-                    f"non-numeric value in --param {pair!r}: {raw!r} is "
-                    "neither an integer nor a float"
-                ) from None
-        params[key] = value
-    return params
+    from .core.params import parse_params
+
+    return parse_params(pairs)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -89,12 +74,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    jobs = getattr(args, "jobs", 1) or 1
+    if args.experiment == "all" and args.output:
+        # `run all -o` rides the campaign layer: worker pool, result
+        # cache under <out>/.cache, and a manifest.json index.
+        return _run_all_campaign(args, params, jobs)
     ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     outdir: Optional[pathlib.Path] = (
         pathlib.Path(args.output) if args.output else None
     )
     if outdir:
         outdir.mkdir(parents=True, exist_ok=True)
+    if args.experiment == "all" and jobs > 1:
+        # Parallel compute, ordered printing; no directory => no cache.
+        from .campaign import CampaignSpec, SpecError, execute_job, pool_map
+
+        try:
+            expanded = CampaignSpec.from_ids(ids, params).expand()
+        except (SpecError, KeyError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        with pool_map(jobs) as ex:
+            outcomes = list(
+                ex(_execute_job_tuple, [(j.job_id, j.experiment, j.params) for j in expanded])
+            )
+        status = 0
+        for outcome in outcomes:
+            if outcome.ok:
+                print(outcome.text)
+                print()
+            else:
+                print(f"{outcome.job_id}: {outcome.error_type}: {outcome.error}",
+                      file=sys.stderr)
+                status = 1
+        return status
     tracer = None
     if args.trace or args.metrics:
         from .obs import Tracer, tracing
@@ -125,6 +138,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.metrics:
             print(f"wrote {write_metrics(tracer, args.metrics)}")
     return 0
+
+
+def _execute_job_tuple(job):
+    """Picklable shim: ``pool_map`` feeds (id, experiment, params) tuples."""
+    from .campaign import execute_job
+
+    return execute_job(*job)
+
+
+def _run_all_campaign(args: argparse.Namespace, params: Dict[str, float], jobs: int) -> int:
+    """``repro run all -o out/``: campaign-backed regeneration + manifest."""
+    from .campaign import MANIFEST_FILE, CampaignRunner, CampaignSpec, SpecError
+
+    outdir = pathlib.Path(args.output)
+    try:
+        spec = CampaignSpec.from_ids(["all"], params, name="run-all")
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    tracer = None
+    if args.trace or args.metrics:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    runner = CampaignRunner(spec, outdir, jobs=jobs, tracer=tracer)
+    try:
+        result = _run_campaign(runner, tracer)
+    except SpecError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    status = 0
+    for record in result.records:
+        if record.ok:
+            print(f"wrote {outdir / record.artifact}")
+        else:
+            print(
+                f"{record.job_id}: {record.error_type}: {record.error}",
+                file=sys.stderr,
+            )
+            status = 1
+    print(f"wrote {outdir / MANIFEST_FILE}")
+    print(result.summary_line())
+    if tracer is not None:
+        from .obs import write_chrome_trace, write_metrics
+
+        if args.trace:
+            print(f"wrote {write_chrome_trace(tracer, args.trace)}")
+        if args.metrics:
+            print(f"wrote {write_metrics(tracer, args.metrics)}")
+    return status
+
+
+def _run_campaign(runner, tracer, **kwargs):
+    """Run a campaign pass, under the ambient tracer when one is given
+    (inline jobs are then traced end-to-end; pool workers record only
+    the campaign track, as documented)."""
+    if tracer is None:
+        return runner.run(**kwargs)
+    from .obs import tracing
+
+    with tracing(tracer):
+        return runner.run(**kwargs)
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -208,6 +283,132 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         print(f"wrote {write_chrome_trace(tracer, args.output)}")
     if args.metrics:
         print(f"wrote {write_metrics(tracer, args.metrics)}")
+    return 0
+
+
+DEFAULT_CAMPAIGN_DIR = "campaign-out"
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import CampaignRunner, CampaignSpec, SpecError
+
+    try:
+        params = _parse_params(args.params)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    targets = args.targets or []
+    if args.spec and targets:
+        print("repro campaign run: give either --spec or experiment ids, not both",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.spec:
+            spec = CampaignSpec.from_file(args.spec)
+        elif len(targets) == 1 and targets[0].endswith(".json"):
+            spec = CampaignSpec.from_file(targets[0])
+        elif targets:
+            spec = CampaignSpec.from_ids(targets, params)
+        else:
+            print("repro campaign run: give a spec file, experiment ids, or 'all'",
+                  file=sys.stderr)
+            return 2
+    except (OSError, SpecError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    tracer = None
+    if args.trace or args.metrics:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    runner = CampaignRunner(
+        spec,
+        args.dir,
+        jobs=args.jobs,
+        retries=args.retries,
+        cache_dir=args.cache_dir,
+        tracer=tracer,
+    )
+    try:
+        result = _run_campaign(runner, tracer, max_jobs=args.max_jobs, fresh=args.fresh)
+    except (SpecError, KeyError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    for record in result.records:
+        label = {"cache": "hit ", "computed": "run "}.get(record.source, "----")
+        line = f"[{label}] {record.job_id:24s} {record.status}"
+        if record.status == "failed":
+            line += f"  {record.error_type}({record.classification}): {record.error}"
+        print(line)
+    print(result.summary_line())
+    if tracer is not None:
+        from .obs import write_chrome_trace, write_metrics
+
+        if args.trace:
+            print(f"wrote {write_chrome_trace(tracer, args.trace)}")
+        if args.metrics:
+            print(f"wrote {write_metrics(tracer, args.metrics)}")
+    return 1 if result.failed else 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign import MANIFEST_FILE, load_manifest
+
+    directory = pathlib.Path(args.dir)
+    doc = load_manifest(directory / MANIFEST_FILE)
+    if doc is None:
+        print(f"repro campaign status: no manifest under {directory}/ "
+              "(run a campaign first)", file=sys.stderr)
+        return 2
+    jobs = doc.get("jobs", [])
+    print(f"campaign {doc.get('name', '?')!r}: {len(jobs)} job(s)")
+    counts: Dict[str, int] = {}
+    for job in jobs:
+        status = job.get("status", "?")
+        counts[status] = counts.get(status, 0) + 1
+        line = (
+            f"  {job.get('job_id', '?'):24s} {status:8s} "
+            f"{job.get('source') or '-':8s} "
+            f"{(job.get('digest') or '')[:12]:12s} {job.get('artifact', '')}"
+        )
+        if status == "failed":
+            line += (
+                f"  {job.get('error_type', '')}({job.get('classification', '')}): "
+                f"{job.get('error', '')}"
+            )
+        print(line)
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    print(f"summary: {summary}")
+    return 0
+
+
+def _cmd_campaign_clean(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CAMPAIGN_FILE,
+        JOURNAL_FILE,
+        MANIFEST_FILE,
+        ResultCache,
+        load_campaign_file,
+    )
+
+    directory = pathlib.Path(args.dir)
+    doc = load_campaign_file(directory / CAMPAIGN_FILE)
+    removed = 0
+    if doc:
+        for job in doc.get("jobs", []):
+            artifact = directory / f"{job.get('id', '')}.txt"
+            if job.get("id") and artifact.is_file():
+                artifact.unlink()
+                removed += 1
+    for name in (MANIFEST_FILE, JOURNAL_FILE, CAMPAIGN_FILE):
+        path = directory / name
+        if path.is_file():
+            path.unlink()
+            removed += 1
+    print(f"removed {removed} campaign file(s) from {directory}/")
+    if args.cache:
+        cache = ResultCache(args.cache_dir or directory / ".cache")
+        print(f"cleared {cache.clear()} cache entr(ies) from {cache.root}/")
     return 0
 
 
@@ -298,7 +499,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", dest="params", action="append", metavar="KEY=VALUE",
         help="experiment parameter override (repeatable; numeric values)",
     )
+    p_run.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for 'run all' (default: 1; with -o the "
+             "run rides the campaign cache and emits a manifest.json)",
+    )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="parallel, cached, resumable experiment campaigns",
+    )
+    camp_sub = p_camp.add_subparsers(dest="campaign_command", required=True)
+
+    p_crun = camp_sub.add_parser(
+        "run", help="run a campaign (spec file, experiment ids, or 'all')"
+    )
+    p_crun.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="experiment ids, 'all', or a single spec.json path",
+    )
+    p_crun.add_argument("--spec", metavar="FILE", help="campaign spec JSON file")
+    p_crun.add_argument(
+        "-o", "--dir", default=DEFAULT_CAMPAIGN_DIR, metavar="DIR",
+        help=f"campaign directory (default: {DEFAULT_CAMPAIGN_DIR}/)",
+    )
+    p_crun.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1 = inline)",
+    )
+    p_crun.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra attempts for transient job failures (default: 1; "
+             "deterministic budget/fault/config failures never retry)",
+    )
+    p_crun.add_argument(
+        "--param", dest="params", action="append", metavar="KEY=VALUE",
+        help="shared experiment parameter for id targets (repeatable)",
+    )
+    p_crun.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="compute at most N jobs this pass (incremental/interrupt "
+             "testing; the rest stays pending and resumes next run)",
+    )
+    p_crun.add_argument(
+        "--fresh", action="store_true",
+        help="truncate the journal first (cache and artifacts are kept; "
+             "use 'campaign clean' for those)",
+    )
+    p_crun.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="result-cache location (default: <dir>/.cache; share one "
+             "across campaigns to reuse results)",
+    )
+    p_crun.add_argument(
+        "--trace", metavar="FILE",
+        help="write the campaign track (job spans, cache hits, worker "
+             "utilization) as Chrome trace JSON",
+    )
+    p_crun.add_argument(
+        "--metrics", metavar="FILE", help="write the campaign.* metrics JSON"
+    )
+    p_crun.set_defaults(fn=_cmd_campaign_run)
+
+    p_cstat = camp_sub.add_parser("status", help="per-job status of a campaign")
+    p_cstat.add_argument(
+        "-o", "--dir", default=DEFAULT_CAMPAIGN_DIR, metavar="DIR",
+        help=f"campaign directory (default: {DEFAULT_CAMPAIGN_DIR}/)",
+    )
+    p_cstat.set_defaults(fn=_cmd_campaign_status)
+
+    p_cclean = camp_sub.add_parser(
+        "clean", help="remove a campaign's artifacts, journal, and manifest"
+    )
+    p_cclean.add_argument(
+        "-o", "--dir", default=DEFAULT_CAMPAIGN_DIR, metavar="DIR",
+        help=f"campaign directory (default: {DEFAULT_CAMPAIGN_DIR}/)",
+    )
+    p_cclean.add_argument(
+        "--cache", action="store_true", help="also clear the result cache"
+    )
+    p_cclean.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache location if it was overridden at run time",
+    )
+    p_cclean.set_defaults(fn=_cmd_campaign_clean)
 
     p_trace = sub.add_parser(
         "trace",

@@ -2,8 +2,14 @@
 paper-shape validation harness."""
 
 from .compare import compare_machines, ComparisonRow, render_comparison
-from .evaluation import experiment_ids, EXPERIMENTS, run_experiment
+from .evaluation import (
+    experiment_ids,
+    EXPERIMENTS,
+    run_experiment,
+    validate_experiment_params,
+)
 from .hpcc import build_table2, HpccColumn, TABLE2_ROWS
+from .params import parse_params
 from .metrics import (
     crossover_point,
     parallel_efficiency,
@@ -38,6 +44,8 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "experiment_ids",
+    "validate_experiment_params",
+    "parse_params",
     "ComparisonRow",
     "compare_machines",
     "render_comparison",

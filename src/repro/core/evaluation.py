@@ -13,7 +13,12 @@ from typing import Any, Callable, Dict, List
 from ..machines import BGL, BGP, XT3, XT4_DC, XT4_QC
 from .report import Figure, format_table
 
-__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "experiment_ids",
+    "validate_experiment_params",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -225,39 +230,48 @@ def fig2_halo() -> str:
 # ---------------------------------------------------------------------------
 # Figure 3: IMB collectives
 # ---------------------------------------------------------------------------
-def fig3_imb() -> str:
+def fig3_imb(nbytes: int = 32768, processes: int = 8192) -> str:
+    """``nbytes`` sets the fixed payload of panels (b)/(d) and
+    ``processes`` the fixed process count of panels (a)/(c) — the
+    paper's 32 KB / 8192-way operating point by default."""
     from ..imb.harness import ImbBenchmark
 
+    nbytes, processes = int(nbytes), int(processes)
     sizes = [4, 64, 1024, 8192, 32768, 262144, 1048576]
     procs = [64, 256, 1024, 4096, 8192]
+    kb_label = f"{nbytes / 1024:g}KB"
     out = []
 
-    fig = Figure("Figure 3(a): Allreduce latency vs size, 8192 procs", "bytes", "us")
+    fig = Figure(
+        f"Figure 3(a): Allreduce latency vs size, {processes} procs", "bytes", "us"
+    )
     for m in (BGP, XT4_QC):
         b = ImbBenchmark(m)
         for dtype in ("float64", "float32"):
-            pts = [(p.nbytes, p.latency_us) for p in b.size_sweep("allreduce", 8192, sizes, dtype)]
+            pts = [(p.nbytes, p.latency_us) for p in b.size_sweep("allreduce", processes, sizes, dtype)]
             fig.add(f"{m.name} {dtype}", pts)
     out.append(fig.render())
 
-    fig = Figure("Figure 3(b): Allreduce latency vs procs, 32KB", "processes", "us")
+    fig = Figure(f"Figure 3(b): Allreduce latency vs procs, {kb_label}", "processes", "us")
     for m in (BGP, XT4_QC):
         b = ImbBenchmark(m)
         for dtype in ("float64", "float32"):
-            sweep = b.process_sweep("allreduce", 32768, procs, dtype)
+            sweep = b.process_sweep("allreduce", nbytes, procs, dtype)
             pts = [(p.processes, p.latency_us) for p in sweep]
             fig.add(f"{m.name} {dtype}", pts)
     out.append(fig.render())
 
-    fig = Figure("Figure 3(c): Bcast latency vs size, 8192 procs", "bytes", "us")
+    fig = Figure(
+        f"Figure 3(c): Bcast latency vs size, {processes} procs", "bytes", "us"
+    )
     for m in (BGP, XT4_QC):
-        pts = [(p.nbytes, p.latency_us) for p in ImbBenchmark(m).size_sweep("bcast", 8192, sizes)]
+        pts = [(p.nbytes, p.latency_us) for p in ImbBenchmark(m).size_sweep("bcast", processes, sizes)]
         fig.add(m.name, pts)
     out.append(fig.render())
 
-    fig = Figure("Figure 3(d): Bcast latency vs procs, 32KB", "processes", "us")
+    fig = Figure(f"Figure 3(d): Bcast latency vs procs, {kb_label}", "processes", "us")
     for m in (BGP, XT4_QC):
-        sweep = ImbBenchmark(m).process_sweep("bcast", 32768, procs)
+        sweep = ImbBenchmark(m).process_sweep("bcast", nbytes, procs)
         pts = [(p.processes, p.latency_us) for p in sweep]
         fig.add(m.name, pts)
     out.append(fig.render())
@@ -380,19 +394,22 @@ def fig5_cam() -> str:
 # ---------------------------------------------------------------------------
 # Figure 6: S3D
 # ---------------------------------------------------------------------------
-def fig6_s3d() -> str:
+def fig6_s3d(edge: int = 50) -> str:
+    """``edge`` is the per-rank subgrid edge (paper: 50^3 points/rank);
+    sweeping it turns Fig. 6 into a weak-scaling sensitivity study."""
     from ..apps.s3d.model import S3dModel
 
+    edge = int(edge)
     procs = [1, 8, 64, 512, 4096, 8192, 30000]
     fig = Figure(
-        "Figure 6: S3D weak scaling (50^3 points/rank)",
+        f"Figure 6: S3D weak scaling ({edge}^3 points/rank)",
         "processes",
         "core-hours per grid point per step",
     )
     for m in (BGP, BGL, XT3, XT4_DC, XT4_QC):
         pts = [
             (r.processes, r.core_hours_per_point_step)
-            for r in S3dModel(m).weak_scaling(procs)
+            for r in S3dModel(m).weak_scaling(procs, edge=edge)
         ]
         fig.add(m.name, pts)
     return fig.render()
@@ -551,12 +568,12 @@ def experiment_ids() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, **params: Any) -> str:
-    """Regenerate one paper artifact as text.
+def validate_experiment_params(experiment_id: str, params: Dict[str, Any]) -> None:
+    """Check ``experiment_id`` exists and accepts every name in ``params``.
 
-    ``params`` must match keyword arguments of the experiment function;
-    unsupported names raise :class:`KeyError` listing what is accepted
-    (most artifacts are parameter-free reproductions of the paper).
+    Raises :class:`KeyError` with the same messages ``run_experiment``
+    would produce — the campaign spec loader uses this to fail fast at
+    expansion time instead of deep inside a worker process.
     """
     try:
         fn = EXPERIMENTS[experiment_id]
@@ -575,4 +592,14 @@ def run_experiment(experiment_id: str, **params: Any) -> str:
                 f"experiment {experiment_id!r} does not take parameter(s) "
                 f"{unknown}; supported: {supported}"
             )
-    return fn(**params)
+
+
+def run_experiment(experiment_id: str, **params: Any) -> str:
+    """Regenerate one paper artifact as text.
+
+    ``params`` must match keyword arguments of the experiment function;
+    unsupported names raise :class:`KeyError` listing what is accepted
+    (most artifacts are parameter-free reproductions of the paper).
+    """
+    validate_experiment_params(experiment_id, params)
+    return EXPERIMENTS[experiment_id](**params)

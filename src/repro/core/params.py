@@ -1,0 +1,47 @@
+"""The canonical ``key=value`` parameter parser.
+
+Both the CLI's repeated ``--param key=value`` flags and the campaign
+spec loader (entries may give ``"params": ["nbytes=65536"]`` in the
+CLI string form) funnel through :func:`parse_params`, so there is a
+single grammar and a single error-message path.  Values must be
+numeric — scenario/experiment parameters are sizes, counts, and
+fractions — and integers stay ``int``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["parse_params"]
+
+
+def parse_params(pairs: Optional[List[str]]) -> Dict[str, float]:
+    """Parse ``key=value`` strings into numeric kwargs.
+
+    A malformed pair raises :class:`ValueError` with a one-line
+    message — the CLI prints it and exits 2, same as an unknown
+    scenario id; the campaign spec loader reports it against the spec
+    entry.
+    """
+    params: Dict[str, float] = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        key = key.strip()
+        if not sep or not key or not key.isidentifier():
+            raise ValueError(
+                f"malformed --param {pair!r}: expected key=value with an "
+                "identifier key (e.g. --param nbytes=65536)"
+            )
+        raw = raw.strip()
+        try:
+            value: float = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"non-numeric value in --param {pair!r}: {raw!r} is "
+                    "neither an integer nor a float"
+                ) from None
+        params[key] = value
+    return params

@@ -3,23 +3,57 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from itertools import product
-from typing import Any, Callable, Dict, Iterable, List
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = ["Sweep", "SweepPoint"]
+
+#: An executor is any ``map``-shaped callable: it applies a picklable
+#: one-argument function to every item and yields the results **in
+#: order** — ``builtins.map``, ``ProcessPoolExecutor.map``, or the
+#: campaign pool's :func:`repro.campaign.pool_map`.
+Executor = Callable[[Callable[[Dict[str, Any]], Any], Iterable[Dict[str, Any]]], Iterable[Any]]
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated point of a sweep."""
+    """One evaluated point of a sweep.
+
+    Failed points carry the error *message* in ``error`` and the
+    exception *class name* in ``error_type`` (``"ValueError"``,
+    ``"BudgetExceeded"`` …), so retry/failure classification can
+    distinguish a config mistake from a budget stop without parsing
+    messages.
+    """
 
     params: Dict[str, Any]
     value: Any
     error: str = ""
+    error_type: str = ""
 
     @property
     def ok(self) -> bool:
-        return not self.error
+        return not self.error_type and not self.error
+
+    @property
+    def error_full(self) -> str:
+        """``"ErrorType: message"`` for display, ``""`` when ok."""
+        if self.ok:
+            return ""
+        return f"{self.error_type}: {self.error}" if self.error_type else self.error
+
+
+def _eval_point(fn: Callable[..., Any], params: Dict[str, Any]) -> Tuple[Any, str, str]:
+    """Evaluate one point, isolating failures as ``(value, msg, type)``.
+
+    Module-level (not a closure) so a process-pool executor can pickle
+    ``partial(_eval_point, fn)`` for any module-level ``fn``.
+    """
+    try:
+        return fn(**params), "", ""
+    except Exception as exc:  # noqa: BLE001 - sweep isolation
+        return None, str(exc), type(exc).__name__
 
 
 @dataclass
@@ -40,19 +74,41 @@ class Sweep:
         self.axes[name] = vals
         return self
 
-    def run(self, fn: Callable[..., Any]) -> List[SweepPoint]:
-        """Evaluate ``fn(**params)`` over the product of all axes."""
+    def points(self) -> List[Dict[str, Any]]:
+        """The deterministic parameter list: axis insertion order, value
+        order as given, last axis fastest."""
         if not self.axes:
             raise ValueError("no axes defined")
         names = list(self.axes)
-        out: List[SweepPoint] = []
-        for combo in product(*(self.axes[n] for n in names)):
-            params = dict(zip(names, combo))
-            try:
-                out.append(SweepPoint(params=params, value=fn(**params)))
-            except Exception as exc:  # noqa: BLE001 - sweep isolation
-                out.append(SweepPoint(params=params, value=None, error=str(exc)))
-        return out
+        return [
+            dict(zip(names, combo))
+            for combo in product(*(self.axes[n] for n in names))
+        ]
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        executor: Optional[Executor] = None,
+    ) -> List[SweepPoint]:
+        """Evaluate ``fn(**params)`` over the product of all axes.
+
+        ``executor`` is an optional ``map``-shaped hook: pass
+        ``ProcessPoolExecutor.map`` (or the campaign pool's
+        :func:`repro.campaign.pool_map`) to farm the points out to
+        worker processes; results come back in the same deterministic
+        point order either way.  ``fn`` must then be picklable
+        (module-level).
+        """
+        combos = self.points()
+        evaluate = partial(_eval_point, fn)
+        if executor is None:
+            outcomes: Iterable[Tuple[Any, str, str]] = (evaluate(p) for p in combos)
+        else:
+            outcomes = executor(evaluate, combos)
+        return [
+            SweepPoint(params=params, value=value, error=error, error_type=error_type)
+            for params, (value, error, error_type) in zip(combos, outcomes)
+        ]
 
     @staticmethod
     def successes(points: List[SweepPoint]) -> List[SweepPoint]:

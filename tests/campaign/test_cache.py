@@ -1,0 +1,63 @@
+"""Content-addressed result cache: keys, round trips, invalidation."""
+
+from repro.campaign import ResultCache, cache_key, code_fingerprint, text_digest
+
+
+def test_key_binds_experiment_params_and_code():
+    base = cache_key("fig6", {"edge": 40}, fingerprint="f1")
+    assert cache_key("fig6", {"edge": 40}, fingerprint="f1") == base
+    assert cache_key("fig6", {"edge": 41}, fingerprint="f1") != base
+    assert cache_key("fig7", {"edge": 40}, fingerprint="f1") != base
+    # any code change invalidates every key
+    assert cache_key("fig6", {"edge": 40}, fingerprint="f2") != base
+
+
+def test_key_is_param_insertion_order_free():
+    a = cache_key("fig3", {"nbytes": 1024, "processes": 4096}, fingerprint="f")
+    b = cache_key("fig3", {"processes": 4096, "nbytes": 1024}, fingerprint="f")
+    assert a == b
+
+
+def test_code_fingerprint_is_stable_within_a_tree():
+    assert code_fingerprint() == code_fingerprint()
+    assert len(code_fingerprint()) == 64
+
+
+def test_round_trip_returns_exact_bytes(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = cache_key("table1", {}, fingerprint="f")
+    assert cache.get(key) is None and key not in cache
+    text = "Table 1\nwith unicode µs and trailing spaces  \n"
+    cache.put(key, text, meta={"experiment": "table1"})
+    assert cache.get(key) == text
+    assert key in cache and len(cache) == 1
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = cache_key("table1", {}, fingerprint="f")
+    cache.put(key, "good")
+    path = cache._path(key)
+    path.write_text("{torn write")
+    assert cache.get(key) is None
+    # tampered text fails the stored digest check too
+    cache.put(key, "good")
+    doc = path.read_text().replace("good", "evil")
+    path.write_text(doc)
+    assert cache.get(key) is None
+
+
+def test_clear_removes_everything(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    for i in range(3):
+        cache.put(cache_key("table1", {"i": i}, fingerprint="f"), f"text {i}")
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+    assert cache.clear() == 0  # idempotent, missing dir ok
+
+
+def test_text_digest_matches_sha256():
+    import hashlib
+
+    assert text_digest("abc") == hashlib.sha256(b"abc").hexdigest()

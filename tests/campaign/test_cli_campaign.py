@@ -1,0 +1,115 @@
+"""CLI surface: ``repro campaign run|status|clean`` and the
+campaign-backed ``repro run all -o``."""
+
+import json
+
+from repro.cli import main
+
+
+def test_campaign_run_and_rerun(tmp_path, capsys):
+    directory = tmp_path / "camp"
+    assert main(["campaign", "run", "table1", "top500", "-o", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "[run ] table1" in out
+    assert "2 done, 0 failed" in out
+    assert (directory / "table1.txt").exists()
+    assert (directory / "campaign.json").exists()
+    assert (directory / "manifest.json").exists()
+    assert (directory / "journal.jsonl").exists()
+
+    assert main(["campaign", "run", "table1", "top500", "-o", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "[hit ] table1" in out
+    assert "cache hits: 2/2 (100%)" in out
+
+
+def test_campaign_run_spec_file(tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(
+        json.dumps(
+            {"name": "s", "jobs": [{"experiment": "fig6", "axes": {"edge": [40, 50]}}]}
+        )
+    )
+    directory = tmp_path / "camp"
+    assert main(["campaign", "run", str(spec), "-o", str(directory), "-j", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("[run ] fig6-") == 2
+    artifacts = sorted(p.name for p in directory.glob("fig6-*.txt"))
+    assert len(artifacts) == 2
+
+
+def test_campaign_run_argument_errors(tmp_path, capsys):
+    assert main(["campaign", "run"]) == 2
+    assert "spec file, experiment ids, or 'all'" in capsys.readouterr().err
+    assert main(["campaign", "run", "nope", "-o", str(tmp_path / "x")]) == 2
+    assert "unknown experiment 'nope'" in capsys.readouterr().err
+    assert main(["campaign", "run", "fig6", "--param", "edge=forty",
+                 "-o", str(tmp_path / "x")]) == 2
+    assert "non-numeric value" in capsys.readouterr().err
+
+
+def test_campaign_status(tmp_path, capsys):
+    directory = tmp_path / "camp"
+    assert main(["campaign", "status", "-o", str(directory)]) == 2
+    assert "no manifest" in capsys.readouterr().err
+
+    main(["campaign", "run", "table1", "-o", str(directory)])
+    capsys.readouterr()
+    assert main(["campaign", "status", "-o", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "1 job(s)" in out
+    assert "table1" in out and "done" in out
+    assert "summary: 1 done" in out
+
+
+def test_campaign_clean(tmp_path, capsys):
+    directory = tmp_path / "camp"
+    main(["campaign", "run", "table1", "-o", str(directory)])
+    capsys.readouterr()
+    assert main(["campaign", "clean", "-o", str(directory), "--cache"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 4 campaign file(s)" in out  # artifact + 3 bookkeeping files
+    assert "cleared 1 cache entr(ies)" in out
+    assert not (directory / "table1.txt").exists()
+    assert not (directory / "manifest.json").exists()
+
+
+def test_campaign_max_jobs_then_resume(tmp_path, capsys):
+    directory = tmp_path / "camp"
+    assert main(["campaign", "run", "table1", "top500", "lists",
+                 "-o", str(directory), "--max-jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "interrupted (2 pending)" in out
+    assert main(["campaign", "run", "table1", "top500", "lists",
+                 "-o", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "[hit ] table1" in out
+    assert "computed: 2" in out
+
+
+def test_run_all_to_directory_emits_manifest(tmp_path, capsys, monkeypatch):
+    # trim the registry so 'run all' stays fast in unit tests
+    from repro.core import evaluation
+
+    fast = {k: evaluation.EXPERIMENTS[k] for k in ("table1", "top500")}
+    monkeypatch.setattr(evaluation, "EXPERIMENTS", fast)
+    directory = tmp_path / "out"
+    assert main(["run", "all", "-o", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert f"wrote {directory / 'table1.txt'}" in out
+    assert f"wrote {directory / 'manifest.json'}" in out
+    doc = json.loads((directory / "manifest.json").read_text())
+    assert doc["name"] == "run-all"
+    assert [j["job_id"] for j in doc["jobs"]] == ["table1", "top500"]
+    assert all(j["digest"] and j["status"] == "done" for j in doc["jobs"])
+    # rerun rides the cache
+    assert main(["run", "all", "-o", str(directory)]) == 0
+    assert "cache hits: 2/2 (100%)" in capsys.readouterr().out
+
+
+def test_run_single_experiment_unchanged(tmp_path, capsys):
+    # the classic single-artifact path must not grow campaign files
+    assert main(["run", "table1", "-o", str(tmp_path)]) == 0
+    assert (tmp_path / "table1.txt").exists()
+    assert not (tmp_path / "manifest.json").exists()
+    assert not (tmp_path / "campaign.json").exists()

@@ -1,0 +1,142 @@
+"""Direct coverage for :mod:`repro.core.sweep`.
+
+The sweep helper now underpins the campaign layer's job fan-out, so
+its contract — deterministic point order, per-point error isolation
+with the exception *class* preserved, and the ``executor=`` map hook —
+is pinned here rather than only exercised incidentally by the benches.
+"""
+
+import pytest
+
+from repro.core.sweep import Sweep, SweepPoint
+from repro.simengine import BudgetExceeded
+from repro.simengine.budget import BudgetSummary
+
+
+def _times(a, b):
+    return a * b
+
+
+def _fragile(a, b):
+    if a == 2:
+        raise ValueError(f"a={a} rejected")
+    if b == 30 and a == 3:
+        raise BudgetExceeded(
+            BudgetSummary(reason="max-events", sim_time=1.0, events=5, wall_seconds=0.1)
+        )
+    return a * b
+
+
+# ---------------------------------------------------------------------------
+# expansion / validation
+# ---------------------------------------------------------------------------
+def test_cartesian_order_is_deterministic():
+    sweep = Sweep().add_axis("a", [1, 2]).add_axis("b", [10, 20, 30])
+    params = [p.params for p in sweep.run(_times)]
+    assert params == [
+        {"a": 1, "b": 10}, {"a": 1, "b": 20}, {"a": 1, "b": 30},
+        {"a": 2, "b": 10}, {"a": 2, "b": 20}, {"a": 2, "b": 30},
+    ]
+    assert [p.value for p in sweep.run(_times)] == [10, 20, 30, 20, 40, 60]
+
+
+def test_points_matches_run_order():
+    sweep = Sweep().add_axis("a", [1, 2]).add_axis("b", [10, 20])
+    assert sweep.points() == [p.params for p in sweep.run(_times)]
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(ValueError, match="axis 'a' has no values"):
+        Sweep().add_axis("a", [])
+
+
+def test_no_axes_rejected():
+    with pytest.raises(ValueError, match="no axes defined"):
+        Sweep().run(_times)
+    with pytest.raises(ValueError, match="no axes defined"):
+        Sweep().points()
+
+
+# ---------------------------------------------------------------------------
+# error isolation + classification
+# ---------------------------------------------------------------------------
+def test_error_isolation_records_class_name():
+    sweep = Sweep().add_axis("a", [1, 2, 3]).add_axis("b", [10, 30])
+    points = sweep.run(_fragile)
+    assert len(points) == 6
+
+    by_params = {(p.params["a"], p.params["b"]): p for p in points}
+    ok = by_params[(1, 10)]
+    assert ok.ok and ok.value == 10 and ok.error == "" and ok.error_type == ""
+
+    bad = by_params[(2, 10)]
+    assert not bad.ok
+    assert bad.error_type == "ValueError"
+    assert bad.error == "a=2 rejected"
+    assert bad.error_full == "ValueError: a=2 rejected"
+
+    budget = by_params[(3, 30)]
+    assert budget.error_type == "BudgetExceeded"
+    assert "budget exceeded" in budget.error
+
+    # The whole point of error_type: the two failure kinds are now
+    # distinguishable without parsing messages.
+    kinds = {p.error_type for p in points if not p.ok}
+    assert kinds == {"ValueError", "BudgetExceeded"}
+
+
+def test_successes_filters_failed_points():
+    sweep = Sweep().add_axis("a", [1, 2, 3]).add_axis("b", [10, 30])
+    points = sweep.run(_fragile)
+    good = Sweep.successes(points)
+    assert len(good) == 3  # a=1 both, a=3 b=10
+    assert all(p.ok for p in good)
+
+
+def test_legacy_point_without_error_type_is_ok():
+    # Pre-campaign SweepPoints carried only the message; the default
+    # error_type keeps old constructors working.
+    p = SweepPoint(params={}, value=1)
+    assert p.ok and p.error_full == ""
+    q = SweepPoint(params={}, value=None, error="boom")
+    assert not q.ok and q.error_full == "boom"
+
+
+# ---------------------------------------------------------------------------
+# the executor hook
+# ---------------------------------------------------------------------------
+def test_executor_map_hook_preserves_order_and_isolation():
+    calls = []
+
+    def spying_map(fn, items):
+        items = list(items)
+        calls.append(len(items))
+        # evaluate in reverse to prove result order comes from the
+        # executor's output order contract, not evaluation order
+        return reversed([fn(p) for p in reversed(items)])
+
+    sweep = Sweep().add_axis("a", [1, 2, 3]).add_axis("b", [10, 30])
+    points = sweep.run(_fragile, executor=spying_map)
+    assert calls == [6]
+    assert [p.params for p in points] == sweep.points()
+    assert points[0].value == 10
+    assert points[2].error_type == "ValueError"
+
+
+def test_executor_process_pool_roundtrip():
+    from repro.campaign import pool_map
+
+    sweep = Sweep().add_axis("a", [1, 2, 3]).add_axis("b", [10, 30])
+    with pool_map(2) as ex:
+        parallel = sweep.run(_fragile, executor=ex)
+    serial = sweep.run(_fragile)
+    assert [(p.params, p.value, p.error, p.error_type) for p in parallel] == [
+        (p.params, p.value, p.error, p.error_type) for p in serial
+    ]
+
+
+def test_pool_map_degrades_to_plain_map():
+    from repro.campaign import pool_map
+
+    with pool_map(1) as ex:
+        assert ex is map
