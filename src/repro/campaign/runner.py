@@ -156,7 +156,9 @@ class CampaignRunner:
     def _trace_setup(self) -> None:
         if self.tracer is None:
             return
-        self._t0 = time.perf_counter()  # simlint: ignore[determinism-hazard]
+        # Host-side trace anchor, never simulated state: campaign traces
+        # are wall-clock observability of the harness itself.
+        self._t0 = time.perf_counter()  # simlint: ignore[determinism-hazard,flow-determinism-taint]
         self.tracer.set_process_name(CAMPAIGN_PID, f"campaign {self.spec.name}")
         for slot in range(self.jobs):
             self.tracer.set_thread_name(CAMPAIGN_PID, slot, f"worker {slot}")

@@ -446,11 +446,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .lint import all_rules, lint_paths, render_json, render_text
+    from .lint import all_rules, lint_paths, render_github, render_json, render_text
 
     if args.list_rules:
+        from .lint.flow import FLOW_RULE_DESCRIPTIONS
+
         for rule in all_rules():
-            print(f"  {rule.id:20s} {rule.severity}  {rule.description}")
+            print(f"  {rule.id:24s} {rule.severity}  {rule.description}")
+        for rule_id, description in FLOW_RULE_DESCRIPTIONS.items():
+            print(f"  {rule_id:24s} error  {description}")
         return 0
     paths = args.paths
     if not paths:
@@ -460,8 +464,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if missing:
         print(f"repro lint: no such file or directory: {', '.join(missing)}", file=sys.stderr)
         return 2
-    result = lint_paths(paths)
-    print(render_json(result) if args.format == "json" else render_text(result))
+    result = lint_paths(paths, flow=args.flow)
+    renderers = {"json": render_json, "github": render_github, "text": render_text}
+    print(renderers[args.format](result))
     return result.exit_code
 
 
@@ -689,14 +694,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="simlint static analysis (yield-from, determinism, API hygiene)",
+        help=(
+            "simlint static analysis (yield-from, determinism, API hygiene, "
+            "CFG/dataflow comm checks)"
+        ),
     )
     p_lint.add_argument(
         "paths", nargs="*", help="files/directories to lint (default: src/)"
     )
     p_lint.add_argument(
-        "-f", "--format", choices=["text", "json"], default="text",
-        help="output format (default: text)",
+        "-f", "--format", choices=["text", "json", "github"], default="text",
+        help="output format (github = Actions ::error annotations)",
+    )
+    p_lint.add_argument(
+        "--flow", dest="flow", action="store_true", default=True,
+        help="run the CFG/dataflow analyses (default)",
+    )
+    p_lint.add_argument(
+        "--no-flow", dest="flow", action="store_false",
+        help="syntactic rules only, skip the flow analyses",
     )
     p_lint.add_argument(
         "--list-rules", action="store_true", help="list rule ids and exit"

@@ -6,18 +6,34 @@ Two layers guard the invariants everything else rests on:
   mistakes Python never warns about in this codebase's generator-based
   MPI style — a ``comm.send`` without ``yield from`` is a silent no-op,
   a ``time.time()`` breaks the identical-traces determinism promise.
-  Run them with ``repro lint [paths]`` or :func:`lint_paths`.
+  On top of the syntactic rules, the **flow layer**
+  (:mod:`repro.lint.flow`) builds per-function CFGs and a call graph
+  and proves program-level properties: rank-guarded collectives
+  (static deadlocks), leaked isend/irecv requests, blocking send/recv
+  cycles, and host-nondeterminism tainting simulated state.
+  Run everything with ``repro lint [paths]`` or :func:`lint_paths`
+  (``--no-flow`` / ``flow=False`` skips the dataflow layer).
 * **Runtime sanitizer** (``cluster.run(program, sanitize=True)``)
   reconstructs the rank wait-graph at deadlock and reports leaked
-  Requests / unreceived messages at exit.
+  Requests / unreceived messages at exit — the dynamic twin of the
+  flow analyses, and the oracle the flow fixtures are validated
+  against.
 
 See ``docs/linting.md`` for the rule catalogue and suppression syntax
 (``# simlint: ignore[rule-id]``).
 """
 
 from .findings import Finding, Severity, Suppressions
+from .flow import analyze_files, FLOW_RULE_IDS, FlowAnalyzer
 from .rules import all_rules, register, Rule, rule_ids, SourceFile
-from .runner import lint_paths, lint_text, LintResult, render_json, render_text
+from .runner import (
+    lint_paths,
+    lint_text,
+    LintResult,
+    render_github,
+    render_json,
+    render_text,
+)
 from .sanitizer import (
     BlockedRank,
     DeadlockError,
@@ -41,8 +57,12 @@ __all__ = [
     "LintResult",
     "lint_paths",
     "lint_text",
+    "render_github",
     "render_json",
     "render_text",
+    "analyze_files",
+    "FlowAnalyzer",
+    "FLOW_RULE_IDS",
     "BlockedRank",
     "DeadlockError",
     "RequestLeakError",

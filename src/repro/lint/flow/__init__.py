@@ -1,0 +1,36 @@
+"""repro.lint.flow: CFG + dataflow analyses for the simulated-MPI idiom.
+
+Where the syntactic simlint rules ask "does this call *look* wrong?",
+the flow layer asks "can this *program* go wrong?": it builds
+per-function control-flow graphs and an interprocedural call graph
+over the lint batch, then runs four analyses on them —
+
+* **collective matching** — a collective reachable only under a
+  rank-dependent branch is a static deadlock;
+* **request lifecycle** — an ``isend``/``irecv`` request that escapes
+  without ``wait``/``waitall`` on some path;
+* **blocking cycles** — guaranteed-unmatched recvs and symmetric
+  blocking-send cycles in literal peer/tag programs;
+* **determinism taint** — wall-clock / RNG / set-iteration-order
+  values flowing into simulated state.
+
+Run via ``repro lint`` (on by default; ``--no-flow`` opts out) or
+:func:`repro.lint.lint_paths`.  See ``docs/linting.md`` for what each
+pass proves and its blind spots.
+"""
+
+from .analyzer import analyze_files, FLOW_RULE_DESCRIPTIONS, FLOW_RULE_IDS, FlowAnalyzer
+from .callgraph import CallGraph, index_functions
+from .cfg import build_cfg, CFG, Node
+
+__all__ = [
+    "analyze_files",
+    "FlowAnalyzer",
+    "FLOW_RULE_IDS",
+    "FLOW_RULE_DESCRIPTIONS",
+    "CallGraph",
+    "index_functions",
+    "build_cfg",
+    "CFG",
+    "Node",
+]

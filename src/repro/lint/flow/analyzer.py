@@ -1,0 +1,84 @@
+"""Drive the four flow analyses over a batch of parsed files.
+
+The analyzer is deliberately separate from the per-file ``Rule``
+registry: flow analyses see the *whole batch at once* (so the call
+graph can resolve helpers across modules) and only then emit per-file
+findings.  The runner merges these with the syntactic rules' findings
+and applies the same ``# simlint: ignore[...]`` suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Tuple
+
+from ..findings import Finding
+from ..rules import SourceFile
+from .callgraph import CallGraph, index_functions
+from .cfg import build_cfg
+from .collectives import check_collective_matching
+from .facts import rank_tainted_names
+from .peers import check_blocking_cycles
+from .requests import check_request_lifecycle
+from .taint import check_determinism_taint
+
+__all__ = ["FlowAnalyzer", "analyze_files", "FLOW_RULE_IDS"]
+
+#: Stable ids of the flow passes (for --list-rules and suppressions).
+FLOW_RULE_IDS = (
+    "flow-collective-match",
+    "flow-request-leak",
+    "flow-blocking-cycle",
+    "flow-determinism-taint",
+)
+
+FLOW_RULE_DESCRIPTIONS = {
+    "flow-collective-match": (
+        "collective reachable only under a rank-dependent branch "
+        "(static deadlock: some ranks never enter it)"
+    ),
+    "flow-request-leak": (
+        "isend/irecv request escapes on some path without wait/waitall "
+        "(static twin of the sanitizer's leaked-request report)"
+    ),
+    "flow-blocking-cycle": (
+        "static send/recv peer graph has an unmatched recv or a "
+        "symmetric blocking-send cycle"
+    ),
+    "flow-determinism-taint": (
+        "wall-clock/RNG/set-order value flows into simulated state "
+        "(timeout, compute, MPI args, state attributes)"
+    ),
+}
+
+
+class FlowAnalyzer:
+    """CFG + call-graph analyses over ``(SourceFile, ast.Module)`` pairs."""
+
+    def __init__(self, files: Iterable[Tuple[SourceFile, ast.Module]]) -> None:
+        self.files = list(files)
+        self.functions = index_functions(self.files)
+        self.graph = CallGraph(self.functions)
+        for fn in self.functions:
+            fn.cfg = build_cfg(fn.node)
+            fn.rank_names = rank_tainted_names(fn.node)
+
+    def run(self) -> List[Finding]:
+        findings: List[Finding] = []
+        # Round 1: request lifecycle, summaries only.  A ``return req``
+        # upgrades its function's returns-request summary, which round 2
+        # needs at every call site regardless of definition order.
+        for fn in self.functions:
+            for _ in check_request_lifecycle(fn, self.graph):
+                pass
+        for fn in self.functions:
+            findings.extend(check_collective_matching(fn, self.graph))
+            findings.extend(check_request_lifecycle(fn, self.graph))
+            findings.extend(check_blocking_cycles(fn))
+            findings.extend(check_determinism_taint(fn))
+        return sorted(findings)
+
+
+def analyze_files(files: Iterable[Tuple[SourceFile, ast.Module]]) -> List[Finding]:
+    """One-shot convenience wrapper around :class:`FlowAnalyzer`."""
+    return FlowAnalyzer(files).run()

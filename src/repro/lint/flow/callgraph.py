@@ -1,0 +1,201 @@
+"""Interprocedural function index and call graph over the lint batch.
+
+Every function definition in the analyzed files is indexed by bare
+name; call sites resolve name-based (the same trade-off as the rest of
+simlint).  Ambiguous names — several functions sharing one bare name —
+resolve to the *union* of candidates, which keeps the collective
+summaries sound-ish at the cost of precision.
+
+Two summaries are computed here because several analyses share them:
+
+* ``collective_kinds(fn)`` — the collective operations a function
+  (transitively) performs, so a helper containing a ``barrier`` counts
+  as a barrier at its rank-guarded call site;
+* ``returns_request(fn)`` — whether a function can return an
+  ``isend``/``irecv`` request (directly or transitively), so the
+  request-lifecycle pass can follow obligations across calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from .facts import (
+    call_method_name,
+    COLLECTIVE_KINDS,
+    comm_like,
+    FuncInfo,
+    FUNCTION_COLLECTIVES,
+    walk_calls,
+)
+
+__all__ = ["CallGraph", "index_functions"]
+
+#: Calls to methods with these names create Request obligations.
+_REQUEST_METHODS = frozenset({"isend", "irecv"})
+
+
+def index_functions(files: Iterable[tuple]) -> List[FuncInfo]:
+    """Collect every function definition (incl. methods and nested
+    defs) from ``(SourceFile, ast.Module)`` pairs."""
+    out: List[FuncInfo] = []
+    for src, tree in files:
+        module = src.path
+        stack: List[tuple] = [(tree, "")]
+        while stack:
+            node, prefix = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}{child.name}"
+                    out.append(FuncInfo(src, child, qual, module))
+                    stack.append((child, f"{qual}."))
+                elif isinstance(child, ast.ClassDef):
+                    stack.append((child, f"{prefix}{child.name}."))
+        # deterministic order regardless of stack traversal
+    out.sort(key=lambda f: (f.module, f.node.lineno))
+    return out
+
+
+class CallGraph:
+    """Name-resolved call edges + fixpoint summaries (module docstring)."""
+
+    def __init__(self, functions: List[FuncInfo]) -> None:
+        self.functions = functions
+        self.by_name: Dict[str, List[FuncInfo]] = {}
+        for fn in functions:
+            self.by_name.setdefault(fn.name, []).append(fn)
+        self.callees: Dict[FuncInfo, List[FuncInfo]] = {}
+        for fn in functions:
+            self.callees[fn] = self._resolve_callees(fn)
+        self._collectives = self._collective_fixpoint()
+        self._returns_request = self._returns_request_fixpoint()
+
+    # -- resolution --------------------------------------------------------
+    def resolve(self, call: ast.Call) -> List[FuncInfo]:
+        """Candidate definitions of a call, by bare name ([] if unknown)."""
+        name = call_method_name(call)
+        if name is None:
+            return []
+        return self.by_name.get(name, [])
+
+    def _resolve_callees(self, fn: FuncInfo) -> List[FuncInfo]:
+        seen: Set[FuncInfo] = set()
+        out: List[FuncInfo] = []
+        for call in walk_calls(fn.node):
+            for callee in self.resolve(call):
+                if callee not in seen and callee is not fn:
+                    seen.add(callee)
+                    out.append(callee)
+        return out
+
+    # -- collective summary ------------------------------------------------
+    def _direct_collectives(self, fn: FuncInfo) -> FrozenSet[str]:
+        kinds: Set[str] = set()
+        for call in walk_calls(fn.node):
+            name = call_method_name(call)
+            if name is None:
+                continue
+            if (
+                name in COLLECTIVE_KINDS
+                and isinstance(call.func, ast.Attribute)
+                and comm_like(call.func.value)
+            ):
+                kinds.add(name)
+            elif name in FUNCTION_COLLECTIVES and isinstance(call.func, ast.Name):
+                kinds.add(FUNCTION_COLLECTIVES[name])
+        return frozenset(kinds)
+
+    def _collective_fixpoint(self) -> Dict[FuncInfo, FrozenSet[str]]:
+        summary = {fn: self._direct_collectives(fn) for fn in self.functions}
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.functions:
+                merged = set(summary[fn])
+                for callee in self.callees[fn]:
+                    merged |= summary[callee]
+                if merged != summary[fn]:
+                    summary[fn] = frozenset(merged)
+                    changed = True
+        return summary
+
+    def collective_kinds(self, fn: FuncInfo) -> FrozenSet[str]:
+        """Collective ops ``fn`` transitively performs (may be empty)."""
+        return self._collectives.get(fn, frozenset())
+
+    def call_collective_kinds(self, call: ast.Call) -> FrozenSet[str]:
+        """Collectives a *call expression* performs: a direct collective
+        method, a known collective algorithm, or a summarized callee."""
+        name = call_method_name(call)
+        if name is None:
+            return frozenset()
+        if (
+            name in COLLECTIVE_KINDS
+            and isinstance(call.func, ast.Attribute)
+            and comm_like(call.func.value)
+        ):
+            return frozenset({name})
+        if name in FUNCTION_COLLECTIVES and isinstance(call.func, ast.Name):
+            return frozenset({FUNCTION_COLLECTIVES[name]})
+        kinds: Set[str] = set()
+        for callee in self.by_name.get(name, []):
+            kinds |= self._collectives.get(callee, frozenset())
+        return frozenset(kinds)
+
+    # -- request-return summary --------------------------------------------
+    def _returns_request_direct(self, fn: FuncInfo) -> Optional[bool]:
+        """True / False when decidable locally, None when it depends on
+        callees (returns the result of another indexed function)."""
+        pending = False
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            for call in walk_calls(node.value):
+                name = call_method_name(call)
+                if name in _REQUEST_METHODS and isinstance(call.func, ast.Attribute):
+                    return True
+                if name in self.by_name:
+                    pending = True
+            # ``return req`` where req holds a request is handled by the
+            # request-lifecycle dataflow itself, not the summary.
+        return None if pending else False
+
+    def _returns_request_fixpoint(self) -> Dict[FuncInfo, bool]:
+        summary: Dict[FuncInfo, bool] = {}
+        pending: List[FuncInfo] = []
+        for fn in self.functions:
+            direct = self._returns_request_direct(fn)
+            summary[fn] = bool(direct)
+            if direct is None:
+                pending.append(fn)
+        changed = True
+        while changed:
+            changed = False
+            for fn in pending:
+                if summary[fn]:
+                    continue
+                for node in ast.walk(fn.node):
+                    if not isinstance(node, ast.Return) or node.value is None:
+                        continue
+                    for call in walk_calls(node.value):
+                        name = call_method_name(call)
+                        for callee in self.by_name.get(name or "", []):
+                            if summary.get(callee):
+                                summary[fn] = True
+                                changed = True
+        return summary
+
+    def returns_request(self, fn: FuncInfo) -> bool:
+        return self._returns_request.get(fn, False)
+
+    def mark_returns_request(self, fn: FuncInfo) -> None:
+        """Upgrade a summary after the dataflow saw ``return req``."""
+        self._returns_request[fn] = True
+
+    def call_returns_request(self, call: ast.Call) -> bool:
+        """Does this call (to an indexed function) yield a Request?"""
+        name = call_method_name(call)
+        if name is None or name in _REQUEST_METHODS:
+            return False
+        return any(self._returns_request.get(c, False) for c in self.by_name.get(name, []))

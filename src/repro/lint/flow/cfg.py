@@ -1,0 +1,252 @@
+"""Per-function control-flow graphs for the flow analyses.
+
+The graph is statement-granular: every simple statement is one
+:class:`Node`, and ``If``/``While``/``For`` tests become *branch*
+nodes with labelled ``true``/``false`` out-edges.  Two virtual nodes
+bracket the function: ``entry`` and ``exit`` (normal completion);
+``raise`` edges lead to a separate ``exc_exit`` so analyses can
+reason about normal paths only (a request abandoned because the whole
+simulation aborted is not a leak worth reporting).
+
+Supported control constructs: ``if``/``elif``/``else``, ``while``
+(with ``else``), ``for`` (with ``else``), ``break``/``continue``,
+``return``, ``raise``, ``try``/``except``/``else``/``finally``,
+``with``, and ``match``.  Nested function and class definitions are
+opaque single statements — each function gets its own CFG.
+
+Deliberate approximations (documented in ``docs/linting.md``):
+
+* exceptions may fire from any statement, but the graph only routes
+  *explicit* ``raise`` statements (and whole ``try`` bodies) to the
+  handlers — implicit exception edges would drown every analysis in
+  phantom paths;
+* ``while`` loops always get an exit edge unless the test is the
+  literal ``True`` and the body contains no ``break``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["Node", "CFG", "build_cfg"]
+
+
+class Node:
+    """One CFG node: a statement, a branch test, or a virtual marker."""
+
+    __slots__ = ("index", "kind", "stmt", "succs", "preds")
+
+    def __init__(self, index: int, kind: str, stmt: Optional[ast.stmt] = None) -> None:
+        self.index = index
+        self.kind = kind  # "entry" | "exit" | "exc-exit" | "stmt" | "branch"
+        self.stmt = stmt
+        self.succs: List[Tuple["Node", str]] = []
+        self.preds: List[Tuple["Node", str]] = []
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+    def successors(self, label: Optional[str] = None) -> List["Node"]:
+        return [n for n, lab in self.succs if label is None or lab == label]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        what = ast.dump(self.stmt)[:40] if self.stmt is not None else ""
+        return f"<Node {self.index} {self.kind} {what}>"
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.nodes: List[Node] = []
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+        self.exc_exit = self._new("exc-exit")
+
+    def _new(self, kind: str, stmt: Optional[ast.stmt] = None) -> Node:
+        node = Node(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        return node
+
+    def add_edge(self, src: Node, dst: Node, label: str = "") -> None:
+        src.succs.append((dst, label))
+        dst.preds.append((src, label))
+
+    def reachable_from(
+        self, start: Iterable[Node], stop: Optional[Node] = None
+    ) -> Set[Node]:
+        """Every node reachable from ``start`` (inclusive) along edges.
+
+        ``stop`` is not expanded when reached — analyses use the branch
+        node itself as the stop so loop back-edges don't leak one arm's
+        region into the other's.
+        """
+        seen: Set[Node] = set()
+        stack = list(start)
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node is stop:
+                continue
+            stack.extend(succ for succ, _ in node.succs)
+        return seen
+
+    def statements(self) -> Iterator[Node]:
+        """The real (non-virtual) nodes, in creation order."""
+        for node in self.nodes:
+            if node.kind in ("stmt", "branch"):
+                yield node
+
+
+class _Builder:
+    """Recursive-descent CFG construction (see module docstring)."""
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        #: (continue_target, break_collector) per enclosing loop
+        self.loops: List[Tuple[Node, List[Node]]] = []
+        #: current targets of a raise: handler entries, else exc_exit
+        self.exc_targets: List[List[Tuple[Node, str]]] = []
+
+    # ``frontier``: (node, label) pairs whose execution falls through to
+    # whatever comes next.
+    def build(
+        self, stmts: List[ast.stmt], frontier: List[Tuple[Node, str]]
+    ) -> List[Tuple[Node, str]]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code: stop wiring
+            frontier = self._stmt(stmt, frontier)
+        return frontier
+
+    def _join(self, frontier: List[Tuple[Node, str]], node: Node) -> None:
+        for src, label in frontier:
+            self.cfg.add_edge(src, node, label)
+
+    def _simple(self, stmt: ast.stmt, frontier, kind: str = "stmt") -> Node:
+        node = self.cfg._new(kind, stmt)
+        self._join(frontier, node)
+        return node
+
+    def _raise_to(self, node: Node) -> None:
+        """Wire an exception edge from ``node`` to the active handlers."""
+        if self.exc_targets:
+            for target, label in self.exc_targets[-1]:
+                self.cfg.add_edge(node, target, label)
+        else:
+            self.cfg.add_edge(node, self.cfg.exc_exit, "raise")
+
+    def _stmt(self, stmt: ast.stmt, frontier) -> List[Tuple[Node, str]]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._simple(stmt, frontier)
+            return self.build(stmt.body, [(node, "")])
+        if isinstance(stmt, ast.Return):
+            node = self._simple(stmt, frontier)
+            self.cfg.add_edge(node, self.cfg.exit, "return")
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._simple(stmt, frontier)
+            self._raise_to(node)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._simple(stmt, frontier)
+            if self.loops:
+                self.loops[-1][1].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._simple(stmt, frontier)
+            if self.loops:
+                self.cfg.add_edge(node, self.loops[-1][0], "continue")
+            return []
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        # Everything else — including nested FunctionDef/ClassDef,
+        # which are *definitions*, not control flow — is one plain node.
+        node = self._simple(stmt, frontier)
+        return [(node, "")]
+
+    def _if(self, stmt: ast.If, frontier) -> List[Tuple[Node, str]]:
+        branch = self._simple(stmt, frontier, kind="branch")
+        out = self.build(stmt.body, [(branch, "true")])
+        if stmt.orelse:
+            out += self.build(stmt.orelse, [(branch, "false")])
+        else:
+            out += [(branch, "false")]
+        return out
+
+    def _loop(self, stmt, frontier) -> List[Tuple[Node, str]]:
+        branch = self._simple(stmt, frontier, kind="branch")
+        breaks: List[Node] = []
+        self.loops.append((branch, breaks))
+        body_out = self.build(stmt.body, [(branch, "true")])
+        self._join(body_out, branch)  # back edge
+        self.loops.pop()
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and stmt.test.value is True
+        )
+        out: List[Tuple[Node, str]] = []
+        if not infinite:
+            out.append((branch, "false"))
+        if stmt.orelse and out:
+            out = self.build(stmt.orelse, out)
+        out += [(b, "break") for b in breaks]
+        return out
+
+    def _try(self, stmt: ast.Try, frontier) -> List[Tuple[Node, str]]:
+        head = self._simple(stmt, frontier)
+        handler_entries: List[Tuple[Node, str]] = []
+        handler_nodes: List[Node] = []
+        for handler in stmt.handlers:
+            node = self.cfg._new("stmt", handler)
+            handler_nodes.append(node)
+            handler_entries.append((node, "except"))
+            self.cfg.add_edge(head, node, "except")
+        if not stmt.handlers:
+            handler_entries = [(self.cfg.exc_exit, "raise")]
+        self.exc_targets.append(handler_entries)
+        body_out = self.build(stmt.body, [(head, "")])
+        self.exc_targets.pop()
+        if stmt.orelse:
+            body_out = self.build(stmt.orelse, body_out)
+        out = list(body_out)
+        for node in handler_nodes:
+            out += self.build(stmt.handlers[handler_nodes.index(node)].body, [(node, "")])
+        if stmt.finalbody:
+            out = self.build(stmt.finalbody, out)
+        return out
+
+    def _match(self, stmt: ast.Match, frontier) -> List[Tuple[Node, str]]:
+        branch = self._simple(stmt, frontier, kind="branch")
+        out: List[Tuple[Node, str]] = []
+        exhaustive = False
+        for case in stmt.cases:
+            out += self.build(case.body, [(branch, "true")])
+            if isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None:
+                exhaustive = True  # wildcard ``case _:``
+        if not exhaustive:
+            out.append((branch, "false"))
+        return out
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of a ``FunctionDef``/``AsyncFunctionDef`` (or any
+    node with a ``body`` list of statements)."""
+    cfg = CFG(func)
+    builder = _Builder(cfg)
+    frontier = builder.build(list(getattr(func, "body", [])), [(cfg.entry, "")])
+    for src, label in frontier:
+        cfg.add_edge(src, cfg.exit, label or "fall")
+    return cfg

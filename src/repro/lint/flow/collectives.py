@@ -1,0 +1,106 @@
+"""Collective-matching: rank-guarded collectives are static deadlocks.
+
+A collective (``barrier``, ``allreduce``, ``bcast``, …) completes only
+when *every* rank of the communicator enters it.  A collective that is
+reachable under a rank-dependent branch — ``if comm.rank == 0:`` — but
+not on the sibling paths is therefore a guaranteed deadlock: some ranks
+arrive, the rest never do.
+
+The check runs on the CFG.  For every branch node whose test is
+rank-dependent, the *exclusive region* of each side is computed (nodes
+reachable from that successor edge but not from the other), and the
+multisets of collective kinds in the two regions are compared; every
+unmatched collective call is flagged.  Matched shapes like::
+
+    if comm.rank == 0:
+        yield from comm.bcast(n, root=0)
+    else:
+        yield from comm.bcast(n, root=0)
+
+are clean — both sides perform the same collective sequence kinds —
+while an early ``return`` under a rank guard followed by a collective
+is caught, because the collective lands in the fall-through side's
+exclusive region.
+
+Interprocedural: a call to a helper whose summary performs collectives
+(see :class:`~repro.lint.flow.callgraph.CallGraph`) counts as those
+collectives at the call site.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..findings import Finding, Severity
+from .callgraph import CallGraph
+from .cfg import Node
+from .facts import FuncInfo, is_rank_dependent, node_calls
+
+__all__ = ["check_collective_matching", "RULE_ID"]
+
+RULE_ID = "flow-collective-match"
+
+
+def _node_collectives(node: Node, graph: CallGraph) -> List[Tuple[str, object]]:
+    """(kind, call) pairs for the collectives one CFG node performs."""
+    if node.stmt is None:
+        return []
+    out: List[Tuple[str, object]] = []
+    for call in node_calls(node.stmt):
+        for kind in sorted(graph.call_collective_kinds(call)):
+            out.append((kind, call))
+    return out
+
+
+def check_collective_matching(fn: FuncInfo, graph: CallGraph) -> Iterator[Finding]:
+    cfg = fn.cfg
+    rank_names = fn.rank_names
+    # Cache per-node collective kinds once per function.
+    kinds_at: Dict[Node, List[Tuple[str, object]]] = {
+        n: _node_collectives(n, graph) for n in cfg.statements()
+    }
+    if not any(kinds_at.values()):
+        return
+    for branch in cfg.statements():
+        if branch.kind != "branch":
+            continue
+        test = getattr(branch.stmt, "test", None)
+        if test is None:  # for-loops: the iterable decides the trip count
+            test = getattr(branch.stmt, "iter", None)
+        if test is None or not is_rank_dependent(test, rank_names):
+            continue
+        true_side = cfg.reachable_from(branch.successors("true"), stop=branch)
+        false_side = cfg.reachable_from(branch.successors("false"), stop=branch)
+        only_true = true_side - false_side
+        only_false = false_side - true_side
+        true_counts = Counter(k for n in only_true for k, _ in kinds_at.get(n, ()))
+        false_counts = Counter(k for n in only_false for k, _ in kinds_at.get(n, ()))
+        for region, counts, other in (
+            (only_true, true_counts, false_counts),
+            (only_false, false_counts, true_counts),
+        ):
+            unmatched = counts - other
+            if not unmatched:
+                continue
+            reported: Set[int] = set()
+            budget = dict(unmatched)
+            for node in sorted(region, key=lambda n: n.index):
+                for kind, call in kinds_at.get(node, ()):
+                    if budget.get(kind, 0) <= 0 or id(call) in reported:
+                        continue
+                    budget[kind] -= 1
+                    reported.add(id(call))
+                    yield Finding(
+                        path=fn.src.path,
+                        line=getattr(call, "lineno", branch.line),
+                        col=getattr(call, "col_offset", 0) + 1,
+                        rule=RULE_ID,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"collective '{kind}' is reachable only under the "
+                            f"rank-dependent branch at line {branch.line} — "
+                            "ranks taking the other path never enter it, so "
+                            "every rank that does deadlocks"
+                        ),
+                    )

@@ -1,0 +1,252 @@
+"""Shared semantic facts about the codebase's MPI idiom.
+
+Everything the four flow analyses need to agree on lives here: what a
+communicator looks like, which calls are collectives / point-to-point /
+request factories, which expressions depend on the calling rank, and a
+tiny constant evaluator for peers and tags.
+
+Matching is name-based, like the rest of simlint: the repository
+reserves ``comm``-ish names and the simulated-MPI method names for the
+simulation surfaces, and every analysis anchors its findings so a
+``# simlint: ignore[...]`` can silence a false positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..comm_rules import GENERATOR_FUNCTIONS
+
+__all__ = [
+    "COLLECTIVE_KINDS",
+    "FUNCTION_COLLECTIVES",
+    "P2P_METHODS",
+    "call_method_name",
+    "comm_like",
+    "receiver_base",
+    "const_int",
+    "rank_tainted_names",
+    "is_rank_dependent",
+    "walk_calls",
+    "node_exprs",
+    "node_calls",
+    "FuncInfo",
+]
+
+#: Collective operations every rank of a communicator must enter
+#: together (subset of ``GENERATOR_METHODS``; p2p and wait ops excluded).
+COLLECTIVE_KINDS = frozenset(
+    {
+        "barrier",
+        "bcast",
+        "reduce",
+        "allreduce",
+        "allgather",
+        "reduce_scatter",
+        "gather",
+        "scatter",
+        "alltoall",
+    }
+)
+
+#: Module-level collective algorithms -> the collective kind they run.
+FUNCTION_COLLECTIVES = {
+    name: (
+        "barrier"
+        if "barrier" in name
+        else "bcast"
+        if "bcast" in name
+        else "reduce_scatter"
+        if "reduce_scatter" in name
+        else "allreduce"
+        if "allreduce" in name
+        else "reduce"
+        if "reduce" in name
+        else "gather"
+        if "gather" in name
+        else "scatter"
+        if "scatter" in name
+        else "alltoall"
+        if "alltoall" in name
+        else None
+    )
+    for name in GENERATOR_FUNCTIONS
+    if name != "halo_program"
+}
+FUNCTION_COLLECTIVES = {k: v for k, v in FUNCTION_COLLECTIVES.items() if v}
+
+#: Blocking point-to-point methods (the blocking-cycle alphabet).
+P2P_METHODS = frozenset({"send", "recv", "sendrecv"})
+
+#: Names that denote a communicator when used as a call receiver.
+_COMM_NAME_PARTS = ("comm",)
+_COMM_EXACT = frozenset({"self", "sub", "comm", "subcomm"})
+
+
+def call_method_name(call: ast.Call) -> Optional[str]:
+    """``x.m(...)`` -> ``"m"``; ``f(...)`` -> ``"f"``; else ``None``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def receiver_base(node: ast.AST) -> Optional[str]:
+    """Leftmost name of an attribute/subscript chain, else ``None``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def comm_like(node: ast.AST) -> bool:
+    """Heuristic: does this expression denote a communicator?"""
+    base = receiver_base(node)
+    if base is None:
+        return False
+    low = base.lower()
+    return base in _COMM_EXACT or any(part in low for part in _COMM_NAME_PARTS)
+
+
+def const_int(node: ast.expr) -> Optional[int]:
+    """Evaluate a literal int expression (supports unary minus)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) and not isinstance(
+        node.value, bool
+    ):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = const_int(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def walk_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Every ``ast.Call`` in ``node``, skipping nested function defs."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)) and cur is not node:
+            continue
+        if isinstance(cur, ast.Call):
+            yield cur
+        stack.extend(ast.iter_child_nodes(cur))
+
+
+def node_exprs(stmt: Optional[ast.stmt]) -> List[ast.AST]:
+    """The expressions *evaluated at* one CFG node.
+
+    Compound statements (``if``/``while``/``for``/``with``/``try``/
+    ``match``) carry their whole subtree in ``node.stmt``, but their
+    bodies are separate CFG nodes — a dataflow transfer that walked the
+    full subtree would see body effects at the head.  Only the head
+    expression (test, iterable, context managers, subject) executes at
+    the node itself.
+    """
+    if stmt is None:
+        return []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.Try):
+        return []  # the try head evaluates nothing itself
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []  # a definition, not an execution
+    return [stmt]
+
+
+def node_calls(stmt: Optional[ast.stmt]) -> Iterator[ast.Call]:
+    """Every call executed *at* this CFG node (see :func:`node_exprs`)."""
+    for expr in node_exprs(stmt):
+        yield from walk_calls(expr)
+
+
+#: Attributes of a communicator whose value differs per rank.
+_RANK_ATTRS = frozenset({"rank", "node_coords"})
+
+
+def rank_tainted_names(func: ast.AST) -> Set[str]:
+    """Names in ``func`` assigned (transitively) from ``comm.rank``.
+
+    Flow-insensitive on purpose: a name is rank-dependent if *any*
+    assignment in the function makes it so.  Iterates to a fixpoint so
+    ``r = comm.rank; left = r - 1`` taints ``left`` too.
+    """
+    tainted: Set[str] = set()
+    assigns: List[tuple] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            assigns.append((targets, node.value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                assigns.append(([node.target.id], node.value))
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            assigns.append(([node.target.id], node.value))
+    changed = True
+    while changed:
+        changed = False
+        for targets, value in assigns:
+            if _mentions_rank(value, tainted):
+                for t in targets:
+                    if t not in tainted:
+                        tainted.add(t)
+                        changed = True
+    return tainted
+
+
+def _mentions_rank(expr: ast.AST, tainted: Set[str]) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr in _RANK_ATTRS:
+            if comm_like(node.value):
+                return True
+        elif isinstance(node, ast.Name) and node.id in tainted:
+            return True
+    return False
+
+
+def is_rank_dependent(test: ast.expr, tainted: Set[str]) -> bool:
+    """Does this branch condition depend on the calling rank?"""
+    return _mentions_rank(test, tainted)
+
+
+class FuncInfo:
+    """One function under analysis, shared by every flow pass."""
+
+    __slots__ = ("src", "node", "qualname", "module", "cfg", "rank_names")
+
+    def __init__(self, src, node, qualname: str, module: str) -> None:
+        self.src = src
+        self.node = node
+        self.qualname = qualname
+        self.module = module
+        self.cfg = None  # built lazily by the analyzer
+        self.rank_names: Optional[Set[str]] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def params(self) -> List[str]:
+        args = self.node.args
+        return [a.arg for a in args.posonlyargs + args.args]
+
+    def first_param(self) -> Optional[str]:
+        params = self.params
+        if params and params[0] == "self":
+            params = params[1:]
+        return params[0] if params else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FuncInfo {self.module}:{self.qualname}>"

@@ -1,0 +1,375 @@
+"""Blocking-cycle detection over the static send/recv peer+tag graph.
+
+For rank programs whose point-to-point structure is fully literal —
+peers and tags are integer constants, guards are ``comm.rank == K``
+chains — the per-rank operation sequences can be extracted statically
+and matched abstractly.  Two bug shapes are reported:
+
+* **guaranteed deadlock** (error): a blocking ``recv`` that no send in
+  the program can ever match (or a recv/recv wait cycle).  This holds
+  under *any* MPI progress semantics.
+* **rendezvous cycle** (warning): every involved rank issues a
+  blocking ``send`` before its ``recv`` (``0 -> 1`` and ``1 -> 0``).
+  Eager delivery of small messages hides the bug; once the payload
+  crosses the rendezvous threshold, both sends block forever.  The
+  classic "it worked until I doubled the message size".
+
+Anything non-literal — computed peers (``(rank + 1) % size``),
+non-equality rank guards, nonblocking ops, ``sendrecv`` — makes the
+program *unanalyzable* and the pass stays silent rather than guess
+(the runtime sanitizer owns those shapes).  Loops are traversed as if
+their body ran once.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding, Severity
+from .facts import call_method_name, comm_like, const_int, FuncInfo, walk_calls
+
+__all__ = ["check_blocking_cycles", "RULE_ID"]
+
+RULE_ID = "flow-blocking-cycle"
+
+#: recv() with no src: matches any sender.
+ANY = -1
+
+
+@dataclass(frozen=True)
+class _Op:
+    kind: str  # "send" | "recv"
+    peer: int  # ANY for wildcard recv
+    tag: int  # ANY for wildcard
+    node: ast.Call
+
+
+class _Unanalyzable(Exception):
+    """The program's p2p structure is not statically literal."""
+
+
+def _p2p_call(call: ast.Call) -> Optional[str]:
+    name = call_method_name(call)
+    if name is None or not isinstance(call.func, ast.Attribute):
+        return None
+    if not comm_like(call.func.value):
+        return None
+    return name
+
+
+def _arg(call: ast.Call, position: int, keyword: str) -> Optional[ast.expr]:
+    if len(call.args) > position:
+        return call.args[position]
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    return None
+
+
+def _extract_op(call: ast.Call, name: str) -> _Op:
+    if name == "send":
+        dst_expr = _arg(call, 0, "dst")
+        if dst_expr is None:
+            raise _Unanalyzable
+        dst = const_int(dst_expr)
+        if dst is None:
+            raise _Unanalyzable
+        tag_expr = _arg(call, 2, "tag")
+        tag = 0 if tag_expr is None else const_int(tag_expr)
+        if tag is None:
+            raise _Unanalyzable
+        return _Op("send", dst, tag, call)
+    # recv
+    src_expr = _arg(call, 0, "src")
+    src = ANY if src_expr is None else const_int(src_expr)
+    if src is None:
+        raise _Unanalyzable
+    tag_expr = _arg(call, 1, "tag")
+    tag = ANY if tag_expr is None else const_int(tag_expr)
+    if tag is None:
+        raise _Unanalyzable
+    return _Op("recv", src, tag, call)
+
+
+def _rank_guard_value(test: ast.expr) -> Optional[int]:
+    """``comm.rank == K`` (either order) -> K, else None."""
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return None
+    if not isinstance(test.ops[0], ast.Eq):
+        return None
+    sides = [test.left, test.comparators[0]]
+    rank_side = [
+        s
+        for s in sides
+        if isinstance(s, ast.Attribute) and s.attr == "rank" and comm_like(s.value)
+    ]
+    if len(rank_side) != 1:
+        return None
+    other = sides[0] if sides[1] is rank_side[0] else sides[1]
+    return const_int(other)
+
+
+@dataclass
+class _Guarded:
+    """One ``if comm.rank == a: ... elif ...: ... else: ...`` chain."""
+
+    arms: List[Tuple[int, List]]  # (rank, items)
+    orelse: List  # items for every unguarded rank
+
+
+def _extract_items(stmts: List[ast.stmt]) -> List:
+    """Item list: _Op | _Guarded, or raise _Unanalyzable."""
+    items: List = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.If):
+            guard = _rank_guard_value(stmt.test)
+            if guard is not None:
+                arms: List[Tuple[int, List]] = [(guard, _extract_items(stmt.body))]
+                orelse = stmt.orelse
+                while (
+                    len(orelse) == 1
+                    and isinstance(orelse[0], ast.If)
+                    and _rank_guard_value(orelse[0].test) is not None
+                ):
+                    arms.append(
+                        (_rank_guard_value(orelse[0].test), _extract_items(orelse[0].body))
+                    )
+                    orelse = orelse[0].orelse
+                items.append(_Guarded(arms, _extract_items(orelse)))
+                continue
+            # Non-rank condition: p2p inside would be half-analyzable.
+            if _contains_p2p(stmt):
+                raise _Unanalyzable
+            continue
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            items.extend(_extract_items(stmt.body))  # body "runs once"
+            items.extend(_extract_items(stmt.orelse))
+            continue
+        if isinstance(stmt, (ast.With, ast.AsyncWith, ast.Try)):
+            items.extend(_extract_items(stmt.body))
+            if isinstance(stmt, ast.Try) and (
+                any(_contains_p2p(h) for h in stmt.handlers)
+                or any(_contains_p2p(s) for s in stmt.orelse + stmt.finalbody)
+            ):
+                raise _Unanalyzable
+            continue
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # separate scope
+        for call in walk_calls(stmt):
+            name = _p2p_call(call)
+            if name in ("send", "recv"):
+                items.append(_extract_op(call, name))
+            elif name in ("sendrecv", "isend", "irecv", "wait", "waitall"):
+                raise _Unanalyzable
+    return items
+
+
+def _contains_p2p(node: ast.AST) -> bool:
+    return any(
+        _p2p_call(c) in ("send", "recv", "sendrecv", "isend", "irecv")
+        for c in walk_calls(node)
+    )
+
+
+def _sequences(items: List) -> Optional[Dict[int, List[_Op]]]:
+    """Per-rank op sequences over the literal rank universe."""
+    universe: Set[int] = set()
+
+    def collect(its: List) -> None:
+        for it in its:
+            if isinstance(it, _Op):
+                if it.peer != ANY:
+                    universe.add(it.peer)
+            else:
+                for rank, arm in it.arms:
+                    universe.add(rank)
+                    collect(arm)
+                collect(it.orelse)
+
+    collect(items)
+    if not universe:
+        return None
+
+    # A guard chain whose ``else`` performs p2p represents "every other
+    # rank".  If all literal ranks are claimed by arms, give the else a
+    # synthetic representative so its sends/recvs aren't lost (without
+    # it, ``if rank == 0: recv() else: send(0)`` over universe {0}
+    # would be a false deadlock).
+    def needs_residual(its: List) -> bool:
+        for it in its:
+            if isinstance(it, _Guarded):
+                arm_ranks = {rank for rank, _ in it.arms}
+                if it.orelse and _has_ops(it.orelse) and universe <= arm_ranks:
+                    return True
+                if any(needs_residual(arm) for _, arm in it.arms):
+                    return True
+                if needs_residual(it.orelse):
+                    return True
+        return False
+
+    def _has_ops(its: List) -> bool:
+        return any(
+            isinstance(it, _Op) or (_has_ops(it.orelse) or any(_has_ops(a) for _, a in it.arms))
+            for it in its
+        )
+
+    if needs_residual(items):
+        universe.add(max(universe) + 1)
+
+    def expand(its: List, rank: int) -> List[_Op]:
+        ops: List[_Op] = []
+        for it in its:
+            if isinstance(it, _Op):
+                ops.append(it)
+            else:
+                matched = False
+                for arm_rank, arm in it.arms:
+                    if arm_rank == rank:
+                        ops.extend(expand(arm, rank))
+                        matched = True
+                        break
+                if not matched:
+                    ops.extend(expand(it.orelse, rank))
+        return ops
+
+    return {rank: expand(items, rank) for rank in sorted(universe)}
+
+
+def _matches(send: _Op, sender: int, recv: _Op, receiver: int) -> bool:
+    if send.peer != receiver:
+        return False
+    if recv.peer not in (ANY, sender):
+        return False
+    return recv.tag in (ANY, send.tag)
+
+
+def _simulate_eager(seqs: Dict[int, List[_Op]]):
+    """Sends complete immediately; recvs block.  Returns (stuck_heads,
+    leftover_mailbox) at fixpoint."""
+    heads = {r: 0 for r in seqs}
+    mailbox: List[Tuple[int, _Op]] = []  # (sender, send op), FIFO
+    progress = True
+    while progress:
+        progress = False
+        for rank in sorted(seqs):
+            while heads[rank] < len(seqs[rank]):
+                op = seqs[rank][heads[rank]]
+                if op.kind == "send":
+                    mailbox.append((rank, op))
+                    heads[rank] += 1
+                    progress = True
+                    continue
+                hit = next(
+                    (
+                        i
+                        for i, (sender, s) in enumerate(mailbox)
+                        if _matches(s, sender, op, rank)
+                    ),
+                    None,
+                )
+                if hit is None:
+                    break
+                mailbox.pop(hit)
+                heads[rank] += 1
+                progress = True
+    stuck = {
+        r: seqs[r][heads[r]] for r in seqs if heads[r] < len(seqs[r])
+    }
+    return stuck, mailbox
+
+
+def _simulate_rendezvous(seqs: Dict[int, List[_Op]]):
+    """Sends block until the matching recv is at its receiver's head."""
+    heads = {r: 0 for r in seqs}
+    progress = True
+    while progress:
+        progress = False
+        for rank in sorted(seqs):
+            if heads[rank] >= len(seqs[rank]):
+                continue
+            op = seqs[rank][heads[rank]]
+            if op.kind != "send":
+                continue
+            dst = op.peer
+            if dst not in seqs or heads[dst] >= len(seqs[dst]):
+                continue
+            peer_op = seqs[dst][heads[dst]]
+            if peer_op.kind == "recv" and _matches(op, rank, peer_op, dst):
+                heads[rank] += 1
+                heads[dst] += 1
+                progress = True
+    return {r: seqs[r][heads[r]] for r in seqs if heads[r] < len(seqs[r])}
+
+
+def check_blocking_cycles(fn: FuncInfo) -> Iterator[Finding]:
+    first = fn.first_param()
+    if first is None or "comm" not in first.lower():
+        return
+    try:
+        items = _extract_items(fn.node.body)
+    except _Unanalyzable:
+        return
+    seqs = _sequences(items)
+    if seqs is None:
+        return
+
+    def finding(op: _Op, message: str, severity: Severity) -> Finding:
+        return Finding(
+            path=fn.src.path,
+            line=op.node.lineno,
+            col=op.node.col_offset + 1,
+            rule=RULE_ID,
+            severity=severity,
+            message=message,
+        )
+
+    stuck, leftover = _simulate_eager(seqs)
+    if stuck:
+        # Guaranteed under any progress semantics: even with free eager
+        # sends these ranks starve.
+        for rank in sorted(stuck):
+            op = stuck[rank]
+            if op.kind == "recv":
+                src = "any rank" if op.peer == ANY else f"rank {op.peer}"
+                tag = "any" if op.tag == ANY else str(op.tag)
+                yield finding(
+                    op,
+                    f"rank {rank} blocks forever in recv(src={src}, "
+                    f"tag={tag}) — no send in this program ever matches it "
+                    "(guaranteed deadlock)",
+                    Severity.ERROR,
+                )
+            else:
+                yield finding(
+                    op,
+                    f"rank {rank} blocks forever in send to rank {op.peer} "
+                    "— its receiver never reaches a matching recv "
+                    "(guaranteed deadlock)",
+                    Severity.ERROR,
+                )
+        return
+    for sender, op in leftover:
+        yield finding(
+            op,
+            f"send from rank {sender} to rank {op.peer} (tag={op.tag}) is "
+            "never received — the message is silently dropped at exit "
+            "(the sanitizer's unmatched-send report, statically)",
+            Severity.WARNING,
+        )
+    stuck_rv = _simulate_rendezvous(seqs)
+    senders = {r: op for r, op in stuck_rv.items() if op.kind == "send"}
+    if senders and all(op.kind == "send" for op in stuck_rv.values()):
+        cycle = " -> ".join(
+            f"{r}->{op.peer}" for r, op in sorted(senders.items())
+        )
+        first_rank = min(senders)
+        yield finding(
+            senders[first_rank],
+            "symmetric blocking-send cycle: every rank sends before it "
+            f"receives ({cycle}) — completes only while messages stay "
+            "under the eager threshold, deadlocks at rendezvous sizes; "
+            "reorder one side or use isend/irecv",
+            Severity.WARNING,
+        )

@@ -1,0 +1,232 @@
+"""Request lifecycle: every ``isend``/``irecv`` must reach a ``wait``.
+
+A :class:`~repro.simmpi.reqs.Request` that is never driven through
+``comm.wait``/``comm.waitall`` silently drops its completion — the
+runtime sanitizer reports it as a leak *after* a full simulation; this
+pass reports it at lint time.
+
+The analysis is a forward may-leak dataflow over the function CFG.
+Each ``.isend(...)``/``.irecv(...)`` call site generates an
+*obligation* token; tokens flow through
+
+* assignments and aliases (``r2 = r``),
+* containers (``reqs = [comm.irecv(s) for s in ...]``,
+  ``reqs.append(comm.isend(d, n))``, ``reqs += [...]``),
+* returns (the obligation transfers to the caller via a function
+  summary; a caller that binds the result inherits it), and
+* arbitrary calls taking the request as an argument (assumed to
+  discharge it — a helper that waits on your behalf is idiomatic).
+
+States merge by union, so an obligation alive on *any* path to the
+normal exit is reported ("leaked on some path").  Paths that leave the
+function through ``raise`` are ignored: when the simulation is being
+torn down by an exception, abandoning requests is not the bug.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from ..findings import Finding, Severity
+from .callgraph import CallGraph
+from .cfg import Node
+from .facts import call_method_name, FuncInfo, node_calls, walk_calls
+
+__all__ = ["check_request_lifecycle", "RULE_ID"]
+
+RULE_ID = "flow-request-leak"
+
+_CREATORS = frozenset({"isend", "irecv"})
+_WAITERS = frozenset({"wait", "waitall"})
+_APPENDERS = frozenset({"append", "extend", "insert", "add"})
+
+#: token -> frozenset of names currently holding it ("" = anonymous)
+State = Dict[Tuple[int, int, str], FrozenSet[str]]
+
+
+def _merge(a: State, b: State) -> State:
+    out = dict(a)
+    for tok, names in b.items():
+        out[tok] = out.get(tok, frozenset()) | names
+    return out
+
+
+def _names_in(expr: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+class _FuncRequests:
+    """Per-function transfer functions + fixpoint driver."""
+
+    def __init__(self, fn: FuncInfo, graph: CallGraph) -> None:
+        self.fn = fn
+        self.graph = graph
+        #: tokens whose obligation left via ``return``
+        self.returned: Set[Tuple[int, int, str]] = set()
+
+    # -- expression-level helpers ------------------------------------------
+    def _creations(self, expr: ast.AST) -> List[Tuple[int, int, str]]:
+        """Obligation tokens created inside ``expr``."""
+        toks = []
+        for call in walk_calls(expr):
+            name = call_method_name(call)
+            if name in _CREATORS and isinstance(call.func, ast.Attribute):
+                toks.append((call.lineno, call.col_offset, name))
+            elif self.graph.call_returns_request(call):
+                toks.append((call.lineno, call.col_offset, "call"))
+        return toks
+
+    def _discharge_names(self, stmt: ast.stmt) -> Tuple[Set[str], Set[str]]:
+        """(waited_names, transferred_names) mentioned in call args."""
+        waited: Set[str] = set()
+        transferred: Set[str] = set()
+        for call in node_calls(stmt):
+            name = call_method_name(call)
+            if name in _CREATORS:
+                continue
+            args = list(call.args) + [kw.value for kw in call.keywords]
+            mentioned: Set[str] = set()
+            for a in args:
+                mentioned |= _names_in(a)
+            if name in _WAITERS and isinstance(call.func, ast.Attribute):
+                waited |= mentioned
+            elif name in _APPENDERS and isinstance(call.func, ast.Attribute):
+                continue  # handled as container growth, not discharge
+            else:
+                transferred |= mentioned
+        return waited, transferred
+
+    # -- statement transfer -------------------------------------------------
+    def transfer(self, node: Node, state: State) -> State:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        state = dict(state)
+
+        waited, transferred = self._discharge_names(stmt)
+        if waited or transferred:
+            for tok, names in list(state.items()):
+                if names & waited:
+                    del state[tok]
+                elif names & transferred:
+                    del state[tok]
+
+        # Container growth: reqs.append(comm.isend(...)) / reqs.add(...)
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if (
+                call_method_name(call) in _APPENDERS
+                and isinstance(call.func, ast.Attribute)
+                and isinstance(call.func.value, ast.Name)
+            ):
+                holder = call.func.value.id
+                for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                    for tok in self._creations(arg):
+                        state[tok] = frozenset({holder})
+                    for tok, names in list(state.items()):
+                        if names & _names_in(arg):
+                            state[tok] = names | {holder}
+                return state
+
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._assign(stmt, state)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                escaping = _names_in(stmt.value)
+                for tok, names in list(state.items()):
+                    if names & escaping:
+                        self.returned.add(tok)
+                        del state[tok]
+                for tok in self._creations(stmt.value):
+                    self.returned.add(tok)
+        # Any other statement shape: an anonymous factory call is either
+        # a bare discarded Expr (already an error under the syntactic
+        # yield-from-comm rule) or an argument to a call (assumed to
+        # transfer the obligation) — nothing to track either way.
+        return state
+
+    def _assign(self, stmt: ast.stmt, state: State) -> None:
+        value = stmt.value
+        if value is None:
+            return
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        else:
+            targets = [stmt.target]
+        target_names = {
+            t.id for t in targets if isinstance(t, ast.Name)
+        }
+        created = self._creations(value)
+        value_names = _names_in(value)
+        aliased = {
+            tok for tok, names in state.items() if names & value_names
+        }
+        if not isinstance(stmt, ast.AugAssign):
+            # Rebinding: the old tokens lose this holder (an obligation
+            # that thereby loses its last name is an orphaned request).
+            for tok, names in list(state.items()):
+                if names & target_names and tok not in aliased:
+                    state[tok] = names - target_names
+        for tok in created:
+            state[tok] = state.get(tok, frozenset()) | target_names
+        for tok in aliased:
+            state[tok] = state[tok] | target_names
+
+    # -- fixpoint -----------------------------------------------------------
+    def run(self) -> Iterator[Finding]:
+        cfg = self.fn.cfg
+        in_states: Dict[Node, State] = {cfg.entry: {}}
+        worklist: List[Node] = [cfg.entry]
+        out_states: Dict[Node, State] = {}
+        iterations = 0
+        limit = 40 * max(1, len(cfg.nodes))
+        while worklist:
+            iterations += 1
+            if iterations > limit:  # pathological graph: stay silent
+                return
+            node = worklist.pop(0)
+            state = in_states.get(node, {})
+            new_out = self.transfer(node, state)
+            if out_states.get(node) == new_out:
+                continue
+            out_states[node] = new_out
+            for succ, label in node.succs:
+                if succ.kind == "exc-exit" or label == "raise" or label == "except":
+                    continue  # exceptional paths don't report leaks
+                merged = _merge(in_states.get(succ, {}), new_out)
+                if merged != in_states.get(succ):
+                    in_states[succ] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+        exit_state = in_states.get(cfg.exit, {})
+        if self.returned:
+            self.graph.mark_returns_request(self.fn)
+        for tok in sorted(exit_state):
+            line, col, kind = tok
+            op = {"isend": "isend", "irecv": "irecv", "call": "request-returning call"}[kind]
+            yield Finding(
+                path=self.fn.src.path,
+                line=line,
+                col=col + 1,
+                rule=RULE_ID,
+                severity=Severity.ERROR,
+                message=(
+                    f"request from '{op}' may reach the end of "
+                    f"'{self.fn.qualname}' without a wait/waitall on some "
+                    "path — the operation's completion is silently dropped "
+                    "(the runtime twin is the sanitizer's leaked-request "
+                    "report)"
+                ),
+            )
+
+
+def check_request_lifecycle(fn: FuncInfo, graph: CallGraph) -> Iterator[Finding]:
+    # Cheap pre-filter: no request factories (or summarized calls), no work.
+    has_factory = any(
+        call_method_name(c) in _CREATORS or graph.call_returns_request(c)
+        for c in walk_calls(fn.node)
+    )
+    if not has_factory:
+        return
+    yield from _FuncRequests(fn, graph).run()

@@ -1,0 +1,293 @@
+"""Determinism taint: host nondeterminism must not reach simulated state.
+
+The syntactic ``determinism-hazard`` rule flags the *call sites* of
+wall-clock reads and unseeded RNGs.  Genuine host measurements get a
+per-line suppression — and that suppression then hides the real
+mistake: the measured value flowing into something the simulation's
+identical-traces promise covers.  This pass tracks the *values*:
+
+* **sources** — ``time.time``/``perf_counter``/… (every clock and
+  entropy call the syntactic rule knows), the global stdlib ``random``
+  module, legacy ``np.random`` calls, seedless ``default_rng()``, and
+  iteration over a ``set`` (whose order depends on the interpreter's
+  hash seed for str/bytes elements);
+* **propagation** — assignments, arithmetic, f-strings, method calls on
+  tainted values; ``sorted()``/``min()``/``max()``/``sum()``/``len()``
+  launder set-*order* taint (they are order-insensitive) but not
+  clock taint;
+* **sinks** — attribute stores onto comm/cluster/engine/self state,
+  ``env.timeout(...)`` delays, ``comm.compute(...)`` durations, and
+  any simulated-MPI operation argument (payload, nbytes, tag).
+
+A finding means: a host-nondeterministic value reaches simulation
+state on some path, so two runs of the "deterministic" simulator can
+diverge.  Suppress with ``# simlint: ignore[flow-determinism-taint]``
+on the *sink* line when the flow is intended (e.g. host-measurement
+reporting that never feeds back into the simulation).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..comm_rules import GENERATOR_METHODS
+from ..findings import Finding, Severity
+from ..hygiene_rules import _CLOCK_CALLS, _NP_RANDOM_MARKERS, _NP_RANDOM_OK
+from .cfg import Node
+from .facts import (
+    call_method_name,
+    comm_like,
+    FuncInfo,
+    node_calls,
+    receiver_base,
+    walk_calls,
+)
+
+__all__ = ["check_determinism_taint", "RULE_ID"]
+
+RULE_ID = "flow-determinism-taint"
+
+#: Receiver bases whose attribute stores are simulation state.
+_STATE_BASES = frozenset({"self", "comm", "cluster", "env", "engine", "sub", "subcomm"})
+
+#: Order-insensitive reductions: consume a set, emit a clean value.
+_ORDER_SANITIZERS = frozenset(
+    {"sorted", "len", "min", "max", "sum", "frozenset", "set", "any", "all"}
+)
+
+#: name -> (source description, line); taint state of one program point.
+State = Dict[str, Tuple[str, int]]
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _source_call(call: ast.Call) -> Optional[str]:
+    """Description of the nondeterminism a call introduces, or None."""
+    name = _dotted(call.func)
+    if name is None:
+        return None
+    suffix2 = ".".join(name.split(".")[-2:])
+    leaf = name.rpartition(".")[2]
+    if suffix2 in _CLOCK_CALLS:
+        return f"wall-clock/entropy read '{name}()'"
+    head = name.partition(".")[0]
+    if head == "random" and name.count(".") == 1:
+        return f"global stdlib RNG '{name}()'"
+    for marker in _NP_RANDOM_MARKERS:
+        if name.startswith(marker):
+            if leaf == "default_rng" and not call.args and not call.keywords:
+                return "entropy-seeded 'default_rng()'"
+            if leaf not in _NP_RANDOM_OK:
+                return f"numpy global RNG '{name}()'"
+    return None
+
+
+class _FuncTaint:
+    def __init__(self, fn: FuncInfo) -> None:
+        self.fn = fn
+        self.set_names = self._set_typed_names()
+        self.findings: Dict[Tuple[int, int, str], Finding] = {}
+
+    def _set_typed_names(self) -> Set[str]:
+        """Names assigned a ``set`` somewhere in the function."""
+        out: Set[str] = set()
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign) and self._is_set_expr(node.value):
+                out.update(t.id for t in node.targets if isinstance(t, ast.Name))
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and isinstance(node.target, ast.Name)
+                and self._is_set_expr(node.value)
+            ):
+                out.add(node.target.id)
+        return out
+
+    @staticmethod
+    def _is_set_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id == "set"
+        return False
+
+    # -- expression taint ---------------------------------------------------
+    def _expr_taint(self, expr: ast.expr, state: State) -> Optional[Tuple[str, int]]:
+        """Why ``expr`` is tainted (description, source line), or None."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                # Order-insensitive reductions stop set-order taint.
+                fname = call_method_name(node)
+                src = _source_call(node)
+                if src is not None:
+                    return (src, node.lineno)
+                if fname in _ORDER_SANITIZERS:
+                    continue
+                if fname in ("list", "tuple", "iter"):
+                    for arg in node.args:
+                        if isinstance(arg, ast.Name) and arg.id in self.set_names:
+                            return (
+                                f"iteration order of set '{arg.id}'",
+                                node.lineno,
+                            )
+            elif isinstance(node, ast.Name) and node.id in state:
+                return state[node.id]
+        return None
+
+    def _sanitized(self, expr: ast.expr) -> bool:
+        """Top-level call that launders set-order taint."""
+        return (
+            isinstance(expr, ast.Call)
+            and call_method_name(expr) in _ORDER_SANITIZERS
+        )
+
+    # -- transfer -----------------------------------------------------------
+    def transfer(self, node: Node, state: State) -> State:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        state = dict(state)
+        self._check_sinks(stmt, state)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = stmt.value
+            if value is None:
+                return state
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            taint = None if self._sanitized(value) else self._expr_taint(value, state)
+            for name in names:
+                if taint is not None:
+                    state[name] = taint
+                else:
+                    state.pop(name, None)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                taint = self._expr_taint(stmt.value, state)
+                if taint is not None:
+                    state[stmt.target.id] = taint
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self._expr_taint(stmt.iter, state)
+            if taint is None and isinstance(stmt.iter, ast.Name):
+                if stmt.iter.id in self.set_names:
+                    taint = (
+                        f"iteration order of set '{stmt.iter.id}'",
+                        stmt.lineno,
+                    )
+            if isinstance(stmt.target, ast.Name):
+                if taint is not None:
+                    state[stmt.target.id] = taint
+                else:
+                    state.pop(stmt.target.id, None)
+            elif isinstance(stmt.target, ast.Tuple) and taint is not None:
+                for elt in stmt.target.elts:
+                    if isinstance(elt, ast.Name):
+                        state[elt.id] = taint
+        return state
+
+    # -- sinks --------------------------------------------------------------
+    def _sink_finding(self, node: ast.AST, what: str, taint: Tuple[str, int]) -> None:
+        desc, src_line = taint
+        key = (node.lineno, node.col_offset, what)
+        if key in self.findings:
+            return
+        self.findings[key] = Finding(
+            path=self.fn.src.path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            rule=RULE_ID,
+            severity=Severity.ERROR,
+            message=(
+                f"{desc} (line {src_line}) flows into {what} — host "
+                "nondeterminism in simulated state breaks the "
+                "identical-traces-across-runs guarantee"
+            ),
+        )
+
+    def _check_sinks(self, stmt: ast.stmt, state: State) -> None:
+        # 1. attribute/subscript stores onto simulation state
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            value = stmt.value
+            if value is not None:
+                taint = None if self._sanitized(value) else self._expr_taint(value, state)
+                if taint is not None:
+                    targets = (
+                        stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                    )
+                    for target in targets:
+                        if isinstance(target, (ast.Attribute, ast.Subscript)):
+                            base = receiver_base(target)
+                            if base in _STATE_BASES or (
+                                base is not None and "comm" in base.lower()
+                            ):
+                                self._sink_finding(
+                                    target,
+                                    f"state attribute '{ast.unparse(target)}'"
+                                    if hasattr(ast, "unparse")
+                                    else "a state attribute",
+                                    taint,
+                                )
+        # 2. simulated-time and simulated-MPI call arguments
+        for call in node_calls(stmt):
+            name = call_method_name(call)
+            if name is None or not isinstance(call.func, ast.Attribute):
+                continue
+            is_timeout = name == "timeout"
+            is_mpi = name in GENERATOR_METHODS and comm_like(call.func.value)
+            if not (is_timeout or is_mpi):
+                continue
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                taint = None if self._sanitized(arg) else self._expr_taint(arg, state)
+                if taint is not None:
+                    what = (
+                        f"simulated delay '{name}(...)'"
+                        if is_timeout
+                        else f"simulated-MPI operation '{name}(...)'"
+                    )
+                    self._sink_finding(arg, what, taint)
+
+    # -- fixpoint -----------------------------------------------------------
+    def run(self) -> Iterator[Finding]:
+        cfg = self.fn.cfg
+        in_states: Dict[Node, State] = {cfg.entry: {}}
+        out_states: Dict[Node, State] = {}
+        worklist: List[Node] = [cfg.entry]
+        iterations = 0
+        limit = 40 * max(1, len(cfg.nodes))
+        while worklist:
+            iterations += 1
+            if iterations > limit:
+                break
+            node = worklist.pop(0)
+            new_out = self.transfer(node, in_states.get(node, {}))
+            if out_states.get(node) == new_out:
+                continue
+            out_states[node] = new_out
+            for succ, _label in node.succs:
+                merged = dict(in_states.get(succ, {}))
+                for name, taint in new_out.items():
+                    if name not in merged or taint < merged[name]:
+                        merged[name] = taint
+                if merged != in_states.get(succ):
+                    in_states[succ] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+        for key in sorted(self.findings):
+            yield self.findings[key]
+
+
+def check_determinism_taint(fn: FuncInfo) -> Iterator[Finding]:
+    # Cheap pre-filter: no sources anywhere, no analysis.
+    has_source = any(_source_call(c) for c in walk_calls(fn.node))
+    if not has_source and not _FuncTaint(fn).set_names:
+        return
+    yield from _FuncTaint(fn).run()

@@ -5,11 +5,15 @@ Public entry points:
 * :func:`lint_text` — lint one in-memory source string (what the unit
   tests use);
 * :func:`lint_paths` — walk files/directories, lint every ``.py`` file;
-* :func:`render_text` / :func:`render_json` — the two CLI output modes.
+* :func:`render_text` / :func:`render_json` / :func:`render_github` —
+  the CLI output modes (``github`` emits workflow-command annotations
+  that GitHub Actions turns into inline PR comments).
 
-Findings are reported in deterministic order (path, line, col, rule).
-A file that fails to parse produces a single ``parse-error`` finding
-instead of crashing the run.
+Both entry points run the syntactic rules *and* the flow analyses
+(:mod:`repro.lint.flow`) by default; pass ``flow=False`` to skip the
+dataflow layer.  Findings are reported in deterministic order (path,
+line, col, rule).  A file that fails to parse produces a single
+``parse-error`` finding instead of crashing the run.
 """
 
 from __future__ import annotations
@@ -18,7 +22,7 @@ import ast
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 # Importing the rule modules populates the registry.
 from . import comm_rules as _comm_rules  # noqa: F401
@@ -26,7 +30,14 @@ from . import hygiene_rules as _hygiene_rules  # noqa: F401
 from .findings import Finding, Severity, Suppressions
 from .rules import Rule, SourceFile, all_rules
 
-__all__ = ["LintResult", "lint_text", "lint_paths", "render_text", "render_json"]
+__all__ = [
+    "LintResult",
+    "lint_text",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "render_github",
+]
 
 #: Directories never descended into when walking a tree.
 _SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "build", "dist"}
@@ -53,30 +64,65 @@ class LintResult:
         return 1 if self.findings else 0
 
 
-def lint_text(
-    text: str, path: str = "<string>", rules: Optional[Sequence[Rule]] = None
-) -> List[Finding]:
-    """Lint one source string; returns suppression-filtered findings."""
+def _parse(text: str, path: str):
+    """(SourceFile, tree, suppressions) or a parse-error Finding."""
     src = SourceFile(path=path, text=text)
     try:
         tree = ast.parse(text, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1),
-                rule="parse-error",
-                severity=Severity.ERROR,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    suppressions = Suppressions.parse(text)
+        return Finding(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1),
+            rule="parse-error",
+            severity=Severity.ERROR,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return src, tree, Suppressions.parse(text)
+
+
+def _check_rules(
+    src: SourceFile,
+    tree: ast.AST,
+    suppressions: Suppressions,
+    rules: Optional[Sequence[Rule]],
+) -> List[Finding]:
     findings: List[Finding] = []
     for rule in rules if rules is not None else all_rules():
         for finding in rule.check(tree, src):
             if not suppressions.is_suppressed(finding):
                 findings.append(finding)
+    return findings
+
+
+def _flow_findings(
+    parsed: List[Tuple[SourceFile, ast.AST, Suppressions]]
+) -> List[Finding]:
+    """Run the flow analyses over the whole parsed batch."""
+    from .flow import analyze_files  # deferred: keeps plain rule runs light
+
+    by_path = {src.path: sup for src, _tree, sup in parsed}
+    return [
+        f
+        for f in analyze_files([(src, tree) for src, tree, _sup in parsed])
+        if not by_path[f.path].is_suppressed(f)
+    ]
+
+
+def lint_text(
+    text: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+    flow: bool = True,
+) -> List[Finding]:
+    """Lint one source string; returns suppression-filtered findings."""
+    parsed = _parse(text, path)
+    if isinstance(parsed, Finding):
+        return [parsed]
+    src, tree, suppressions = parsed
+    findings = _check_rules(src, tree, suppressions, rules)
+    if flow:
+        findings.extend(_flow_findings([(src, tree, suppressions)]))
     return sorted(findings)
 
 
@@ -97,10 +143,17 @@ def iter_python_files(paths: Iterable[str]) -> List[Path]:
 
 
 def lint_paths(
-    paths: Iterable[str], rules: Optional[Sequence[Rule]] = None
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+    flow: bool = True,
 ) -> LintResult:
-    """Lint every Python file reachable from ``paths``."""
+    """Lint every Python file reachable from ``paths``.
+
+    The flow analyses see the whole batch at once, so helpers defined
+    in one file resolve at call sites in another.
+    """
     result = LintResult()
+    parsed: List[Tuple[SourceFile, ast.AST, Suppressions]] = []
     for path in iter_python_files(paths):
         try:
             text = path.read_text(encoding="utf-8")
@@ -117,7 +170,14 @@ def lint_paths(
             )
             continue
         result.files_checked += 1
-        result.findings.extend(lint_text(text, path=str(path), rules=rules))
+        unit = _parse(text, str(path))
+        if isinstance(unit, Finding):
+            result.findings.append(unit)
+            continue
+        parsed.append(unit)
+        result.findings.extend(_check_rules(unit[0], unit[1], unit[2], rules))
+    if flow and parsed:
+        result.findings.extend(_flow_findings(parsed))
     result.findings.sort()
     return result
 
@@ -141,3 +201,30 @@ def render_json(result: LintResult) -> str:
         "findings": [f.to_json() for f in result.findings],
     }
     return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions workflow commands: one ``::error``/``::warning``
+    annotation per finding, so findings appear inline on PR diffs.
+
+    Newlines and the characters GitHub treats specially in workflow
+    commands are percent-escaped per the Actions documentation.
+    """
+
+    def esc(msg: str) -> str:
+        return (
+            msg.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+        )
+
+    lines = []
+    for f in result.findings:
+        level = "error" if f.severity is Severity.ERROR else "warning"
+        lines.append(
+            f"::{level} file={f.path},line={f.line},col={f.col},"
+            f"title=simlint [{f.rule}]::{esc(f.message)}"
+        )
+    lines.append(
+        f"simlint: {len(result.errors)} error(s), {len(result.warnings)} "
+        f"warning(s) in {result.files_checked} file(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Golden fixture programs for the flow analyses.
+
+Each module holds exactly one deliberately-broken ``program(comm)``
+and is annotated so that the *only* unsuppressed findings are the flow
+findings under test — the test suite asserts them exactly (rule, line)
+and, for the rank-guarded collective, cross-checks the static verdict
+against the runtime sanitizer on a real 2-rank cluster.
+"""

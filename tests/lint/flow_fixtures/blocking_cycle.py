@@ -1,0 +1,17 @@
+"""Golden fixture: the classic head-to-head blocking exchange.
+
+Both ranks send before they receive.  Under eager delivery this
+completes; at rendezvous sizes it deadlocks — ``flow-blocking-cycle``
+flags the symmetric send cycle 0->1 -> 1->0.
+"""
+
+__all__ = ["program"]
+
+
+def program(comm):
+    if comm.rank == 0:
+        yield from comm.send(1, nbytes=1024, tag=0)  # FLAG: symmetric cycle
+        yield from comm.recv(src=1, tag=0)
+    else:
+        yield from comm.send(0, nbytes=1024, tag=0)
+        yield from comm.recv(src=0, tag=0)

@@ -1,0 +1,17 @@
+"""Golden fixture: an irecv request waited on only one branch.
+
+Rank 1 returns with the request still pending — ``flow-request-leak``
+statically, the sanitizer's ``RequestLeakError`` dynamically.
+"""
+
+__all__ = ["program"]
+
+
+def program(comm):
+    other = 1 - comm.rank
+    req = comm.irecv(src=other, tag=0)  # FLAG: leaks on the else path
+    yield from comm.send(other, nbytes=8, tag=0)
+    if comm.rank == 0:
+        msg = yield from comm.wait(req)
+        return msg
+    return None

@@ -1,0 +1,16 @@
+"""Golden fixture: a collective only rank 0 ever enters.
+
+Statically this is a ``flow-collective-match`` error; dynamically the
+same program deadlocks under the sanitizer (rank 0 parks in the
+barrier, rank 1 finishes) — the agreement test runs both.
+"""
+
+__all__ = ["program"]
+
+
+def program(comm):
+    yield from comm.compute(seconds=1e-5)
+    if comm.rank == 0:
+        yield from comm.barrier()  # FLAG: only rank 0 arrives
+    else:
+        yield from comm.compute(seconds=1e-6)

@@ -1,0 +1,18 @@
+"""Golden fixture: a host wall-clock value stored into simulated state.
+
+The per-line ``determinism-hazard`` suppression is the realistic part:
+the clock read itself was judged fine (host measurement), but the
+measured value then flows into communicator state, which two runs of
+the "deterministic" simulator will disagree on — ``flow-determinism-
+taint`` tracks the value past the suppressed source.
+"""
+
+__all__ = ["program"]
+
+import time
+
+
+def program(comm):
+    t0 = time.perf_counter()  # simlint: ignore[determinism-hazard]
+    comm.t_epoch = t0  # FLAG: host clock value in simulated state
+    yield from comm.compute(seconds=1e-5)

@@ -7,7 +7,9 @@ from repro.lint import lint_text, rule_ids, Severity
 
 
 def lint(source):
-    return lint_text(textwrap.dedent(source), path="fixture.py")
+    # flow=False: these are per-rule unit tests for the syntactic layer;
+    # the flow analyses have their own suite in tests/lint/test_flow.py.
+    return lint_text(textwrap.dedent(source), path="fixture.py", flow=False)
 
 
 def rules_hit(source):
