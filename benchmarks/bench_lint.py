@@ -2,48 +2,45 @@
 
 The flow layer builds a CFG per function and a call graph over the
 whole batch, so this is the one lint cost that could grow superlinearly
-with the codebase.  The bench times a complete ``lint_paths`` over
-``src/ examples/ benchmarks/`` and asserts the CI budget: the tree must
-stay analyzable in under five seconds, and clean.
+with the codebase.  The timing now rides the ``repro.perf`` harness:
+the workloads and the 5 s CI budget live in the registered
+``lint.full_tree`` / ``lint.syntactic_only`` benchmarks
+(``repro.perf.suite``), this script just runs them through
+``run_benchmarks`` and asserts the budget the snapshot entry carries —
+one budget definition, enforced identically here, in ``repro bench
+run``, and by the CI compare gate.
 """
 
-import pathlib
-
-from repro.lint import FLOW_RULE_IDS, lint_paths
-
-REPO = pathlib.Path(__file__).resolve().parents[1]
-TREE = [str(REPO / "src"), str(REPO / "examples"), str(REPO / "benchmarks")]
-
-#: CI budget for one full-tree lint run, in seconds.
-BUDGET_S = 5.0
+from repro.perf import get_benchmark, run_benchmarks
 
 
-def _mean_seconds(benchmark):
-    return benchmark.stats.stats.mean
+def _run(name):
+    snapshot = run_benchmarks([name], repeats=1, warmup=0)
+    return snapshot.entries[name]
 
 
-def test_full_tree_lint_under_budget(benchmark, save_artifact):
-    result = benchmark.pedantic(lint_paths, args=(TREE,), rounds=1, iterations=1)
+def test_full_tree_lint_under_budget(save_artifact):
+    entry = _run("lint.full_tree")
+    budget = get_benchmark("lint.full_tree").budget_s
 
-    assert result.files_checked > 100
-    assert result.findings == [], "\n".join(f.format() for f in result.findings)
-    mean = _mean_seconds(benchmark)
-    assert mean < BUDGET_S, f"full-tree lint took {mean:.2f}s (budget {BUDGET_S}s)"
-    # Deterministic artifact only — timings live in pytest-benchmark's
-    # own report, not in a committed file that would churn every run.
+    assert entry.meta["files"] > 100
+    assert entry.meta["findings"] == 0
+    assert budget is not None
+    assert not entry.over_budget, (
+        f"full-tree lint took {entry.median_s:.2f}s (budget {budget:g}s)"
+    )
+    # Deterministic artifact only — timings live in the BENCH_*.json
+    # snapshots, not in a committed file that would churn every run.
     save_artifact(
         "bench_lint",
-        f"files={result.files_checked} findings=0 budget={BUDGET_S}s\n"
-        f"flow_rules={','.join(FLOW_RULE_IDS)}\n",
+        f"files={entry.meta['files']} findings=0 budget={budget:g}s\n",
     )
 
 
-def test_syntactic_only_lint_is_not_the_bottleneck(benchmark):
+def test_syntactic_only_lint_is_not_the_bottleneck():
     """``--no-flow`` runs must stay well inside the same budget — if
     this creeps toward it, the flow layer is no longer the dominant
     cost and both budgets need revisiting."""
-    result = benchmark.pedantic(
-        lint_paths, args=(TREE,), kwargs={"flow": False}, rounds=1, iterations=1
-    )
-    assert not [f for f in result.findings if f.rule in FLOW_RULE_IDS]
-    assert _mean_seconds(benchmark) < BUDGET_S
+    entry = _run("lint.syntactic_only")
+    assert entry.meta["files"] > 100
+    assert not entry.over_budget

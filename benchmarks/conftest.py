@@ -3,13 +3,21 @@
 Each bench regenerates one paper artifact under pytest-benchmark timing
 and writes the rendered text to ``benchmarks/output/<id>.txt`` so the
 reproduction is inspectable after a run.
+
+Like ``tests/conftest.py``, puts ``src/`` on ``sys.path`` ahead of any
+installed copy, so the bench scripts run identically standalone
+(``python -m pytest benchmarks/bench_x.py``) and under the harness
+(``repro bench run --scripts``) — no ``PYTHONPATH`` required.
 """
 
 from __future__ import annotations
 
 import pathlib
+import sys
 
 import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 

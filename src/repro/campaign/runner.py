@@ -26,12 +26,12 @@ from __future__ import annotations
 
 import os
 import pathlib
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..perf.hostclock import HostClock
 from .cache import ResultCache, cache_key, code_fingerprint, text_digest
 from .manifest import (
     CAMPAIGN_FILE,
@@ -146,19 +146,20 @@ class CampaignRunner:
         self.retries = retries
         self.cache = ResultCache(cache_dir or self.directory / ".cache")
         self.tracer = tracer
-        self._t0 = 0.0
+        self._clock: Optional[HostClock] = None
         self._running = 0
 
     # -- obs hooks (all no-ops when untraced) -------------------------------
     def _now(self) -> float:
-        return time.perf_counter() - self._t0  # simlint: ignore[determinism-hazard]
+        return self._clock.elapsed() if self._clock is not None else 0.0
 
     def _trace_setup(self) -> None:
         if self.tracer is None:
             return
         # Host-side trace anchor, never simulated state: campaign traces
-        # are wall-clock observability of the harness itself.
-        self._t0 = time.perf_counter()  # simlint: ignore[determinism-hazard,flow-determinism-taint]
+        # are wall-clock observability of the harness itself, read
+        # through the sanctioned repro.perf.hostclock source.
+        self._clock = HostClock()
         self.tracer.set_process_name(CAMPAIGN_PID, f"campaign {self.spec.name}")
         for slot in range(self.jobs):
             self.tracer.set_thread_name(CAMPAIGN_PID, slot, f"worker {slot}")

@@ -18,6 +18,10 @@ Usage::
     python -m repro validate             # check the ten paper claims
     python -m repro machines             # show the machine catalog
     python -m repro lint src/            # simlint static analysis
+    python -m repro bench list           # registered micro-benchmarks
+    python -m repro bench run -o out/    # time the suite -> BENCH_<host>.json
+    python -m repro bench compare base.json new.json --fail-over 15%
+    python -m repro bench profile allreduce   # host-side self-profile
 """
 
 from __future__ import annotations
@@ -470,6 +474,112 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_bench_list(_args: argparse.Namespace) -> int:
+    from .perf import benchmark_ids, discover_scripts, get_benchmark
+
+    print("registered micro-benchmarks:")
+    for name in benchmark_ids():
+        bench = get_benchmark(name)
+        budget = f"  [budget {bench.budget_s:g}s]" if bench.budget_s else ""
+        print(f"  {name:32s} {bench.description}{budget}")
+    scripts = discover_scripts()
+    if scripts:
+        print("bench scripts (run with `bench run --scripts`):")
+        for script in scripts:
+            print(f"  {script.name}")
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from .perf import discover_scripts, run_benchmarks, run_script_benchmarks
+
+    def progress(name, entry):
+        print(
+            f"  {name:40s} median {entry.median_s:.6f}s  "
+            f"({entry.repeats} rep(s), warmup {entry.warmup})"
+        )
+
+    try:
+        snap = run_benchmarks(
+            args.names or None,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            progress=progress,
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.scripts:
+        try:
+            entries = run_script_benchmarks(discover_scripts())
+        except (RuntimeError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        for name, entry in sorted(entries.items()):
+            progress(name, entry)
+        snap.entries.update(entries)
+    path = snap.write(args.output)
+    print(f"wrote {path}")
+    over = snap.over_budget()
+    if over:
+        for entry in over:
+            print(
+                f"BUDGET: {entry.name} median {entry.median_s:.3f}s exceeds "
+                f"its {entry.budget_s:g}s budget",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .perf import compare_snapshots, load_snapshot, parse_percent, SnapshotError
+
+    try:
+        fail_over = parse_percent(args.fail_over)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        base = load_snapshot(args.base)
+        new = load_snapshot(args.new)
+    except SnapshotError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    comparison = compare_snapshots(base, new, fail_over=fail_over)
+    print(comparison.render())
+    return comparison.exit_code
+
+
+def _cmd_bench_profile(args: argparse.Namespace) -> int:
+    from .obs import run_scenario, scenario_ids, summary, write_chrome_trace
+    from .perf import HostProfiler, profiling
+
+    if args.list_scenarios:
+        for sid in scenario_ids():
+            print(f"  {sid}")
+        return 0
+    if not args.scenario:
+        print("repro bench profile: give a scenario id (or --list)", file=sys.stderr)
+        return 2
+    profiler = HostProfiler(cprofile=not args.no_cprofile, top=args.top)
+    try:
+        params = _parse_params(args.params)
+        with profiling(profiler):
+            tracer, result_line = run_scenario(args.scenario, **params)
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    profiler.finalize()
+    print(result_line)
+    out = args.output or f"{args.scenario}.profile.trace.json"
+    print(f"wrote {write_chrome_trace(tracer, out)}")
+    print(profiler.report(top=args.top))
+    if not args.no_summary:
+        print(summary(tracer, n=args.top))
+    return 0
+
+
 def _cmd_machines(_args: argparse.Namespace) -> int:
     from .core.evaluation import table1_config
 
@@ -691,6 +801,88 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("machines", help="print the machine catalog (Table 1)").set_defaults(
         fn=_cmd_machines
     )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help=(
+            "host-side performance: micro-benchmark suite, BENCH_*.json "
+            "snapshots, regression gate, self-profiling"
+        ),
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_sub.add_parser(
+        "list", help="list registered micro-benchmarks and bench scripts"
+    ).set_defaults(fn=_cmd_bench_list)
+
+    p_brun = bench_sub.add_parser(
+        "run", help="time the suite into a BENCH_<host>.json snapshot"
+    )
+    p_brun.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="benchmark subset (default: the whole registered suite)",
+    )
+    p_brun.add_argument(
+        "-o", "--output", default=".", metavar="PATH",
+        help="snapshot file, or a directory for the canonical "
+             "BENCH_<host-fingerprint>.json name (default: .)",
+    )
+    p_brun.add_argument(
+        "-r", "--repeats", type=int, default=3, metavar="K",
+        help="timed repetitions per benchmark (default: 3)",
+    )
+    p_brun.add_argument(
+        "--warmup", type=int, default=1, metavar="N",
+        help="discarded warmup repetitions (default: 1)",
+    )
+    p_brun.add_argument(
+        "--scripts", action="store_true",
+        help="also execute the benchmarks/bench_*.py pytest scripts and "
+             "fold their timings into the snapshot",
+    )
+    p_brun.set_defaults(fn=_cmd_bench_run)
+
+    p_bcmp = bench_sub.add_parser(
+        "compare", help="gate one snapshot against a baseline"
+    )
+    p_bcmp.add_argument("base", help="baseline BENCH_*.json")
+    p_bcmp.add_argument("new", help="candidate BENCH_*.json")
+    p_bcmp.add_argument(
+        "--fail-over", default="15%", metavar="PCT",
+        help="relative regression tolerance, e.g. '15%%' or '0.15' "
+             "(default: 15%%; per-benchmark thresholds can widen it)",
+    )
+    p_bcmp.set_defaults(fn=_cmd_bench_compare)
+
+    p_bprof = bench_sub.add_parser(
+        "profile",
+        help="self-profile a traced scenario (host phases + cProfile hotspots)",
+    )
+    p_bprof.add_argument("scenario", nargs="?", help="obs scenario id (see --list)")
+    p_bprof.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="trace file (default: <scenario>.profile.trace.json)",
+    )
+    p_bprof.add_argument(
+        "-n", "--top", type=int, default=10,
+        help="hotspot/summary rows (default: 10)",
+    )
+    p_bprof.add_argument(
+        "--no-cprofile", action="store_true",
+        help="skip the cProfile capture (phase/engine timing only)",
+    )
+    p_bprof.add_argument(
+        "--no-summary", action="store_true", help="skip the ASCII summary"
+    )
+    p_bprof.add_argument(
+        "--list", dest="list_scenarios", action="store_true",
+        help="list scenario ids and exit",
+    )
+    p_bprof.add_argument(
+        "--param", dest="params", action="append", metavar="KEY=VALUE",
+        help="scenario parameter (repeatable; e.g. --param nbytes=65536)",
+    )
+    p_bprof.set_defaults(fn=_cmd_bench_profile)
 
     p_lint = sub.add_parser(
         "lint",

@@ -80,15 +80,35 @@ def write_metrics(tracer: Tracer, path: Union[str, pathlib.Path]) -> pathlib.Pat
 
 
 def summary(tracer: Tracer, n: int = 10) -> str:
-    """Top-N attribution digest: spans by total time, links by bytes."""
+    """Top-N attribution digest: spans by total time, links by bytes.
+
+    Host-side spans recorded by :class:`repro.perf.HostProfiler`
+    (``host:`` name prefix) measure wall-clock of the simulator
+    itself, not simulated time — they are kept out of the simulated
+    attribution and reported in their own section.
+    """
+    sim_totals = {
+        name: ct
+        for name, ct in tracer.span_totals.items()
+        if not name.startswith("host:")
+    }
+    host_totals = {
+        name: ct
+        for name, ct in tracer.span_totals.items()
+        if name.startswith("host:")
+    }
     lines = ["== span attribution (by total time) =="]
-    spans = sorted(
-        tracer.span_totals.items(), key=lambda kv: (-kv[1][1], kv[0])
-    )[:n]
+    spans = sorted(sim_totals.items(), key=lambda kv: (-kv[1][1], kv[0]))[:n]
     if not spans:
         lines.append("  (no spans recorded)")
     for name, (count, total) in spans:
         lines.append(f"  {name:<16} {int(count):>7} x  {total:.6f} s")
+    if host_totals:
+        lines.append("== host-side cost (simulator wall time) ==")
+        for name, (count, total) in sorted(
+            host_totals.items(), key=lambda kv: (-kv[1][1], kv[0])
+        )[:n]:
+            lines.append(f"  {name:<32} {int(count):>7} x  {total:.6f} s")
 
     lines.append("== hottest links (by bytes) ==")
     links = sorted(

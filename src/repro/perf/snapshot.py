@@ -1,0 +1,261 @@
+"""The ``BENCH_*.json`` snapshot: schema, validation, and IO.
+
+One snapshot captures the timing of one benchmark pass on one host:
+per-benchmark samples (host seconds) with min/median/mean/stddev, the
+host fingerprint (a stable hash of the platform, never a timestamp),
+and the code fingerprint (reusing
+:func:`repro.campaign.cache.code_fingerprint`, so a snapshot is
+attributable to an exact source tree).  No absolute wall-clock values
+land in the file — durations only — so committed baselines do not
+churn on re-generation.
+
+``validate_snapshot`` is the schema gate ``load_snapshot`` and the CI
+job run against every file; a malformed snapshot raises
+:class:`SnapshotError` naming the offending field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import statistics
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "SCHEMA",
+    "SnapshotError",
+    "BenchEntry",
+    "Snapshot",
+    "host_fingerprint",
+    "snapshot_filename",
+    "validate_snapshot",
+    "load_snapshot",
+]
+
+#: Schema identifier carried by (and required in) every snapshot.
+SCHEMA = "repro.perf/1"
+
+
+class SnapshotError(ValueError):
+    """A snapshot document violates the ``repro.perf/1`` schema."""
+
+
+def host_fingerprint() -> str:
+    """Stable 12-hex-digit id of this host's measurement context.
+
+    Hashes the platform triple, the Python version, and the CPU count
+    — everything that makes timings comparable — and nothing volatile
+    (no hostname, no time), so the same machine always produces the
+    same ``BENCH_<fingerprint>.json`` name.
+    """
+    acc = hashlib.sha256()
+    for part in (
+        platform.system(),
+        platform.machine(),
+        platform.python_implementation(),
+        platform.python_version(),
+        str(os.cpu_count() or 0),
+    ):
+        acc.update(part.encode())
+        acc.update(b"\0")
+    return acc.hexdigest()[:12]
+
+
+def snapshot_filename(fingerprint: Optional[str] = None) -> str:
+    """The canonical snapshot name for a host: ``BENCH_<fingerprint>.json``."""
+    return f"BENCH_{fingerprint or host_fingerprint()}.json"
+
+
+@dataclass
+class BenchEntry:
+    """Timing of one benchmark: samples plus derived statistics."""
+
+    name: str
+    #: individual timed repetitions, host seconds, in execution order
+    samples_s: List[float]
+    #: discarded warmup repetitions that preceded the samples
+    warmup: int = 0
+    #: CI wall-time budget (seconds) this benchmark must stay under
+    budget_s: Optional[float] = None
+    #: per-benchmark compare tolerance overriding the global --fail-over
+    threshold: Optional[float] = None
+    #: deterministic benchmark-reported facts (sizes, counts — no times)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples_s)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.samples_s)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.samples_s)
+
+    @property
+    def mean_s(self) -> float:
+        return statistics.fmean(self.samples_s)
+
+    @property
+    def stddev_s(self) -> float:
+        if len(self.samples_s) < 2:
+            return 0.0
+        return statistics.stdev(self.samples_s)
+
+    @property
+    def over_budget(self) -> bool:
+        return self.budget_s is not None and self.median_s > self.budget_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "samples_s": [round(s, 9) for s in self.samples_s],
+            "warmup": self.warmup,
+            "min_s": round(self.min_s, 9),
+            "median_s": round(self.median_s, 9),
+            "mean_s": round(self.mean_s, 9),
+            "stddev_s": round(self.stddev_s, 9),
+        }
+        if self.budget_s is not None:
+            doc["budget_s"] = self.budget_s
+        if self.threshold is not None:
+            doc["threshold"] = self.threshold
+        if self.meta:
+            doc["meta"] = self.meta
+        return doc
+
+    @classmethod
+    def from_dict(cls, name: str, doc: Dict[str, Any]) -> "BenchEntry":
+        return cls(
+            name=name,
+            samples_s=[float(s) for s in doc["samples_s"]],
+            warmup=int(doc.get("warmup", 0)),
+            budget_s=doc.get("budget_s"),
+            threshold=doc.get("threshold"),
+            meta=dict(doc.get("meta", {})),
+        )
+
+
+@dataclass
+class Snapshot:
+    """One benchmark pass: host + code identity and per-benchmark stats."""
+
+    entries: Dict[str, BenchEntry]
+    host: Dict[str, Any]
+    code_fingerprint: str
+
+    @classmethod
+    def capture_host(cls) -> Dict[str, Any]:
+        """The host identity block (stable facts only, no timestamps)."""
+        return {
+            "fingerprint": host_fingerprint(),
+            "platform": f"{platform.system()}-{platform.machine()}",
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count() or 0,
+        }
+
+    def names(self) -> List[str]:
+        return sorted(self.entries)
+
+    def over_budget(self) -> List[BenchEntry]:
+        return [self.entries[n] for n in self.names() if self.entries[n].over_budget]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "host": self.host,
+            "code": self.code_fingerprint,
+            "benchmarks": {n: self.entries[n].to_dict() for n in self.names()},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write the snapshot; a directory target gets the canonical name."""
+        path = pathlib.Path(path)
+        if path.is_dir() or not path.suffix:
+            path.mkdir(parents=True, exist_ok=True)
+            path = path / snapshot_filename(self.host.get("fingerprint"))
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Snapshot":
+        validate_snapshot(doc)
+        return cls(
+            entries={
+                name: BenchEntry.from_dict(name, entry)
+                for name, entry in doc["benchmarks"].items()
+            },
+            host=dict(doc["host"]),
+            code_fingerprint=doc["code"],
+        )
+
+
+def validate_snapshot(doc: Any) -> None:
+    """Validate a snapshot document; raise :class:`SnapshotError`.
+
+    Checks the schema tag, the host block, the code fingerprint, and
+    every benchmark entry (non-empty sample list of non-negative finite
+    durations, consistent derived statistics fields present).
+    """
+    if not isinstance(doc, dict):
+        raise SnapshotError("snapshot must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise SnapshotError(
+            f"snapshot schema is {doc.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    host = doc.get("host")
+    if not isinstance(host, dict) or not isinstance(host.get("fingerprint"), str):
+        raise SnapshotError("snapshot 'host' block missing or lacks a fingerprint")
+    if not isinstance(doc.get("code"), str) or not doc["code"]:
+        raise SnapshotError("snapshot 'code' fingerprint missing")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, dict):
+        raise SnapshotError("snapshot 'benchmarks' must be an object")
+    for name, entry in benches.items():
+        if not isinstance(entry, dict):
+            raise SnapshotError(f"benchmark {name!r} entry must be an object")
+        samples = entry.get("samples_s")
+        if not isinstance(samples, list) or not samples:
+            raise SnapshotError(f"benchmark {name!r} has no samples_s list")
+        for i, s in enumerate(samples):
+            if not isinstance(s, (int, float)) or isinstance(s, bool):
+                raise SnapshotError(f"benchmark {name!r} sample {i} is not a number")
+            if not s >= 0.0 or s != s or s == float("inf"):
+                raise SnapshotError(
+                    f"benchmark {name!r} sample {i} is not a finite "
+                    f"non-negative duration: {s!r}"
+                )
+        for stat in ("min_s", "median_s", "mean_s", "stddev_s"):
+            if not isinstance(entry.get(stat), (int, float)):
+                raise SnapshotError(f"benchmark {name!r} missing statistic {stat!r}")
+        for optional in ("budget_s", "threshold"):
+            value = entry.get(optional)
+            if value is not None and (
+                not isinstance(value, (int, float)) or value <= 0
+            ):
+                raise SnapshotError(
+                    f"benchmark {name!r} {optional} must be a positive number"
+                )
+
+
+def load_snapshot(path: Union[str, pathlib.Path]) -> Snapshot:
+    """Read and schema-validate one ``BENCH_*.json`` file."""
+    path = pathlib.Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"snapshot {path} is not valid JSON: {exc}") from None
+    try:
+        return Snapshot.from_dict(doc)
+    except SnapshotError as exc:
+        raise SnapshotError(f"{path}: {exc}") from None

@@ -67,7 +67,10 @@ class Engine:
         self.on_empty_schedule: Optional[Callable[[], Optional[BaseException]]] = None
         #: Observability hook (a :class:`repro.obs.Tracer` or anything
         #: with ``engine_step``/``process_spawned``).  ``None`` (the
-        #: default) keeps the event loop allocation-free.
+        #: default) keeps the event loop allocation-free.  Observers
+        #: that want to stack (e.g. :class:`repro.perf.HostProfiler`
+        #: over a tracer) must save the current value and forward both
+        #: callbacks to it — the engine itself only ever calls one.
         self.obs: Optional[Any] = None
 
     # -- clock -----------------------------------------------------------
@@ -109,6 +112,11 @@ class Engine:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def pending(self) -> int:
+        """Number of events currently scheduled (the heap depth)."""
+        return len(self._queue)
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""

@@ -1,0 +1,108 @@
+"""`repro bench` CLI: list, run, compare, profile."""
+
+import json
+
+from repro.cli import main
+from repro.perf import load_snapshot, SLOWDOWN_ENV, snapshot_filename
+
+
+def test_bench_list_shows_suite_and_scripts(capsys):
+    assert main(["bench", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "engine.heap_churn" in out
+    assert "lint.full_tree" in out
+    assert "bench_lint.py" in out
+
+
+def test_bench_run_writes_canonical_snapshot(tmp_path, capsys):
+    code = main(
+        [
+            "bench",
+            "run",
+            "engine.heap_churn",
+            "topology.torus_route",
+            "-o",
+            str(tmp_path),
+            "--repeats",
+            "2",
+            "--warmup",
+            "0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    path = tmp_path / snapshot_filename()
+    assert f"wrote {path}" in out
+    snap = load_snapshot(path)
+    assert snap.names() == ["engine.heap_churn", "topology.torus_route"]
+    assert all(e.repeats == 2 for e in snap.entries.values())
+
+
+def test_bench_run_unknown_name_exits_2(tmp_path, capsys):
+    assert main(["bench", "run", "no.such.bench", "-o", str(tmp_path)]) == 2
+    assert "no.such.bench" in capsys.readouterr().err
+
+
+def test_bench_compare_self_is_clean(tmp_path, capsys):
+    out_file = tmp_path / "snap.json"
+    assert main(
+        ["bench", "run", "engine.heap_churn", "-o", str(out_file), "-r", "2", "--warmup", "0"]
+    ) == 0
+    code = main(["bench", "compare", str(out_file), str(out_file)])
+    assert code == 0
+    assert "GATE: ok" in capsys.readouterr().out
+
+
+def test_bench_compare_trips_on_injected_slowdown(tmp_path, capsys, monkeypatch):
+    base = tmp_path / "base.json"
+    slow = tmp_path / "slow.json"
+    args = ["bench", "run", "engine.heap_churn", "-r", "3", "--warmup", "1"]
+    assert main(args + ["-o", str(base)]) == 0
+    monkeypatch.setenv(SLOWDOWN_ENV, "2")
+    assert main(args + ["-o", str(slow)]) == 0
+    monkeypatch.delenv(SLOWDOWN_ENV)
+    code = main(["bench", "compare", str(base), str(slow), "--fail-over", "15%"])
+    assert code == 1
+    assert "GATE: 1 failure(s)" in capsys.readouterr().out
+
+
+def test_bench_compare_schema_violation_exits_2(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    assert main(
+        ["bench", "run", "engine.heap_churn", "-o", str(good), "-r", "1", "--warmup", "0"]
+    ) == 0
+    bad = tmp_path / "bad.json"
+    doc = json.loads(good.read_text())
+    doc["schema"] = "wrong/9"
+    bad.write_text(json.dumps(doc))
+    assert main(["bench", "compare", str(good), str(bad)]) == 2
+    assert "schema" in capsys.readouterr().err
+
+
+def test_bench_compare_bad_tolerance_exits_2(tmp_path, capsys):
+    f = tmp_path / "x.json"
+    assert main(
+        ["bench", "run", "engine.heap_churn", "-o", str(f), "-r", "1", "--warmup", "0"]
+    ) == 0
+    assert main(["bench", "compare", str(f), str(f), "--fail-over=-3%"]) == 2
+
+
+def test_bench_profile_scenario_writes_host_spans(tmp_path, capsys):
+    out = tmp_path / "prof.trace.json"
+    code = main(["bench", "profile", "allreduce", "-o", str(out), "-n", "5"])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "host self-profile" in text
+    assert "hotspots (cProfile, by cumulative)" in text
+    assert "== host-side cost (simulator wall time) ==" in text
+    doc = json.loads(out.read_text())
+    host = [e for e in doc["traceEvents"] if e.get("pid") == 1000003]
+    assert any(e.get("cat") == "host.hotspot" for e in host)
+    assert any(e.get("name") == "host:drive" for e in host)
+
+
+def test_bench_profile_list_and_errors(capsys):
+    assert main(["bench", "profile", "--list"]) == 0
+    assert "allreduce" in capsys.readouterr().out
+    assert main(["bench", "profile"]) == 2
+    assert main(["bench", "profile", "nope"]) == 2

@@ -1,0 +1,129 @@
+"""The compare/gate engine: pass, regression, missing, schema errors."""
+
+import pytest
+
+from repro.perf import (
+    BenchEntry,
+    compare_snapshots,
+    load_snapshot,
+    parse_percent,
+    Snapshot,
+    SnapshotError,
+)
+
+
+def _snap(host="aaa", **entries):
+    built = {}
+    for name, spec in entries.items():
+        if isinstance(spec, BenchEntry):
+            built[name] = spec
+        else:
+            built[name] = BenchEntry(name=name, samples_s=list(spec))
+    return Snapshot(
+        entries=built,
+        host={"fingerprint": host, "platform": "test", "python": "3", "cpu_count": 1},
+        code_fingerprint="feed" * 10,
+    )
+
+
+def test_parse_percent():
+    assert parse_percent("15%") == pytest.approx(0.15)
+    assert parse_percent("0.15") == pytest.approx(0.15)
+    assert parse_percent(" 200% ") == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        parse_percent("-5%")
+    with pytest.raises(ValueError):
+        parse_percent("fast")
+
+
+def test_self_compare_passes():
+    snap = _snap(**{"a": (1.0, 1.0), "b": (2.0, 2.0)})
+    cmp = compare_snapshots(snap, snap)
+    assert cmp.ok
+    assert cmp.exit_code == 0
+    assert [d.status for d in cmp.deltas] == ["ok", "ok"]
+    assert "GATE: ok" in cmp.render()
+
+
+def test_within_tolerance_passes():
+    base = _snap(a=(1.0, 1.0, 1.0))
+    new = _snap(a=(1.1, 1.1, 1.1))  # +10% < 15%
+    assert compare_snapshots(base, new).ok
+
+
+def test_over_threshold_fails():
+    base = _snap(a=(1.0, 1.0, 1.0))
+    new = _snap(a=(2.0, 2.0, 2.0))  # 2x, zero stddev -> no noise excuse
+    cmp = compare_snapshots(base, new, fail_over=0.15)
+    assert not cmp.ok
+    assert cmp.exit_code == 1
+    (delta,) = cmp.regressions
+    assert delta.name == "a"
+    assert delta.delta == pytest.approx(1.0)
+    assert "GATE: 1 failure(s): a" in cmp.render()
+
+
+def test_noise_slack_excuses_jittery_benchmarks():
+    """+20% nominal regression but samples are noisy: 2*(sum stddev)
+    covers the gap, so the gate does not fire."""
+    base = _snap(a=(1.0, 1.2, 0.8))  # median 1.0, stddev 0.2
+    new = _snap(a=(1.2, 1.4, 1.0))  # median 1.2
+    assert compare_snapshots(base, new, fail_over=0.15).ok
+
+
+def test_per_benchmark_threshold_widens_the_gate():
+    loose = BenchEntry(name="a", samples_s=[2.0], threshold=1.5)
+    base = _snap(a=BenchEntry(name="a", samples_s=[1.0], threshold=1.5))
+    new = _snap(a=loose)  # 2x but entry tolerates +150%
+    cmp = compare_snapshots(base, new, fail_over=0.15)
+    assert cmp.ok
+    assert cmp.deltas[0].threshold == pytest.approx(1.5)
+
+
+def test_missing_benchmark_is_a_failure():
+    base = _snap(**{"a": (1.0,), "b": (1.0,)})
+    new = _snap(a=(1.0,))
+    cmp = compare_snapshots(base, new)
+    assert not cmp.ok
+    (missing,) = cmp.missing
+    assert missing.name == "b"
+    assert "missing from new snapshot" in cmp.render()
+
+
+def test_new_benchmark_is_informational():
+    base = _snap(a=(1.0,))
+    new = _snap(**{"a": (1.0,), "b": (1.0,)})
+    cmp = compare_snapshots(base, new)
+    assert cmp.ok
+    statuses = {d.name: d.status for d in cmp.deltas}
+    assert statuses == {"a": "ok", "b": "new"}
+
+
+def test_improvement_is_reported_not_failed():
+    base = _snap(a=(2.0, 2.0, 2.0))
+    new = _snap(a=(1.0, 1.0, 1.0))
+    cmp = compare_snapshots(base, new)
+    assert cmp.ok
+    assert cmp.deltas[0].status == "improved"
+    assert "[FAST]" in cmp.render()
+
+
+def test_cross_host_comparison_is_flagged():
+    base = _snap(host="aaa", a=(1.0,))
+    new = _snap(host="bbb", a=(1.0,))
+    cmp = compare_snapshots(base, new)
+    assert cmp.cross_host
+    assert "different hosts" in cmp.render()
+
+
+def test_schema_violation_surfaces_as_snapshot_error(tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text('{"schema": "repro.perf/1", "host": {}, "code": "x", "benchmarks": {}}')
+    with pytest.raises(SnapshotError, match="fingerprint"):
+        load_snapshot(bad)
+
+
+def test_negative_fail_over_rejected():
+    snap = _snap(a=(1.0,))
+    with pytest.raises(ValueError):
+        compare_snapshots(snap, snap, fail_over=-0.1)

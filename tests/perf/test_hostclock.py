@@ -1,0 +1,72 @@
+"""The sanctioned host-time source and its lint whitelist."""
+
+import pathlib
+
+from repro.lint import lint_paths
+from repro.lint.hygiene_rules import HOST_TIME_MODULES, is_host_time_module
+from repro.perf import host_counter, host_counter_ns, HostClock
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_host_counter_is_monotonic():
+    a = host_counter()
+    b = host_counter()
+    assert b >= a
+
+
+def test_host_counter_ns_is_integer_nanoseconds():
+    a = host_counter_ns()
+    b = host_counter_ns()
+    assert isinstance(a, int) and isinstance(b, int)
+    assert b >= a
+
+
+def test_hostclock_elapsed_grows_and_resets():
+    clock = HostClock()
+    first = clock.elapsed()
+    second = clock.elapsed()
+    assert 0.0 <= first <= second
+    clock.reset()
+    assert clock.elapsed() <= second + 1.0  # fresh anchor, tiny elapsed
+
+
+def test_whitelist_matches_only_the_sanctioned_module():
+    assert is_host_time_module("src/repro/perf/hostclock.py")
+    assert is_host_time_module("/abs/path/src/repro/perf/hostclock.py")
+    assert not is_host_time_module("src/repro/perf/harness.py")
+    assert not is_host_time_module("src/repro/campaign/runner.py")
+    # Windows-style separators normalize before matching.
+    assert is_host_time_module("src\\repro\\perf\\hostclock.py")
+    assert all(m.endswith(".py") for m in HOST_TIME_MODULES)
+
+
+def test_hostclock_module_lints_clean_without_suppressions():
+    """The whitelist, not per-line ignores, is what keeps it clean."""
+    path = REPO / "src" / "repro" / "perf" / "hostclock.py"
+    assert "simlint: ignore" not in path.read_text(encoding="utf-8")
+    result = lint_paths([str(path)])
+    assert result.findings == [], "\n".join(f.format() for f in result.findings)
+
+
+def test_campaign_runner_no_longer_needs_clock_suppressions():
+    """The runner reads host time via HostClock only — no raw
+    time.perf_counter, hence no simlint ignores left in the file."""
+    path = REPO / "src" / "repro" / "campaign" / "runner.py"
+    text = path.read_text(encoding="utf-8")
+    assert "simlint: ignore" not in text
+    assert "time.perf_counter" not in text
+    result = lint_paths([str(path)])
+    hazards = [f for f in result.findings if "determinism" in f.rule]
+    assert hazards == [], "\n".join(f.format() for f in hazards)
+
+
+def test_other_modules_still_get_flagged(tmp_path):
+    """The whitelist must not leak: a stray perf_counter elsewhere in
+    the tree is still a determinism hazard."""
+    rogue = tmp_path / "rogue.py"
+    rogue.write_text(
+        "import time\n\n__all__ = []\n\n\ndef f():\n    return time.perf_counter()\n"
+    )
+    result = lint_paths([str(rogue)])
+    assert any(f.rule == "determinism-hazard" for f in result.findings)

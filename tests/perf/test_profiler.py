@@ -1,0 +1,154 @@
+"""The host self-profiler: hooks, phases, trace export, zero cost off."""
+
+import pytest
+
+from repro.machines import BGP
+from repro.obs import chrome_trace, summary, tracing, validate_trace_events
+from repro.obs.tracer import Tracer
+from repro.perf import active_profiler, HOST_PID, HostProfiler, profiling
+from repro.simmpi import Cluster
+
+
+def _program(comm):
+    yield from comm.allreduce(4096, dtype="float64")
+    return comm.now
+
+
+def _run(ranks=4, **kwargs):
+    cluster = Cluster(BGP, ranks=ranks, mode="SMP")
+    return cluster, cluster.run(_program, **kwargs)
+
+
+# -- zero cost when disabled -------------------------------------------------
+
+
+def test_unprofiled_run_attaches_nothing():
+    cluster, result = _run()
+    assert result.profile is None
+    assert cluster.env.obs is None
+    assert cluster.transport._send_hooks == []
+    assert active_profiler() is None
+
+
+def test_disabled_profiler_methods_never_run(monkeypatch):
+    """With profile=False nothing may even touch HostProfiler."""
+    monkeypatch.setattr(
+        HostProfiler, "attach", lambda *a, **k: pytest.fail("attach called")
+    )
+    monkeypatch.setattr(
+        HostProfiler, "engine_step", lambda *a, **k: pytest.fail("engine_step called")
+    )
+    _, result = _run()
+    assert result.profile is None
+
+
+# -- enabled behaviour -------------------------------------------------------
+
+
+def test_profile_true_returns_a_profiler_with_data():
+    cluster, result = _run(profile=True)
+    prof = result.profile
+    assert isinstance(prof, HostProfiler)
+    assert prof.steps > 0
+    assert prof.engine_seconds >= 0.0
+    assert set(prof.phase_totals) == {"spawn", "drive"}
+    # detached cleanly: hooks are gone after the run
+    assert cluster.env.obs is None
+    assert cluster.transport._send_hooks == []
+
+
+def test_explicit_profiler_instance_is_used_and_returned():
+    prof = HostProfiler(stride=8)
+    _, result = _run(profile=prof)
+    assert result.profile is prof
+    assert prof.steps > 0
+
+
+def test_profiler_chains_over_an_attached_tracer():
+    """Tracer spans must keep flowing while the profiler observes."""
+    tracer = Tracer()
+    with tracing(tracer):
+        cluster, result = _run(profile=True)
+    assert result.trace is tracer
+    # the tracer still saw simulated spans and engine counters
+    assert any(not name.startswith("host:") for name in tracer.span_totals)
+    # and the profiler contributed host spans to the same trace
+    doc = chrome_trace(tracer)
+    validate_trace_events(doc)
+    host = [e for e in doc["traceEvents"] if e.get("pid") == HOST_PID]
+    names = {e["name"] for e in host if e.get("ph") == "X"}
+    assert "host:spawn" in names
+    assert "host:drive" in names
+
+
+def test_cprofile_hotspots_land_in_report_and_trace():
+    tracer = Tracer()
+    prof = HostProfiler(cprofile=True, top=5)
+    with tracing(tracer):
+        _run(profile=prof)
+    rows = prof.hotspots()
+    assert 0 < len(rows) <= 5
+    where, cumulative, self_s, calls = rows[0]
+    assert cumulative >= self_s >= 0.0
+    assert calls >= 1
+    report = prof.report()
+    assert "hotspots (cProfile, by cumulative)" in report
+    doc = chrome_trace(tracer)
+    hotspot_spans = [
+        e
+        for e in doc["traceEvents"]
+        if e.get("pid") == HOST_PID and e.get("cat") == "host.hotspot"
+    ]
+    assert len(hotspot_spans) == len(rows)
+    validate_trace_events(doc)
+
+
+def test_report_without_cprofile_mentions_the_opt_in():
+    _, result = _run(profile=True)
+    report = result.profile.report()
+    assert "host self-profile" in report
+    assert "cprofile=True" in report
+
+
+def test_engine_batches_respect_stride():
+    tracer = Tracer()
+    prof = HostProfiler(stride=4)
+    with tracing(tracer):
+        _run(profile=prof)
+    doc = chrome_trace(tracer)
+    batches = [
+        e
+        for e in doc["traceEvents"]
+        if e.get("pid") == HOST_PID and e.get("name") == "host:engine-steps"
+    ]
+    assert batches
+    assert sum(e["args"]["steps"] for e in batches) == prof.steps
+    assert all(e["args"]["steps"] <= 4 for e in batches[:-1] or batches)
+
+
+def test_ambient_profiling_context_spans_multiple_runs():
+    prof = HostProfiler()
+    with profiling(prof):
+        assert active_profiler() is prof
+        _, r1 = _run()
+        steps_after_first = prof.steps
+        _, r2 = _run()
+    assert active_profiler() is None
+    assert r1.profile is prof and r2.profile is prof
+    assert steps_after_first > 0
+    assert prof.steps > steps_after_first  # totals accumulate across runs
+
+
+def test_summary_separates_host_cost_from_sim_attribution():
+    tracer = Tracer()
+    with tracing(tracer):
+        _run(profile=True)
+    text = summary(tracer)
+    assert "== host-side cost (simulator wall time) ==" in text
+    sim_section = text.split("== host-side cost")[0]
+    assert "host:" not in sim_section
+
+
+def test_stride_must_be_positive():
+    with pytest.raises(ValueError):
+        HostProfiler(stride=0)

@@ -1,0 +1,131 @@
+"""BENCH_*.json schema, statistics, and IO."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BenchEntry,
+    host_fingerprint,
+    load_snapshot,
+    SCHEMA,
+    Snapshot,
+    snapshot_filename,
+    SnapshotError,
+    validate_snapshot,
+)
+
+
+def _snapshot(**entries):
+    return Snapshot(
+        entries={
+            name: BenchEntry(name=name, samples_s=list(samples))
+            for name, samples in entries.items()
+        },
+        host=Snapshot.capture_host(),
+        code_fingerprint="cafe" * 10,
+    )
+
+
+def test_entry_statistics():
+    entry = BenchEntry(name="x", samples_s=[3.0, 1.0, 2.0])
+    assert entry.repeats == 3
+    assert entry.min_s == 1.0
+    assert entry.median_s == 2.0
+    assert entry.mean_s == pytest.approx(2.0)
+    assert entry.stddev_s == pytest.approx(1.0)
+    single = BenchEntry(name="y", samples_s=[0.5])
+    assert single.stddev_s == 0.0
+
+
+def test_budget_flagging():
+    ok = BenchEntry(name="x", samples_s=[1.0], budget_s=2.0)
+    over = BenchEntry(name="y", samples_s=[3.0], budget_s=2.0)
+    assert not ok.over_budget
+    assert over.over_budget
+    snap = _snapshot()
+    snap.entries = {"x": ok, "y": over}
+    assert [e.name for e in snap.over_budget()] == ["y"]
+
+
+def test_host_fingerprint_is_stable_and_short():
+    fp = host_fingerprint()
+    assert fp == host_fingerprint()
+    assert len(fp) == 12
+    assert snapshot_filename() == f"BENCH_{fp}.json"
+    assert snapshot_filename("abc") == "BENCH_abc.json"
+
+
+def test_round_trip_preserves_everything():
+    snap = _snapshot(**{"a.b": (1.0, 2.0), "c.d": (0.25,)})
+    snap.entries["a.b"].budget_s = 5.0
+    snap.entries["a.b"].threshold = 0.5
+    snap.entries["a.b"].meta = {"events": 42}
+    doc = json.loads(snap.to_json())
+    validate_snapshot(doc)
+    back = Snapshot.from_dict(doc)
+    assert back.names() == ["a.b", "c.d"]
+    assert back.entries["a.b"].samples_s == [1.0, 2.0]
+    assert back.entries["a.b"].budget_s == 5.0
+    assert back.entries["a.b"].threshold == 0.5
+    assert back.entries["a.b"].meta == {"events": 42}
+    assert back.code_fingerprint == snap.code_fingerprint
+
+
+def test_serialization_is_deterministic():
+    a = _snapshot(x=(1.0, 2.0))
+    b = _snapshot(x=(1.0, 2.0))
+    assert a.to_json() == b.to_json()
+    assert '"schema": "repro.perf/1"' in a.to_json()
+    assert SCHEMA == "repro.perf/1"
+
+
+def test_write_to_directory_uses_canonical_name(tmp_path):
+    snap = _snapshot(x=(1.0,))
+    path = snap.write(tmp_path)
+    assert path.name == snapshot_filename()
+    loaded = load_snapshot(path)
+    assert loaded.names() == ["x"]
+
+
+def test_write_to_explicit_file(tmp_path):
+    snap = _snapshot(x=(1.0,))
+    target = tmp_path / "baseline.json"
+    assert snap.write(target) == target
+    assert load_snapshot(target).names() == ["x"]
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda d: d.update(schema="nope"), "schema"),
+        (lambda d: d.pop("host"), "host"),
+        (lambda d: d.update(code=""), "code"),
+        (lambda d: d.update(benchmarks=[]), "benchmarks"),
+        (lambda d: d["benchmarks"]["x"].update(samples_s=[]), "samples_s"),
+        (lambda d: d["benchmarks"]["x"].update(samples_s=[-1.0]), "non-negative"),
+        (lambda d: d["benchmarks"]["x"].update(samples_s=[True]), "number"),
+        (lambda d: d["benchmarks"]["x"].pop("median_s"), "median_s"),
+        (lambda d: d["benchmarks"]["x"].update(budget_s=0), "budget_s"),
+    ],
+)
+def test_validation_rejects_malformed_documents(mutate, message):
+    doc = _snapshot(x=(1.0, 2.0)).to_dict()
+    doc = json.loads(json.dumps(doc))  # deep copy
+    mutate(doc)
+    with pytest.raises(SnapshotError, match=message):
+        validate_snapshot(doc)
+
+
+def test_load_errors_name_the_file(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(SnapshotError, match="nope.json"):
+        load_snapshot(missing)
+    garbage = tmp_path / "garbage.json"
+    garbage.write_text("{not json")
+    with pytest.raises(SnapshotError, match="garbage.json"):
+        load_snapshot(garbage)
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text('{"schema": "other/1"}')
+    with pytest.raises(SnapshotError, match="wrong.json"):
+        load_snapshot(wrong)
