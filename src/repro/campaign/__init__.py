@@ -18,8 +18,15 @@ Quick start::
     result = CampaignRunner(spec, "out/campaign", jobs=4).run()
     print(result.summary_line())
 
+The runner is hardened against host-level failure — per-job watchdog
+deadlines, seeded exponential backoff, automatic pool rebuild after a
+worker death, poison-job quarantine, crash-consistent recovery of torn
+cache/journal/manifest writes, and graceful degradation to analytic
+fallback params — and all of it is testable under deterministic fault
+injection via :mod:`repro.chaos`.
+
 See ``docs/campaigns.md`` for the spec format, cache-key semantics,
-and the resume/retry model.
+the resume/retry model, and failure handling.
 """
 
 from .cache import ResultCache, cache_key, code_fingerprint, text_digest
@@ -27,15 +34,29 @@ from .manifest import (
     CAMPAIGN_FILE,
     JOURNAL_FILE,
     MANIFEST_FILE,
+    STATUSES,
     JobRecord,
     load_campaign_file,
     load_manifest,
+    load_or_rebuild_manifest,
     read_journal,
+    rebuild_manifest_doc,
     write_manifest,
 )
+from .retry import backoff_delay, backoff_sequence
 from .runner import CAMPAIGN_PID, CampaignResult, CampaignRunner, pool_map
 from .spec import CampaignSpec, Job, SpecError, canonical_params, params_digest
-from .worker import JobOutcome, classify_failure, execute_job, job_seed
+from .worker import (
+    DETERMINISTIC,
+    NEVER_RETRY,
+    RETRYABLE,
+    JobOutcome,
+    JobTimeoutError,
+    WorkerKilledError,
+    classify_failure,
+    execute_job,
+    job_seed,
+)
 
 __all__ = [
     "CAMPAIGN_FILE",
@@ -43,13 +64,21 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
+    "DETERMINISTIC",
     "Job",
     "JobOutcome",
     "JobRecord",
+    "JobTimeoutError",
     "JOURNAL_FILE",
     "MANIFEST_FILE",
+    "NEVER_RETRY",
+    "RETRYABLE",
     "ResultCache",
+    "STATUSES",
     "SpecError",
+    "WorkerKilledError",
+    "backoff_delay",
+    "backoff_sequence",
     "cache_key",
     "canonical_params",
     "classify_failure",
@@ -58,9 +87,11 @@ __all__ = [
     "job_seed",
     "load_campaign_file",
     "load_manifest",
+    "load_or_rebuild_manifest",
     "params_digest",
     "pool_map",
     "read_journal",
+    "rebuild_manifest_doc",
     "text_digest",
     "write_manifest",
 ]

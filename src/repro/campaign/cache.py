@@ -84,6 +84,15 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def entry_path(self, key: str) -> pathlib.Path:
+        """Where the entry for ``key`` lives (it may not exist yet).
+
+        Public so tooling that needs to manipulate the file itself —
+        the chaos injector tearing a write, tests asserting on-disk
+        layout — doesn't reach for the private ``_path``.
+        """
+        return self._path(key)
+
     def get(self, key: str) -> Optional[str]:
         """The cached artifact text, or ``None`` on a miss.
 

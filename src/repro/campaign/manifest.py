@@ -14,6 +14,15 @@ Three files, three roles:
   the file CI diffs between runs (and what ``repro run all -o out/``
   emits), so it contains no wall-clock times — it is a pure function
   of the results.
+
+Crash consistency: the campaign file and manifest are written via
+temp-file + ``os.replace`` (a kill mid-rewrite leaves the previous
+version, never a torn one); journal appends self-heal a torn tail
+(a record that died mid-write is newline-terminated before the next
+append, so exactly the torn record is lost and nothing else); and a
+manifest that *is* torn — hard kill, filesystem tear, injected chaos —
+is recoverable by rebuilding from the journal
+(:func:`rebuild_manifest_doc`) instead of dying on ``JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -33,16 +42,26 @@ __all__ = [
     "read_journal",
     "write_campaign_file",
     "load_campaign_file",
+    "manifest_doc",
     "write_manifest",
     "load_manifest",
+    "rebuild_manifest_doc",
+    "load_or_rebuild_manifest",
     "CAMPAIGN_FILE",
     "JOURNAL_FILE",
     "MANIFEST_FILE",
+    "STATUSES",
 ]
 
 CAMPAIGN_FILE = "campaign.json"
 JOURNAL_FILE = "journal.jsonl"
 MANIFEST_FILE = "manifest.json"
+
+#: Every status a job record can carry.  ``done`` and ``degraded``
+#: produced an artifact (``degraded`` via the job's analytic fallback);
+#: ``quarantined`` is a poison job skipped after killing too many
+#: workers; ``pending`` never ran this pass.
+STATUSES = ("done", "degraded", "failed", "quarantined", "pending")
 
 
 @dataclass
@@ -52,9 +71,10 @@ class JobRecord:
     job_id: str
     experiment: str
     params: Dict[str, Any] = field(default_factory=dict)
-    #: ``"done"`` or ``"failed"``
+    #: one of :data:`STATUSES`
     status: str = "done"
-    #: where the result came from: ``"cache"`` or ``"computed"``
+    #: where the result came from: ``"cache"``, ``"computed"``, or
+    #: ``"journal"`` (carried forward, e.g. a quarantined poison job)
     source: str = "computed"
     #: sha256 of the artifact text ("" for failures)
     digest: str = ""
@@ -63,12 +83,20 @@ class JobRecord:
     attempts: int = 1
     error: str = ""
     error_type: str = ""
-    #: failure classification: ``"budget"``/``"fault"``/``"config"``/``"transient"``
+    #: failure classification: ``"budget"``/``"fault"``/``"config"``/
+    #: ``"transient"``/``"timeout"``/``"crash"``/``"interrupt"``/``"poison"``
     classification: str = ""
+    #: seeded backoff delays (host seconds) applied before each retry —
+    #: a pure function of (job id, attempt, seed), so identical across
+    #: ``--jobs 1`` and ``--jobs N`` and safe to keep in the manifest
+    backoff_s: List[float] = field(default_factory=list)
+    #: the params the analytic fallback ran with (``degraded`` only)
+    degraded_params: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return self.status == "done"
+        """True when the job produced an artifact (possibly degraded)."""
+        return self.status in ("done", "degraded")
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -79,14 +107,39 @@ class JobRecord:
         return cls(**{k: v for k, v in doc.items() if k in names})
 
 
+def _atomic_write_text(path: pathlib.Path, text: str) -> pathlib.Path:
+    """temp + ``os.replace``: readers see the old file or the new one,
+    never a torn hybrid (modulo filesystem-level tearing, which the
+    torn-tolerant readers and the journal rebuild cover)."""
+    tmp = path.with_suffix(f"{path.suffix}.tmp.{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
 # ---------------------------------------------------------------------------
 # journal.jsonl
 # ---------------------------------------------------------------------------
+def _heal_torn_tail(fh) -> None:
+    """Newline-terminate a torn final record so this append starts a
+    fresh line.  Without this, a record appended after a mid-write
+    crash would fuse with the torn tail and *both* would be lost;
+    with it, exactly the record that never completed is dropped.
+    (``fh`` must be readable — ``a+b``, not ``ab``.)"""
+    fh.seek(0, os.SEEK_END)
+    if fh.tell() == 0:
+        return
+    fh.seek(-1, os.SEEK_END)
+    if fh.read(1) != b"\n":
+        fh.write(b"\n")
+
+
 def append_journal(path: Union[str, pathlib.Path], record: JobRecord) -> None:
     """Append one record and flush it to disk immediately."""
     line = json.dumps(record.to_dict(), sort_keys=True)
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(line + "\n")
+    with open(path, "a+b") as fh:
+        _heal_torn_tail(fh)
+        fh.write((line + "\n").encode("utf-8"))
         fh.flush()
         os.fsync(fh.fileno())
 
@@ -97,7 +150,7 @@ def read_journal(path: Union[str, pathlib.Path]) -> Dict[str, JobRecord]:
     path = pathlib.Path(path)
     if not path.is_file():
         return out
-    for line in path.read_text(encoding="utf-8").splitlines():
+    for line in path.read_text(encoding="utf-8", errors="replace").splitlines():
         line = line.strip()
         if not line:
             continue
@@ -120,12 +173,17 @@ def write_campaign_file(
     doc = {
         "spec": spec.to_dict(),
         "jobs": [
-            {"id": j.job_id, "experiment": j.experiment, "params": j.params}
+            {
+                "id": j.job_id,
+                "experiment": j.experiment,
+                "params": j.params,
+                **({"fallback": j.fallback} if j.fallback is not None else {}),
+            }
             for j in jobs
         ],
     }
-    pathlib.Path(path).write_text(
-        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    _atomic_write_text(
+        pathlib.Path(path), json.dumps(doc, indent=2, sort_keys=True) + "\n"
     )
 
 
@@ -134,7 +192,7 @@ def load_campaign_file(path: Union[str, pathlib.Path]) -> Optional[Dict[str, Any
     if not path.is_file():
         return None
     try:
-        return json.loads(path.read_text(encoding="utf-8"))
+        return json.loads(path.read_text(encoding="utf-8", errors="replace"))
     except json.JSONDecodeError:
         return None
 
@@ -142,6 +200,20 @@ def load_campaign_file(path: Union[str, pathlib.Path]) -> Optional[Dict[str, Any
 # ---------------------------------------------------------------------------
 # manifest.json
 # ---------------------------------------------------------------------------
+def manifest_doc(
+    records: List[JobRecord],
+    name: str = "campaign",
+    code_fingerprint: str = "",
+) -> Dict[str, Any]:
+    """The manifest document (shared by the writer and the chaos
+    torn-write injection, which must tear exactly these bytes)."""
+    return {
+        "name": name,
+        "code_fingerprint": code_fingerprint,
+        "jobs": [r.to_dict() for r in records],
+    }
+
+
 def write_manifest(
     path: Union[str, pathlib.Path],
     records: List[JobRecord],
@@ -149,16 +221,10 @@ def write_manifest(
     code_fingerprint: str = "",
 ) -> pathlib.Path:
     """Write the deterministic run index (shared with ``repro run all``)."""
-    doc = {
-        "name": name,
-        "code_fingerprint": code_fingerprint,
-        "jobs": [r.to_dict() for r in records],
-    }
-    path = pathlib.Path(path)
-    path.write_text(
-        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    doc = manifest_doc(records, name=name, code_fingerprint=code_fingerprint)
+    return _atomic_write_text(
+        pathlib.Path(path), json.dumps(doc, indent=2, sort_keys=True) + "\n"
     )
-    return path
 
 
 def load_manifest(path: Union[str, pathlib.Path]) -> Optional[Dict[str, Any]]:
@@ -166,6 +232,62 @@ def load_manifest(path: Union[str, pathlib.Path]) -> Optional[Dict[str, Any]]:
     if not path.is_file():
         return None
     try:
-        return json.loads(path.read_text(encoding="utf-8"))
+        return json.loads(path.read_text(encoding="utf-8", errors="replace"))
     except json.JSONDecodeError:
         return None
+
+
+def rebuild_manifest_doc(
+    directory: Union[str, pathlib.Path],
+) -> Optional[Dict[str, Any]]:
+    """Reconstruct a manifest from the torn-tolerant journal.
+
+    Used when ``manifest.json`` is missing or torn: the journal holds
+    one fsync'd record per finished job, so everything except jobs
+    still in flight at the crash comes back.  Plan order is restored
+    from ``campaign.json`` when that file is readable; jobs planned
+    but never journaled surface as ``pending``.
+    """
+    directory = pathlib.Path(directory)
+    journal = read_journal(directory / JOURNAL_FILE)
+    plan = load_campaign_file(directory / CAMPAIGN_FILE)
+    if not journal and plan is None:
+        return None
+    records: List[JobRecord] = []
+    seen: set = set()
+    if plan is not None:
+        for job in plan.get("jobs", []):
+            job_id = job.get("id", "")
+            if not job_id:
+                continue
+            seen.add(job_id)
+            record = journal.get(job_id)
+            if record is None:
+                record = JobRecord(
+                    job_id=job_id,
+                    experiment=job.get("experiment", ""),
+                    params=job.get("params", {}) or {},
+                    status="pending",
+                    source="",
+                    attempts=0,
+                )
+            records.append(record)
+    for job_id in sorted(set(journal) - seen):
+        records.append(journal[job_id])
+    name = "campaign"
+    if plan is not None:
+        name = str((plan.get("spec") or {}).get("name", name))
+    doc = manifest_doc(records, name=name)
+    doc["rebuilt_from_journal"] = True
+    return doc
+
+
+def load_or_rebuild_manifest(
+    directory: Union[str, pathlib.Path],
+) -> Optional[Dict[str, Any]]:
+    """The manifest if readable, else the journal rebuild, else None."""
+    directory = pathlib.Path(directory)
+    doc = load_manifest(directory / MANIFEST_FILE)
+    if doc is not None:
+        return doc
+    return rebuild_manifest_doc(directory)

@@ -1,0 +1,59 @@
+"""Seeded exponential backoff for campaign retries.
+
+The old runner retried transient failures *immediately*, which is the
+worst possible response to the failures retries exist for: a worker
+pool that just lost a process, a filesystem that just returned EIO, a
+machine under memory pressure.  Backoff spaces the attempts out;
+*seeded jitter* decorrelates sibling jobs without sacrificing the
+repo's determinism bar — the delay before retrying attempt ``k`` of a
+job is a pure function of ``(job id, k, seed)``, so the sequence is
+byte-identical across ``--jobs 1`` and ``--jobs N`` and across runs,
+and lands verbatim in the manifest (``backoff_s``) where tests can
+pin it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+__all__ = ["backoff_delay", "backoff_sequence"]
+
+
+def backoff_delay(
+    job_id: str,
+    attempt: int,
+    base: float = 0.05,
+    cap: float = 2.0,
+    seed: int = 0,
+) -> float:
+    """Host seconds to wait after failed execution ``attempt`` (1-based).
+
+    Exponential in the attempt number (``base * 2**(attempt-1)``) with
+    deterministic jitter in ``[0.5, 1.5)`` drawn from
+    ``sha256(seed | job_id | attempt)``, clamped to ``cap``.
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based")
+    if base < 0 or cap < 0:
+        raise ValueError("base and cap must be >= 0")
+    raw = int.from_bytes(
+        hashlib.sha256(f"{seed}|backoff|{job_id}|{attempt}".encode()).digest()[:8],
+        "big",
+    )
+    jitter = 0.5 + raw / 2.0**64  # [0.5, 1.5)
+    return min(cap, base * (2.0 ** (attempt - 1)) * jitter)
+
+
+def backoff_sequence(
+    job_id: str,
+    attempts: int,
+    base: float = 0.05,
+    cap: float = 2.0,
+    seed: int = 0,
+) -> List[float]:
+    """The full delay sequence for ``attempts`` failed executions."""
+    return [
+        backoff_delay(job_id, k, base=base, cap=cap, seed=seed)
+        for k in range(1, attempts + 1)
+    ]

@@ -15,23 +15,71 @@ A campaign pass has two phases:
    in flight; the next pass cache-hits everything already done and
    computes only the remainder.
 
-Failures are classified (:func:`~repro.campaign.worker.classify_failure`)
-and only ``"transient"`` ones are retried — a deterministic simulator
-replays :class:`BudgetExceeded` or a :class:`FaultError` identically,
-so burning retries on those would just triple the wall-clock of a
-known outcome.
+The compute pass is hardened against the host failing under it:
+
+* **Watchdog deadlines** — a job that outlives ``deadline_s`` (plus a
+  grace period in pool mode) is cancelled, classified ``"timeout"``,
+  and requeued with backoff; the stuck worker is killed and the pool
+  rebuilt.
+* **Seeded backoff** — retries wait ``backoff_delay(job, attempt,
+  seed)`` host seconds: exponential with deterministic jitter, so the
+  delay sequence is byte-identical across ``--jobs 1`` and ``--jobs N``
+  and lands in the manifest (``backoff_s``).
+* **Pool rebuild** — a worker death breaks every in-flight future
+  (:class:`BrokenProcessPool`); the runner attributes the kill, tears
+  the broken pool down, builds a fresh one, requeues the victim with
+  backoff, and resubmits the innocent bystanders without consuming
+  their attempts.
+* **Quarantine** — a job that kills ``quarantine_after`` workers is
+  poison: recorded ``"quarantined"`` in the manifest and skipped on
+  resume (a later cache hit, e.g. after a fix, wins over quarantine).
+* **Graceful degradation** — a job whose spec carries ``fallback``
+  params runs them after its budget/timeout failures exhaust retries,
+  and is recorded ``"degraded"`` rather than failed.
+
+Failure classification (:func:`~repro.campaign.worker.classify_failure`)
+decides retry policy: ``transient``/``timeout``/``crash`` retry with
+backoff, deterministic ``budget``/``fault``/``config`` never do (the
+simulator replays them identically), and ``interrupt`` never does (an
+operator stop is a command, not a flaky environment).
+
+Chaos: pass a :class:`~repro.chaos.ChaosSpec` (or compiled plan) and
+the runner injects the scheduled host faults into itself — worker
+kills, hangs, torn/ioerr writes — while counting every firing
+(``chaos.*`` metrics, :meth:`CampaignRunner.chaos_report`).
 """
 
 from __future__ import annotations
 
+import heapq
+import json
 import os
 import pathlib
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
-from ..perf.hostclock import HostClock
+from ..chaos import (
+    ChaosInjector,
+    ChaosPlan,
+    ChaosSpec,
+    torn_cache_put,
+    torn_journal_append,
+    torn_text_write,
+)
+from ..perf.hostclock import HostClock, host_sleep
 from .cache import ResultCache, cache_key, code_fingerprint, text_digest
 from .manifest import (
     CAMPAIGN_FILE,
@@ -39,17 +87,27 @@ from .manifest import (
     MANIFEST_FILE,
     JobRecord,
     append_journal,
+    manifest_doc,
+    read_journal,
     write_campaign_file,
     write_manifest,
 )
+from .retry import backoff_delay
 from .spec import CampaignSpec, Job
-from .worker import JobOutcome, classify_failure, execute_job
+from .worker import RETRYABLE, JobOutcome, classify_failure, execute_job
 
 __all__ = ["CampaignResult", "CampaignRunner", "CAMPAIGN_PID", "pool_map"]
 
 #: Synthetic Chrome-trace pid hosting the campaign track (one tid per
 #: worker slot), alongside repro.obs's engine/network pids.
 CAMPAIGN_PID = 1000002
+
+#: Pool-mode poll interval (host seconds): the wait() timeout when a
+#: deadline or a delayed retry means the parent must wake up on its own.
+_POLL_S = 0.05
+
+#: Exception class names that mean the *executor* died, not the job.
+_BROKEN_POOL = {"BrokenProcessPool", "BrokenExecutor"}
 
 
 @dataclass
@@ -65,6 +123,14 @@ class CampaignResult:
     #: artifacts (re)written this pass — a pure-cache-hit rerun writes none
     artifacts_written: int = 0
     interrupted: bool = False
+    #: watchdog deadline expiries observed this pass
+    timeouts: int = 0
+    #: worker-death crashes observed this pass
+    crashes: int = 0
+    #: times the worker pool was torn down and rebuilt
+    pool_rebuilds: int = 0
+    #: sorted chaos event keys that fired (empty when chaos is off)
+    chaos_fired: List[str] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -82,6 +148,14 @@ class CampaignResult:
     def pending(self) -> int:
         return sum(1 for r in self.records if r.status == "pending")
 
+    @property
+    def degraded(self) -> int:
+        return sum(1 for r in self.records if r.status == "degraded")
+
+    @property
+    def quarantined(self) -> int:
+        return sum(1 for r in self.records if r.status == "quarantined")
+
     def summary_line(self) -> str:
         looked_up = self.cache_hits + self.cache_misses
         pct = 100.0 * self.cache_hits / looked_up if looked_up else 0.0
@@ -91,8 +165,20 @@ class CampaignResult:
             f"computed: {len(self.executed)}",
             f"artifacts written: {self.artifacts_written}",
         ]
+        if self.degraded:
+            parts.append(f"degraded: {self.degraded}")
+        if self.quarantined:
+            parts.append(f"quarantined: {self.quarantined}")
         if self.retries:
             parts.append(f"retries: {self.retries}")
+        if self.timeouts:
+            parts.append(f"timeouts: {self.timeouts}")
+        if self.crashes:
+            parts.append(f"crashes: {self.crashes}")
+        if self.pool_rebuilds:
+            parts.append(f"pool rebuilds: {self.pool_rebuilds}")
+        if self.chaos_fired:
+            parts.append(f"chaos fired: {len(self.chaos_fired)}")
         if self.interrupted:
             parts.append(f"interrupted ({self.pending} pending)")
         return "; ".join(parts)
@@ -101,6 +187,25 @@ class CampaignResult:
 def _artifact_bytes(text: str) -> str:
     """Artifacts keep the classic ``repro run -o`` shape: text + newline."""
     return text if text.endswith("\n") else text + "\n"
+
+
+@dataclass
+class _JobState:
+    """Mutable per-job retry bookkeeping for one compute pass."""
+
+    attempts: int = 0  # completed executions (the next one is attempts+1)
+    kills: int = 0  # workers this job has taken down
+    backoff: List[float] = field(default_factory=list)
+
+
+@dataclass
+class _Flight:
+    """One in-flight pool submission."""
+
+    job: Job
+    state: _JobState
+    slot: int
+    start: float
 
 
 class CampaignRunner:
@@ -117,14 +222,37 @@ class CampaignRunner:
     jobs:
         Worker processes; ``1`` runs inline in this process.
     retries:
-        Extra attempts for *transient* job failures (deterministic
-        budget/fault/config failures are never retried).
+        Extra attempts for *retryable* job failures (transient errors,
+        watchdog timeouts, worker crashes).  Deterministic
+        budget/fault/config failures and operator interrupts are never
+        retried.
     cache_dir:
         Override the cache location (share one cache across campaigns).
     tracer:
         Optional :class:`repro.obs.Tracer`: job spans on the campaign
         track, cache hit/miss instants, a running-jobs counter, and
-        ``campaign.*`` metrics.
+        ``campaign.*`` / ``chaos.*`` metrics.
+    deadline_s:
+        Per-job watchdog deadline (host seconds).  ``None`` disables
+        the watchdog.  In pool mode a job may run ``deadline_grace``
+        seconds past it before the stuck worker is killed.
+    deadline_grace:
+        Pool-mode slack on top of ``deadline_s`` before the watchdog
+        tears the worker down (cooperative timeouts report themselves
+        at the deadline; the grace only matters for truly stuck jobs).
+    backoff_base / backoff_cap:
+        Seeded exponential backoff parameters (host seconds); see
+        :func:`~repro.campaign.retry.backoff_delay`.
+    quarantine_after:
+        Workers a single job may kill before it is quarantined as
+        poison instead of retried.
+    chaos:
+        Optional :class:`~repro.chaos.ChaosSpec` (compiled against the
+        job list at run time) or pre-compiled
+        :class:`~repro.chaos.ChaosPlan` of host faults to inject.
+    retry_seed:
+        Seed for the backoff jitter (deterministic; recorded delays are
+        a pure function of job id, attempt, and this seed).
     """
 
     def __init__(
@@ -135,31 +263,54 @@ class CampaignRunner:
         retries: int = 1,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         tracer: Optional[Any] = None,
+        deadline_s: Optional[float] = None,
+        deadline_grace: float = 2.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        quarantine_after: int = 2,
+        chaos: Optional[Union[ChaosSpec, ChaosPlan]] = None,
+        retry_seed: int = 0,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 (or None to disable)")
+        if deadline_grace < 0:
+            raise ValueError("deadline_grace must be >= 0")
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
         self.spec = spec
         self.directory = pathlib.Path(directory)
         self.jobs = jobs
         self.retries = retries
         self.cache = ResultCache(cache_dir or self.directory / ".cache")
         self.tracer = tracer
+        self.deadline_s = deadline_s
+        self.deadline_grace = deadline_grace
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.quarantine_after = quarantine_after
+        self.chaos = chaos
+        self.retry_seed = retry_seed
         self._clock: Optional[HostClock] = None
         self._running = 0
+        self._plan: Optional[ChaosPlan] = None
+        self._injector: Optional[ChaosInjector] = None
+        self._fingerprint = ""
 
     # -- obs hooks (all no-ops when untraced) -------------------------------
     def _now(self) -> float:
         return self._clock.elapsed() if self._clock is not None else 0.0
 
     def _trace_setup(self) -> None:
+        # Host-side clock anchor, never simulated state: the scheduler
+        # (deadlines, delayed retries) and the traces both read host
+        # time through the sanctioned repro.perf.hostclock source.
+        self._clock = HostClock()
         if self.tracer is None:
             return
-        # Host-side trace anchor, never simulated state: campaign traces
-        # are wall-clock observability of the harness itself, read
-        # through the sanctioned repro.perf.hostclock source.
-        self._clock = HostClock()
         self.tracer.set_process_name(CAMPAIGN_PID, f"campaign {self.spec.name}")
         for slot in range(self.jobs):
             self.tracer.set_thread_name(CAMPAIGN_PID, slot, f"worker {slot}")
@@ -212,6 +363,33 @@ class CampaignRunner:
             tid=slot,
         )
 
+    # -- chaos hooks --------------------------------------------------------
+    def _note_chaos_event(self, event: Any) -> None:
+        """Count and trace one fired injection (firing is already done)."""
+        if self.tracer is None:
+            return
+        self.tracer.metrics.counter(f"chaos.{event.kind}").inc(1)
+        self.tracer.instant(
+            CAMPAIGN_PID,
+            f"chaos-{event.kind}",
+            self._now(),
+            cat="chaos",
+            args={"event": event.key()},
+        )
+
+    def _note_chaos_keys(self, keys: List[str]) -> None:
+        """Absorb worker-reported firings into the parent's fired set."""
+        if self._injector is None or not keys:
+            return
+        for event in self._injector.note_fired(keys):
+            self._note_chaos_event(event)
+
+    def chaos_report(self) -> str:
+        """Deterministic summary of the injections that fired last run."""
+        if self._injector is None:
+            return "chaos: disabled"
+        return self._injector.report()
+
     # -- artifacts ----------------------------------------------------------
     def _artifact_path(self, job: Job) -> pathlib.Path:
         return self.directory / job.artifact_name
@@ -235,6 +413,71 @@ class CampaignRunner:
         os.replace(tmp, path)
         return digest, True
 
+    # -- guarded durable writes ---------------------------------------------
+    # All three absorb OSError: a campaign must survive its own disk
+    # hiccoughs.  Journal/cache losses are recoverable by design (the
+    # manifest still records the job; a lost cache entry recomputes),
+    # and the chaos injector exercises exactly these paths.
+    def _cache_put(self, job: Job, key: str, text: str) -> None:
+        meta = {"experiment": job.experiment, "params": job.params}
+        event = (
+            self._injector.write_fault("cache", job.job_id)
+            if self._injector is not None
+            else None
+        )
+        try:
+            if event is not None:
+                self._note_chaos_event(event)
+                if event.kind == "torn":
+                    torn_cache_put(self.cache, key, text, meta=meta)
+                    return
+                raise OSError(5, "chaos: injected cache I/O error")
+            self.cache.put(key, text, meta=meta)
+        except OSError:
+            self._count("write_errors")
+
+    def _journal_append(self, record: JobRecord) -> None:
+        path = self.directory / JOURNAL_FILE
+        event = (
+            self._injector.write_fault("journal", record.job_id)
+            if self._injector is not None
+            else None
+        )
+        try:
+            if event is not None:
+                self._note_chaos_event(event)
+                if event.kind == "torn":
+                    torn_journal_append(path, record)
+                    return
+                raise OSError(5, "chaos: injected journal I/O error")
+            append_journal(path, record)
+        except OSError:
+            self._count("write_errors")
+
+    def _write_manifest(self, ordered: List[JobRecord]) -> None:
+        path = self.directory / MANIFEST_FILE
+        event = (
+            self._injector.write_fault("manifest", "")
+            if self._injector is not None
+            else None
+        )
+        if event is not None:
+            self._note_chaos_event(event)
+            if event.kind == "torn":
+                doc = manifest_doc(
+                    ordered, name=self.spec.name, code_fingerprint=self._fingerprint
+                )
+                torn_text_write(path, json.dumps(doc, indent=2, sort_keys=True) + "\n")
+                return
+            self._count("write_errors")
+            return
+        try:
+            write_manifest(
+                path, ordered, name=self.spec.name, code_fingerprint=self._fingerprint
+            )
+        except OSError:
+            self._count("write_errors")
+
     # -- bookkeeping --------------------------------------------------------
     def _record(
         self,
@@ -244,9 +487,15 @@ class CampaignRunner:
         outcome: JobOutcome,
         source: str,
         attempts: int,
+        status: Optional[str] = None,
+        backoff: Optional[List[float]] = None,
+        degraded_params: Optional[Dict[str, Any]] = None,
     ) -> JobRecord:
         """Journal one finished job and (on success) persist its artifact."""
-        if outcome.ok:
+        if status is None:
+            status = "done" if outcome.ok else "failed"
+        backoff = list(backoff or [])
+        if status in ("done", "degraded"):
             digest, wrote = self._ensure_artifact(job, outcome.text)
             if wrote:
                 result.artifacts_written += 1
@@ -254,27 +503,33 @@ class CampaignRunner:
                 job_id=job.job_id,
                 experiment=job.experiment,
                 params=job.params,
-                status="done",
+                status=status,
                 source=source,
                 digest=digest,
                 artifact=job.artifact_name,
                 attempts=attempts,
+                backoff_s=backoff,
+                degraded_params=dict(degraded_params or {}),
             )
         else:
             record = JobRecord(
                 job_id=job.job_id,
                 experiment=job.experiment,
                 params=job.params,
-                status="failed",
+                status=status,
                 source=source,
                 attempts=attempts,
                 error=outcome.error,
                 error_type=outcome.error_type,
-                classification=outcome.classification,
+                classification=(
+                    "poison" if status == "quarantined" else outcome.classification
+                ),
+                backoff_s=backoff,
             )
-            self._count("failures")
+            if status == "failed":
+                self._count("failures")
         records[job.job_id] = record
-        append_journal(self.directory / JOURNAL_FILE, record)
+        self._journal_append(record)
         return record
 
     # -- the pass -----------------------------------------------------------
@@ -287,22 +542,35 @@ class CampaignRunner:
         CLI's ``--max-jobs``, also how the tests interrupt a campaign
         deterministically); the remainder stays ``pending`` in the
         manifest and ``interrupted`` is set.  ``fresh`` truncates the
-        journal first (artifacts and cache are left to ``clean``).
+        journal first (artifacts and cache are left to ``clean``) and
+        thereby also lifts quarantines.
         """
         jobs = self.spec.expand()
         self.directory.mkdir(parents=True, exist_ok=True)
         if fresh:
             (self.directory / JOURNAL_FILE).unlink(missing_ok=True)
+        prior = read_journal(self.directory / JOURNAL_FILE)
         write_campaign_file(self.directory / CAMPAIGN_FILE, self.spec, jobs)
         self._trace_setup()
 
-        fingerprint = code_fingerprint()
+        if self.chaos is None:
+            self._plan, self._injector = None, None
+        else:
+            plan = self.chaos
+            if not isinstance(plan, ChaosPlan):
+                plan = plan.compile([j.job_id for j in jobs])
+            self._plan = plan
+            self._injector = ChaosInjector(plan)
+
+        fingerprint = self._fingerprint = code_fingerprint()
         result = CampaignResult()
         records: Dict[str, JobRecord] = {}
         keys: Dict[str, str] = {}
         pending: List[Job] = []
 
-        # Phase 1: cache pass, in deterministic job order.
+        # Phase 1: cache pass, in deterministic job order.  A cache hit
+        # beats everything, including an old quarantine (the entry can
+        # only exist if the job completed somewhere — it is not poison).
         for job in jobs:
             key = keys[job.job_id] = cache_key(job.experiment, job.params, fingerprint)
             text = self.cache.get(key)
@@ -312,10 +580,18 @@ class CampaignRunner:
                 self._count("cache_hits")
                 self._record(result, records, job, JobOutcome(job.job_id, True, text),
                              source="cache", attempts=0)
-            else:
-                result.cache_misses += 1
-                self._count("cache_misses")
-                pending.append(job)
+                continue
+            result.cache_misses += 1
+            self._count("cache_misses")
+            previous = prior.get(job.job_id)
+            if previous is not None and previous.status == "quarantined":
+                # Poison carried forward from an earlier pass: skip it
+                # rather than feed it more workers.
+                previous.source = "journal"
+                records[job.job_id] = previous
+                self._count("quarantined_skips")
+                continue
+            pending.append(job)
         self._count("jobs_total", len(jobs))
 
         # Phase 2: compute the misses.
@@ -346,18 +622,115 @@ class CampaignRunner:
                 )
             ordered.append(record)
         result.records = ordered
-        write_manifest(
-            self.directory / MANIFEST_FILE,
-            ordered,
-            name=self.spec.name,
-            code_fingerprint=fingerprint,
-        )
+        self._write_manifest(ordered)
+        if self._injector is not None:
+            result.chaos_fired = self._injector.fired_keys()
         return result
 
-    # -- compute backends ---------------------------------------------------
-    def _attempts_for(self, outcome: JobOutcome) -> bool:
-        """Whether this failed outcome may be retried at all."""
-        return outcome.classification == "transient"
+    # -- failure policy -----------------------------------------------------
+    def _resolve_failure(self, job: Job, state: _JobState, outcome: JobOutcome) -> str:
+        """What to do with a failed execution: retry / quarantine /
+        degrade / final.  Pure decision — the backends enact it."""
+        cls = outcome.classification or "transient"
+        if state.kills >= self.quarantine_after:
+            return "quarantine"
+        if cls in RETRYABLE and state.attempts <= self.retries:
+            return "retry"
+        if cls in ("budget", "timeout") and job.fallback is not None:
+            return "degrade"
+        return "final"
+
+    def _settle(
+        self,
+        result: CampaignResult,
+        records: Dict[str, JobRecord],
+        keys: Dict[str, str],
+        job: Job,
+        state: _JobState,
+        outcome: JobOutcome,
+        retry_cb: Callable[[Job, _JobState, float], None],
+    ) -> None:
+        """Consume one finished execution attempt and act on it."""
+        state.attempts += 1
+        if outcome.ok:
+            self._finish_computed(result, records, keys, job, outcome, state)
+            return
+        cls = outcome.classification or "transient"
+        if cls == "timeout":
+            result.timeouts += 1
+            self._count("timeouts")
+        elif cls == "crash":
+            result.crashes += 1
+            self._count("crashes")
+            state.kills += 1
+        action = self._resolve_failure(job, state, outcome)
+        if action == "retry":
+            delay_s = backoff_delay(
+                job.job_id,
+                state.attempts,
+                base=self.backoff_base,
+                cap=self.backoff_cap,
+                seed=self.retry_seed,
+            )
+            state.backoff.append(delay_s)
+            result.retries += 1
+            self._count("retries")
+            retry_cb(job, state, delay_s)
+            return
+        result.executed.append(job.job_id)
+        self._count("executed")
+        if action == "quarantine":
+            self._count("quarantined")
+            self._record(
+                result, records, job, outcome, source="computed",
+                attempts=state.attempts, status="quarantined",
+                backoff=state.backoff,
+            )
+            return
+        if action == "degrade":
+            self._degrade(result, records, job, state, outcome)
+            return
+        self._record(
+            result, records, job, outcome, source="computed",
+            attempts=state.attempts, backoff=state.backoff,
+        )
+
+    def _degrade(
+        self,
+        result: CampaignResult,
+        records: Dict[str, JobRecord],
+        job: Job,
+        state: _JobState,
+        failure: JobOutcome,
+    ) -> None:
+        """Run the job's analytic fallback params instead of failing.
+
+        The degraded artifact is cached under the fallback's *own*
+        content address, so a later pass degrades from cache without
+        re-running anything — and never masquerades as the real result.
+        """
+        fallback = job.fallback_params or {}
+        key = cache_key(job.experiment, fallback, self._fingerprint)
+        text = self.cache.get(key)
+        if text is None:
+            outcome = execute_job(
+                job.job_id, job.experiment, fallback, in_worker=False
+            )
+            if not outcome.ok:
+                # Fallback failed too: record the original failure.
+                self._record(
+                    result, records, job, failure, source="computed",
+                    attempts=state.attempts, backoff=state.backoff,
+                )
+                return
+            text = outcome.text
+            self._cache_put(job, key, text)
+        self._count("degraded")
+        self._record(
+            result, records, job, JobOutcome(job.job_id, True, text),
+            source="computed", attempts=state.attempts, status="degraded",
+            backoff=state.backoff, degraded_params=fallback,
+        )
 
     def _finish_computed(
         self,
@@ -366,18 +739,17 @@ class CampaignRunner:
         keys: Dict[str, str],
         job: Job,
         outcome: JobOutcome,
-        attempts: int,
+        state: _JobState,
     ) -> None:
-        if outcome.ok:
-            self.cache.put(
-                keys[job.job_id],
-                outcome.text,
-                meta={"experiment": job.experiment, "params": job.params},
-            )
+        self._cache_put(job, keys[job.job_id], outcome.text)
         result.executed.append(job.job_id)
         self._count("executed")
-        self._record(result, records, job, outcome, source="computed", attempts=attempts)
+        self._record(
+            result, records, job, outcome, source="computed",
+            attempts=state.attempts, backoff=state.backoff,
+        )
 
+    # -- compute backends ---------------------------------------------------
     def _compute_inline(
         self,
         result: CampaignResult,
@@ -386,19 +758,49 @@ class CampaignRunner:
         to_run: List[Job],
     ) -> None:
         for job in to_run:
-            start = self._now()
-            self._mark_running(+1)
-            attempts = 0
+            state = _JobState()
             while True:
-                attempts += 1
-                outcome = execute_job(job.job_id, job.experiment, job.params)
-                if outcome.ok or not self._attempts_for(outcome) or attempts > self.retries:
+                start = self._now()
+                self._mark_running(+1)
+                outcome = execute_job(
+                    job.job_id,
+                    job.experiment,
+                    job.params,
+                    chaos=self._plan,
+                    attempt=state.attempts + 1,
+                    deadline_s=self.deadline_s,
+                    in_worker=False,
+                )
+                self._note_chaos_keys(outcome.chaos)
+                self._trace_job(job, 0, start, outcome, state.attempts + 1)
+                self._mark_running(-1)
+                queued: List[float] = []
+                self._settle(
+                    result, records, keys, job, state, outcome,
+                    lambda _j, _s, delay_s: queued.append(delay_s),
+                )
+                if not queued:
                     break
-                result.retries += 1
-                self._count("retries")
-            self._finish_computed(result, records, keys, job, outcome, attempts)
-            self._trace_job(job, 0, start, outcome, attempts)
-            self._mark_running(-1)
+                host_sleep(queued[0])
+
+    def _fresh_pool(self, pool: ProcessPoolExecutor) -> ProcessPoolExecutor:
+        """Tear a (possibly broken, possibly stuck) pool down, hard.
+
+        ``shutdown(wait=False)`` alone leaves a SIGKILLed pool's
+        surviving siblings and a hard-hung worker running forever, so
+        any process the executor still tracks is terminated explicitly.
+        (``_processes`` is private API; the getattr keeps this a no-op
+        if a future stdlib drops it — shutdown still does the base
+        cleanup.)
+        """
+        pool.shutdown(wait=False, cancel_futures=True)
+        procs = getattr(pool, "_processes", None) or {}
+        for proc in list(procs.values()):
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+        return ProcessPoolExecutor(max_workers=self.jobs)
 
     def _compute_pool(
         self,
@@ -409,49 +811,202 @@ class CampaignRunner:
     ) -> None:
         if not to_run:
             return
+        ready: "deque[Tuple[Job, _JobState]]" = deque(
+            (job, _JobState()) for job in to_run
+        )
+        delayed: List[Tuple[float, int, Job, _JobState]] = []  # (due, seq, ...)
+        seq = 0
         slots = list(range(self.jobs))
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            in_flight: Dict[Any, Tuple[Job, int, int, float]] = {}
+        in_flight: Dict[Any, _Flight] = {}
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
 
-            def submit(job: Job, attempts: int) -> None:
-                slot = slots.pop(0) if slots else 0
-                start = self._now()
-                self._mark_running(+1)
-                fut = pool.submit(execute_job, job.job_id, job.experiment, job.params)
-                in_flight[fut] = (job, attempts, slot, start)
+        def schedule_retry(job: Job, state: _JobState, delay_s: float) -> None:
+            nonlocal seq
+            seq += 1
+            heapq.heappush(delayed, (self._now() + delay_s, seq, job, state))
 
-            for job in to_run:
-                submit(job, attempts=1)
-            while in_flight:
-                finished, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+        def rebuild(casualties: List[_Flight], reason: str) -> None:
+            """Casualty triage + fresh pool.  ``casualties`` no longer
+            appear in ``in_flight``; victims consume their attempt and
+            go through the normal failure policy, innocents requeue
+            untouched."""
+            nonlocal pool, slots
+            result.pool_rebuilds += 1
+            self._count("pool_rebuilds")
+            victims: List[_Flight] = []
+            innocents: List[_Flight] = []
+            if reason == "broken" and self._injector is not None:
+                # Attribute the death: an unfired kill injection aimed
+                # at an in-flight (job, attempt) is the killer.
+                for flight in casualties:
+                    event = self._injector.kill_event(
+                        flight.job.job_id, flight.state.attempts + 1
+                    )
+                    if event is not None:
+                        self._injector.fire(event)
+                        self._note_chaos_event(event)
+                        victims.append(flight)
+                    else:
+                        innocents.append(flight)
+            if not victims:
+                # No chaos to blame (or chaos off): every in-flight job
+                # is a suspect — each wears the crash on its record.
+                victims, innocents = casualties, []
+            for flight in victims:
+                if reason == "stuck":
+                    deadline = self.deadline_s or 0.0
+                    outcome = JobOutcome(
+                        job_id=flight.job.job_id,
+                        ok=False,
+                        error=(
+                            f"job exceeded its {deadline:g}s deadline "
+                            f"(+{self.deadline_grace:g}s grace); worker killed"
+                        ),
+                        error_type="JobTimeoutError",
+                        classification="timeout",
+                    )
+                else:
+                    outcome = JobOutcome(
+                        job_id=flight.job.job_id,
+                        ok=False,
+                        error="worker process died mid-job (pool broken)",
+                        error_type="WorkerKilledError",
+                        classification="crash",
+                    )
+                self._trace_job(
+                    flight.job, flight.slot, flight.start, outcome,
+                    flight.state.attempts + 1,
+                )
+                self._settle(
+                    result, records, keys, flight.job, flight.state, outcome,
+                    schedule_retry,
+                )
+            for flight in innocents:
+                # The pool death wasn't theirs: resubmit without
+                # consuming an attempt or charging a kill.
+                ready.append((flight.job, flight.state))
+            pool = self._fresh_pool(pool)
+            slots = list(range(self.jobs))
+
+        try:
+            while ready or delayed or in_flight:
+                now = self._now()
+                while delayed and delayed[0][0] <= now:
+                    _, _, job, state = heapq.heappop(delayed)
+                    ready.append((job, state))
+                while ready and len(in_flight) < self.jobs:
+                    job, state = ready.popleft()
+                    slot = slots.pop(0) if slots else 0
+                    start = self._now()
+                    self._mark_running(+1)
+                    try:
+                        fut = pool.submit(
+                            execute_job,
+                            job.job_id,
+                            job.experiment,
+                            job.params,
+                            self._plan,
+                            state.attempts + 1,
+                            self.deadline_s,
+                            True,
+                        )
+                    except Exception:  # pool died between batches
+                        self._mark_running(-1)
+                        ready.appendleft((job, state))
+                        casualties = [in_flight.pop(f) for f in list(in_flight)]
+                        for flight in casualties:
+                            self._mark_running(-1)
+                        rebuild(casualties, reason="broken")
+                        break
+                    in_flight[fut] = _Flight(job, state, slot, start)
+                if not in_flight:
+                    if delayed:
+                        host_sleep(
+                            min(_POLL_S, max(0.0, delayed[0][0] - self._now()))
+                        )
+                        continue
+                    if ready:
+                        continue
+                    break
+                # Block until something finishes — but wake on a poll
+                # interval whenever a deadline could expire or a delayed
+                # retry could come due.
+                block = self.deadline_s is None and not delayed
+                finished, _ = wait(
+                    list(in_flight),
+                    timeout=None if block else _POLL_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken: List[_Flight] = []
                 for fut in finished:
-                    job, attempts, slot, start = in_flight.pop(fut)
+                    flight = in_flight.pop(fut)
+                    self._mark_running(-1)
+                    slots.insert(0, flight.slot)
                     try:
                         outcome = fut.result()
-                    except Exception as exc:  # worker/pool died mid-job
+                    except KeyboardInterrupt:
+                        raise
+                    except BaseException as exc:  # noqa: BLE001
+                        names = {t.__name__ for t in type(exc).__mro__}
+                        if names & _BROKEN_POOL:
+                            broken.append(flight)
+                            continue
                         outcome = JobOutcome(
-                            job_id=job.job_id,
+                            job_id=flight.job.job_id,
                             ok=False,
                             error=str(exc),
                             error_type=type(exc).__name__,
                             classification=classify_failure(exc),
                         )
-                    self._trace_job(job, slot, start, outcome, attempts)
-                    self._mark_running(-1)
-                    slots.insert(0, slot)
-                    if (
-                        not outcome.ok
-                        and self._attempts_for(outcome)
-                        and attempts <= self.retries
-                    ):
-                        result.retries += 1
-                        self._count("retries")
-                        try:
-                            submit(job, attempts + 1)
-                            continue
-                        except Exception as exc:  # pool unusable: record as-is
-                            outcome.error = f"{outcome.error}; resubmit failed: {exc}"
-                    self._finish_computed(result, records, keys, job, outcome, attempts)
+                    self._note_chaos_keys(outcome.chaos)
+                    self._trace_job(
+                        flight.job, flight.slot, flight.start, outcome,
+                        flight.state.attempts + 1,
+                    )
+                    self._settle(
+                        result, records, keys, flight.job, flight.state, outcome,
+                        schedule_retry,
+                    )
+                if broken:
+                    # A broken executor poisons every remaining future.
+                    for fut in list(in_flight):
+                        broken.append(in_flight.pop(fut))
+                        self._mark_running(-1)
+                    rebuild(broken, reason="broken")
+                    continue
+                # Watchdog: kill workers stuck past deadline + grace.
+                if self.deadline_s is not None and in_flight:
+                    limit = self.deadline_s + self.deadline_grace
+                    now = self._now()
+                    stuck = [
+                        fut
+                        for fut, flight in in_flight.items()
+                        if now - flight.start > limit
+                    ]
+                    if stuck:
+                        casualties = [in_flight.pop(fut) for fut in stuck]
+                        for flight in casualties:
+                            self._mark_running(-1)
+                            if self._injector is not None:
+                                event = self._injector.hang_event(
+                                    flight.job.job_id, flight.state.attempts + 1
+                                )
+                                if event is not None:
+                                    self._injector.fire(event)
+                                    self._note_chaos_event(event)
+                        survivors = [in_flight.pop(fut) for fut in list(in_flight)]
+                        for flight in survivors:
+                            self._mark_running(-1)
+                            ready.append((flight.job, flight.state))
+                        rebuild(casualties, reason="stuck")
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+            procs = getattr(pool, "_processes", None) or {}
+            for proc in list(procs.values()):
+                try:
+                    proc.terminate()
+                except Exception:  # noqa: BLE001 - best-effort teardown
+                    pass
 
 
 @contextmanager

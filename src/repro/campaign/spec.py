@@ -51,12 +51,24 @@ class Job:
 
     experiment: str
     params: Dict[str, Any] = field(default_factory=dict)
+    #: cheaper params to fall back to when the real job keeps failing
+    #: on budget/timeout (graceful degradation); merged over ``params``,
+    #: never part of the job id — the degraded artifact is still cached
+    #: under its *own* content address.
+    fallback: Optional[Dict[str, Any]] = None
 
     @property
     def job_id(self) -> str:
         if not self.params:
             return self.experiment
         return f"{self.experiment}-{params_digest(self.params)}"
+
+    @property
+    def fallback_params(self) -> Optional[Dict[str, Any]]:
+        """The full param dict a degraded run uses, or ``None``."""
+        if self.fallback is None:
+            return None
+        return {**self.params, **self.fallback}
 
     @property
     def artifact_name(self) -> str:
@@ -154,7 +166,7 @@ class CampaignSpec:
                     f"jobs[{i}]: each entry is an experiment id or an object "
                     "with an 'experiment' key"
                 )
-            unknown = sorted(set(entry) - {"experiment", "params", "axes"})
+            unknown = sorted(set(entry) - {"experiment", "params", "axes", "fallback"})
             if unknown:
                 raise SpecError(f"jobs[{i}]: unknown key(s) {unknown}")
             entries.append(dict(entry))
@@ -179,6 +191,9 @@ class CampaignSpec:
             if not isinstance(eid, str) or not eid:
                 raise SpecError(f"{where}: 'experiment' must be an id string")
             base = _coerce_params(entry.get("params"), where)
+            fallback: Optional[Dict[str, Any]] = None
+            if entry.get("fallback") is not None:
+                fallback = _coerce_params(entry.get("fallback"), f"{where}.fallback")
             axes = entry.get("axes") or {}
             if not isinstance(axes, dict):
                 raise SpecError(f"{where}: 'axes' must map names to value lists")
@@ -197,9 +212,11 @@ class CampaignSpec:
                 params = {**base, **combo}
                 try:
                     validate_experiment_params(eid, params)
+                    if fallback is not None:
+                        validate_experiment_params(eid, {**params, **fallback})
                 except KeyError as exc:
                     raise SpecError(f"{where}: {exc.args[0]}") from None
-                job = Job(experiment=eid, params=params)
+                job = Job(experiment=eid, params=params, fallback=fallback)
                 dup = seen.get(job.job_id)
                 if dup is not None:
                     raise SpecError(

@@ -1,0 +1,59 @@
+"""repro.chaos: deterministic host-level fault injection.
+
+The complement of :mod:`repro.faults` (which breaks the *simulated*
+machine): chaos schedules break the *host-side campaign harness* —
+workers are killed mid-job, jobs hang past their deadlines, cache and
+journal writes tear or raise — so the hardening in
+:mod:`repro.campaign` (watchdog deadlines, seeded backoff, pool
+rebuild, quarantine, crash-consistent recovery) can be proven against
+reproducible failure sequences instead of luck.
+
+Quick start::
+
+    from repro.campaign import CampaignRunner, CampaignSpec
+    from repro.chaos import ChaosSpec
+
+    chaos = ChaosSpec.from_string("seed=42,kills=1,hangs=1,torn=1")
+    runner = CampaignRunner(
+        CampaignSpec.from_ids(["table1", "top500", "lists"]),
+        "out/chaos-camp", jobs=2, retries=3, deadline_s=5.0, chaos=chaos,
+    )
+    result = runner.run()          # completes despite the injections
+    print(runner.chaos_report())   # the deterministic fired set
+
+CLI: ``repro campaign run ... --chaos 'seed=42,kills=1'`` and
+``repro chaos plan`` (dry-run the compiled schedule).  See
+``docs/campaigns.md`` ("Failure handling & chaos testing").
+"""
+
+from .inject import (
+    ChaosInjector,
+    torn_bytes,
+    torn_cache_put,
+    torn_journal_append,
+    torn_text_write,
+)
+from .spec import (
+    CHAOS_KINDS,
+    WRITE_KINDS,
+    WRITE_STREAMS,
+    ChaosError,
+    ChaosEvent,
+    ChaosPlan,
+    ChaosSpec,
+)
+
+__all__ = [
+    "CHAOS_KINDS",
+    "ChaosError",
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosSpec",
+    "WRITE_KINDS",
+    "WRITE_STREAMS",
+    "torn_bytes",
+    "torn_cache_put",
+    "torn_journal_append",
+    "torn_text_write",
+]

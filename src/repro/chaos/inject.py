@@ -1,0 +1,154 @@
+"""Parent-side chaos bookkeeping and the torn-write primitives.
+
+The :class:`ChaosInjector` wraps a compiled :class:`~.spec.ChaosPlan`
+with **one-shot firing semantics**: every event fires at most once per
+campaign pass, whether the parent observed it directly (write faults,
+attributed worker kills) or a worker reported it back inside a
+:class:`~repro.campaign.worker.JobOutcome`.  The fired set — not the
+firing *order*, which legitimately races under a process pool — is the
+reproducibility artifact: two runs under the same seed must report the
+same set.
+
+The torn-write helpers simulate what a hard kill or power loss does to
+a file that was being written *without* the temp-file + ``os.replace``
+discipline (or on a filesystem that tears across sector boundaries
+despite it): the destination ends up holding a prefix of the intended
+bytes.  The campaign layer's recovery contract is that every such tear
+reads back as a clean miss — torn cache entries recompute, a torn
+journal tail is skipped, a torn manifest rebuilds from the journal.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+from .spec import ChaosEvent, ChaosPlan
+
+__all__ = [
+    "ChaosInjector",
+    "torn_bytes",
+    "torn_cache_put",
+    "torn_journal_append",
+    "torn_text_write",
+]
+
+
+class ChaosInjector:
+    """One-shot firing registry over a compiled plan."""
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        #: key -> event, in firing order (dedup'd)
+        self._fired: Dict[str, ChaosEvent] = {}
+
+    # -- firing -------------------------------------------------------------
+    def fire(self, event: ChaosEvent) -> bool:
+        """Mark ``event`` fired; True only the first time."""
+        if event.key() in self._fired:
+            return False
+        self._fired[event.key()] = event
+        return True
+
+    def note_fired(self, keys: List[str]) -> List[ChaosEvent]:
+        """Absorb worker-reported firings; returns the newly-fired events."""
+        fresh: List[ChaosEvent] = []
+        by_key = {event.key(): event for event in self.plan.events}
+        for key in keys:
+            event = by_key.get(key)
+            if event is not None and self.fire(event):
+                fresh.append(event)
+        return fresh
+
+    # -- queries (parent-side, one-shot) ------------------------------------
+    def kill_event(self, job: str, attempt: int) -> Optional[ChaosEvent]:
+        """The unfired kill rule for (job, attempt), if any (not marked)."""
+        event = self.plan.kill_event(job, attempt)
+        if event is not None and event.key() in self._fired:
+            return None
+        return event
+
+    def hang_event(self, job: str, attempt: int) -> Optional[ChaosEvent]:
+        """The unfired hang rule for (job, attempt), if any (not marked).
+
+        The parent uses this to attribute a watchdog kill of a stuck
+        worker back to the hard-hang injection that caused it.
+        """
+        event = self.plan.hang_event(job, attempt)
+        if event is not None and event.key() in self._fired:
+            return None
+        return event
+
+    def write_fault(self, stream: str, job: str) -> Optional[ChaosEvent]:
+        """Fire-and-return the torn/ioerr rule for one write, if any."""
+        event = self.plan.write_event(stream, job)
+        if event is not None and self.fire(event):
+            return event
+        return None
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def fired(self) -> List[ChaosEvent]:
+        return list(self._fired.values())
+
+    def fired_keys(self) -> List[str]:
+        """Sorted fired keys — the cross-run reproducibility artifact."""
+        return sorted(self._fired)
+
+    def report(self) -> str:
+        """Deterministic summary (sorted by key, never by firing order)."""
+        if not self._fired:
+            return "chaos: no injections fired"
+        lines = [f"chaos: {len(self._fired)} injection(s) fired"]
+        for key in self.fired_keys():
+            lines.append(f"  {self._fired[key].describe()}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# torn writes
+# ---------------------------------------------------------------------------
+def torn_bytes(payload: bytes, fraction: float = 0.5) -> bytes:
+    """The prefix a torn write leaves behind (at least 1, never all)."""
+    if not payload:
+        return payload
+    cut = max(1, min(len(payload) - 1, int(len(payload) * fraction)))
+    return payload[:cut]
+
+
+def torn_text_write(
+    path: Union[str, pathlib.Path], text: str, fraction: float = 0.5
+) -> pathlib.Path:
+    """Write a torn prefix of ``text`` directly to ``path`` (no tmp/replace
+    — this *is* the crash the atomic discipline normally prevents)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(torn_bytes(text.encode("utf-8"), fraction))
+    return path
+
+
+def torn_cache_put(
+    cache: Any, key: str, text: str, meta: Optional[Dict[str, Any]] = None
+) -> pathlib.Path:
+    """Tear a :class:`~repro.campaign.cache.ResultCache` entry write.
+
+    Serializes the exact document :meth:`ResultCache.put` would store,
+    then leaves only a prefix of it at the final entry path — the cache
+    must read this back as a miss, never as a result.
+    """
+    from ..campaign.cache import text_digest
+
+    doc = dict(meta or {})
+    doc["digest"] = text_digest(text)
+    doc["text"] = text
+    return torn_text_write(cache.entry_path(key), json.dumps(doc, sort_keys=True))
+
+
+def torn_journal_append(path: Union[str, pathlib.Path], record: Any) -> None:
+    """Append a torn (newline-less prefix) journal record — the on-disk
+    shape of a process killed mid-``append_journal``."""
+    line = json.dumps(record.to_dict(), sort_keys=True)
+    with open(path, "ab") as fh:
+        fh.write(torn_bytes((line + "\n").encode("utf-8")))
+        fh.flush()

@@ -1,0 +1,335 @@
+"""Deterministic, seeded host-level chaos schedules.
+
+Where :mod:`repro.faults` injects failures into the *simulated* machine
+(links, nodes, MTBF draws inside the DES), this module injects failures
+into the *host-side harness* that runs campaigns: a worker process is
+killed mid-job, a job hangs past its deadline, a cache or journal write
+is torn in half, an append raises a transient I/O error.  These are the
+events a long-running campaign service must absorb as routine — the
+chaos schedule makes them reproducible enough to test against.
+
+Determinism contract: every injection is addressed by content, never by
+wall-clock or arrival order —
+
+* ``kill`` / ``hang`` events target a ``(job id, attempt)`` pair;
+* ``torn`` / ``ioerr`` events target a ``(stream, job id)`` write;
+* seeded random mode picks its targets by ranking job ids under
+  ``sha256(seed | kind | job_id)``, so the same seed over the same job
+  list yields the same injection set on every machine, every run,
+  regardless of pool size or completion order.
+
+A :class:`ChaosSpec` is what users write (JSON file, compact
+``key=value`` string, or explicit events); :meth:`ChaosSpec.compile`
+resolves it against a concrete job list into a frozen, picklable
+:class:`ChaosPlan` that both the campaign runner (parent process) and
+``execute_job`` (worker process) consult.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "CHAOS_KINDS",
+    "WRITE_KINDS",
+    "WRITE_STREAMS",
+    "ChaosError",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosSpec",
+]
+
+#: Every injection kind the schedule understands.
+CHAOS_KINDS = ("kill", "hang", "torn", "ioerr")
+#: Kinds that target a durable write instead of a running job.
+WRITE_KINDS = ("torn", "ioerr")
+#: Write targets: the result cache, the append-only journal, and the
+#: end-of-pass manifest rewrite.
+WRITE_STREAMS = ("cache", "journal", "manifest")
+
+
+class ChaosError(ValueError):
+    """A chaos spec that cannot be parsed or compiled."""
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One injection rule.
+
+    ``kill``/``hang`` fire when ``job`` reaches execution ``attempt``;
+    ``torn``/``ioerr`` fire on the first write of ``stream`` for
+    ``job`` (``job=""`` addresses the per-pass ``manifest`` stream).
+    """
+
+    kind: str
+    job: str = ""
+    attempt: int = 1
+    stream: str = ""
+    #: hang duration in host seconds (hang events only)
+    seconds: float = 0.0
+    #: a *hard* hang never cooperates with the deadline — it exists to
+    #: exercise the parent-side watchdog, which must kill the worker
+    hard: bool = False
+
+    def key(self) -> str:
+        """Stable one-shot identity of this rule."""
+        if self.kind in WRITE_KINDS:
+            return f"{self.kind}:{self.stream}:{self.job}"
+        return f"{self.kind}:{self.job}@{self.attempt}"
+
+    def describe(self) -> str:
+        if self.kind in WRITE_KINDS:
+            target = f"stream={self.stream}" + (f" job={self.job}" if self.job else "")
+            return f"{self.kind:5s} {target}"
+        extra = ""
+        if self.kind == "hang":
+            extra = f" seconds={self.seconds:g}" + (" hard" if self.hard else "")
+        return f"{self.kind:5s} job={self.job} attempt={self.attempt}{extra}"
+
+    def validate(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ChaosError(
+                f"unknown chaos kind {self.kind!r} (one of {list(CHAOS_KINDS)})"
+            )
+        if self.kind in WRITE_KINDS:
+            if self.stream not in WRITE_STREAMS:
+                raise ChaosError(
+                    f"chaos {self.kind!r} event needs stream= one of "
+                    f"{list(WRITE_STREAMS)}, got {self.stream!r}"
+                )
+            if self.stream != "manifest" and not self.job:
+                raise ChaosError(
+                    f"chaos {self.kind!r} event on {self.stream!r} needs a job id"
+                )
+        else:
+            if not self.job:
+                raise ChaosError(f"chaos {self.kind!r} event needs a job id")
+            if self.attempt < 1:
+                raise ChaosError("chaos event attempt must be >= 1")
+        if self.kind == "hang" and self.seconds < 0:
+            raise ChaosError("hang seconds must be >= 0")
+
+
+def _rank(seed: int, kind: str, job_id: str) -> str:
+    """Schedule-independent ranking key for seeded target selection."""
+    return hashlib.sha256(f"{seed}|{kind}|{job_id}".encode()).hexdigest()
+
+
+def _picked(seed: int, kind: str, job_ids: Sequence[str], count: int) -> List[str]:
+    """The first ``count`` job ids under the seeded ranking."""
+    return sorted(job_ids, key=lambda j: _rank(seed, kind, j))[: max(0, count)]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A chaos schedule as written by the user.
+
+    Explicit ``events`` and seeded counts compose: the counts are
+    resolved against the job list at :meth:`compile` time and appended
+    to the explicit events (duplicates collapse — events are one-shot
+    by key).
+    """
+
+    seed: int = 0
+    events: Tuple[ChaosEvent, ...] = ()
+    #: seeded-mode counts: how many jobs get each treatment
+    kills: int = 0
+    hangs: int = 0
+    torn: int = 0
+    ioerr: int = 0
+    #: duration of seeded hang events
+    hang_seconds: float = 0.25
+    #: seeded hangs are hard (watchdog-only) when set
+    hard: bool = False
+
+    # -- parsing ------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "ChaosSpec":
+        """A spec from a CLI argument: a JSON file path or a compact
+        ``seed=42,kills=1,hangs=1,torn=1,ioerr=1`` string."""
+        if text.endswith(".json") or pathlib.Path(text).is_file():
+            return cls.from_file(text)
+        return cls.from_string(text)
+
+    @classmethod
+    def from_string(cls, text: str) -> "ChaosSpec":
+        fields: Dict[str, Any] = {}
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ChaosError(
+                    f"chaos spec: expected key=value, got {part!r} "
+                    "(e.g. 'seed=42,kills=1,hangs=1,torn=1')"
+                )
+            key = key.strip().replace("-", "_")
+            if key in ("seed", "kills", "hangs", "torn", "ioerr"):
+                try:
+                    fields[key] = int(value)
+                except ValueError:
+                    raise ChaosError(
+                        f"chaos spec: {key}= needs an integer, got {value!r}"
+                    ) from None
+            elif key == "hang_seconds":
+                try:
+                    fields[key] = float(value)
+                except ValueError:
+                    raise ChaosError(
+                        f"chaos spec: hang_seconds= needs a number, got {value!r}"
+                    ) from None
+            elif key == "hard":
+                fields[key] = value.strip() not in ("0", "false", "no", "")
+            else:
+                raise ChaosError(f"chaos spec: unknown key {key!r}")
+        return cls(**fields)
+
+    @classmethod
+    def from_file(cls, path: Union[str, pathlib.Path]) -> "ChaosSpec":
+        path = pathlib.Path(path)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ChaosError(f"chaos spec {path}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise ChaosError(f"chaos spec {path}: not valid JSON ({exc})") from None
+        return cls.from_dict(doc)
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "ChaosSpec":
+        if not isinstance(doc, dict):
+            raise ChaosError("chaos spec must be a JSON object")
+        known = {
+            "seed", "events", "kills", "hangs", "torn", "ioerr",
+            "hang_seconds", "hard",
+        }
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ChaosError(f"chaos spec: unknown key(s) {unknown}")
+        events: List[ChaosEvent] = []
+        for i, raw in enumerate(doc.get("events") or []):
+            if not isinstance(raw, dict) or "kind" not in raw:
+                raise ChaosError(
+                    f"chaos spec events[{i}]: each event is an object with a 'kind'"
+                )
+            names = {"kind", "job", "attempt", "stream", "seconds", "hard"}
+            bad = sorted(set(raw) - names)
+            if bad:
+                raise ChaosError(f"chaos spec events[{i}]: unknown key(s) {bad}")
+            event = ChaosEvent(
+                kind=str(raw["kind"]),
+                job=str(raw.get("job", "")),
+                attempt=int(raw.get("attempt", 1)),
+                stream=str(raw.get("stream", "")),
+                seconds=float(raw.get("seconds", 0.0)),
+                hard=bool(raw.get("hard", False)),
+            )
+            try:
+                event.validate()
+            except ChaosError as exc:
+                raise ChaosError(f"chaos spec events[{i}]: {exc}") from None
+            events.append(event)
+        return cls(
+            seed=int(doc.get("seed", 0)),
+            events=tuple(events),
+            kills=int(doc.get("kills", 0)),
+            hangs=int(doc.get("hangs", 0)),
+            torn=int(doc.get("torn", 0)),
+            ioerr=int(doc.get("ioerr", 0)),
+            hang_seconds=float(doc.get("hang_seconds", 0.25)),
+            hard=bool(doc.get("hard", False)),
+        )
+
+    # -- compilation --------------------------------------------------------
+    def compile(self, job_ids: Sequence[str]) -> "ChaosPlan":
+        """Resolve the schedule against a concrete job list.
+
+        Explicit events must name jobs from the list (fail fast — a
+        typo'd chaos target silently testing nothing is worse than an
+        error); seeded counts pick their targets deterministically via
+        the sha256 ranking.  The result is a frozen, picklable plan.
+        """
+        known = set(job_ids)
+        events: Dict[str, ChaosEvent] = {}
+        for event in self.events:
+            event.validate()
+            if event.job and event.job not in known:
+                raise ChaosError(
+                    f"chaos event targets unknown job {event.job!r} "
+                    f"(campaign jobs: {sorted(known)})"
+                )
+            events.setdefault(event.key(), event)
+        for job in _picked(self.seed, "kill", job_ids, self.kills):
+            event = ChaosEvent(kind="kill", job=job)
+            events.setdefault(event.key(), event)
+        for job in _picked(self.seed, "hang", job_ids, self.hangs):
+            event = ChaosEvent(
+                kind="hang", job=job, seconds=self.hang_seconds, hard=self.hard
+            )
+            events.setdefault(event.key(), event)
+        for job in _picked(self.seed, "torn", job_ids, self.torn):
+            event = ChaosEvent(kind="torn", job=job, stream="cache")
+            events.setdefault(event.key(), event)
+        for job in _picked(self.seed, "ioerr", job_ids, self.ioerr):
+            event = ChaosEvent(kind="ioerr", job=job, stream="journal")
+            events.setdefault(event.key(), event)
+        ordered = tuple(
+            sorted(events.values(), key=lambda e: (e.kind, e.stream, e.job, e.attempt))
+        )
+        return ChaosPlan(seed=self.seed, events=ordered)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A compiled chaos schedule: concrete one-shot events only.
+
+    Plain data — it crosses the process boundary to workers, which
+    consult :meth:`kill_event` / :meth:`hang_event` before running a
+    job.  Lookups are pure functions of the target address, so the
+    plan's behaviour can never depend on pool size or arrival order.
+    """
+
+    seed: int = 0
+    events: Tuple[ChaosEvent, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def _find(self, **attrs: Any) -> Optional[ChaosEvent]:
+        for event in self.events:
+            if all(getattr(event, k) == v for k, v in attrs.items()):
+                return event
+        return None
+
+    def kill_event(self, job: str, attempt: int) -> Optional[ChaosEvent]:
+        return self._find(kind="kill", job=job, attempt=attempt)
+
+    def hang_event(self, job: str, attempt: int) -> Optional[ChaosEvent]:
+        return self._find(kind="hang", job=job, attempt=attempt)
+
+    def write_event(self, stream: str, job: str) -> Optional[ChaosEvent]:
+        """The torn/ioerr event for one (stream, job) write, if any."""
+        for kind in WRITE_KINDS:
+            event = self._find(kind=kind, stream=stream, job=job)
+            if event is not None:
+                return event
+        return None
+
+    def describe(self) -> str:
+        """Deterministic human-readable plan (CI ``cmp``s two of these
+        to prove seed reproducibility)."""
+        lines = [f"chaos plan (seed={self.seed}): {len(self.events)} injection(s)"]
+        lines.extend(f"  {event.describe()}" for event in self.events)
+        return "\n".join(lines)
+
+    def scaled(self, factor: float) -> "ChaosPlan":
+        """A copy with every hang duration scaled (test-speed knob)."""
+        return ChaosPlan(
+            seed=self.seed,
+            events=tuple(
+                replace(e, seconds=e.seconds * factor) if e.kind == "hang" else e
+                for e in self.events
+            ),
+        )

@@ -8,8 +8,11 @@ Usage::
     python -m repro run all -o out/ --jobs 4   # ... through the worker pool
     python -m repro run fig3 --trace t.json --metrics m.json
     python -m repro campaign run all -o camp/ --jobs 4   # cached campaign
+    python -m repro campaign run all -o camp/ --chaos seed=42,kills=1  # fault drill
     python -m repro campaign status -o camp/
+    python -m repro campaign status -o camp/ --json      # machine-readable
     python -m repro campaign clean -o camp/ --cache
+    python -m repro chaos plan all --chaos seed=42,kills=1,torn=1  # dry-run
     python -m repro trace pop            # traced DES scenario -> Chrome trace
     python -m repro trace pingpong --param nbytes=65536
     python -m repro faults link-kill     # fault-injection scenario
@@ -27,6 +30,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Dict, List, Optional
@@ -295,12 +299,20 @@ DEFAULT_CAMPAIGN_DIR = "campaign-out"
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from .campaign import CampaignRunner, CampaignSpec, SpecError
+    from .chaos import ChaosError, ChaosSpec
 
     try:
         params = _parse_params(args.params)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosSpec.parse(args.chaos)
+        except ChaosError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     targets = args.targets or []
     if args.spec and targets:
         print("repro campaign run: give either --spec or experiment ids, not both",
@@ -332,19 +344,29 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         cache_dir=args.cache_dir,
         tracer=tracer,
+        deadline_s=args.deadline,
+        backoff_base=args.backoff_base,
+        quarantine_after=args.quarantine_after,
+        chaos=chaos,
     )
     try:
         result = _run_campaign(runner, tracer, max_jobs=args.max_jobs, fresh=args.fresh)
-    except (SpecError, KeyError) as exc:
+    except (SpecError, ChaosError, KeyError) as exc:
         print(exc, file=sys.stderr)
         return 2
     for record in result.records:
-        label = {"cache": "hit ", "computed": "run "}.get(record.source, "----")
+        label = {"cache": "hit ", "computed": "run ", "journal": "skip"}.get(
+            record.source, "----"
+        )
         line = f"[{label}] {record.job_id:24s} {record.status}"
         if record.status == "failed":
             line += f"  {record.error_type}({record.classification}): {record.error}"
+        elif record.status == "quarantined":
+            line += f"  poison after {record.attempts} attempt(s): {record.error}"
         print(line)
     print(result.summary_line())
+    if chaos is not None:
+        print(runner.chaos_report())
     if tracer is not None:
         from .obs import write_chrome_trace, write_metrics
 
@@ -356,20 +378,54 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
-    from .campaign import MANIFEST_FILE, load_manifest
+    from .campaign import NEVER_RETRY, load_or_rebuild_manifest
 
     directory = pathlib.Path(args.dir)
-    doc = load_manifest(directory / MANIFEST_FILE)
+    # A torn/truncated manifest (hard kill mid-rewrite, disk tear) is
+    # not fatal: the fsync'd journal rebuilds everything that finished.
+    doc = load_or_rebuild_manifest(directory)
     if doc is None:
         print(f"repro campaign status: no manifest under {directory}/ "
               "(run a campaign first)", file=sys.stderr)
         return 2
     jobs = doc.get("jobs", [])
-    print(f"campaign {doc.get('name', '?')!r}: {len(jobs)} job(s)")
     counts: Dict[str, int] = {}
     for job in jobs:
         status = job.get("status", "?")
         counts[status] = counts.get(status, 0) + 1
+    if args.json:
+        out = {
+            "name": doc.get("name", ""),
+            "rebuilt_from_journal": bool(doc.get("rebuilt_from_journal", False)),
+            "counts": dict(sorted(counts.items())),
+            "jobs": [
+                {
+                    "id": job.get("job_id", ""),
+                    "status": job.get("status", ""),
+                    "attempts": job.get("attempts", 0),
+                    "classification": job.get("classification", ""),
+                    "retryable": (
+                        job.get("classification", "") not in NEVER_RETRY
+                        if job.get("status") in ("failed", "pending")
+                        else False
+                    ),
+                    "source": job.get("source", ""),
+                    "artifact": job.get("artifact", ""),
+                    "digest": job.get("digest", ""),
+                    "backoff_s": job.get("backoff_s", []),
+                    "error_type": job.get("error_type", ""),
+                    "error": job.get("error", ""),
+                }
+                for job in jobs
+            ],
+        }
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0
+    print(f"campaign {doc.get('name', '?')!r}: {len(jobs)} job(s)")
+    if doc.get("rebuilt_from_journal"):
+        print("  (manifest unreadable - rebuilt from journal)")
+    for job in jobs:
+        status = job.get("status", "?")
         line = (
             f"  {job.get('job_id', '?'):24s} {status:8s} "
             f"{job.get('source') or '-':8s} "
@@ -380,9 +436,41 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
                 f"  {job.get('error_type', '')}({job.get('classification', '')}): "
                 f"{job.get('error', '')}"
             )
+        elif status == "quarantined":
+            line += f"  poison after {job.get('attempts', 0)} attempt(s)"
         print(line)
     summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
     print(f"summary: {summary}")
+    return 0
+
+
+def _cmd_chaos_plan(args: argparse.Namespace) -> int:
+    from .campaign import CampaignSpec, SpecError
+    from .chaos import ChaosError, ChaosSpec
+
+    try:
+        chaos = ChaosSpec.parse(args.chaos)
+    except ChaosError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    targets = args.targets or []
+    try:
+        if args.spec:
+            spec = CampaignSpec.from_file(args.spec)
+        elif len(targets) == 1 and targets[0].endswith(".json"):
+            spec = CampaignSpec.from_file(targets[0])
+        elif targets:
+            spec = CampaignSpec.from_ids(targets)
+        else:
+            print("repro chaos plan: give a campaign spec file, experiment "
+                  "ids, or 'all'", file=sys.stderr)
+            return 2
+        job_ids = [job.job_id for job in spec.expand()]
+        plan = chaos.compile(job_ids)
+    except (OSError, SpecError, ChaosError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(plan.describe())
     return 0
 
 
@@ -645,8 +733,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_crun.add_argument(
         "--retries", type=int, default=1, metavar="N",
-        help="extra attempts for transient job failures (default: 1; "
-             "deterministic budget/fault/config failures never retry)",
+        help="extra attempts for retryable job failures (transient, "
+             "timeout, worker crash; default: 1 - deterministic "
+             "budget/fault/config failures never retry)",
+    )
+    p_crun.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="per-job watchdog deadline in host seconds (timed-out jobs "
+             "are cancelled, classified, and requeued with backoff)",
+    )
+    p_crun.add_argument(
+        "--backoff-base", type=float, default=0.05, metavar="SEC",
+        help="base of the seeded exponential retry backoff (default: 0.05)",
+    )
+    p_crun.add_argument(
+        "--quarantine-after", type=int, default=2, metavar="N",
+        help="quarantine a job as poison after it kills N workers "
+             "(default: 2)",
+    )
+    p_crun.add_argument(
+        "--chaos", metavar="SPEC",
+        help="inject host faults from a chaos spec: a JSON file or "
+             "'seed=42,kills=1,hangs=1,torn=1,ioerr=1' (see 'repro chaos')",
     )
     p_crun.add_argument(
         "--param", dest="params", action="append", metavar="KEY=VALUE",
@@ -682,6 +790,11 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--dir", default=DEFAULT_CAMPAIGN_DIR, metavar="DIR",
         help=f"campaign directory (default: {DEFAULT_CAMPAIGN_DIR}/)",
     )
+    p_cstat.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output (job id, status, attempts, retry "
+             "class, backoff); works even off a torn manifest",
+    )
     p_cstat.set_defaults(fn=_cmd_campaign_status)
 
     p_cclean = camp_sub.add_parser(
@@ -699,6 +812,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache location if it was overridden at run time",
     )
     p_cclean.set_defaults(fn=_cmd_campaign_clean)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="deterministic host-level fault injection for campaigns",
+    )
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+    p_cplan = chaos_sub.add_parser(
+        "plan",
+        help="compile a chaos spec against a job list and show the "
+             "injection schedule (dry run; same seed => same plan)",
+    )
+    p_cplan.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="experiment ids, 'all', or a single campaign spec.json path",
+    )
+    p_cplan.add_argument("--spec", metavar="FILE", help="campaign spec JSON file")
+    p_cplan.add_argument(
+        "--chaos", default="seed=0", metavar="SPEC",
+        help="chaos spec: JSON file or compact string "
+             "'seed=42,kills=1,hangs=1,torn=1,ioerr=1,hang_seconds=0.25,"
+             "hard=1' (default: seed=0, no injections)",
+    )
+    p_cplan.set_defaults(fn=_cmd_chaos_plan)
 
     p_trace = sub.add_parser(
         "trace",

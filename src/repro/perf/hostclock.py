@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["HostClock", "host_counter", "host_counter_ns"]
+__all__ = ["HostClock", "host_counter", "host_counter_ns", "host_sleep"]
 
 
 def host_counter() -> float:
@@ -33,6 +33,14 @@ def host_counter() -> float:
 def host_counter_ns() -> int:
     """Monotonic host nanoseconds, for overhead-sensitive call sites."""
     return time.perf_counter_ns()
+
+
+def host_sleep(seconds: float) -> None:
+    """Block the host thread — never simulated time, which only the
+    engine may advance.  Host-side waits (campaign retry backoff, chaos
+    hang injections) funnel through here for the same greppability
+    reason the clock reads do."""
+    time.sleep(max(0.0, seconds))
 
 
 class HostClock:

@@ -1,0 +1,224 @@
+"""Hardened-runner satellites: seeded backoff determinism, poison-job
+quarantine, interrupt classification, machine-readable status, and
+torn-file recovery at the CLI layer."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    NEVER_RETRY,
+    CampaignRunner,
+    CampaignSpec,
+    backoff_delay,
+    backoff_sequence,
+    classify_failure,
+)
+from repro.chaos import ChaosEvent, ChaosSpec
+from repro.cli import main
+from repro.core.evaluation import EXPERIMENTS
+
+FAST = ["table1", "top500", "lists"]
+
+
+# ---------------------------------------------------------------------------
+# seeded backoff: a pure function of (job, attempt, seed)
+# ---------------------------------------------------------------------------
+def test_backoff_delay_is_deterministic_and_capped():
+    assert backoff_delay("j", 1) == backoff_delay("j", 1)
+    assert backoff_delay("j", 1) != backoff_delay("k", 1)
+    assert backoff_delay("j", 1, seed=0) != backoff_delay("j", 1, seed=1)
+    # exponential envelope with jitter in [0.5, 1.5)
+    for attempt in range(1, 6):
+        delay = backoff_delay("j", attempt, base=0.1, cap=100.0)
+        assert 0.05 * 2 ** (attempt - 1) <= delay < 0.15 * 2 ** (attempt - 1)
+    assert backoff_delay("j", 30, base=0.1, cap=2.0) == 2.0
+
+
+def test_backoff_sequence_and_validation():
+    assert backoff_sequence("j", 3) == [backoff_delay("j", k) for k in (1, 2, 3)]
+    with pytest.raises(ValueError):
+        backoff_delay("j", 0)
+    with pytest.raises(ValueError):
+        backoff_delay("j", 1, base=-1)
+
+
+def test_recorded_backoff_identical_across_jobs_1_and_jobs_n(tmp_path):
+    """The manifest's backoff_s must not depend on the pool size."""
+    chaos = ChaosSpec(
+        events=(
+            ChaosEvent(kind="kill", job="table1", attempt=1),
+            ChaosEvent(kind="kill", job="top500", attempt=1),
+        )
+    )
+    backoffs = {}
+    for jobs in (1, 3):
+        runner = CampaignRunner(
+            CampaignSpec.from_ids(FAST, name=f"j{jobs}"),
+            tmp_path / f"j{jobs}",
+            jobs=jobs,
+            retries=2,
+            backoff_base=0.01,
+            chaos=chaos,
+        )
+        result = runner.run()
+        assert result.done == len(FAST)
+        backoffs[jobs] = {r.job_id: r.backoff_s for r in result.records}
+    assert backoffs[1] == backoffs[3]
+    assert backoffs[1]["table1"] == [backoff_delay("table1", 1, base=0.01)]
+
+
+# ---------------------------------------------------------------------------
+# quarantine: N kills and the job is poison
+# ---------------------------------------------------------------------------
+def test_quarantine_after_exactly_n_worker_kills(tmp_path):
+    chaos = ChaosSpec(
+        events=(
+            ChaosEvent(kind="kill", job="table1", attempt=1),
+            ChaosEvent(kind="kill", job="table1", attempt=2),
+        )
+    )
+    runner = CampaignRunner(
+        CampaignSpec.from_ids(FAST, name="q"),
+        tmp_path / "q",
+        retries=5,
+        backoff_base=0.01,
+        quarantine_after=2,
+        chaos=chaos,
+    )
+    result = runner.run()
+    assert result.quarantined == 1 and result.crashes == 2
+    record = {r.job_id: r for r in result.records}["table1"]
+    assert record.status == "quarantined"
+    assert record.classification == "poison"
+    assert record.attempts == 2  # quarantined at the Nth kill, not after
+    assert not record.ok
+
+    # resume: the poison job is skipped, not fed more workers
+    resumed = CampaignRunner(
+        CampaignSpec.from_ids(FAST, name="q"), tmp_path / "q", retries=5
+    ).run()
+    assert resumed.quarantined == 1
+    assert resumed.executed == []
+    skipped = {r.job_id: r for r in resumed.records}["table1"]
+    assert skipped.source == "journal"
+
+
+def test_one_kill_below_threshold_just_retries(tmp_path):
+    chaos = ChaosSpec(events=(ChaosEvent(kind="kill", job="table1", attempt=1),))
+    result = CampaignRunner(
+        CampaignSpec.from_ids(FAST, name="ok"),
+        tmp_path / "ok",
+        retries=2,
+        backoff_base=0.01,
+        quarantine_after=2,
+        chaos=chaos,
+    ).run()
+    assert result.quarantined == 0 and result.done == len(FAST)
+
+
+# ---------------------------------------------------------------------------
+# interrupts are commands, not flaky infrastructure
+# ---------------------------------------------------------------------------
+def test_interrupts_classify_as_interrupt_and_never_retry():
+    assert classify_failure(KeyboardInterrupt()) == "interrupt"
+    assert classify_failure(SystemExit(1)) == "interrupt"
+    assert "interrupt" in NEVER_RETRY
+
+
+def test_worker_systemexit_is_not_retried(tmp_path, monkeypatch):
+    calls = {"n": 0}
+
+    def bail():
+        calls["n"] += 1
+        raise SystemExit(3)
+
+    monkeypatch.setitem(EXPERIMENTS, "bail", bail)
+    result = CampaignRunner(
+        CampaignSpec.from_ids(["bail", "table1"], name="se"),
+        tmp_path / "se",
+        retries=5,
+        backoff_base=0.01,
+    ).run()
+    assert calls["n"] == 1, "SystemExit must consume exactly one attempt"
+    assert result.retries == 0
+    record = {r.job_id: r for r in result.records}["bail"]
+    assert record.status == "failed"
+    assert record.classification == "interrupt"
+    assert record.attempts == 1
+
+
+def test_keyboardinterrupt_inline_interrupts_the_campaign(tmp_path, monkeypatch):
+    def ctrl_c():
+        raise KeyboardInterrupt
+
+    monkeypatch.setitem(EXPERIMENTS, "ctrlc", ctrl_c)
+    result = CampaignRunner(
+        CampaignSpec.from_ids(["ctrlc", "table1"], name="ki"),
+        tmp_path / "ki",
+        retries=5,
+        backoff_base=0.01,
+    ).run()
+    assert result.interrupted
+    assert result.retries == 0, "Ctrl-C must never be retried"
+
+
+# ---------------------------------------------------------------------------
+# status --json and torn-file recovery at the CLI
+# ---------------------------------------------------------------------------
+def test_campaign_status_json(tmp_path, capsys):
+    directory = tmp_path / "camp"
+    assert main(["campaign", "run", "table1", "top500", "-o", str(directory)]) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status", "-o", str(directory), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"] == {"done": 2}
+    assert doc["rebuilt_from_journal"] is False
+    by_id = {j["id"]: j for j in doc["jobs"]}
+    assert set(by_id) == {"table1", "top500"}
+    job = by_id["table1"]
+    assert job["status"] == "done"
+    assert job["attempts"] == 1
+    assert job["retryable"] is False
+    assert job["backoff_s"] == []
+
+
+def test_campaign_status_survives_torn_manifest(tmp_path, capsys):
+    directory = tmp_path / "camp"
+    assert main(["campaign", "run", "table1", "top500", "-o", str(directory)]) == 0
+    capsys.readouterr()
+    manifest = directory / "manifest.json"
+    raw = manifest.read_bytes()
+    manifest.write_bytes(raw[: len(raw) // 2])  # tear it mid-write
+    assert main(["campaign", "status", "-o", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert "rebuilt from journal" in out
+    assert "2 done" in out
+    assert main(["campaign", "status", "-o", str(directory), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["rebuilt_from_journal"] is True
+    assert doc["counts"] == {"done": 2}
+
+
+def test_campaign_run_chaos_cli_reports_fired_set(tmp_path, capsys):
+    directory = tmp_path / "camp"
+    assert main([
+        "campaign", "run", "table1", "top500", "-o", str(directory),
+        "--chaos", "seed=42,kills=1", "--backoff-base", "0.01",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "chaos: 1 injection(s) fired" in out
+    assert "kill " in out
+    assert "2 done, 0 failed" in out
+
+
+def test_chaos_plan_cli_is_deterministic(tmp_path, capsys):
+    argv = ["chaos", "plan", "table1", "top500", "lists",
+            "--chaos", "seed=42,kills=1,torn=1"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+    assert "chaos plan (seed=42): 2 injection(s)" in first
+    assert main(["chaos", "plan", "table1", "--chaos", "flavor=hot"]) == 2
+    assert "unknown key" in capsys.readouterr().err

@@ -1,0 +1,112 @@
+"""One-shot firing semantics and the torn-write primitives."""
+
+from repro.campaign import JobRecord, ResultCache, read_journal
+from repro.campaign.manifest import append_journal
+from repro.chaos import (
+    ChaosEvent,
+    ChaosInjector,
+    ChaosSpec,
+    torn_bytes,
+    torn_cache_put,
+    torn_journal_append,
+    torn_text_write,
+)
+
+JOBS = ["table1", "top500", "lists"]
+
+
+def make_injector(*events):
+    return ChaosInjector(ChaosSpec(events=tuple(events)).compile(JOBS))
+
+
+# ---------------------------------------------------------------------------
+# firing registry
+# ---------------------------------------------------------------------------
+def test_events_fire_exactly_once():
+    event = ChaosEvent(kind="kill", job="table1")
+    injector = make_injector(event)
+    assert injector.fire(event) is True
+    assert injector.fire(event) is False
+    assert injector.fired_keys() == ["kill:table1@1"]
+
+
+def test_kill_and_hang_queries_hide_fired_events():
+    kill = ChaosEvent(kind="kill", job="table1")
+    hang = ChaosEvent(kind="hang", job="top500", seconds=1.0)
+    injector = make_injector(kill, hang)
+    assert injector.kill_event("table1", 1) == kill
+    injector.fire(kill)
+    assert injector.kill_event("table1", 1) is None
+    assert injector.hang_event("top500", 1) == hang
+    injector.fire(hang)
+    assert injector.hang_event("top500", 1) is None
+
+
+def test_write_fault_fires_on_first_query_only():
+    event = ChaosEvent(kind="torn", stream="cache", job="table1")
+    injector = make_injector(event)
+    assert injector.write_fault("cache", "table1") == event
+    assert injector.write_fault("cache", "table1") is None
+    assert injector.write_fault("cache", "top500") is None
+
+
+def test_note_fired_absorbs_worker_reports_once():
+    event = ChaosEvent(kind="hang", job="table1", seconds=0.5)
+    injector = make_injector(event)
+    keys = [event.key(), "hang:unknown@1"]
+    assert injector.note_fired(keys) == [event]
+    assert injector.note_fired(keys) == []  # already fired, unknown ignored
+    assert injector.fired_keys() == [event.key()]
+
+
+def test_report_is_sorted_and_deterministic():
+    a = ChaosEvent(kind="torn", stream="cache", job="top500")
+    b = ChaosEvent(kind="kill", job="table1")
+    injector = make_injector(a, b)
+    # fire in "racy" order; the report sorts by key
+    injector.fire(a)
+    injector.fire(b)
+    report = injector.report()
+    assert report.splitlines()[0] == "chaos: 2 injection(s) fired"
+    assert report.index("kill") < report.index("torn")
+
+
+# ---------------------------------------------------------------------------
+# torn writes
+# ---------------------------------------------------------------------------
+def test_torn_bytes_is_a_proper_nonempty_prefix():
+    payload = b"0123456789"
+    torn = torn_bytes(payload)
+    assert payload.startswith(torn)
+    assert 0 < len(torn) < len(payload)
+    assert torn_bytes(b"") == b""
+    assert torn_bytes(b"ab", fraction=0.0) == b"a"
+    assert torn_bytes(b"ab", fraction=1.0) == b"a"  # never all bytes
+
+
+def test_torn_text_write_leaves_prefix_at_final_path(tmp_path):
+    path = tmp_path / "deep" / "file.json"
+    torn_text_write(path, '{"ok": true}')
+    raw = path.read_bytes()
+    assert raw and b'{"ok": true}'.startswith(raw)
+    assert len(raw) < len(b'{"ok": true}')
+
+
+def test_torn_cache_entry_reads_as_clean_miss(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put("aa" * 32, "real entry")
+    torn_cache_put(cache, "bb" * 32, "torn entry", meta={"experiment": "x"})
+    assert cache.get("aa" * 32) == "real entry"
+    assert cache.get("bb" * 32) is None  # miss, not an exception
+    assert ("bb" * 32) not in cache
+
+
+def test_torn_journal_tail_is_skipped_and_healed(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    append_journal(path, JobRecord(job_id="a", experiment="a"))
+    torn_journal_append(path, JobRecord(job_id="b", experiment="b"))
+    # the torn record is invisible; the good one survives
+    assert sorted(read_journal(path)) == ["a"]
+    # the next real append heals the torn tail instead of fusing with it
+    append_journal(path, JobRecord(job_id="c", experiment="c"))
+    assert sorted(read_journal(path)) == ["a", "c"]

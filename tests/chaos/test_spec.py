@@ -1,0 +1,157 @@
+"""Chaos spec parsing, validation, and deterministic compilation."""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosError, ChaosEvent, ChaosSpec
+
+JOBS = ["table1", "top500", "lists", "fig6", "fig2", "fig3", "fig5", "table3"]
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+def test_from_string_parses_every_key():
+    spec = ChaosSpec.from_string(
+        "seed=42, kills=2, hangs=1, torn=1, ioerr=1, hang-seconds=0.5, hard=1"
+    )
+    assert spec.seed == 42
+    assert (spec.kills, spec.hangs, spec.torn, spec.ioerr) == (2, 1, 1, 1)
+    assert spec.hang_seconds == 0.5
+    assert spec.hard is True
+
+
+@pytest.mark.parametrize(
+    "text,fragment",
+    [
+        ("bogus", "key=value"),
+        ("seed=x", "needs an integer"),
+        ("hang_seconds=soon", "needs a number"),
+        ("flavor=spicy", "unknown key"),
+    ],
+)
+def test_from_string_rejects_malformed(text, fragment):
+    with pytest.raises(ChaosError, match=fragment):
+        ChaosSpec.from_string(text)
+
+
+def test_parse_reads_json_file(tmp_path):
+    path = tmp_path / "chaos.json"
+    path.write_text(
+        json.dumps(
+            {
+                "seed": 7,
+                "kills": 1,
+                "events": [{"kind": "hang", "job": "table1", "seconds": 2.0}],
+            }
+        )
+    )
+    spec = ChaosSpec.parse(str(path))
+    assert spec.seed == 7 and spec.kills == 1
+    assert spec.events[0] == ChaosEvent(kind="hang", job="table1", seconds=2.0)
+
+
+@pytest.mark.parametrize(
+    "doc,fragment",
+    [
+        ([], "JSON object"),
+        ({"surprise": 1}, "unknown key"),
+        ({"events": [{"job": "x"}]}, "object with a 'kind'"),
+        ({"events": [{"kind": "melt", "job": "x"}]}, "unknown chaos kind"),
+        ({"events": [{"kind": "kill"}]}, "needs a job id"),
+        ({"events": [{"kind": "kill", "job": "x", "attempt": 0}]}, "attempt"),
+        ({"events": [{"kind": "torn", "job": "x"}]}, "stream"),
+        ({"events": [{"kind": "torn", "stream": "cache"}]}, "needs a job id"),
+        (
+            {"events": [{"kind": "hang", "job": "x", "seconds": -1}]},
+            "seconds must be >= 0",
+        ),
+    ],
+)
+def test_from_dict_rejects_malformed(doc, fragment):
+    with pytest.raises(ChaosError, match=fragment):
+        ChaosSpec.from_dict(doc)
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+def test_compile_same_seed_same_plan():
+    spec = ChaosSpec.from_string("seed=42,kills=2,hangs=1,torn=2,ioerr=1")
+    a, b = spec.compile(JOBS), spec.compile(JOBS)
+    assert a == b
+    assert a.describe() == b.describe()
+    assert len(a) == 6
+
+
+def test_compile_is_schedule_independent_of_job_order():
+    spec = ChaosSpec.from_string("seed=42,kills=2,torn=1")
+    forward = spec.compile(JOBS)
+    backward = spec.compile(list(reversed(JOBS)))
+    assert forward == backward
+
+
+def test_compile_different_seeds_pick_different_targets():
+    kills = {
+        seed: tuple(
+            e.job
+            for e in ChaosSpec.from_string(f"seed={seed},kills=3").compile(JOBS).events
+        )
+        for seed in range(4)
+    }
+    assert len(set(kills.values())) > 1, "seed never changes the target set"
+
+
+def test_compile_rejects_unknown_explicit_target():
+    spec = ChaosSpec(events=(ChaosEvent(kind="kill", job="ghost"),))
+    with pytest.raises(ChaosError, match="unknown job 'ghost'"):
+        spec.compile(JOBS)
+
+
+def test_compile_dedups_by_event_key():
+    spec = ChaosSpec(
+        seed=0,
+        events=(ChaosEvent(kind="kill", job=JOBS[0]),),
+        kills=len(JOBS),  # seeded picks include JOBS[0] again
+    )
+    plan = spec.compile(JOBS)
+    keys = [e.key() for e in plan.events]
+    assert len(keys) == len(set(keys)) == len(JOBS)
+
+
+def test_plan_lookups_are_content_addressed():
+    spec = ChaosSpec(
+        events=(
+            ChaosEvent(kind="kill", job="table1", attempt=2),
+            ChaosEvent(kind="hang", job="top500", seconds=1.5, hard=True),
+            ChaosEvent(kind="torn", stream="cache", job="lists"),
+            ChaosEvent(kind="ioerr", stream="journal", job="fig6"),
+        )
+    )
+    plan = spec.compile(JOBS)
+    assert plan.kill_event("table1", 2) is not None
+    assert plan.kill_event("table1", 1) is None
+    assert plan.hang_event("top500", 1).hard is True
+    assert plan.write_event("cache", "lists").kind == "torn"
+    assert plan.write_event("journal", "fig6").kind == "ioerr"
+    assert plan.write_event("manifest", "") is None
+
+
+def test_plan_scaled_only_touches_hang_durations():
+    spec = ChaosSpec(
+        events=(
+            ChaosEvent(kind="hang", job="table1", seconds=2.0),
+            ChaosEvent(kind="kill", job="top500"),
+        )
+    )
+    plan = spec.compile(JOBS).scaled(0.5)
+    assert plan.hang_event("table1", 1).seconds == 1.0
+    assert plan.kill_event("top500", 1) is not None
+
+
+def test_event_keys_distinguish_attempt_and_stream():
+    assert ChaosEvent(kind="kill", job="a", attempt=1).key() == "kill:a@1"
+    assert ChaosEvent(kind="kill", job="a", attempt=2).key() == "kill:a@2"
+    assert ChaosEvent(kind="torn", stream="cache", job="a").key() == "torn:cache:a"
+    assert ChaosEvent(kind="ioerr", stream="journal", job="a").key() == "ioerr:journal:a"
