@@ -43,7 +43,9 @@ from .manifest import (
     rebuild_manifest_doc,
     write_manifest,
 )
-from .retry import backoff_delay, backoff_sequence
+from .policy import ACTIONS, FailurePolicy
+from .pool import BROKEN_POOL_NAMES, fresh_pool, is_broken_pool, teardown_pool
+from .retry import MAX_BACKOFF_EXPONENT, backoff_delay, backoff_sequence
 from .runner import CAMPAIGN_PID, CampaignResult, CampaignRunner, pool_map
 from .spec import CampaignSpec, Job, SpecError, canonical_params, params_digest
 from .worker import (
@@ -59,18 +61,22 @@ from .worker import (
 )
 
 __all__ = [
+    "ACTIONS",
+    "BROKEN_POOL_NAMES",
     "CAMPAIGN_FILE",
     "CAMPAIGN_PID",
     "CampaignResult",
     "CampaignRunner",
     "CampaignSpec",
     "DETERMINISTIC",
+    "FailurePolicy",
     "Job",
     "JobOutcome",
     "JobRecord",
     "JobTimeoutError",
     "JOURNAL_FILE",
     "MANIFEST_FILE",
+    "MAX_BACKOFF_EXPONENT",
     "NEVER_RETRY",
     "RETRYABLE",
     "ResultCache",
@@ -84,6 +90,8 @@ __all__ = [
     "classify_failure",
     "code_fingerprint",
     "execute_job",
+    "fresh_pool",
+    "is_broken_pool",
     "job_seed",
     "load_campaign_file",
     "load_manifest",
@@ -92,6 +100,7 @@ __all__ = [
     "pool_map",
     "read_journal",
     "rebuild_manifest_doc",
+    "teardown_pool",
     "text_digest",
     "write_manifest",
 ]

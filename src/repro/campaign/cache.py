@@ -142,3 +142,45 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    def prune_orphans(self, fingerprint: Optional[str] = None) -> int:
+        """Delete entries the current code can never hit again.
+
+        Every entry's filename *is* its content address, and the stored
+        ``experiment``/``params`` meta lets that address be recomputed
+        under the current code fingerprint.  An entry whose recomputed
+        key no longer matches its filename was written by an older tree
+        (or has torn/stray meta) — nothing will ever look it up, so it
+        only accumulates.  Returns how many entries were removed.
+        """
+        if fingerprint is None:
+            fingerprint = code_fingerprint()
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in sorted(self.root.glob("??/*.json")):
+            key = path.stem
+            keep = False
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+                experiment = doc["experiment"]
+                params = doc["params"]
+                text = doc["text"]
+                keep = (
+                    isinstance(experiment, str)
+                    and isinstance(params, dict)
+                    and isinstance(text, str)
+                    and doc.get("digest") == text_digest(text)
+                    and cache_key(experiment, params, fingerprint) == key
+                )
+            except (OSError, json.JSONDecodeError, KeyError, TypeError):
+                keep = False
+            if not keep:
+                path.unlink(missing_ok=True)
+                removed += 1
+        for sub in self.root.glob("??"):
+            try:
+                sub.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -60,8 +60,21 @@ MANIFEST_FILE = "manifest.json"
 #: Every status a job record can carry.  ``done`` and ``degraded``
 #: produced an artifact (``degraded`` via the job's analytic fallback);
 #: ``quarantined`` is a poison job skipped after killing too many
-#: workers; ``pending`` never ran this pass.
-STATUSES = ("done", "degraded", "failed", "quarantined", "pending")
+#: workers; ``pending`` never ran this pass.  The last three are live
+#: states only the campaign *service* snapshots (``repro serve``):
+#: ``queued`` waits for a lease, ``leased`` is owned but not dispatched,
+#: ``running`` is executing — ``repro campaign status`` on a serve
+#: directory reports a campaign mid-flight.
+STATUSES = (
+    "done",
+    "degraded",
+    "failed",
+    "quarantined",
+    "pending",
+    "queued",
+    "leased",
+    "running",
+)
 
 
 @dataclass

@@ -1,0 +1,48 @@
+"""Worker-pool lifecycle helpers shared by the batch and service dispatchers.
+
+A :class:`~concurrent.futures.ProcessPoolExecutor` that lost a worker
+to SIGKILL (or holds a hard-hung one) cannot be shut down politely:
+``shutdown(wait=False)`` leaves the surviving siblings — and the stuck
+worker — running forever.  Both campaign dispatch loops (the batch
+:class:`~repro.campaign.runner.CampaignRunner` and the
+:class:`repro.serve.server.CampaignServer` service) need the same
+hard-teardown-and-rebuild dance, so it lives here once.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["BROKEN_POOL_NAMES", "is_broken_pool", "teardown_pool", "fresh_pool"]
+
+#: Exception class names that mean the *executor* died, not the job.
+#: Matched by name so errors that crossed a process boundary (or come
+#: from a future stdlib rename) still classify.
+BROKEN_POOL_NAMES = frozenset({"BrokenProcessPool", "BrokenExecutor"})
+
+
+def is_broken_pool(exc: BaseException) -> bool:
+    """True when ``exc`` signals executor death rather than job failure."""
+    return bool({t.__name__ for t in type(exc).__mro__} & BROKEN_POOL_NAMES)
+
+
+def teardown_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a (possibly broken, possibly stuck) pool down, hard.
+
+    Any process the executor still tracks is terminated explicitly.
+    (``_processes`` is private API; the getattr keeps this a no-op if a
+    future stdlib drops it — shutdown still does the base cleanup.)
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:  # noqa: BLE001 - best-effort teardown
+            pass
+
+
+def fresh_pool(pool: ProcessPoolExecutor, max_workers: int) -> ProcessPoolExecutor:
+    """Replace ``pool`` with a brand-new executor of the same width."""
+    teardown_pool(pool)
+    return ProcessPoolExecutor(max_workers=max_workers)

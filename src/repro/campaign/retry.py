@@ -17,7 +17,14 @@ from __future__ import annotations
 import hashlib
 from typing import List
 
-__all__ = ["backoff_delay", "backoff_sequence"]
+__all__ = ["MAX_BACKOFF_EXPONENT", "backoff_delay", "backoff_sequence"]
+
+#: Clamp on the exponential term: ``2.0 ** (attempt - 1)`` overflows a
+#: float past attempt ~1025, and a lease-based dispatcher that requeues
+#: a poison job for days can legitimately reach huge attempt counts.
+#: ``2**60 * base`` already dwarfs any sane cap, so clamping here never
+#: changes a real delay — it only keeps the arithmetic finite.
+MAX_BACKOFF_EXPONENT = 60
 
 
 def backoff_delay(
@@ -29,7 +36,9 @@ def backoff_delay(
 ) -> float:
     """Host seconds to wait after failed execution ``attempt`` (1-based).
 
-    Exponential in the attempt number (``base * 2**(attempt-1)``) with
+    Exponential in the attempt number (``base * 2**(attempt-1)``, the
+    exponent clamped at :data:`MAX_BACKOFF_EXPONENT` so huge attempt
+    counts can neither overflow nor produce absurd delays) with
     deterministic jitter in ``[0.5, 1.5)`` drawn from
     ``sha256(seed | job_id | attempt)``, clamped to ``cap``.
     """
@@ -42,7 +51,8 @@ def backoff_delay(
         "big",
     )
     jitter = 0.5 + raw / 2.0**64  # [0.5, 1.5)
-    return min(cap, base * (2.0 ** (attempt - 1)) * jitter)
+    exponent = min(attempt - 1, MAX_BACKOFF_EXPONENT)
+    return min(cap, base * (2.0**exponent) * jitter)
 
 
 def backoff_sequence(

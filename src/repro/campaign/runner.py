@@ -81,6 +81,8 @@ from ..chaos import (
 )
 from ..perf.hostclock import HostClock, host_sleep
 from .cache import ResultCache, cache_key, code_fingerprint, text_digest
+from .policy import FailurePolicy
+from .pool import fresh_pool, is_broken_pool, teardown_pool
 from .manifest import (
     CAMPAIGN_FILE,
     JOURNAL_FILE,
@@ -92,9 +94,8 @@ from .manifest import (
     write_campaign_file,
     write_manifest,
 )
-from .retry import backoff_delay
 from .spec import CampaignSpec, Job
-from .worker import RETRYABLE, JobOutcome, classify_failure, execute_job
+from .worker import JobOutcome, classify_failure, execute_job
 
 __all__ = ["CampaignResult", "CampaignRunner", "CAMPAIGN_PID", "pool_map"]
 
@@ -105,9 +106,6 @@ CAMPAIGN_PID = 1000002
 #: Pool-mode poll interval (host seconds): the wait() timeout when a
 #: deadline or a delayed retry means the parent must wake up on its own.
 _POLL_S = 0.05
-
-#: Exception class names that mean the *executor* died, not the job.
-_BROKEN_POOL = {"BrokenProcessPool", "BrokenExecutor"}
 
 
 @dataclass
@@ -273,14 +271,18 @@ class CampaignRunner:
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        if retries < 0:
-            raise ValueError("retries must be >= 0")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be > 0 (or None to disable)")
         if deadline_grace < 0:
             raise ValueError("deadline_grace must be >= 0")
-        if quarantine_after < 1:
-            raise ValueError("quarantine_after must be >= 1")
+        self.policy = FailurePolicy(
+            retries=retries,
+            backoff_base=backoff_base,
+            backoff_cap=backoff_cap,
+            quarantine_after=quarantine_after,
+            seed=retry_seed,
+        )
+        self.policy.validate()
         self.spec = spec
         self.directory = pathlib.Path(directory)
         self.jobs = jobs
@@ -630,15 +632,14 @@ class CampaignRunner:
     # -- failure policy -----------------------------------------------------
     def _resolve_failure(self, job: Job, state: _JobState, outcome: JobOutcome) -> str:
         """What to do with a failed execution: retry / quarantine /
-        degrade / final.  Pure decision — the backends enact it."""
-        cls = outcome.classification or "transient"
-        if state.kills >= self.quarantine_after:
-            return "quarantine"
-        if cls in RETRYABLE and state.attempts <= self.retries:
-            return "retry"
-        if cls in ("budget", "timeout") and job.fallback is not None:
-            return "degrade"
-        return "final"
+        degrade / final.  Pure decision (shared with the campaign
+        service via :class:`FailurePolicy`) — the backends enact it."""
+        return self.policy.decide(
+            outcome.classification,
+            state.attempts,
+            kills=state.kills,
+            has_fallback=job.fallback is not None,
+        )
 
     def _settle(
         self,
@@ -665,13 +666,7 @@ class CampaignRunner:
             state.kills += 1
         action = self._resolve_failure(job, state, outcome)
         if action == "retry":
-            delay_s = backoff_delay(
-                job.job_id,
-                state.attempts,
-                base=self.backoff_base,
-                cap=self.backoff_cap,
-                seed=self.retry_seed,
-            )
+            delay_s = self.policy.delay(job.job_id, state.attempts)
             state.backoff.append(delay_s)
             result.retries += 1
             self._count("retries")
@@ -784,23 +779,8 @@ class CampaignRunner:
                 host_sleep(queued[0])
 
     def _fresh_pool(self, pool: ProcessPoolExecutor) -> ProcessPoolExecutor:
-        """Tear a (possibly broken, possibly stuck) pool down, hard.
-
-        ``shutdown(wait=False)`` alone leaves a SIGKILLed pool's
-        surviving siblings and a hard-hung worker running forever, so
-        any process the executor still tracks is terminated explicitly.
-        (``_processes`` is private API; the getattr keeps this a no-op
-        if a future stdlib drops it — shutdown still does the base
-        cleanup.)
-        """
-        pool.shutdown(wait=False, cancel_futures=True)
-        procs = getattr(pool, "_processes", None) or {}
-        for proc in list(procs.values()):
-            try:
-                proc.terminate()
-            except Exception:  # noqa: BLE001 - best-effort teardown
-                pass
-        return ProcessPoolExecutor(max_workers=self.jobs)
+        """Hard teardown + rebuild (see :mod:`repro.campaign.pool`)."""
+        return fresh_pool(pool, self.jobs)
 
     def _compute_pool(
         self,
@@ -947,8 +927,7 @@ class CampaignRunner:
                     except KeyboardInterrupt:
                         raise
                     except BaseException as exc:  # noqa: BLE001
-                        names = {t.__name__ for t in type(exc).__mro__}
-                        if names & _BROKEN_POOL:
+                        if is_broken_pool(exc):
                             broken.append(flight)
                             continue
                         outcome = JobOutcome(
@@ -1000,13 +979,7 @@ class CampaignRunner:
                             ready.append((flight.job, flight.state))
                         rebuild(casualties, reason="stuck")
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
-            procs = getattr(pool, "_processes", None) or {}
-            for proc in list(procs.values()):
-                try:
-                    proc.terminate()
-                except Exception:  # noqa: BLE001 - best-effort teardown
-                    pass
+            teardown_pool(pool)
 
 
 @contextmanager

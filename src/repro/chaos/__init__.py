@@ -35,6 +35,7 @@ from .inject import (
 )
 from .spec import (
     CHAOS_KINDS,
+    SERVER_KINDS,
     WRITE_KINDS,
     WRITE_STREAMS,
     ChaosError,
@@ -50,6 +51,7 @@ __all__ = [
     "ChaosInjector",
     "ChaosPlan",
     "ChaosSpec",
+    "SERVER_KINDS",
     "WRITE_KINDS",
     "WRITE_STREAMS",
     "torn_bytes",

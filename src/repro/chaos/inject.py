@@ -80,6 +80,26 @@ class ChaosInjector:
             return None
         return event
 
+    def server_kill_event(self, job: str, attempt: int) -> Optional[ChaosEvent]:
+        """The unfired server-SIGKILL rule for (job, attempt), if any.
+
+        One-shot firing must survive the kill itself: the campaign
+        server persists the fired key durably *before* SIGKILLing its
+        own process, and re-seeds the injector via :meth:`note_fired`
+        on restart so the rule never fires twice.
+        """
+        event = self.plan.server_kill_event(job, attempt)
+        if event is not None and event.key() in self._fired:
+            return None
+        return event
+
+    def heartbeat_loss_event(self, job: str, attempt: int) -> Optional[ChaosEvent]:
+        """The unfired heartbeat-loss rule for (job, attempt), if any."""
+        event = self.plan.heartbeat_loss_event(job, attempt)
+        if event is not None and event.key() in self._fired:
+            return None
+        return event
+
     def write_fault(self, stream: str, job: str) -> Optional[ChaosEvent]:
         """Fire-and-return the torn/ioerr rule for one write, if any."""
         event = self.plan.write_event(stream, job)

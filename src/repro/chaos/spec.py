@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "CHAOS_KINDS",
+    "SERVER_KINDS",
     "WRITE_KINDS",
     "WRITE_STREAMS",
     "ChaosError",
@@ -44,9 +45,16 @@ __all__ = [
 ]
 
 #: Every injection kind the schedule understands.
-CHAOS_KINDS = ("kill", "hang", "torn", "ioerr")
+CHAOS_KINDS = ("kill", "hang", "torn", "ioerr", "server_kill", "heartbeat_loss")
 #: Kinds that target a durable write instead of a running job.
 WRITE_KINDS = ("torn", "ioerr")
+#: Kinds that target the campaign *service* rather than a batch pass:
+#: ``server_kill`` SIGKILLs the server process the instant it leases
+#: ``(job, attempt)`` (the lease is granted and durable, the dispatch
+#: never happens — restart recovery must requeue it); ``heartbeat_loss``
+#: makes the server stop heartbeating that lease so it expires under a
+#: still-running worker (stale-result discard + requeue must both work).
+SERVER_KINDS = ("server_kill", "heartbeat_loss")
 #: Write targets: the result cache, the append-only journal, and the
 #: end-of-pass manifest rewrite.
 WRITE_STREAMS = ("cache", "journal", "manifest")
@@ -141,6 +149,9 @@ class ChaosSpec:
     hangs: int = 0
     torn: int = 0
     ioerr: int = 0
+    #: seeded-mode counts for the campaign *service* (see SERVER_KINDS)
+    server_kills: int = 0
+    heartbeat_losses: int = 0
     #: duration of seeded hang events
     hang_seconds: float = 0.25
     #: seeded hangs are hard (watchdog-only) when set
@@ -166,7 +177,10 @@ class ChaosSpec:
                     "(e.g. 'seed=42,kills=1,hangs=1,torn=1')"
                 )
             key = key.strip().replace("-", "_")
-            if key in ("seed", "kills", "hangs", "torn", "ioerr"):
+            if key in (
+                "seed", "kills", "hangs", "torn", "ioerr",
+                "server_kills", "heartbeat_losses",
+            ):
                 try:
                     fields[key] = int(value)
                 except ValueError:
@@ -203,7 +217,7 @@ class ChaosSpec:
             raise ChaosError("chaos spec must be a JSON object")
         known = {
             "seed", "events", "kills", "hangs", "torn", "ioerr",
-            "hang_seconds", "hard",
+            "server_kills", "heartbeat_losses", "hang_seconds", "hard",
         }
         unknown = sorted(set(doc) - known)
         if unknown:
@@ -238,6 +252,8 @@ class ChaosSpec:
             hangs=int(doc.get("hangs", 0)),
             torn=int(doc.get("torn", 0)),
             ioerr=int(doc.get("ioerr", 0)),
+            server_kills=int(doc.get("server_kills", 0)),
+            heartbeat_losses=int(doc.get("heartbeat_losses", 0)),
             hang_seconds=float(doc.get("hang_seconds", 0.25)),
             hard=bool(doc.get("hard", False)),
         )
@@ -275,6 +291,14 @@ class ChaosSpec:
         for job in _picked(self.seed, "ioerr", job_ids, self.ioerr):
             event = ChaosEvent(kind="ioerr", job=job, stream="journal")
             events.setdefault(event.key(), event)
+        for job in _picked(self.seed, "server_kill", job_ids, self.server_kills):
+            event = ChaosEvent(kind="server_kill", job=job)
+            events.setdefault(event.key(), event)
+        for job in _picked(
+            self.seed, "heartbeat_loss", job_ids, self.heartbeat_losses
+        ):
+            event = ChaosEvent(kind="heartbeat_loss", job=job)
+            events.setdefault(event.key(), event)
         ordered = tuple(
             sorted(events.values(), key=lambda e: (e.kind, e.stream, e.job, e.attempt))
         )
@@ -309,6 +333,14 @@ class ChaosPlan:
     def hang_event(self, job: str, attempt: int) -> Optional[ChaosEvent]:
         return self._find(kind="hang", job=job, attempt=attempt)
 
+    def server_kill_event(self, job: str, attempt: int) -> Optional[ChaosEvent]:
+        """The server-SIGKILL rule tripped by leasing (job, attempt)."""
+        return self._find(kind="server_kill", job=job, attempt=attempt)
+
+    def heartbeat_loss_event(self, job: str, attempt: int) -> Optional[ChaosEvent]:
+        """The heartbeat-suppression rule for one leased (job, attempt)."""
+        return self._find(kind="heartbeat_loss", job=job, attempt=attempt)
+
     def write_event(self, stream: str, job: str) -> Optional[ChaosEvent]:
         """The torn/ioerr event for one (stream, job) write, if any."""
         for kind in WRITE_KINDS:
@@ -323,6 +355,38 @@ class ChaosPlan:
         lines = [f"chaos plan (seed={self.seed}): {len(self.events)} injection(s)"]
         lines.extend(f"  {event.describe()}" for event in self.events)
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable plan: the ``repro chaos plan --json`` shape.
+
+        Deterministic (events already sort by key at compile time), so
+        drills and CI can ``diff`` two plans structurally instead of
+        grepping the prose rendering.  ``keys`` is the full fired-set
+        vocabulary — a drill that fired everything reports exactly it.
+        """
+        return {
+            "seed": self.seed,
+            "count": len(self.events),
+            "keys": [event.key() for event in self.events],
+            "events": [
+                {
+                    "kind": event.kind,
+                    "key": event.key(),
+                    **({"job": event.job} if event.job else {}),
+                    **(
+                        {"stream": event.stream}
+                        if event.kind in WRITE_KINDS
+                        else {"attempt": event.attempt}
+                    ),
+                    **(
+                        {"seconds": event.seconds, "hard": event.hard}
+                        if event.kind == "hang"
+                        else {}
+                    ),
+                }
+                for event in self.events
+            ],
+        }
 
     def scaled(self, factor: float) -> "ChaosPlan":
         """A copy with every hang duration scaled (test-speed knob)."""

@@ -13,6 +13,11 @@ Usage::
     python -m repro campaign status -o camp/ --json      # machine-readable
     python -m repro campaign clean -o camp/ --cache
     python -m repro chaos plan all --chaos seed=42,kills=1,torn=1  # dry-run
+    python -m repro chaos plan all --chaos seed=42,kills=1 --json  # machine-readable
+    python -m repro serve start -o srv/ --jobs 4         # durable campaign service
+    python -m repro serve submit all -o srv/ --wait      # submit + poll a campaign
+    python -m repro serve status -o srv/ --json
+    python -m repro serve drain -o srv/ --wait           # finish queue, then exit
     python -m repro trace pop            # traced DES scenario -> Chrome trace
     python -m repro trace pingpong --param nbytes=65536
     python -m repro faults link-kill     # fault-injection scenario
@@ -33,7 +38,7 @@ import argparse
 import json
 import pathlib
 import sys
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 __all__ = ["main"]
 
@@ -470,7 +475,10 @@ def _cmd_chaos_plan(args: argparse.Namespace) -> int:
     except (OSError, SpecError, ChaosError) as exc:
         print(exc, file=sys.stderr)
         return 2
-    print(plan.describe())
+    if args.json:
+        print(json.dumps(plan.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(plan.describe())
     return 0
 
 
@@ -501,7 +509,177 @@ def _cmd_campaign_clean(args: argparse.Namespace) -> int:
     if args.cache:
         cache = ResultCache(args.cache_dir or directory / ".cache")
         print(f"cleared {cache.clear()} cache entr(ies) from {cache.root}/")
+    elif args.cache_orphans:
+        cache = ResultCache(args.cache_dir or directory / ".cache")
+        pruned = cache.prune_orphans()
+        print(f"pruned {pruned} orphaned cache entr(ies) from {cache.root}/ "
+              "(stale code fingerprint or corrupt meta)")
     return 0
+
+
+DEFAULT_SERVE_DIR = "serve-out"
+
+
+def _serve_spec(args: argparse.Namespace) -> Any:
+    """The campaign spec a serve submit/drill verb was given."""
+    from .campaign import CampaignSpec
+
+    params = _parse_params(getattr(args, "params", None))
+    targets = args.targets or []
+    if args.spec and targets:
+        raise ValueError("give either --spec or experiment ids, not both")
+    if args.spec:
+        return CampaignSpec.from_file(args.spec)
+    if len(targets) == 1 and targets[0].endswith(".json"):
+        return CampaignSpec.from_file(targets[0])
+    if targets:
+        return CampaignSpec.from_ids(targets, params)
+    raise ValueError("give a spec file, experiment ids, or 'all'")
+
+
+def _cmd_serve_start(args: argparse.Namespace) -> int:
+    from .chaos import ChaosError, ChaosSpec
+    from .serve import CampaignServer, ServerConfig
+
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosSpec.parse(args.chaos)
+        except ChaosError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    tracer = None
+    if args.trace or args.metrics:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    server = CampaignServer(
+        ServerConfig(
+            directory=args.dir,
+            host=args.host,
+            port=args.port,
+            name=args.name,
+            jobs=args.jobs,
+            retries=args.retries,
+            backoff_base=args.backoff_base,
+            quarantine_after=args.quarantine_after,
+            lease_ttl=args.lease_ttl,
+            deadline_s=args.deadline,
+            max_backlog=args.max_backlog,
+            cache_dir=args.cache_dir,
+            chaos=chaos,
+            tracer=tracer,
+        )
+    )
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if tracer is not None:
+            from .obs import write_chrome_trace, write_metrics
+
+            if args.trace:
+                print(f"wrote {write_chrome_trace(tracer, args.trace)}")
+            if args.metrics:
+                print(f"wrote {write_metrics(tracer, args.metrics)}")
+    return 0
+
+
+def _cmd_serve_submit(args: argparse.Namespace) -> int:
+    from .campaign import SpecError
+    from .serve import ServeError, ServeClient, discover
+
+    try:
+        spec = _serve_spec(args)
+    except (OSError, SpecError, ValueError) as exc:
+        print(f"repro serve submit: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.port:
+            client = ServeClient(args.host, args.port)
+        else:
+            client = discover(args.dir)
+        receipt = client.submit_with_retry(spec.to_dict(), timeout=args.timeout)
+        if args.wait:
+            final = client.wait(receipt["campaign"], timeout=args.timeout)
+            receipt = {**receipt, "counts": final["counts"], "done": final["done"]}
+    except ServeError as exc:
+        print(f"repro serve submit: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(receipt, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_serve_status(args: argparse.Namespace) -> int:
+    from .serve import ServeError, ServeClient, discover
+
+    try:
+        if args.port:
+            client = ServeClient(args.host, args.port)
+        else:
+            client = discover(args.dir)
+        if args.campaign:
+            doc: Dict[str, Any] = client.campaign(args.campaign)
+        else:
+            doc = client.health()
+            doc["campaigns"] = client.campaigns().get("campaigns", [])
+            doc["counters"] = client.stats().get("counters", {})
+    except ServeError as exc:
+        print(f"repro serve status: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.campaign:
+        counts = ", ".join(f"{v} {k}" for k, v in sorted(doc["counts"].items()))
+        print(f"campaign {doc['id']} {doc['name']!r}: {doc['total']} job(s); {counts}")
+        for job in doc["jobs"]:
+            line = f"  {job['job_id']:24s} {job['state']:12s} {job['artifact']}"
+            if job["state"] in ("failed", "quarantined"):
+                line += f"  {job['error_type']}({job['classification']}): {job['error']}"
+            print(line)
+    else:
+        counts = ", ".join(f"{v} {k}" for k, v in sorted(doc["counts"].items()))
+        drain = " (draining)" if doc.get("draining") else ""
+        print(
+            f"server {doc['name']!r} pid {doc['pid']}: {doc['jobs']} worker(s), "
+            f"backlog {doc['backlog']}{drain}"
+        )
+        print(f"jobs: {counts}")
+        print(f"campaigns: {', '.join(doc['campaigns']) or '(none)'}")
+    return 0
+
+
+def _cmd_serve_drain(args: argparse.Namespace) -> int:
+    from .perf.hostclock import HostClock, host_sleep
+    from .serve import ServeError, ServeClient, discover
+
+    try:
+        if args.port:
+            client = ServeClient(args.host, args.port)
+        else:
+            client = discover(args.dir)
+        doc = client.drain()
+    except ServeError as exc:
+        print(f"repro serve drain: {exc}", file=sys.stderr)
+        return 1
+    print(f"draining; backlog {doc.get('backlog', '?')}")
+    if not args.wait:
+        return 0
+    # A draining server exits on its own once the queue empties; waiting
+    # means polling until it stops answering.
+    clock = HostClock()
+    while clock.elapsed() < args.timeout:
+        try:
+            doc = client.health()
+        except ServeError:
+            print("server exited (queue drained)")
+            return 0
+        host_sleep(0.2)
+    print(f"repro serve drain: backlog {doc.get('backlog', '?')} still "
+          f"remaining after {args.timeout:g}s", file=sys.stderr)
+    return 1
 
 
 def _cmd_validate(_args: argparse.Namespace) -> int:
@@ -811,6 +989,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR",
         help="cache location if it was overridden at run time",
     )
+    p_cclean.add_argument(
+        "--cache-orphans", action="store_true",
+        help="prune cache entries whose content address no longer matches "
+             "the current code fingerprint (stale results from an older "
+             "tree; keeps live entries, unlike --cache)",
+    )
     p_cclean.set_defaults(fn=_cmd_campaign_clean)
 
     p_chaos = sub.add_parser(
@@ -834,7 +1018,158 @@ def build_parser() -> argparse.ArgumentParser:
              "'seed=42,kills=1,hangs=1,torn=1,ioerr=1,hang_seconds=0.25,"
              "hard=1' (default: seed=0, no injections)",
     )
+    p_cplan.add_argument(
+        "--json", action="store_true",
+        help="machine-readable plan (seed, event keys, per-event targets) "
+             "instead of the prose schedule",
+    )
     p_cplan.set_defaults(fn=_cmd_chaos_plan)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="durable campaign service: SQLite-backed queue over HTTP",
+    )
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+
+    p_sstart = serve_sub.add_parser(
+        "start", help="run a campaign server (blocks; SIGKILL-safe)"
+    )
+    p_sstart.add_argument(
+        "-o", "--dir", default=DEFAULT_SERVE_DIR, metavar="DIR",
+        help=f"serve directory: queue db, artifacts, journal, manifest "
+             f"(default: {DEFAULT_SERVE_DIR}/)",
+    )
+    p_sstart.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    p_sstart.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="listen port (default: 0 = pick a free one; the bound port "
+             "lands in <dir>/server.json for discovery)",
+    )
+    p_sstart.add_argument("--name", default="serve", metavar="NAME")
+    p_sstart.add_argument(
+        "-j", "--jobs", type=int, default=2, metavar="N",
+        help="worker processes (default: 2)",
+    )
+    p_sstart.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="extra attempts for retryable failures (default: 1)",
+    )
+    p_sstart.add_argument(
+        "--deadline", type=float, default=None, metavar="SEC",
+        help="per-job watchdog deadline in host seconds",
+    )
+    p_sstart.add_argument(
+        "--lease-ttl", type=float, default=5.0, metavar="SEC",
+        help="heartbeat contract: a lease silent this long is requeued "
+             "(default: 5)",
+    )
+    p_sstart.add_argument(
+        "--max-backlog", type=int, default=64, metavar="N",
+        help="bound on accepted-but-unfinished jobs; submissions past it "
+             "shed with 429 + Retry-After (default: 64)",
+    )
+    p_sstart.add_argument(
+        "--backoff-base", type=float, default=0.05, metavar="SEC",
+        help="base of the seeded exponential retry backoff (default: 0.05)",
+    )
+    p_sstart.add_argument(
+        "--quarantine-after", type=int, default=2, metavar="N",
+        help="quarantine a job as poison after it kills N workers "
+             "(default: 2)",
+    )
+    p_sstart.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="result-cache location (default: <dir>/.cache)",
+    )
+    p_sstart.add_argument(
+        "--chaos", metavar="SPEC",
+        help="inject service faults from a chaos spec (adds server_kills= "
+             "and heartbeat_losses= to the batch kinds; see 'repro chaos')",
+    )
+    p_sstart.add_argument(
+        "--trace", metavar="FILE",
+        help="write the serve track (request spans, job spans, chaos "
+             "instants) as Chrome trace JSON on exit",
+    )
+    p_sstart.add_argument(
+        "--metrics", metavar="FILE", help="write the serve.* metrics JSON on exit"
+    )
+    p_sstart.set_defaults(fn=_cmd_serve_start)
+
+    p_ssub = serve_sub.add_parser(
+        "submit", help="submit a campaign spec to a running server"
+    )
+    p_ssub.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="experiment ids, 'all', or a single spec.json path",
+    )
+    p_ssub.add_argument("--spec", metavar="FILE", help="campaign spec JSON file")
+    p_ssub.add_argument(
+        "-o", "--dir", default=DEFAULT_SERVE_DIR, metavar="DIR",
+        help=f"serve directory to discover the server from "
+             f"(default: {DEFAULT_SERVE_DIR}/)",
+    )
+    p_ssub.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    p_ssub.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="connect directly instead of via <dir>/server.json",
+    )
+    p_ssub.add_argument(
+        "--param", dest="params", action="append", metavar="KEY=VALUE",
+        help="shared experiment parameter for id targets (repeatable)",
+    )
+    p_ssub.add_argument(
+        "--wait", action="store_true",
+        help="poll until every submitted job is terminal",
+    )
+    p_ssub.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SEC",
+        help="budget for shedding retries and --wait polling (default: 120)",
+    )
+    p_ssub.set_defaults(fn=_cmd_serve_submit)
+
+    p_sstat = serve_sub.add_parser(
+        "status", help="server health, or one campaign's per-job states"
+    )
+    p_sstat.add_argument(
+        "campaign", nargs="?", default="", metavar="CAMPAIGN_ID",
+        help="campaign id from 'serve submit' (omit for server health)",
+    )
+    p_sstat.add_argument(
+        "-o", "--dir", default=DEFAULT_SERVE_DIR, metavar="DIR",
+        help=f"serve directory (default: {DEFAULT_SERVE_DIR}/)",
+    )
+    p_sstat.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    p_sstat.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="connect directly instead of via <dir>/server.json",
+    )
+    p_sstat.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_sstat.set_defaults(fn=_cmd_serve_status)
+
+    p_sdrain = serve_sub.add_parser(
+        "drain", help="stop accepting submissions; exit once the queue empties"
+    )
+    p_sdrain.add_argument(
+        "-o", "--dir", default=DEFAULT_SERVE_DIR, metavar="DIR",
+        help=f"serve directory (default: {DEFAULT_SERVE_DIR}/)",
+    )
+    p_sdrain.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    p_sdrain.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="connect directly instead of via <dir>/server.json",
+    )
+    p_sdrain.add_argument(
+        "--wait", action="store_true",
+        help="block until the drained server exits",
+    )
+    p_sdrain.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SEC",
+        help="--wait budget (default: 120)",
+    )
+    p_sdrain.set_defaults(fn=_cmd_serve_drain)
 
     p_trace = sub.add_parser(
         "trace",

@@ -1,0 +1,158 @@
+"""Blocking stdlib client for the campaign service.
+
+Built on :mod:`http.client` (one connection per request, mirroring the
+server's ``Connection: close``).  The client is deliberately thin: it
+speaks the JSON API, raises :class:`~repro.serve.protocol.ServeError`
+on any non-2xx answer (with the server's ``Retry-After`` hint attached
+for 429/503), and offers two conveniences the CLI and drills need —
+:meth:`ServeClient.submit_with_retry` honours shedding backpressure,
+and :meth:`ServeClient.wait` polls a campaign to completion.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import pathlib
+from typing import Any, Dict, Optional, Union
+
+from ..perf.hostclock import HostClock, host_sleep
+from .protocol import ServeError, json_body
+from .server import SERVER_FILE
+
+__all__ = ["ServeClient", "discover"]
+
+
+def discover(directory: Union[str, pathlib.Path]) -> "ServeClient":
+    """A client for the server advertised in ``<directory>/server.json``."""
+    path = pathlib.Path(directory) / SERVER_FILE
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        host, port = str(doc["host"]), int(doc["port"])
+    except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+        raise ServeError(
+            503, f"no running server advertised at {path} (start one first?)"
+        ) from None
+    return ServeClient(host, port)
+
+
+class ServeClient:
+    """One server address; every call opens, speaks, and closes."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    503, f"campaign server unreachable at {self.host}:{self.port}: {exc}"
+                ) from None
+            resp_headers = {k.lower(): v for k, v in response.getheaders()}
+            _, doc, _ = json_body(response.status, resp_headers, raw)
+            return doc
+        finally:
+            conn.close()
+
+    def _request_bytes(self, path: str) -> bytes:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                raw = response.read()
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    503, f"campaign server unreachable at {self.host}:{self.port}: {exc}"
+                ) from None
+            if response.status >= 400:
+                raise ServeError(response.status, raw.decode("utf-8", "replace"))
+            return raw
+        finally:
+            conn.close()
+
+    # -- API ----------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, spec_doc: Dict[str, Any]) -> Dict[str, Any]:
+        """POST one campaign spec; raises :class:`ServeError` on 429/503."""
+        return self._request("POST", "/v1/campaigns", payload=spec_doc)
+
+    def submit_with_retry(
+        self,
+        spec_doc: Dict[str, Any],
+        timeout: float = 60.0,
+        default_backoff: float = 0.2,
+    ) -> Dict[str, Any]:
+        """Submit, honouring 429/503 shedding until ``timeout``.
+
+        Sleeps the server's ``Retry-After`` hint (falling back to
+        ``default_backoff``) between tries.  Because admission is
+        idempotent by content key, retrying a submission that actually
+        landed is harmless — it dedupes.
+        """
+        clock = HostClock()
+        while True:
+            try:
+                return self.submit(spec_doc)
+            except ServeError as exc:
+                if exc.status not in (429, 503):
+                    raise
+                if clock.elapsed() >= timeout:
+                    raise
+                host_sleep(
+                    min(
+                        exc.retry_after or default_backoff,
+                        max(0.0, timeout - clock.elapsed()),
+                    )
+                )
+
+    def campaigns(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/campaigns")
+
+    def campaign(self, cid: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/campaigns/{cid}")
+
+    def job(self, key: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{key}")
+
+    def artifact(self, key: str) -> bytes:
+        return self._request_bytes(f"/v1/jobs/{key}/artifact")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/drain")
+
+    def wait(
+        self, cid: str, timeout: float = 120.0, poll_s: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until every job in ``cid`` is terminal; returns the
+        final campaign document.  Raises :class:`ServeError` (504-ish
+        status 503) if the campaign is still moving at ``timeout``."""
+        clock = HostClock()
+        while True:
+            doc = self.campaign(cid)
+            if doc.get("done"):
+                return doc
+            if clock.elapsed() >= timeout:
+                raise ServeError(
+                    503, f"campaign {cid} still running after {timeout:g}s"
+                )
+            host_sleep(poll_s)

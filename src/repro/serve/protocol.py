@@ -1,0 +1,232 @@
+"""The campaign service wire protocol: HTTP/1.1 over asyncio streams.
+
+The server is stdlib-only by design (no ``aiohttp``, and ``http.server``
+is thread-per-request, not asyncio), so the small slice of HTTP/1.1 the
+service needs is implemented here once and shared: request parsing off
+an :class:`asyncio.StreamReader`, response rendering to bytes, and the
+JSON body conventions both :mod:`repro.serve.server` and
+:mod:`repro.serve.client` speak.
+
+Deliberate simplifications (each one is a robustness feature for a
+service that must be SIGKILL-able at any instant):
+
+* every response carries ``Connection: close`` — no keep-alive state to
+  lose, one socket per request;
+* bodies require ``Content-Length`` (no chunked encoding) and are
+  capped at :data:`MAX_BODY_BYTES` — a malicious or confused client
+  cannot balloon server memory;
+* only the request shapes the API uses parse; everything else is a
+  clean 400, never an exception escaping into the accept loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "API_VERSION",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "ServeError",
+    "Request",
+    "read_request",
+    "render_response",
+    "json_body",
+]
+
+#: Version tag clients can check against ``GET /v1/health``.
+API_VERSION = "repro.serve/1"
+
+#: Every state a job row in the durable queue can be in.  ``queued``
+#: jobs wait for a lease (``not_before`` gates backoff); ``leased`` jobs
+#: are owned by a worker slot but not yet dispatched; ``running`` jobs
+#: are executing; the rest are terminal.
+JOB_STATES = ("queued", "leased", "running", "done", "failed", "quarantined")
+#: States that will never transition again (short of a resubmit).
+TERMINAL_STATES = ("done", "failed", "quarantined")
+
+#: Request-body cap: campaign specs are small; anything bigger is abuse.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A request that cannot be parsed (maps to a 4xx response)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServeError(Exception):
+    """A service-level error carried across the wire.
+
+    Raised by the client on any non-2xx response; ``retry_after``
+    carries the server's shedding hint (seconds) when it sent one.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[float] = None
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The JSON body, or a 400 :class:`ProtocolError`."""
+        if not self.body:
+            raise ProtocolError(400, "request body required (JSON)")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"request body is not valid JSON: {exc}") from None
+
+
+def _parse_query(raw: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for part in filter(None, raw.split("&")):
+        key, _, value = part.partition("=")
+        out[key] = value
+    return out
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY_BYTES
+) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Anything malformed raises :class:`ProtocolError` with the 4xx the
+    server should answer before closing the connection.
+    """
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line.strip():
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(400, f"malformed request line: {line!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0") or "0"
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(400, f"bad Content-Length: {length_text!r}") from None
+    if length < 0:
+        raise ProtocolError(400, f"bad Content-Length: {length_text!r}")
+    if length > max_body:
+        raise ProtocolError(413, f"request body over {max_body} bytes")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "request body shorter than Content-Length")
+    path, _, query = target.partition("?")
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=_parse_query(query),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    payload: Any = None,
+    headers: Optional[Dict[str, str]] = None,
+    content_type: str = "application/json",
+) -> bytes:
+    """Render a full one-shot HTTP response (always ``Connection: close``).
+
+    ``payload`` may be ``bytes`` (sent verbatim), ``str`` (UTF-8,
+    ``text/plain`` unless overridden), or any JSON-serializable object
+    (compact, sorted keys — responses are deterministic artifacts).
+    """
+    if payload is None:
+        body = b""
+    elif isinstance(payload, bytes):
+        body = payload
+    elif isinstance(payload, str):
+        body = payload.encode("utf-8")
+        if content_type == "application/json":
+            content_type = "text/plain; charset=utf-8"
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in sorted((headers or {}).items()):
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_body(
+    status: int, headers: Dict[str, str], body: bytes
+) -> Tuple[int, Any, Dict[str, str]]:
+    """Client-side decode of one response; errors become ``ServeError``."""
+    content_type = headers.get("content-type", "")
+    doc: Any = None
+    if body and content_type.startswith("application/json"):
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(status, f"undecodable JSON response: {exc}") from None
+    if status >= 400:
+        retry_after: Optional[float] = None
+        raw = headers.get("retry-after")
+        if raw is not None:
+            try:
+                retry_after = float(raw)
+            except ValueError:
+                retry_after = None
+        message = ""
+        if isinstance(doc, dict):
+            message = str(doc.get("error", ""))
+        raise ServeError(status, message or f"request failed ({status})", retry_after)
+    return status, doc, headers

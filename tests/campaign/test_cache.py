@@ -61,3 +61,22 @@ def test_text_digest_matches_sha256():
     import hashlib
 
     assert text_digest("abc") == hashlib.sha256(b"abc").hexdigest()
+
+
+def test_prune_orphans_keeps_live_entries_only(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    fp = "fingerprint-now"
+    live = cache_key("table1", {}, fingerprint=fp)
+    cache.put(live, "live text", meta={"experiment": "table1", "params": {}})
+    # written by an older tree: its recomputed key no longer matches
+    stale = cache_key("table1", {}, fingerprint="fingerprint-old")
+    cache.put(stale, "old text", meta={"experiment": "table1", "params": {}})
+    # meta-less entry: its address cannot be recomputed at all
+    cache.put(cache_key("top500", {}, fingerprint=fp), "no meta")
+    assert len(cache) == 3
+    assert cache.prune_orphans(fingerprint=fp) == 2
+    assert cache.get(live) == "live text"
+    assert len(cache) == 1
+    assert cache.prune_orphans(fingerprint=fp) == 0  # idempotent
+    # missing cache dir is a clean no-op
+    assert ResultCache(tmp_path / "nowhere").prune_orphans(fingerprint=fp) == 0

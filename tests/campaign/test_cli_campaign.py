@@ -113,3 +113,21 @@ def test_run_single_experiment_unchanged(tmp_path, capsys):
     assert (tmp_path / "table1.txt").exists()
     assert not (tmp_path / "manifest.json").exists()
     assert not (tmp_path / "campaign.json").exists()
+
+
+def test_campaign_clean_cache_orphans(tmp_path, capsys):
+    from repro.campaign import ResultCache, cache_key
+
+    directory = tmp_path / "camp"
+    main(["campaign", "run", "table1", "-o", str(directory)])
+    # plant an entry from an "older tree": wrong code fingerprint
+    cache = ResultCache(directory / ".cache")
+    stale = cache_key("table1", {}, fingerprint="stale-fingerprint")
+    cache.put(stale, "old", meta={"experiment": "table1", "params": {}})
+    capsys.readouterr()
+    assert main(["campaign", "clean", "-o", str(directory), "--cache-orphans"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 1 orphaned cache entr(ies)" in out
+    # the live entry survives: a re-run still hits the cache
+    assert main(["campaign", "run", "table1", "-o", str(directory)]) == 0
+    assert "[hit ] table1" in capsys.readouterr().out

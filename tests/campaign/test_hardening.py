@@ -222,3 +222,35 @@ def test_chaos_plan_cli_is_deterministic(tmp_path, capsys):
     assert "chaos plan (seed=42): 2 injection(s)" in first
     assert main(["chaos", "plan", "table1", "--chaos", "flavor=hot"]) == 2
     assert "unknown key" in capsys.readouterr().err
+
+
+def test_backoff_exponent_is_clamped_for_huge_attempt_counts():
+    """Pin the overflow guard: a lease-based dispatcher requeueing a
+    poison job for days can reach attempt counts where ``2.0**(n-1)``
+    overflows a float — the exponent clamps instead."""
+    import math
+
+    from repro.campaign.retry import MAX_BACKOFF_EXPONENT
+
+    assert MAX_BACKOFF_EXPONENT == 60
+    huge = backoff_delay("j", 5000, base=0.05, cap=float("inf"))
+    assert math.isfinite(huge)
+    # past the clamp the exponential term freezes: only jitter varies
+    lo = 0.5 * 0.05 * 2.0**MAX_BACKOFF_EXPONENT
+    hi = 1.5 * 0.05 * 2.0**MAX_BACKOFF_EXPONENT
+    assert lo <= huge < hi
+    # and any sane cap still wins
+    assert backoff_delay("j", 5000, base=0.05, cap=2.0) == 2.0
+
+
+def test_chaos_plan_cli_json(capsys):
+    argv = ["chaos", "plan", "table1", "top500", "lists",
+            "--chaos", "seed=42,kills=1,torn=1", "--json"]
+    assert main(argv) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["seed"] == 42
+    assert doc["count"] == 2 == len(doc["events"])
+    assert doc["keys"] == [e["key"] for e in doc["events"]]
+    # the JSON plan is the same plan the prose form prints
+    assert main(argv) == 0
+    assert json.loads(capsys.readouterr().out) == doc

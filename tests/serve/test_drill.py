@@ -1,0 +1,156 @@
+"""The acceptance drill: SIGKILL the server mid-campaign, restart,
+and prove zero lost jobs and byte-identical artifacts.
+
+This is the same scenario the CI ``serve`` job runs from the shell:
+a real server subprocess with a seeded ``server_kill`` injection, four
+concurrent clients submitting overlapping specs, the process dying by
+actual SIGKILL at a lease grant, and a chaos-free restart finishing
+everything.  The batch runner over the same jobs is the oracle.
+"""
+
+import filecmp
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+import time
+
+from repro.cli import main
+from repro.serve.client import ServeClient, discover
+from repro.serve.protocol import ServeError
+
+EXPERIMENTS = ["table1", "top500", "lists"]
+
+_SRC = str(pathlib.Path(__file__).parent.parent.parent / "src")
+_ENV = dict(
+    os.environ,
+    PYTHONPATH=os.pathsep.join(filter(None, [_SRC, os.environ.get("PYTHONPATH")])),
+)
+
+
+def start_server(directory, *extra):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "start",
+            "-o",
+            str(directory),
+            "--jobs",
+            "2",
+            "--lease-ttl",
+            "2.0",
+            *extra,
+        ],
+        env=_ENV,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_server(directory, proc, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    marker = pathlib.Path(directory) / "server.json"
+    while time.monotonic() < deadline:
+        if marker.is_file():
+            doc = json.loads(marker.read_text())
+            if doc.get("pid") == proc.pid:
+                return ServeClient(doc["host"], doc["port"])
+        if proc.poll() is not None and not marker.is_file():
+            raise AssertionError("server process exited before binding")
+        time.sleep(0.05)
+    raise AssertionError("server never wrote server.json")
+
+
+def submit_until_accepted(directory, spec, results, index, timeout=120.0):
+    """One client: keep (re)discovering and submitting until a 201.
+
+    Submission is idempotent (campaign id and job keys are content
+    addresses), so retrying across the server's death is safe — the
+    worst case is a dedup response, which also counts as accepted.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            client = discover(directory)  # re-reads server.json: new pid, new port
+            results[index] = client.submit_with_retry(spec, timeout=5)
+            return
+        except (ServeError, OSError):
+            time.sleep(0.1)
+    results[index] = None
+
+
+def test_sigkill_drill_loses_nothing_and_matches_batch(tmp_path):
+    batch = tmp_path / "batch"
+    srv = tmp_path / "srv"
+
+    # the oracle: an undisturbed batch run of the same jobs
+    assert main(["campaign", "run", *EXPERIMENTS, "-o", str(batch), "--jobs", "1"]) == 0
+
+    # phase 1: a chaotic server — one seeded server_kill, one worker
+    # kill, one torn journal write
+    proc = start_server(srv, "--chaos", "seed=7,server_kills=1,kills=1,torn=1")
+    wait_for_server(srv, proc)
+
+    # four concurrent clients, overlapping specs (dedup across clients)
+    specs = [
+        {"name": "c0", "jobs": [EXPERIMENTS[0]]},
+        {"name": "c1", "jobs": [EXPERIMENTS[1]]},
+        {"name": "c2", "jobs": [EXPERIMENTS[2]]},
+        {"name": "c3", "jobs": EXPERIMENTS},  # all three: pure dedup fodder
+    ]
+    results = [None] * len(specs)
+    threads = [
+        threading.Thread(target=submit_until_accepted, args=(srv, s, results, i))
+        for i, s in enumerate(specs)
+    ]
+    for t in threads:
+        t.start()
+
+    # the server SIGKILLs itself at a lease grant; wait for the corpse
+    assert proc.wait(timeout=120) is not None
+    assert proc.returncode != 0  # killed, not a clean exit
+
+    # phase 2: restart over the same directory with no --chaos — the
+    # persisted plan and durable fired-set reload from SQLite
+    proc2 = start_server(srv)
+    wait_for_server(srv, proc2)
+    for t in threads:
+        t.join(timeout=120)
+    assert all(r is not None for r in results), "a client never got its 201"
+
+    # drain: the server finishes the backlog, then exits on its own
+    assert main(["serve", "drain", "-o", str(srv), "--wait"]) == 0
+    assert proc2.wait(timeout=60) == 0
+
+    # zero lost jobs: every accepted job is terminal and done
+    manifest = json.loads((srv / "manifest.json").read_text())
+    states = {j["job_id"]: j["status"] for j in manifest["jobs"]}
+    assert states == {eid: "done" for eid in EXPERIMENTS}
+
+    # the server_kill fired exactly once across both processes
+    db_check = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import sqlite3,sys;"
+            f"c=sqlite3.connect({str(srv / 'serve.db')!r});"
+            "print(*[r[0] for r in c.execute('SELECT key FROM chaos_fired')],sep='\\n')",
+        ],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    fired = db_check.stdout.split()
+    assert sum(1 for k in fired if k.startswith("server_kill:")) == 1
+
+    # duplicates surfaced as cache/dedup, and artifacts are
+    # byte-identical to the undisturbed batch run
+    for eid in EXPERIMENTS:
+        assert filecmp.cmp(batch / f"{eid}.txt", srv / f"{eid}.txt", shallow=False), (
+            f"{eid}.txt diverged from the batch run"
+        )

@@ -1,0 +1,120 @@
+"""LeaseManager: the shared failure policy applied to the ledger."""
+
+from repro.campaign.policy import FailurePolicy
+from repro.campaign.retry import backoff_delay
+from repro.serve.leases import LeaseManager
+from repro.serve.store import JobStore
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_manager(tmp_path, clock=None, **policy_kwargs):
+    store = JobStore(tmp_path / "q.db", clock=clock or FakeClock())
+    policy = FailurePolicy(**policy_kwargs)
+    return LeaseManager(store, policy, lease_ttl=5.0), store
+
+
+def submit_one(store, job_id="j0"):
+    store.submit(
+        "cid",
+        "camp",
+        {},
+        [{"key": job_id, "job_id": job_id, "experiment": "e", "params": {}}],
+    )
+
+
+def test_success_and_stale_commit(tmp_path):
+    manager, store = make_manager(tmp_path)
+    submit_one(store)
+    job = manager.acquire(worker=0)
+    done = manager.settle_success(job, job.lease_token, "digest", "j0.txt")
+    assert done.action == "done" and done.applied and done.attempts == 1
+    # a second worker's late commit with a lost token is a pure noop
+    stale = manager.settle_success(job, "other-token", "digest", "j0.txt")
+    assert stale.action == "stale" and not stale.applied
+    assert store.job("j0").state == "done"
+
+
+def test_transient_failure_retries_with_batch_identical_backoff(tmp_path):
+    manager, store = make_manager(tmp_path, retries=2, backoff_base=0.05, seed=0)
+    submit_one(store)
+    job = manager.acquire(worker=0)
+    settled = manager.settle_failure(job, job.lease_token, "transient", "boom", "E")
+    assert settled.action == "retry"
+    # the delay is the exact seeded stream the batch runner would use
+    assert settled.delay_s == backoff_delay("j0", 1, base=0.05, cap=2.0, seed=0)
+    assert store.job("j0").state == "queued"
+
+
+def test_budget_failures_never_retry(tmp_path):
+    manager, store = make_manager(tmp_path, retries=3)
+    submit_one(store)
+    job = manager.acquire(worker=0)
+    settled = manager.settle_failure(job, job.lease_token, "budget", "over budget", "E")
+    assert settled.action == "final"
+    assert store.job("j0").state == "failed"
+    assert store.job("j0").classification == "budget"
+
+
+def test_exhausted_retries_finalize(tmp_path):
+    manager, store = make_manager(tmp_path, retries=1)
+    submit_one(store)
+    job = manager.acquire(worker=0)
+    first = manager.settle_failure(job, job.lease_token, "transient", "boom", "E")
+    assert first.action == "retry"
+    store._conn.execute("UPDATE jobs SET not_before=0")  # skip the backoff wait
+    store._conn.commit()
+    job = manager.acquire(worker=0)
+    second = manager.settle_failure(job, job.lease_token, "transient", "boom", "E")
+    assert second.action == "final" and second.attempts == 2
+    assert store.job("j0").state == "failed"
+
+
+def test_repeated_kills_quarantine_as_poison(tmp_path):
+    manager, store = make_manager(tmp_path, retries=5, quarantine_after=2)
+    submit_one(store)
+    job = manager.acquire(worker=0)
+    first = manager.settle_failure(
+        job, job.lease_token, "crash", "killed", "E", add_kill=True
+    )
+    assert first.action == "retry"
+    store._conn.execute("UPDATE jobs SET not_before=0")
+    store._conn.commit()
+    job = manager.acquire(worker=0)
+    second = manager.settle_failure(
+        job, job.lease_token, "crash", "killed", "E", add_kill=True
+    )
+    assert second.action == "quarantine"
+    row = store.job("j0")
+    assert row.state == "quarantined" and row.classification == "poison"
+    assert row.kills == 2
+
+
+def test_innocent_release_consumes_no_attempt(tmp_path):
+    manager, store = make_manager(tmp_path)
+    submit_one(store)
+    job = manager.acquire(worker=0)
+    settled = manager.settle_innocent(job, job.lease_token)
+    assert settled.action == "innocent"
+    row = store.job("j0")
+    assert row.state == "queued" and row.attempts == 0
+
+
+def test_expiry_sweep_settles_as_timeout(tmp_path):
+    clock = FakeClock()
+    manager, store = make_manager(tmp_path, clock, retries=0)
+    submit_one(store)
+    job = manager.acquire(worker=3)
+    assert manager.expire() == []  # lease still fresh
+    clock.now += 6.0
+    settled = manager.expire()
+    assert len(settled) == 1
+    assert settled[0].classification == "timeout"
+    assert "worker slot 3" in store.job(job.key).error
+    assert store.job(job.key).state == "failed"  # retries=0 → final

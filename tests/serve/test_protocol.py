@@ -1,0 +1,119 @@
+"""The HTTP/1.1 slice: parsing, rendering, and client-side decode."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    ServeError,
+    json_body,
+    read_request,
+    render_response,
+)
+
+
+def _parse(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+def test_parses_a_get_with_query():
+    req = _parse(b"GET /v1/jobs/abc?full=1&x=y HTTP/1.1\r\nHost: h\r\n\r\n")
+    assert req.method == "GET"
+    assert req.path == "/v1/jobs/abc"
+    assert req.query == {"full": "1", "x": "y"}
+    assert req.headers["host"] == "h"
+    assert req.body == b""
+
+
+def test_parses_a_post_body_by_content_length():
+    payload = json.dumps({"jobs": ["table1"]}).encode()
+    raw = (
+        b"POST /v1/campaigns HTTP/1.1\r\n"
+        + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+        + payload
+    )
+    req = _parse(raw)
+    assert req.method == "POST"
+    assert req.json() == {"jobs": ["table1"]}
+
+
+def test_clean_eof_is_none():
+    assert _parse(b"") is None
+
+
+def test_malformed_request_line_is_400():
+    with pytest.raises(ProtocolError) as err:
+        _parse(b"NOT-HTTP\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_bad_content_length_is_400():
+    with pytest.raises(ProtocolError) as err:
+        _parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_oversized_body_is_413():
+    raw = (
+        b"POST / HTTP/1.1\r\n"
+        + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+    )
+    with pytest.raises(ProtocolError) as err:
+        _parse(raw)
+    assert err.value.status == 413
+
+
+def test_truncated_body_is_400():
+    with pytest.raises(ProtocolError) as err:
+        _parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+    assert err.value.status == 400
+
+
+def test_non_json_body_raises_on_json():
+    req = _parse(b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{")
+    with pytest.raises(ProtocolError) as err:
+        req.json()
+    assert err.value.status == 400
+
+
+def test_render_json_is_sorted_and_closes():
+    raw = render_response(200, {"b": 1, "a": 2})
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert b"Connection: close" in head
+    assert b"Content-Type: application/json" in head
+    assert json.loads(body) == {"a": 2, "b": 1}
+    assert body.index(b'"a"') < body.index(b'"b"')
+
+
+def test_render_str_and_bytes_and_headers():
+    raw = render_response(200, "hello", headers={"Retry-After": "1"})
+    assert b"text/plain" in raw
+    assert b"Retry-After: 1" in raw
+    assert raw.endswith(b"hello")
+    raw = render_response(200, b"\x00\x01", content_type="application/octet-stream")
+    assert raw.endswith(b"\x00\x01")
+
+
+def test_json_body_decodes_and_raises_with_retry_after():
+    status, doc, _ = json_body(
+        200, {"content-type": "application/json"}, b'{"ok": true}'
+    )
+    assert status == 200 and doc == {"ok": True}
+    with pytest.raises(ServeError) as err:
+        json_body(
+            429,
+            {"content-type": "application/json", "retry-after": "2.5"},
+            b'{"error": "backlog full"}',
+        )
+    assert err.value.status == 429
+    assert err.value.retry_after == 2.5
+    assert "backlog full" in err.value.message

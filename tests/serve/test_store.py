@@ -1,0 +1,175 @@
+"""The durable queue: transactions, fencing tokens, recovery."""
+
+import sqlite3
+
+import pytest
+
+from repro.serve.store import SCHEMA_VERSION, JobStore, StoreError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_store(tmp_path, clock=None):
+    return JobStore(tmp_path / "q.db", clock=clock or FakeClock())
+
+
+def submit_three(store):
+    rows = [
+        {"key": f"k{i}", "job_id": f"j{i}", "experiment": "e", "params": {"n": i}}
+        for i in range(3)
+    ]
+    return store.submit("cid", "camp", {"jobs": ["e"]}, rows)
+
+
+def test_submit_is_idempotent_by_key(tmp_path):
+    store = make_store(tmp_path)
+    assert submit_three(store) == ["accepted"] * 3
+    assert submit_three(store) == ["dedup"] * 3
+    assert store.counts()["queued"] == 3
+    assert store.backlog() == 3
+
+
+def test_submit_accepts_cache_done_rows(tmp_path):
+    store = make_store(tmp_path)
+    rows = [
+        {
+            "key": "k0",
+            "job_id": "j0",
+            "experiment": "e",
+            "params": {},
+            "state": "done",
+            "source": "cache",
+            "digest": "d",
+            "artifact": "j0.txt",
+        }
+    ]
+    assert store.submit("c", "n", {}, rows) == ["cache"]
+    job = store.job("k0")
+    assert job.state == "done" and job.source == "cache"
+    assert store.backlog() == 0
+
+
+def test_acquire_leases_oldest_once_with_unique_tokens(tmp_path):
+    store = make_store(tmp_path)
+    submit_three(store)
+    a = store.acquire(worker=0, lease_ttl=5.0)
+    b = store.acquire(worker=1, lease_ttl=5.0)
+    assert a.job_id == "j0" and b.job_id == "j1"
+    assert a.lease_token != b.lease_token
+    assert store.counts()["leased"] == 2
+    # the third grant gets the last job; a fourth gets nothing
+    assert store.acquire(worker=0, lease_ttl=5.0).job_id == "j2"
+    assert store.acquire(worker=0, lease_ttl=5.0) is None
+
+
+def test_backoff_gates_acquisition(tmp_path):
+    clock = FakeClock()
+    store = make_store(tmp_path, clock)
+    submit_three(store)
+    job = store.acquire(worker=0, lease_ttl=5.0)
+    assert store.requeue_failure(
+        job.key, job.lease_token, "transient", "boom", "RuntimeError", delay_s=10.0
+    )
+    requeued = store.job(job.key)
+    assert requeued.state == "queued"
+    assert requeued.attempts == 1
+    assert requeued.backoff_s == [10.0]
+    # j0 is backing off: the next two grants skip to j1, j2
+    assert store.acquire(worker=0, lease_ttl=5.0).job_id == "j1"
+    assert store.acquire(worker=0, lease_ttl=5.0).job_id == "j2"
+    assert store.acquire(worker=0, lease_ttl=5.0) is None
+    clock.now += 11.0
+    assert store.acquire(worker=0, lease_ttl=5.0).job_id == "j0"
+
+
+def test_complete_is_fenced_by_token(tmp_path):
+    store = make_store(tmp_path)
+    submit_three(store)
+    job = store.acquire(worker=0, lease_ttl=5.0)
+    assert store.complete(job.key, "stale-token", "d", "a.txt") is False
+    assert store.job(job.key).state == "leased"
+    assert store.complete(job.key, job.lease_token, "d", "a.txt") is True
+    done = store.job(job.key)
+    assert done.state == "done" and done.digest == "d" and done.attempts == 1
+    # a second commit with the spent token is also stale
+    assert store.complete(job.key, job.lease_token, "d", "a.txt") is False
+
+
+def test_heartbeat_extends_and_expiry_fires_without_it(tmp_path):
+    clock = FakeClock()
+    store = make_store(tmp_path, clock)
+    submit_three(store)
+    a = store.acquire(worker=0, lease_ttl=5.0)
+    b = store.acquire(worker=1, lease_ttl=5.0)
+    clock.now += 4.0
+    assert store.heartbeat([(a.key, a.lease_token)], lease_ttl=5.0) == 1
+    clock.now += 3.0  # a heartbeated at t+4 (deadline t+9); b expired at t+5
+    expired = store.expired_leases()
+    assert [j.job_id for j in expired] == [b.job_id]
+
+
+def test_finalize_failure_validates_status(tmp_path):
+    store = make_store(tmp_path)
+    submit_three(store)
+    job = store.acquire(worker=0, lease_ttl=5.0)
+    with pytest.raises(StoreError):
+        store.finalize_failure(job.key, job.lease_token, "done", "x", "e", "T")
+    assert store.finalize_failure(
+        job.key, job.lease_token, "quarantined", "poison", "e", "T", add_kill=True
+    )
+    row = store.job(job.key)
+    assert row.state == "quarantined" and row.kills == 1 and row.attempts == 1
+
+
+def test_release_innocent_consumes_nothing(tmp_path):
+    store = make_store(tmp_path)
+    submit_three(store)
+    job = store.acquire(worker=0, lease_ttl=5.0)
+    assert store.release_innocent(job.key, job.lease_token)
+    row = store.job(job.key)
+    assert row.state == "queued" and row.attempts == 0 and row.backoff_s == []
+
+
+def test_recover_requeues_every_lease(tmp_path):
+    store = make_store(tmp_path)
+    submit_three(store)
+    a = store.acquire(worker=0, lease_ttl=5.0)
+    b = store.acquire(worker=1, lease_ttl=5.0)
+    store.mark_running(b.key, b.lease_token)
+    store.complete(a.key, a.lease_token, "d", "a.txt")
+    store.close()
+    # a new process opens the same database
+    reopened = JobStore(tmp_path / "q.db", clock=FakeClock())
+    assert reopened.recover() == 1  # only b was still leased/running
+    counts = reopened.counts()
+    assert counts["queued"] == 2 and counts["done"] == 1
+    assert reopened.job(b.key).attempts == 0  # a server crash is free
+
+
+def test_refuses_databases_from_a_newer_schema(tmp_path):
+    store = make_store(tmp_path)
+    store.close()
+    conn = sqlite3.connect(tmp_path / "q.db")
+    conn.execute(f"PRAGMA user_version={SCHEMA_VERSION + 1}")
+    conn.close()
+    with pytest.raises(StoreError, match="newer"):
+        make_store(tmp_path)
+
+
+def test_chaos_fired_and_meta_persist(tmp_path):
+    store = make_store(tmp_path)
+    store.note_chaos_fired("server_kill:j0@1")
+    store.note_chaos_fired("server_kill:j0@1")
+    store.set_meta("chaos_plan", "{}")
+    store.set_meta("chaos_plan", '{"seed": 1}')
+    store.close()
+    reopened = JobStore(tmp_path / "q.db", clock=FakeClock())
+    assert reopened.chaos_fired_keys() == ["server_kill:j0@1"]
+    assert reopened.get_meta("chaos_plan") == '{"seed": 1}'
+    assert reopened.get_meta("missing") is None
