@@ -18,6 +18,10 @@ Usage::
     python -m repro serve submit all -o srv/ --wait      # submit + poll a campaign
     python -m repro serve status -o srv/ --json
     python -m repro serve drain -o srv/ --wait           # finish queue, then exit
+    python -m repro pdes list            # sharded-DES scenarios
+    python -m repro pdes run torus-ring --shards 4 -o pdes/   # sharded run
+    python -m repro pdes run halo --shards 8 --backend process --bare
+    python -m repro run fig2 --shards 4  # ambient sharding for experiments
     python -m repro trace pop            # traced DES scenario -> Chrome trace
     python -m repro trace pingpong --param nbytes=65536
     python -m repro faults link-kill     # fault-injection scenario
@@ -88,6 +92,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(exc, file=sys.stderr)
         return 2
     jobs = getattr(args, "jobs", 1) or 1
+    shards = getattr(args, "shards", None)
+    if shards is not None and shards < 1:
+        print("repro run: --shards must be >= 1", file=sys.stderr)
+        return 2
     if args.experiment == "all" and args.output:
         # `run all -o` rides the campaign layer: worker pool, result
         # cache under <out>/.cache, and a manifest.json index.
@@ -109,7 +117,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
         with pool_map(jobs) as ex:
             outcomes = list(
-                ex(_execute_job_tuple, [(j.job_id, j.experiment, j.params) for j in expanded])
+                ex(
+                    _execute_job_tuple,
+                    [
+                        (j.job_id, j.experiment, j.params, shards)
+                        for j in expanded
+                    ],
+                )
             )
         status = 0
         for outcome in outcomes:
@@ -126,16 +140,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .obs import Tracer, tracing
 
         tracer = Tracer()
+    sharded_fallbacks = 0
     for eid in ids:
         try:
-            if tracer is not None:
-                with tracing(tracer):
+            with _maybe_sharding(shards):
+                if tracer is not None:
+                    with tracing(tracer):
+                        text = run_experiment(eid, **params)
+                else:
                     text = run_experiment(eid, **params)
-            else:
-                text = run_experiment(eid, **params)
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2
+        if shards is not None and shards > 1:
+            from .pdes import fallback_count
+
+            sharded_fallbacks += fallback_count()
         if outdir:
             path = outdir / f"{eid}.txt"
             path.write_text(text + "\n")
@@ -143,6 +163,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(text)
             print()
+    if shards is not None and shards > 1:
+        print(
+            f"pdes: ambient sharding x{shards}; "
+            f"{sharded_fallbacks} single-engine fallback(s)"
+        )
     if tracer is not None:
         from .obs import write_chrome_trace, write_metrics
 
@@ -153,11 +178,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _maybe_sharding(shards: Optional[int]):
+    """Ambient sharding context when ``--shards`` > 1, else a no-op."""
+    if shards is not None and shards > 1:
+        from .pdes import sharding
+
+        return sharding(shards)
+    import contextlib
+
+    return contextlib.nullcontext()
+
+
 def _execute_job_tuple(job):
-    """Picklable shim: ``pool_map`` feeds (id, experiment, params) tuples."""
+    """Picklable shim: ``pool_map`` feeds (id, experiment, params[, shards])."""
     from .campaign import execute_job
 
-    return execute_job(*job)
+    job_id, experiment, params = job[:3]
+    shards = job[3] if len(job) > 3 else None
+    return execute_job(job_id, experiment, params, shards=shards)
 
 
 def _run_all_campaign(args: argparse.Namespace, params: Dict[str, float], jobs: int) -> int:
@@ -175,7 +213,10 @@ def _run_all_campaign(args: argparse.Namespace, params: Dict[str, float], jobs: 
         from .obs import Tracer
 
         tracer = Tracer()
-    runner = CampaignRunner(spec, outdir, jobs=jobs, tracer=tracer)
+    runner = CampaignRunner(
+        spec, outdir, jobs=jobs, tracer=tracer,
+        shards=getattr(args, "shards", None),
+    )
     try:
         result = _run_campaign(runner, tracer)
     except SpecError as exc:
@@ -353,6 +394,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         backoff_base=args.backoff_base,
         quarantine_after=args.quarantine_after,
         chaos=chaos,
+        shards=args.shards,
     )
     try:
         result = _run_campaign(runner, tracer, max_jobs=args.max_jobs, fresh=args.fresh)
@@ -569,6 +611,7 @@ def _cmd_serve_start(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             chaos=chaos,
             tracer=tracer,
+            shards=args.shards,
         )
     )
     try:
@@ -853,6 +896,71 @@ def _cmd_machines(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pdes_list(_args: argparse.Namespace) -> int:
+    from .pdes.scenarios import SCENARIOS, describe
+
+    for scenario in SCENARIOS.values():
+        print(f"  {describe(scenario)}")
+    return 0
+
+
+def _cmd_pdes_run(args: argparse.Namespace) -> int:
+    from .pdes import LinkConflictError, PdesError
+    from .pdes.runner import run
+
+    try:
+        params = _parse_params(args.params)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        result = run(
+            args.scenario,
+            shards=args.shards,
+            backend=args.backend,
+            params=params,
+            strict_conflicts=not args.allow_conflicts,
+            observe=not args.bare,
+        )
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except LinkConflictError as exc:
+        print(f"repro pdes run: {exc}", file=sys.stderr)
+        return 1
+    except PdesError as exc:
+        print(f"repro pdes run: {exc}", file=sys.stderr)
+        return 1
+    for line in result.summary_lines():
+        print(line)
+    if result.conflicts:
+        print(
+            f"WARNING: {len(result.conflicts)} link conflict(s) - sharded "
+            "timing is NOT certified identical to the single engine",
+            file=sys.stderr,
+        )
+    if args.output:
+        outdir = pathlib.Path(args.output)
+        outdir.mkdir(parents=True, exist_ok=True)
+        stem = f"{result.scenario}.s{result.shards}"
+        if args.bare:
+            print(
+                "note: --bare records no artifacts; rerun without it to "
+                "export canonical trace/metrics/events",
+                file=sys.stderr,
+            )
+        else:
+            for suffix, text in (
+                ("trace.json", result.trace_json),
+                ("metrics.json", result.metrics_json),
+                ("events.jsonl", result.events_jsonl),
+            ):
+                path = outdir / f"{stem}.{suffix}"
+                path.write_text(text)
+                print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -884,6 +992,12 @@ def build_parser() -> argparse.ArgumentParser:
         "-j", "--jobs", type=int, default=1, metavar="N",
         help="worker processes for 'run all' (default: 1; with -o the "
              "run rides the campaign cache and emits a manifest.json)",
+    )
+    p_run.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run eligible DES simulations through the sharded engine "
+             "(N conservative-lookahead shards; ineligible runs fall "
+             "back to one engine, results byte-identical either way)",
     )
     p_run.set_defaults(fn=_cmd_run)
 
@@ -960,6 +1074,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_crun.add_argument(
         "--metrics", metavar="FILE", help="write the campaign.* metrics JSON"
+    )
+    p_crun.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run each job's eligible DES simulations sharded N ways "
+             "(execution policy only - cached results stay valid)",
     )
     p_crun.set_defaults(fn=_cmd_campaign_run)
 
@@ -1093,6 +1212,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sstart.add_argument(
         "--metrics", metavar="FILE", help="write the serve.* metrics JSON on exit"
+    )
+    p_sstart.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run each job's eligible DES simulations sharded N ways",
     )
     p_sstart.set_defaults(fn=_cmd_serve_start)
 
@@ -1272,6 +1395,55 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("machines", help="print the machine catalog (Table 1)").set_defaults(
         fn=_cmd_machines
     )
+
+    p_pdes = sub.add_parser(
+        "pdes",
+        help=(
+            "sharded parallel DES: conservative-lookahead engine for "
+            "message-level runs at 40k-rank scale"
+        ),
+    )
+    pdes_sub = p_pdes.add_subparsers(dest="pdes_command", required=True)
+
+    pdes_sub.add_parser(
+        "list", help="list sharded-DES scenarios"
+    ).set_defaults(fn=_cmd_pdes_list)
+
+    p_prun = pdes_sub.add_parser(
+        "run", help="run a scenario sharded (or single-engine at --shards 1)"
+    )
+    p_prun.add_argument("scenario", help="scenario id (see 'pdes list')")
+    p_prun.add_argument(
+        "-s", "--shards", type=int, default=1, metavar="N",
+        help="shard count (default: 1 = the reference single-engine path)",
+    )
+    p_prun.add_argument(
+        "--backend", choices=["inline", "process"], default="inline",
+        help="inline = all shards in this process (deterministic, "
+             "zero overhead); process = one OS process per shard "
+             "(parallel wall-clock on multi-core hosts)",
+    )
+    p_prun.add_argument(
+        "--param", dest="params", action="append", metavar="KEY=VALUE",
+        help="scenario parameter override (repeatable; e.g. ranks=4096)",
+    )
+    p_prun.add_argument(
+        "-o", "--output", metavar="DIR",
+        help="write canonical artifacts: <scenario>.s<N>.trace.json, "
+             ".metrics.json, .events.jsonl (byte-identical across shard "
+             "counts when conflict-free)",
+    )
+    p_prun.add_argument(
+        "--bare", action="store_true",
+        help="skip telemetry (no tracer, booking logs, artifacts, or "
+             "conflict certification); benchmark mode",
+    )
+    p_prun.add_argument(
+        "--allow-conflicts", action="store_true",
+        help="report cross-shard link conflicts as a warning instead of "
+             "failing the run",
+    )
+    p_prun.set_defaults(fn=_cmd_pdes_run)
 
     p_bench = sub.add_parser(
         "bench",

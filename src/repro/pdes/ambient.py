@@ -1,0 +1,66 @@
+"""Ambient sharding context (the ``--shards N`` switch).
+
+Mirrors :func:`repro.obs.tracing`: a context manager installs a shard
+count, and every :meth:`repro.simmpi.comm.Cluster.run` entered inside
+the context routes eligible runs through the sharded engine —
+experiment code that builds its own clusters needs no plumbing
+changes::
+
+    with sharding(4):
+        run_experiment("fig2")   # DES clusters inside run 4-way sharded
+
+Ineligible runs (armed faults/recovery/sanitizer, hardware-collective
+machines, attached tracers) fall back to the single-engine path
+silently; results are byte-identical either way, so the switch is pure
+execution policy.  This module is dependency-free because
+``simmpi.comm`` imports it at module load.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["sharding", "active_shards", "fallback_count", "note_fallback"]
+
+_ACTIVE: List[int] = []
+
+#: Runs that entered a sharding context but fell back to one engine
+#: (diagnosis aid for `repro run --shards`; reset per context entry).
+_FALLBACKS: List[int] = [0]
+
+
+def active_shards() -> Optional[int]:
+    """The innermost ambient shard count, or ``None`` when inactive."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+def note_fallback() -> None:
+    """Record one sharded-ineligible run (called by ``Cluster.run``)."""
+    _FALLBACKS[0] += 1
+
+
+def fallback_count() -> int:
+    """Single-engine fallbacks since the outermost context was entered."""
+    return _FALLBACKS[0]
+
+
+class sharding:
+    """Context manager installing an ambient shard count.
+
+    ``shards`` must be >= 1; a count of 1 is a no-op (kept valid so
+    sweep drivers can pass computed values straight through).
+    """
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+
+    def __enter__(self) -> "sharding":
+        if not _ACTIVE:
+            _FALLBACKS[0] = 0
+        _ACTIVE.append(self.shards)
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        _ACTIVE.pop()

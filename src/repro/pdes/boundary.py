@@ -1,0 +1,56 @@
+"""Timestamped boundary events exchanged between shards.
+
+A cross-shard MPI message never moves payload between engines directly;
+the sending shard books the network route on its torus replica and
+emits one of three boundary events, each carrying the full delivery
+time so the receiving shard can schedule it exactly:
+
+* ``eager`` — an eager-protocol payload arriving at the receiver at
+  ``ts`` (the sender has already completed).
+* ``rts`` — a rendezvous ready-to-send control message arriving at the
+  receiver at ``ts``; the bulk transfer is booked by the receiving
+  shard at match time.
+* ``sender_done`` — the receiving shard's answer to an ``rts``: the
+  bulk transfer completes at ``ts``, releasing the parked sender.
+
+Every event is plain data (picklable) and totally ordered by
+``(ts, src_shard, seq)`` — the deterministic injection order that makes
+a sharded run independent of host scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+__all__ = ["BoundaryEvent", "EAGER", "RTS", "SENDER_DONE"]
+
+EAGER = "eager"
+RTS = "rts"
+SENDER_DONE = "sender_done"
+
+
+@dataclass(frozen=True)
+class BoundaryEvent:
+    """One cross-shard hand-off, scheduled at absolute sim time ``ts``."""
+
+    kind: str
+    #: absolute simulation time at which the event takes effect
+    ts: float
+    #: shard that emitted the event / shard that must process it
+    src_shard: int
+    dst_shard: int
+    #: per-source-shard emission counter (deterministic tie-break)
+    seq: int
+    #: message coordinates (meaningful for ``eager`` and ``rts``)
+    src: int = -1
+    dst: int = -1
+    tag: int = 0
+    nbytes: int = 0
+    payload: Any = None
+    #: rendezvous correlation id: ``(sender_shard, sender_seq)``
+    send_id: Optional[Tuple[int, int]] = None
+
+    def order_key(self) -> Tuple[float, int, int]:
+        """Deterministic injection order: ``(ts, src_shard, seq)``."""
+        return (self.ts, self.src_shard, self.seq)

@@ -1,0 +1,340 @@
+"""Deterministic merge of per-shard streams onto one timeline.
+
+The acceptance bar for the sharded engine is *byte identity*: the
+merged artifacts of an N-shard run must equal the single-engine run's,
+bit for bit.  Two classes of divergence have to be canonicalized away,
+and the same canonicalization is applied to **both** sides (the
+single-engine reference is exported through these functions too), so
+whatever survives is real timing divergence, not formatting noise:
+
+* **Recording order.**  One engine interleaves all ranks' events in
+  execution order; shards record only their own.  Every exported event
+  list is therefore sorted by content — ``(ts, pid, tid, ph, name,
+  serialized event)`` — which is a total order over identical event
+  sets.
+* **Cumulative link counters.**  Chrome link-counter samples carry
+  *cumulative* per-link totals, and a rendezvous crossing a shard edge
+  books its RTS on the sending replica but its bulk bytes on the
+  receiving replica, so raw cumulative values differ between modes
+  even when every booking is identical.  The merge therefore works in
+  *deltas*: each shard logs raw bookings (label, nbytes, start, wait,
+  duration), the union is sorted, one global timeline is rebuilt, and
+  counter samples, the per-link table, and the ``net.link_*`` registry
+  counters are all regenerated from that canonical order — float
+  accumulation order included.
+
+Host/engine telemetry (``engine.*`` metrics, the engine queue-depth
+counter track) measures *the simulator*, not the simulation: a sharded
+run legitimately steps different engines, so those are dropped from
+canonical output on both sides.
+
+The same sorted booking timeline doubles as the **conflict validator**
+(:func:`find_link_conflicts`): replaying every booking against one
+global per-link ``free_at`` horizon proves no two shards' transfers
+contended for a link serialization window — the one case where
+replicated-torus timing could drift from the single engine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..obs.tracer import ENGINE_PID, NETWORK_PID
+from .shard import ShardReport
+
+__all__ = [
+    "canonical_trace_json",
+    "canonical_metrics_json",
+    "canonical_events_jsonl",
+    "find_link_conflicts",
+    "merged_elapsed",
+    "merged_returns",
+]
+
+_Booking = Tuple[str, float, float, float, float, float]
+
+
+# -- booking timeline -------------------------------------------------------
+
+def merged_bookings(reports: Sequence[ShardReport]) -> List[_Booking]:
+    """Union of all shards' link bookings, sorted by wire-start time.
+
+    ``(start, label, nbytes, duration, wait, booked)`` is a total
+    order for any two distinct bookings that could coexist on one
+    timeline; this is the canonical order all *display* state (counter
+    tracks, link table) is rebuilt in.
+    """
+    merged = [b for r in reports for b in r.bookings]
+    merged.sort(key=lambda b: (b[3], b[0], b[1], b[5], b[4], b[2]))
+    return merged
+
+
+def find_link_conflicts(reports: Sequence[ShardReport]) -> List[str]:
+    """Replay bookings on one global timeline; report inconsistencies.
+
+    Links serialize in *booking* order (a reservation made earlier
+    wins the wire even if its head arrives later), so the replay walks
+    the union in booking-time order — which, for events at distinct sim
+    times, is exactly the single engine's execution order.  Each
+    booking recorded ``start = max(head, replica free_at)`` with
+    ``head = start - wait``; replaying against one global per-link
+    horizon recomputes what the single engine would have done, and any
+    recorded start that disagrees means two shards' transfers contended
+    for that wire.  Two shards booking the same link at the *same* sim
+    time is flagged too: the single engine's ordering of simultaneous
+    events is not recoverable from shard-local logs, so exactness
+    cannot be certified.
+    """
+    conflicts: List[str] = []
+    timeline: List[Tuple[float, str, float, float, float, float, int]] = [
+        (booked, label, start, nbytes, duration, wait, r.shard_id)
+        for r in reports
+        for label, nbytes, booked, start, wait, duration in r.bookings
+    ]
+    timeline.sort()
+    free_at: Dict[str, float] = {}
+    last_at: Dict[str, Tuple[float, int]] = {}
+    for booked, label, start, nbytes, duration, wait, shard in timeline:
+        head = start - wait
+        expected = max(head, free_at.get(label, 0.0))
+        if expected != start:
+            conflicts.append(
+                f"link {label}: booking of {int(nbytes)}B at t={start:.9g}s "
+                f"inconsistent with global horizon t={expected:.9g}s"
+            )
+        prev = last_at.get(label)
+        if prev is not None and prev[0] == booked and prev[1] != shard:
+            conflicts.append(
+                f"link {label}: shards {prev[1]} and {shard} both booked it "
+                f"at t={booked:.9g}s (simultaneous cross-shard reservations "
+                "are order-ambiguous)"
+            )
+        free_at[label] = start + duration
+        last_at[label] = (booked, shard)
+    return conflicts
+
+
+def _rebuilt_link_state(
+    reports: Sequence[ShardReport],
+) -> Tuple[List[dict], Dict[str, Dict[str, float]], Dict[str, Any]]:
+    """Rebuild link counter events, the link table, and net.* counters."""
+    events: List[dict] = []
+    table: Dict[str, Dict[str, float]] = {}
+    link_bytes = 0.0
+    link_transfers = 0
+    link_stalls = 0
+    link_stall_seconds = 0.0
+    for label, nbytes, _booked, start, wait, duration in merged_bookings(reports):
+        row = table.get(label)
+        if row is None:
+            row = table[label] = {
+                "bytes": 0.0,
+                "transfers": 0.0,
+                "stalls": 0.0,
+                "stall_seconds": 0.0,
+                "busy_seconds": 0.0,
+            }
+        row["bytes"] += nbytes
+        row["transfers"] += 1
+        row["busy_seconds"] += duration
+        link_bytes += nbytes
+        link_transfers += 1
+        if wait > 0:
+            row["stalls"] += 1
+            row["stall_seconds"] += wait
+            link_stalls += 1
+            link_stall_seconds += wait
+        events.append(
+            {
+                "name": f"link {label}",
+                "cat": "counter",
+                "ph": "C",
+                "ts": start * 1e6,
+                "pid": NETWORK_PID,
+                "tid": 0,
+                "args": {"bytes": row["bytes"], "stalls": row["stalls"]},
+            }
+        )
+    counters: Dict[str, Any] = {}
+    if link_transfers:
+        counters["net.link_bytes"] = link_bytes
+        counters["net.link_transfers"] = link_transfers
+    if link_stalls:
+        counters["net.link_stalls"] = link_stalls
+        counters["net.link_stall_seconds"] = link_stall_seconds
+    return events, {k: table[k] for k in sorted(table)}, counters
+
+
+# -- chrome trace -----------------------------------------------------------
+
+def _event_sort_key(ev: dict) -> Tuple:
+    return (
+        ev.get("ts", -1.0),
+        ev.get("pid", -1),
+        ev.get("tid", -1),
+        ev.get("ph", ""),
+        ev.get("name", ""),
+        json.dumps(ev, sort_keys=True),
+    )
+
+
+def _canonical_span_events(reports: Sequence[ShardReport]) -> List[dict]:
+    """All non-link, non-engine-counter events, content-sorted."""
+    keep: List[dict] = []
+    for report in reports:
+        for ev in report.events:
+            if ev.get("ph") == "C" and ev.get("pid") in (ENGINE_PID, NETWORK_PID):
+                continue
+            keep.append(ev)
+    keep.sort(key=_event_sort_key)
+    return keep
+
+
+def _merged_metadata(reports: Sequence[ShardReport]) -> List[dict]:
+    process_names: Dict[int, str] = {}
+    thread_names: Dict[Tuple[int, int], str] = {}
+    for report in reports:
+        process_names.update(report.process_names)
+        thread_names.update(report.thread_names)
+    out: List[dict] = []
+    for pid in sorted(process_names):
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_names[pid]},
+            }
+        )
+    for pid, tid in sorted(thread_names):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread_names[(pid, tid)]},
+            }
+        )
+    return out
+
+
+def canonical_trace_json(reports: Sequence[ShardReport]) -> str:
+    """The canonical Chrome ``trace_events`` document (one line + ``\\n``)."""
+    link_events, _table, _counters = _rebuilt_link_state(reports)
+    events = _canonical_span_events(reports) + link_events
+    events.sort(key=_event_sort_key)
+    doc = {
+        "traceEvents": _merged_metadata(reports) + events,
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+# -- metrics ----------------------------------------------------------------
+
+def canonical_metrics_json(reports: Sequence[ShardReport]) -> str:
+    """The canonical metrics document (registry + links + spans)."""
+    _link_events, table, link_counters = _rebuilt_link_state(reports)
+
+    counters: Dict[str, Any] = {}
+    for report in reports:
+        for name, value in report.counters.items():
+            if name.startswith(("engine.", "net.link_")):
+                continue
+            counters[name] = counters.get(name, 0) + value
+    counters.update(link_counters)
+
+    gauges: Dict[str, Dict[str, Any]] = {}
+    for report in reports:
+        for name, g in report.gauges.items():
+            if name.startswith("engine."):
+                continue
+            cur = gauges.get(name)
+            if cur is None:
+                gauges[name] = dict(g)
+            else:
+                cur["max"] = max(cur["max"], g["max"])
+                cur["value"] = max(cur["value"], g["value"])
+
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for report in reports:
+        for name, h in report.histograms.items():
+            cur = histograms.get(name)
+            if cur is None:
+                histograms[name] = {
+                    "count": h["count"],
+                    "total": h["total"],
+                    "buckets": dict(h["buckets"]),
+                }
+            else:
+                cur["count"] += h["count"]
+                cur["total"] += h["total"]
+                for bucket, n in h["buckets"].items():
+                    cur["buckets"][bucket] = cur["buckets"].get(bucket, 0) + n
+
+    spans: Dict[str, List[float]] = {}
+    for ev in _canonical_span_events(reports):
+        if ev.get("ph") != "X":
+            continue
+        tot = spans.get(ev["name"])
+        if tot is None:
+            tot = spans[ev["name"]] = [0, 0.0]
+        tot[0] += 1
+        tot[1] += ev["dur"] / 1e6
+
+    doc = {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+        "links": table,
+        "spans": {
+            name: {"count": int(c), "total_seconds": t}
+            for name, (c, t) in sorted(spans.items())
+        },
+    }
+    return json.dumps(doc, sort_keys=True, indent=2) + "\n"
+
+
+# -- per-message event stream ----------------------------------------------
+
+def canonical_events_jsonl(reports: Sequence[ShardReport]) -> str:
+    """One JSON line per completed send, in canonical global order."""
+    merged = [s for r in reports for s in r.sends]
+    merged.sort(key=lambda s: (s[4], s[5], s[0], s[1], s[3], s[2]))
+    lines = [
+        json.dumps(
+            {
+                "src": src,
+                "dst": dst,
+                "nbytes": nbytes,
+                "tag": tag,
+                "start": start,
+                "end": end,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        for src, dst, nbytes, tag, start, end in merged
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- scalar results ---------------------------------------------------------
+
+def merged_elapsed(reports: Sequence[ShardReport]) -> float:
+    """Global finish time: when the last rank anywhere completed."""
+    return max((r.done_at for r in reports), default=0.0)
+
+
+def merged_returns(reports: Sequence[ShardReport], ranks: int) -> List[Any]:
+    """Per-rank return values in global rank order."""
+    by_rank: Dict[int, Any] = {}
+    for report in reports:
+        by_rank.update(report.returns)
+    missing = [r for r in range(ranks) if r not in by_rank]
+    if missing:
+        raise ValueError(f"no shard reported returns for rank(s) {missing}")
+    return [by_rank[r] for r in range(ranks)]

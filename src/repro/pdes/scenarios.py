@@ -1,0 +1,178 @@
+"""Message-level scenarios runnable sharded or single-engine.
+
+Each scenario names a machine, a rank count, and a module-level rank
+program — module-level so the multiprocessing backend can rebuild the
+workload in a worker from ``(scenario name, params)`` alone, with no
+function pickling.  The set mirrors the paper figures the sharded
+engine is meant to unlock:
+
+* ``torus-ring`` — nearest-rank rendezvous ring shift (the Fig. 2
+  HALO-style torus traffic of ``repro trace torus-ring``, sized so a
+  4-way slab split exists).
+* ``allreduce`` — the software-allreduce sweep of Fig. 3 on the XT
+  (ring/bucket algorithm over pure p2p; the large chunk size also
+  exercises the cross-shard rendezvous path).
+* ``halo`` — a large eager nearest-neighbour exchange (Fig. 2 regime)
+  whose default 4096 ranks is the message-level scale target sharding
+  exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+from ..machines import get_machine
+from ..machines.specs import MachineSpec
+
+__all__ = ["PdesScenario", "SCENARIOS", "get_scenario", "scenario_ids"]
+
+
+# -- rank programs (module level: the process backend re-imports them) ------
+
+def ring_program(comm, nbytes: int, repeats: int):
+    """Ring shift: irecv left, send right, wait — per repetition."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    for rep in range(repeats):
+        req = comm.irecv(src=left, tag=rep)
+        yield from comm.send(right, nbytes=nbytes, tag=rep)
+        yield from comm.wait(req)
+    return comm.now
+
+
+def allreduce_program(comm, nbytes_list: Tuple[int, ...], repeats: int):
+    """Ring (bucket) allreduce sweep: reduce-scatter + allgather rings.
+
+    The large-message production algorithm (2(P-1) nearest-neighbour
+    steps moving ``nbytes/P`` chunks) written out in p2p.  Chosen over
+    recursive doubling deliberately: ring traffic keeps every directed
+    wire private to one sender, which is what lets a sharded run
+    reproduce the single engine byte-exactly — long-distance exchange
+    patterns share wires across the slab cut and are caught (and
+    rejected) by the link-conflict validator instead.
+    """
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    for rep in range(repeats):
+        for nbytes in nbytes_list:
+            chunk = max(1, -(-nbytes // comm.size))
+            # 2(P-1) ring steps: P-1 reduce-scatter, P-1 allgather
+            for step in range(2 * (comm.size - 1)):
+                tag = rep * 10000 + step
+                req = comm.irecv(src=left, tag=tag)
+                yield from comm.send(right, nbytes=chunk, tag=tag)
+                yield from comm.wait(req)
+    return comm.now
+
+
+def halo_program(comm, nbytes: int, repeats: int):
+    """Eager nearest-neighbour exchange along the rank line.
+
+    Each rank swaps one eager-sized message with both line neighbours
+    (ranks at the ends have one neighbour), the 1-D skeleton of the
+    paper's HALO benchmark, repeated ``repeats`` times.
+    """
+    neighbours = [r for r in (comm.rank - 1, comm.rank + 1) if 0 <= r < comm.size]
+    for rep in range(repeats):
+        reqs = [comm.irecv(src=nb, tag=rep) for nb in neighbours]
+        for nb in neighbours:
+            yield from comm.send(nb, nbytes=nbytes, tag=rep)
+        yield from comm.waitall(reqs)
+    return comm.now
+
+
+@dataclass(frozen=True)
+class PdesScenario:
+    """A named, parameterizable sharded-DES workload."""
+
+    name: str
+    description: str
+    machine_name: str
+    ranks: int
+    mode: str
+    mapping: str
+    program: Callable
+    #: defaults for the program arguments after ``comm`` (in order)
+    defaults: Tuple[Tuple[str, Any], ...]
+
+    @property
+    def machine(self) -> MachineSpec:
+        return get_machine(self.machine_name)
+
+    def resolve(self, params: Dict[str, Any]) -> Tuple[int, Tuple[Any, ...]]:
+        """Validate ``params``; return ``(ranks, program args)``.
+
+        ``ranks`` may be overridden; every other key must name one of
+        the program's parameters.
+        """
+        known = {"ranks"} | {k for k, _ in self.defaults}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise KeyError(
+                f"scenario {self.name!r} does not take parameter(s) "
+                f"{unknown}; supported: {sorted(known)}"
+            )
+        ranks = int(params.get("ranks", self.ranks))
+        args = tuple(
+            params.get(k, default) for k, default in self.defaults
+        )
+        return ranks, args
+
+
+SCENARIOS: Dict[str, PdesScenario] = {
+    s.name: s
+    for s in [
+        PdesScenario(
+            name="torus-ring",
+            description="rendezvous ring shift on a BG/P sub-torus (Fig. 2 traffic)",
+            machine_name="BGP",
+            ranks=16,
+            mode="SMP",
+            mapping="XYZT",
+            program=ring_program,
+            defaults=(("nbytes", 1 << 16), ("repeats", 4)),
+        ),
+        PdesScenario(
+            name="allreduce",
+            description="ring allreduce sweep on the XT4 (Fig. 3 sizes)",
+            machine_name="XT4/QC",
+            ranks=16,
+            mode="SMP",
+            mapping="XYZT",
+            program=allreduce_program,
+            defaults=(("nbytes_list", (8192, 65536, 1 << 20)), ("repeats", 1)),
+        ),
+        PdesScenario(
+            name="halo",
+            description="eager nearest-neighbour exchange at scale (Fig. 2 regime)",
+            machine_name="BGP",
+            ranks=4096,
+            mode="SMP",
+            mapping="XYZT",
+            program=halo_program,
+            defaults=(("nbytes", 512), ("repeats", 2)),
+        ),
+    ]
+}
+
+
+def scenario_ids() -> List[str]:
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> PdesScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pdes scenario {name!r}; known: {scenario_ids()}"
+        ) from None
+
+
+def describe(scenario: PdesScenario) -> str:
+    defaults = ", ".join(f"{k}={v!r}" for k, v in scenario.defaults)
+    return (
+        f"{scenario.name}: {scenario.description} "
+        f"[{scenario.machine_name} x{scenario.ranks} {scenario.mode}; {defaults}]"
+    )

@@ -1,0 +1,239 @@
+"""One shard: a full cluster replica driven in lookahead windows.
+
+Every shard holds the *whole* machine description — partition, torus,
+mapping, cost model — but spawns rank programs only for the ranks its
+slab owns and swaps the transport for a
+:class:`~repro.pdes.transport.ShardTransport`.  Replicating the torus
+keeps routing and link booking identical to the single-engine run
+(routes cross slab boundaries freely; each shard books the complete
+route of every message it originates), at the price of the merge layer
+having to rebuild one global per-link timeline from the replicas'
+booking logs.
+
+:class:`ShardRuntime` owns the engine-driving side: it injects
+incoming boundary events in deterministic ``(ts, src_shard, seq)``
+order, steps the engine strictly below the granted lookahead horizon,
+and reports its new event floor.  When the run completes it freezes
+everything the merge needs into a picklable :class:`ShardReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs import Tracer
+from ..simmpi.comm import Cluster, RankComm, _OpSync
+from .boundary import BoundaryEvent
+from .errors import ShardUnsupportedError
+from .plan import ShardPlan
+from .transport import ShardTransport
+
+__all__ = [
+    "ShardCluster",
+    "ShardRuntime",
+    "ShardReport",
+    "AdvanceResult",
+    "record_link_bookings",
+]
+
+
+def record_link_bookings(
+    cluster: Cluster,
+    bookings: List[Tuple[str, float, float, float, float, float]],
+) -> None:
+    """Chain a booking-log recorder in front of each link's observer.
+
+    Both the sharded runtime and the single-engine reference run record
+    raw ``(label, nbytes, booked, start, wait, duration)`` bookings
+    through this one hook, so the merge layer rebuilds both sides' link
+    state from identical inputs.  ``booked`` is the sim time the
+    reservation was *made* (links serialize in booking order, which can
+    differ from wire-arrival order), ``start`` when the head actually
+    crossed.
+    """
+    env = cluster.env
+    for key, link in cluster.torus.links.items():
+        (ax, ay, az), (bx, by, bz) = key
+        label = f"({ax},{ay},{az})->({bx},{by},{bz})"
+        base = link.observer
+
+        def observe(
+            nbytes: float, start: float, wait: float, duration: float,
+            _label: str = label, _base=base,
+        ) -> None:
+            bookings.append((_label, nbytes, env.now, start, wait, duration))
+            if _base is not None:
+                _base(nbytes, start, wait, duration)
+
+        link.observer = observe
+
+
+class ShardCluster(Cluster):
+    """A :class:`Cluster` whose transport splits traffic at shard edges."""
+
+    def __init__(self, plan: ShardPlan, shard_id: int) -> None:
+        super().__init__(
+            plan.machine,
+            plan.ranks,
+            mode=plan.mode.mode,
+            mapping=plan.mapping.order,
+            partition=plan.partition,
+        )
+        self.plan = plan
+        self.shard_id = shard_id
+        self.transport = ShardTransport(
+            self.env, self.torus, self.mapping, plan.machine,
+            plan=plan, shard_id=shard_id, ranks=plan.ranks,
+        )
+
+    def _next_sync(self, rank: int, kind: str) -> _OpSync:
+        raise ShardUnsupportedError(
+            f"hardware collective {kind!r} (rank {rank}) synchronizes the "
+            "whole partition in one engine and cannot run sharded; use a "
+            "software-collective machine or run unsharded"
+        )
+
+
+@dataclass
+class AdvanceResult:
+    """What one shard reports after an advance window (picklable)."""
+
+    shard_id: int
+    outbox: List[BoundaryEvent]
+    #: time of the next unprocessed local event (inf when drained)
+    floor: float
+    #: rank programs still running on this shard
+    alive: int
+    #: sim time when the last owned rank finished (None while running)
+    done_at: Optional[float]
+    steps: int
+
+
+@dataclass
+class ShardReport:
+    """Everything the deterministic merge needs from one shard."""
+
+    shard_id: int
+    owned_ranks: Tuple[int, ...]
+    #: Chrome-trace event dicts in this shard's recording order
+    events: List[dict] = field(default_factory=list)
+    process_names: Dict[int, str] = field(default_factory=dict)
+    thread_names: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    #: metric registry snapshot (``MetricsRegistry.to_dict()`` shape)
+    counters: Dict[str, Any] = field(default_factory=dict)
+    gauges: Dict[str, Any] = field(default_factory=dict)
+    histograms: Dict[str, Any] = field(default_factory=dict)
+    #: (label, nbytes, booked, start, wait, duration) per link booking
+    bookings: List[Tuple[str, float, float, float, float, float]] = field(default_factory=list)
+    #: (src, dst, nbytes, tag, start, end) per completed send
+    sends: List[Tuple[int, int, int, int, float, float]] = field(default_factory=list)
+    returns: Dict[int, Any] = field(default_factory=dict)
+    done_at: float = 0.0
+    messages: int = 0
+    bytes_sent: int = 0
+
+
+class ShardRuntime:
+    """Drives one shard's engine under the conservative synchronizer."""
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shard_id: int,
+        program,
+        args: Tuple[Any, ...] = (),
+        observe: bool = True,
+    ) -> None:
+        self.plan = plan
+        self.shard_id = shard_id
+        self.cluster = ShardCluster(plan, shard_id)
+        self.observe = observe
+        self.bookings: List[Tuple[str, float, float, float, float, float]] = []
+        self.sends: List[Tuple[int, int, int, int, float, float]] = []
+        if observe:
+            self.tracer: Optional[Tracer] = Tracer().attach(self.cluster)
+            record_link_bookings(self.cluster, self.bookings)
+            self.cluster.transport.add_send_hook(self._on_send)
+        else:
+            # Bare timing mode: no tracer, no booking/send logs.  Used
+            # by benchmarks and large sweeps where per-message artifacts
+            # (and their cross-process pickling) would dominate runtime.
+            self.tracer = None
+        self.owned = plan.owned_ranks(shard_id)
+        env = self.cluster.env
+        self.procs = [
+            env.process(program(RankComm(self.cluster, r), *args))
+            for r in self.owned
+        ]
+        #: sim time at which the last owned rank finished
+        self.done_at: Optional[float] = None if self.procs else 0.0
+        # O(1) completion tracking: scanning every process per engine
+        # step would cost O(ranks) at each of millions of steps.
+        self._alive = len(self.procs)
+        for proc in self.procs:
+            proc.callbacks.append(self._rank_done)
+
+    def _rank_done(self, _event) -> None:
+        self._alive -= 1
+        if self._alive == 0:
+            self.done_at = self.cluster.env.now
+
+    # -- telemetry hooks ---------------------------------------------------
+    def _on_send(
+        self, src: int, dst: int, nbytes: int, tag: int, start: float, end: float
+    ) -> None:
+        self.sends.append((src, dst, nbytes, tag, start, end))
+
+    # -- driving -----------------------------------------------------------
+    @property
+    def alive(self) -> int:
+        return self._alive
+
+    def floor(self) -> float:
+        return self.cluster.env.peek()
+
+    def advance(
+        self, grant: float, incoming: List[BoundaryEvent]
+    ) -> AdvanceResult:
+        """Inject ``incoming`` and process every event strictly below ``grant``."""
+        env = self.cluster.env
+        for bev in sorted(incoming, key=BoundaryEvent.order_key):
+            self.cluster.transport.inject(bev)
+        steps = 0
+        while env.peek() < grant:
+            env.step()
+            steps += 1
+        return AdvanceResult(
+            shard_id=self.shard_id,
+            outbox=self.cluster.transport.drain_outbox(),
+            floor=env.peek(),
+            alive=self.alive,
+            done_at=self.done_at,
+            steps=steps,
+        )
+
+    # -- reporting -----------------------------------------------------------
+    def report(self) -> ShardReport:
+        tracer = self.tracer
+        registry = (
+            tracer.metrics.to_dict()
+            if tracer is not None
+            else {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        return ShardReport(
+            shard_id=self.shard_id,
+            owned_ranks=self.owned,
+            events=list(tracer.events) if tracer is not None else [],
+            process_names=dict(tracer._process_names) if tracer is not None else {},
+            thread_names=dict(tracer._thread_names) if tracer is not None else {},
+            counters=registry["counters"],
+            gauges=registry["gauges"],
+            histograms=registry["histograms"],
+            bookings=list(self.bookings),
+            sends=list(self.sends),
+            returns={r: p.value for r, p in zip(self.owned, self.procs)},
+            done_at=self.done_at if self.done_at is not None else self.cluster.env.now,
+            messages=self.cluster.transport.messages_sent,
+            bytes_sent=self.cluster.transport.bytes_sent,
+        )

@@ -1,0 +1,197 @@
+"""The shard-aware MPI transport.
+
+:class:`ShardTransport` subclasses the single-engine
+:class:`~repro.simmpi.p2p.Transport` and changes exactly one thing:
+what happens when a message's destination rank lives on another shard.
+Local traffic runs the base implementation unmodified (same protocols,
+same link bookings on this shard's torus replica), so a one-shard run
+*is* the single-engine run.
+
+Cross-shard traffic becomes :class:`~repro.pdes.boundary.BoundaryEvent`
+emissions, each timestamped with its exact effect time on the peer
+engine:
+
+* **Eager**: the route is booked on the *sending* replica (the sender
+  owns the injection timing) and the arrival is shipped as an
+  ``eager`` event at the booked tail time.
+* **Rendezvous**: the RTS control message books its (zero-byte) route
+  on the sending replica and ships as an ``rts`` event; the sender
+  parks on its completion event.  The *receiving* shard books the bulk
+  transfer on its replica at match time — exactly when the single
+  engine would — delivers the payload locally, and ships a
+  ``sender_done`` event releasing the parked sender at the same
+  instant.
+
+Every emission satisfies the conservative lookahead bound
+``ts >= now + mpi.latency``: eager/RTS deliveries pay the full
+injection latency, and the rendezvous completion pays the handshake
+plus a full network transit.  Per-link bookings are recorded by the
+shard runtime (it wraps the torus links' observers) so the merge can
+rebuild one global link timeline and prove no cross-shard booking
+conflicts occurred.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..simengine import Engine, Event
+from ..simmpi.p2p import Message, Transport, _Envelope
+from ..topology.mapping import Mapping
+from ..topology.torus import Torus3D
+from .boundary import BoundaryEvent, EAGER, RTS, SENDER_DONE
+from .plan import ShardPlan
+
+__all__ = ["ShardTransport"]
+
+
+class ShardTransport(Transport):
+    """Transport for one shard: local traffic as usual, remote as events."""
+
+    def __init__(
+        self,
+        env: Engine,
+        torus: Torus3D,
+        mapping: Mapping,
+        machine,
+        plan: ShardPlan,
+        shard_id: int,
+        ranks: Optional[int] = None,
+    ) -> None:
+        super().__init__(env, torus, mapping, machine, ranks=ranks)
+        self.plan = plan
+        self.shard_id = shard_id
+        #: boundary events emitted since the last drain (coordinator-owned)
+        self.outbox: List[BoundaryEvent] = []
+        #: rendezvous envelopes parked until the peer's ``sender_done``
+        self._parked: Dict[Tuple[int, int], _Envelope] = {}
+        self._seq = 0
+
+    # -- helpers -----------------------------------------------------------
+    def _is_local(self, rank: int) -> bool:
+        return self.plan.rank_shards[rank] == self.shard_id
+
+    def _emit(
+        self,
+        kind: str,
+        ts: float,
+        dst_shard: int,
+        *,
+        src: int = -1,
+        dst: int = -1,
+        tag: int = 0,
+        nbytes: int = 0,
+        payload: Any = None,
+        send_id: Optional[Tuple[int, int]] = None,
+    ) -> BoundaryEvent:
+        self._seq += 1
+        bev = BoundaryEvent(
+            kind=kind,
+            ts=ts,
+            src_shard=self.shard_id,
+            dst_shard=dst_shard,
+            seq=self._seq,
+            src=src,
+            dst=dst,
+            tag=tag,
+            nbytes=nbytes,
+            payload=payload,
+            send_id=send_id,
+        )
+        self.outbox.append(bev)
+        return bev
+
+    def drain_outbox(self) -> List[BoundaryEvent]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    # -- sends -------------------------------------------------------------
+    def _send_impl(self, src: int, dst: int, nbytes: int, tag: int, payload: Any):
+        if self._is_local(dst):
+            yield from super()._send_impl(src, dst, nbytes, tag, payload)
+            return
+        # Cross-shard: same node implies same shard, so the destination
+        # is on a different node — always a network transfer.
+        mpi = self.machine.mpi
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        msg = Message(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload)
+        dst_shard = self.plan.rank_shards[dst]
+
+        yield self.env.timeout(mpi.send_overhead)
+
+        if nbytes <= mpi.eager_threshold:
+            delay, _lost = self._network_transit(src, dst, nbytes)
+            self._emit(
+                EAGER, self.env.now + delay, dst_shard,
+                src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload,
+            )
+            return
+
+        # Rendezvous: ship the RTS, park until the peer reports the
+        # bulk transfer complete.
+        done = Event(self.env)
+        envl = _Envelope(msg, sender_done=done)
+        rts_delay, _lost = self._network_transit(src, dst, 0)
+        send_id = (self.shard_id, self._seq + 1)  # the seq _emit assigns next
+        self._emit(
+            RTS, self.env.now + rts_delay, dst_shard,
+            src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload,
+            send_id=send_id,
+        )
+        self._parked[send_id] = envl
+        yield done
+
+    def _deliver_rendezvous(self, envelope: _Envelope, delay: float) -> None:
+        origin = getattr(envelope, "_pdes_origin", None)
+        if origin is not None:
+            send_id, origin_shard = origin
+            self._emit(
+                SENDER_DONE, self.env.now + delay, origin_shard, send_id=send_id
+            )
+        super()._deliver_rendezvous(envelope, delay)
+
+    # -- incoming boundary events -------------------------------------------
+    def inject(self, bev: BoundaryEvent) -> None:
+        """Schedule one incoming boundary event at its exact sim time.
+
+        Called by the shard runtime at the start of an advance window;
+        the conservative synchronizer guarantees ``bev.ts >= env.now``.
+        """
+        delay = bev.ts - self.env.now
+        if delay < 0:  # pragma: no cover - coordinator invariant
+            raise AssertionError(
+                f"boundary event in the past: ts={bev.ts} < now={self.env.now}"
+            )
+        if bev.kind == EAGER:
+            msg = Message(
+                src=bev.src, dst=bev.dst, tag=bev.tag,
+                nbytes=bev.nbytes, payload=bev.payload,
+            )
+            self._schedule_eager_arrival(_Envelope(msg), delay)
+        elif bev.kind == RTS:
+            msg = Message(
+                src=bev.src, dst=bev.dst, tag=bev.tag,
+                nbytes=bev.nbytes, payload=bev.payload,
+            )
+            envl = _Envelope(msg, sender_done=Event(self.env))
+            envl._pdes_origin = (bev.send_id, bev.src_shard)
+            ev = Event(self.env)
+            ev._ok = True
+            ev._value = None
+            self.env.schedule(ev, delay=delay)
+            ev.callbacks.append(lambda _e, e=envl: self._rts_arrived(e))
+        elif bev.kind == SENDER_DONE:
+            envl = self._parked.pop(bev.send_id)
+            ev = Event(self.env)
+            ev._ok = True
+            ev._value = None
+            self.env.schedule(ev, delay=delay)
+
+            def _release(_e: Event, done=envl.sender_done) -> None:
+                if done is not None and not done.triggered:
+                    done.succeed()
+
+            ev.callbacks.append(_release)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown boundary event kind {bev.kind!r}")

@@ -135,6 +135,9 @@ class ServerConfig:
     max_backlog: int = 64
     shed_retry_after: float = 1.0
     tick_s: float = 0.05
+    #: >1 runs each job inside an ambient ``pdes.sharding`` context
+    #: (eligible DES runs shard; everything else falls back unsharded)
+    shards: Optional[int] = None
     cache_dir: Optional[Union[str, pathlib.Path]] = None
     chaos: Optional[Union[ChaosSpec, ChaosPlan]] = None
     tracer: Optional[Any] = None
@@ -678,6 +681,7 @@ class CampaignServer:
                 attempt,
                 self.config.deadline_s,
                 True,
+                self.config.shards,
             )
             self._flights[job.lease_token] = _Flight(
                 job=job,

@@ -19,7 +19,7 @@ from .engine import EmptySchedule, Engine, MS, NS, US
 from .events import AllOf, AnyOf, Event, Interrupt, Timeout
 from .process import Process
 from .resources import Channel, Resource, SerialLink
-from .rng import DEFAULT_SEED, make_rng, spawn
+from .rng import DEFAULT_SEED, derive_seed, make_rng, spawn
 
 __all__ = [
     "Budget",
@@ -41,5 +41,6 @@ __all__ = [
     "SerialLink",
     "make_rng",
     "spawn",
+    "derive_seed",
     "DEFAULT_SEED",
 ]

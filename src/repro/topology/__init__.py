@@ -10,7 +10,14 @@ from .mapping import (
     PREDEFINED_MAPPINGS,
     rank_of_coords,
 )
-from .partition import allocate, Partition
+from .partition import (
+    allocate,
+    Partition,
+    shard_nodes,
+    shard_of_node,
+    slab_axis,
+    slab_extents,
+)
 from .torus import Coord, LinkKey, NoRouteError, Torus3D
 from .tree import TreeNetwork
 
@@ -29,6 +36,10 @@ __all__ = [
     "rank_of_coords",
     "Partition",
     "allocate",
+    "slab_axis",
+    "slab_extents",
+    "shard_of_node",
+    "shard_nodes",
     "TrafficAnalysis",
     "analyze_pattern",
     "compare_mappings",

@@ -1,0 +1,117 @@
+"""Ambient sharding: ``Cluster.run`` interception, fallbacks, campaign.
+
+These tests exercise the ``--shards`` execution-policy path:
+experiment code that builds its own :class:`Cluster` runs sharded with
+no plumbing when a :func:`repro.pdes.sharding` context is active, and
+every configuration the sharded engine cannot reproduce exactly falls
+back to the single engine with identical results.
+"""
+
+import pytest
+
+from repro.campaign import execute_job
+from repro.machines import get_machine
+from repro.obs import Tracer
+from repro.pdes import active_shards, fallback_count, sharding
+from repro.simmpi.comm import Cluster
+
+
+def _ring(comm, nbytes, repeats):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    for rep in range(repeats):
+        req = comm.irecv(src=left, tag=rep)
+        yield from comm.send(right, nbytes=nbytes, tag=rep)
+        yield from comm.wait(req)
+    return comm.now
+
+
+def _rd_exchange(comm, nbytes, steps):
+    for step in range(steps):
+        peer = comm.rank ^ (1 << step)
+        if peer < comm.size:
+            req = comm.irecv(src=peer, tag=step)
+            yield from comm.send(peer, nbytes=nbytes, tag=step)
+            yield from comm.wait(req)
+    return comm.now
+
+
+def _hw_allreduce(comm, nbytes):
+    yield from comm.allreduce(nbytes=nbytes)
+    return comm.now
+
+
+def test_context_installs_and_restores():
+    assert active_shards() is None
+    with sharding(4):
+        assert active_shards() == 4
+        with sharding(2):
+            assert active_shards() == 2
+        assert active_shards() == 4
+    assert active_shards() is None
+
+
+def test_context_rejects_bad_count():
+    with pytest.raises(ValueError):
+        sharding(0)
+
+
+@pytest.mark.no_sanitize
+def test_intercepted_run_matches_unsharded():
+    plain = Cluster(get_machine("BGP"), 16).run(_ring, 1 << 16, 4)
+    with sharding(4):
+        sharded = Cluster(get_machine("BGP"), 16).run(_ring, 1 << 16, 4)
+        assert fallback_count() == 0
+    stats = getattr(sharded, "pdes_stats", None)
+    assert stats is not None and stats.shards == 4
+    assert sharded.elapsed == plain.elapsed
+    assert sharded.returns == plain.returns
+    assert sharded.messages == plain.messages
+    assert sharded.bytes_sent == plain.bytes_sent
+
+
+@pytest.mark.no_sanitize
+def test_attached_tracer_falls_back():
+    with sharding(2):
+        cluster = Cluster(get_machine("BGP"), 16)
+        Tracer().attach(cluster)
+        result = cluster.run(_ring, 4096, 1)
+        assert fallback_count() == 1
+    assert getattr(result, "pdes_stats", None) is None
+
+
+@pytest.mark.no_sanitize
+def test_hardware_collective_falls_back():
+    """BG/P tree allreduce synchronizes the whole partition: unsharded."""
+    plain = Cluster(get_machine("BGP"), 16).run(_hw_allreduce, 4096)
+    with sharding(2):
+        result = Cluster(get_machine("BGP"), 16).run(_hw_allreduce, 4096)
+        assert fallback_count() == 1
+    assert getattr(result, "pdes_stats", None) is None
+    assert result.elapsed == plain.elapsed
+
+
+@pytest.mark.no_sanitize
+def test_link_conflicts_fall_back():
+    """Long-distance traffic is detected and served by the exact path."""
+    plain = Cluster(get_machine("BGP"), 16).run(_rd_exchange, 1 << 16, 4)
+    with sharding(2):
+        result = Cluster(get_machine("BGP"), 16).run(_rd_exchange, 1 << 16, 4)
+        assert fallback_count() == 1
+    assert getattr(result, "pdes_stats", None) is None
+    assert result.elapsed == plain.elapsed
+
+
+@pytest.mark.no_sanitize
+def test_sanitize_request_falls_back():
+    with sharding(2):
+        result = Cluster(get_machine("BGP"), 16).run(_ring, 4096, 1, sanitize=True)
+        assert fallback_count() == 1
+    assert getattr(result, "pdes_stats", None) is None
+
+
+def test_execute_job_threads_shards_through():
+    plain = execute_job("j-plain", "fig3", {}, in_worker=False)
+    sharded = execute_job("j-shard", "fig3", {}, in_worker=False, shards=2)
+    assert plain.ok and sharded.ok
+    assert sharded.text == plain.text  # execution policy, not an input

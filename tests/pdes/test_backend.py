@@ -1,0 +1,40 @@
+"""Process backend: one worker per shard, identical to inline/single."""
+
+import pytest
+
+from repro.pdes.runner import run
+
+
+def test_process_backend_matches_single_engine():
+    ref = run("torus-ring", shards=1)
+    proc = run("torus-ring", shards=2, backend="process")
+    assert proc.backend == "process"
+    assert proc.conflicts == []
+    assert proc.trace_json == ref.trace_json
+    assert proc.metrics_json == ref.metrics_json
+    assert proc.events_jsonl == ref.events_jsonl
+    assert proc.returns == ref.returns
+    assert proc.elapsed == ref.elapsed
+
+
+def test_process_backend_matches_inline_backend():
+    inline = run("torus-ring", shards=4)
+    proc = run("torus-ring", shards=4, backend="process")
+    assert proc.trace_json == inline.trace_json
+    assert proc.stats.rounds == inline.stats.rounds
+    assert proc.stats.boundary_events == inline.stats.boundary_events
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown pdes backend"):
+        run("torus-ring", shards=2, backend="threads")
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(KeyError, match="unknown pdes scenario"):
+        run("no-such-scenario")
+
+
+def test_unknown_param_rejected():
+    with pytest.raises(KeyError, match="does not take parameter"):
+        run("torus-ring", params={"bogus": 1})

@@ -1,0 +1,84 @@
+"""Byte identity: sharded runs reproduce the single engine exactly.
+
+The acceptance drill of the sharded engine: canonical Chrome traces,
+metrics documents, and per-send event streams written by 2/4/8-shard
+runs must be ``cmp``-identical (``filecmp`` with content comparison)
+to the genuine single-engine run's — not merely equivalent.
+"""
+
+import filecmp
+
+import pytest
+
+from repro.pdes.runner import run
+
+ARTIFACTS = ("trace_json", "metrics_json", "events_jsonl")
+
+
+def _write_artifacts(tmp_path, result, tag):
+    paths = []
+    for attr in ARTIFACTS:
+        path = tmp_path / f"{tag}.{attr}"
+        path.write_text(getattr(result, attr))
+        paths.append(path)
+    return paths
+
+
+@pytest.mark.parametrize("scenario", ["torus-ring", "allreduce"])
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_artifacts_cmp_identical(tmp_path, scenario, shards):
+    ref = run(scenario, shards=1)
+    sharded = run(scenario, shards=shards)
+    assert sharded.conflicts == []
+    assert sharded.stats.shards == shards
+    assert sharded.stats.rounds > 0
+    assert sharded.stats.boundary_events > 0
+    for ref_path, new_path in zip(
+        _write_artifacts(tmp_path, ref, "s1"),
+        _write_artifacts(tmp_path, sharded, f"s{shards}"),
+    ):
+        assert filecmp.cmp(ref_path, new_path, shallow=False), ref_path.name
+    assert sharded.returns == ref.returns
+    assert sharded.elapsed == ref.elapsed
+    assert sharded.messages == ref.messages
+    assert sharded.bytes_sent == ref.bytes_sent
+
+
+def test_eight_shard_halo_identity(tmp_path):
+    """8 Z-slabs of a 512-rank (8,8,8) halo: still byte-exact."""
+    params = {"ranks": 512}
+    ref = run("halo", shards=1, params=params)
+    sharded = run("halo", shards=8, params=params)
+    assert sharded.conflicts == []
+    for ref_path, new_path in zip(
+        _write_artifacts(tmp_path, ref, "s1"),
+        _write_artifacts(tmp_path, sharded, "s8"),
+    ):
+        assert filecmp.cmp(ref_path, new_path, shallow=False), ref_path.name
+
+
+def test_shard_count_invariance():
+    """Different shard counts agree with each other, not just with 1."""
+    docs = {
+        shards: run("torus-ring", shards=shards).trace_json
+        for shards in (2, 4)
+    }
+    assert docs[2] == docs[4]
+
+
+def test_runs_are_deterministic_across_invocations():
+    a = run("allreduce", shards=2)
+    b = run("allreduce", shards=2)
+    assert a.trace_json == b.trace_json
+    assert a.metrics_json == b.metrics_json
+    assert a.events_jsonl == b.events_jsonl
+    assert a.stats.rounds == b.stats.rounds
+
+
+def test_bare_mode_skips_artifacts_keeps_timing():
+    full = run("torus-ring", shards=2)
+    bare = run("torus-ring", shards=2, observe=False)
+    assert bare.trace_json == "" and bare.metrics_json == ""
+    assert bare.conflicts == []  # uncertified, not "certified clean"
+    assert bare.elapsed == full.elapsed
+    assert bare.messages == full.messages

@@ -1,0 +1,70 @@
+"""Shard planning: slab decomposition, rank ownership, derived seeds."""
+
+import pytest
+
+from repro.machines import get_machine
+from repro.pdes.backend import shard_seed
+from repro.pdes.plan import ShardPlan
+from repro.simengine import DEFAULT_SEED, derive_seed
+from repro.topology import slab_axis, slab_extents, shard_nodes, shard_of_node
+
+
+def test_slab_axis_longest_dimension_z_most_tie_break():
+    assert slab_axis((4, 8, 2)) == 1
+    assert slab_axis((8, 8, 8)) == 2  # tie -> highest axis
+    assert slab_axis((16, 4, 16)) == 2
+
+
+def test_slab_extents_cover_and_balance():
+    cuts = slab_extents(10, 4)
+    assert cuts[0][0] == 0 and cuts[-1][1] == 10
+    sizes = [stop - start for start, stop in cuts]
+    assert sum(sizes) == 10
+    assert max(sizes) - min(sizes) <= 1
+    # contiguous, no overlap
+    for (_, stop), (start, _) in zip(cuts, cuts[1:]):
+        assert stop == start
+
+
+def test_shard_nodes_partitions_the_torus():
+    shape = (4, 4, 4)
+    groups = shard_nodes(shape, 4)
+    seen = set()
+    for shard, nodes in enumerate(groups):
+        for node in nodes:
+            assert shard_of_node(node, shape, 4) == shard
+            seen.add(node)
+    assert len(seen) == 64
+
+
+def test_plan_owns_every_rank_exactly_once():
+    plan = ShardPlan.build(get_machine("BGP"), 64, 4)
+    owned = [r for s in range(plan.shards) for r in plan.owned_ranks(s)]
+    assert sorted(owned) == list(range(64))
+    for shard in range(plan.shards):
+        for rank in plan.owned_ranks(shard):
+            assert plan.shard_of_rank(rank) == shard
+
+
+def test_plan_lookahead_is_machine_latency():
+    machine = get_machine("BGP")
+    plan = ShardPlan.build(machine, 16, 2)
+    assert plan.lookahead == machine.mpi.latency
+    assert plan.lookahead > 0.0
+
+
+def test_plan_rejects_oversplit():
+    with pytest.raises(ValueError, match="slabs"):
+        ShardPlan.build(get_machine("BGP"), 16, 64)
+
+
+def test_plan_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        ShardPlan.build(get_machine("BGP"), 16, 0)
+
+
+def test_derive_seed_deterministic_and_distinct():
+    assert derive_seed(DEFAULT_SEED, "pdes-shard", 0) == shard_seed(0)
+    seeds = {shard_seed(s) for s in range(16)}
+    assert len(seeds) == 16  # sha256 derivation: no collisions, no order
+    assert all(0 <= s < 2 ** 64 for s in seeds)

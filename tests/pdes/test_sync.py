@@ -1,0 +1,69 @@
+"""Conservative synchronizer: accounting, progress, deadlock detection."""
+
+import pytest
+
+from repro.machines import get_machine
+from repro.pdes.backend import InlineBackend
+from repro.pdes.errors import ShardDeadlockError, ShardUnsupportedError
+from repro.pdes.plan import ShardPlan
+from repro.pdes.shard import ShardCluster, ShardRuntime
+from repro.pdes.sync import drive, PdesStats
+
+
+def _ring(comm, nbytes, repeats):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    for rep in range(repeats):
+        req = comm.irecv(src=left, tag=rep)
+        yield from comm.send(right, nbytes=nbytes, tag=rep)
+        yield from comm.wait(req)
+    return comm.now
+
+
+def _drive(program, args, shards=2, ranks=16):
+    plan = ShardPlan.build(get_machine("BGP"), ranks, shards)
+    backend = InlineBackend(
+        [ShardRuntime(plan, s, program, args) for s in range(shards)]
+    )
+    stats = drive(backend, plan, PdesStats())
+    return plan, backend, stats
+
+
+def test_null_message_accounting():
+    _plan, _backend, stats = _drive(_ring, (4096, 2))
+    assert stats.shards == 2
+    assert stats.rounds > 0
+    # one floor announcement per shard per round, by definition
+    assert stats.null_messages == stats.rounds * stats.shards
+    assert stats.engine_steps > 0
+    assert stats.boundary_events > 0
+
+
+def test_stats_dict_and_summary_expose_counters():
+    _plan, _backend, stats = _drive(_ring, (4096, 2))
+    d = stats.as_dict()
+    assert d["pdes.null_messages"] == stats.null_messages
+    assert d["pdes.stalls"] == stats.stalls
+    text = "\n".join(stats.summary_lines())
+    assert "pdes.null_messages" in text
+    assert "pdes.stalls" in text
+
+
+def test_deadlocked_workload_raises():
+    def stuck(comm):
+        if comm.rank == 0:
+            # waits for a message nobody sends
+            req = comm.irecv(src=1, tag=99)
+            yield from comm.wait(req)
+        return comm.now
+
+    with pytest.raises(ShardDeadlockError) as err:
+        _drive(stuck, ())
+    assert "rank(s) waiting" in str(err.value)
+
+
+def test_hardware_collectives_are_rejected():
+    plan = ShardPlan.build(get_machine("BGP"), 16, 2)
+    cluster = ShardCluster(plan, 0)
+    with pytest.raises(ShardUnsupportedError, match="hardware collective"):
+        cluster._next_sync(0, "allreduce")
